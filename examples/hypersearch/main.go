@@ -1,0 +1,60 @@
+// Hypersearch: tune BCPNN hyperparameters with the ask/tell black-box
+// optimizers — the role Ax + Nevergrad play in the paper's workflow (§IV:
+// "the formulation of BCPNN implies a larger number of hyperparameters...
+// we use the Adaptive Exploration Platform together with Nevergrad").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streambrain"
+	"streambrain/internal/hypersearch"
+)
+
+func main() {
+	train, test, _, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 12000,
+		Seed:   9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := hypersearch.Space{
+		{Name: "taupdt", Kind: hypersearch.LogFloat, Lo: 0.003, Hi: 0.08},
+		{Name: "rf", Kind: hypersearch.Float, Lo: 0.1, Hi: 0.9},
+		{Name: "mcus", Kind: hypersearch.Choice, Choices: []float64{100, 200, 400}},
+		{Name: "temperature", Kind: hypersearch.Float, Lo: 0.5, Hi: 2.0},
+	}
+
+	eval := func(x []float64) float64 {
+		params := streambrain.DefaultParams()
+		params.Taupdt = x[0]
+		params.ReceptiveField = x[1]
+		params.MCUs = int(x[2])
+		params.Temperature = x[3]
+		params.HCUs = 1
+		params.UnsupervisedEpochs = 3
+		params.SupervisedEpochs = 3
+		params.Seed = 9
+		model, err := streambrain.NewModel(streambrain.Config{
+			Backend: "parallel",
+			Params:  params,
+		}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Fit(train)
+		acc, _ := model.Evaluate(test)
+		fmt.Printf("  taupdt=%.4f rf=%.2f mcus=%.0f T=%.2f -> acc %.4f\n",
+			x[0], x[1], x[2], x[3], acc)
+		return acc
+	}
+
+	fmt.Println("(1+1)-ES over 12 evaluations:")
+	opt := hypersearch.NewOnePlusOne(space, 9)
+	best, bestAcc := hypersearch.Run(opt, 12, eval)
+	fmt.Printf("best: taupdt=%.4f rf=%.2f mcus=%.0f T=%.2f with accuracy %.4f\n",
+		best[0], best[1], best[2], best[3], bestAcc)
+}

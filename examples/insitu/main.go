@@ -1,0 +1,86 @@
+// Insitu: the Fig. 2 demonstration — in-situ visualization of the receptive
+// fields while training runs. Every epoch the Catalyst-style adaptor chain
+// co-processes the masks: VTI files (openable in ParaView), PNG montages,
+// and a live HTTP endpoint you can watch in a browser.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streambrain"
+	"streambrain/internal/core"
+	"streambrain/internal/viz"
+)
+
+func main() {
+	train, _, _, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 20000,
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := streambrain.DefaultParams()
+	params.HCUs = 4 // "four HCUs with a density of 40%" (§III-B)
+	params.MCUs = 100
+	params.ReceptiveField = 0.40
+	params.UnsupervisedEpochs = 8
+	params.SwapsPerEpoch = 3
+	params.Seed = 3
+	model, err := streambrain.NewModel(streambrain.Config{
+		Backend: "parallel",
+		Params:  params,
+	}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vti, err := viz.NewVTIWriter("insitu-out", "rf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	png, err := viz.NewPNGWriter("insitu-out", "rf", 4, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := viz.NewLiveServer("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer live.Close()
+	adaptors := viz.Multi{vti, png, live}
+	fmt.Printf("live view: http://%s/ (refreshes every second)\n", live.Addr())
+
+	// The epoch hook is the Catalyst co-processing trigger: reshape each
+	// HCU's 28-feature mask into a 7x4 field and hand it to the adaptors.
+	// It also applies any knobs the user POSTed to /control — the paper's
+	// future-work idea of steering structural plasticity from the
+	// visualization client (§VII), e.g.:
+	//
+	//	curl -X POST 'http://<addr>/control?key=swapsPerEpoch&value=8'
+	hook := func(epoch int, hidden *core.HiddenLayer) {
+		fields := make([]viz.Field, hidden.H)
+		for h := 0; h < hidden.H; h++ {
+			fields[h] = viz.BoolField(fmt.Sprintf("hcu%d", h), 7, 4,
+				hidden.ReceptiveField(h))
+		}
+		if err := adaptors.CoProcess(epoch, fields); err != nil {
+			log.Printf("co-processing: %v", err)
+		}
+		controls := live.Controls()
+		if v, ok := controls["swapsPerEpoch"]; ok {
+			hidden.SetSwapsPerEpoch(int(v))
+		}
+		if v, ok := controls["swapMargin"]; ok {
+			hidden.SetSwapMargin(v)
+		}
+		fmt.Printf("epoch %d co-processed (swaps=%d margin=%.2f)\n",
+			epoch, hidden.SwapsPerEpoch(), hidden.SwapMargin())
+	}
+
+	model.FitUnsupervised(train, params.UnsupervisedEpochs, hook)
+	fmt.Printf("wrote %d VTI and %d PNG snapshots to insitu-out/\n",
+		len(vti.Written), len(png.Written))
+}

@@ -1,0 +1,128 @@
+// Package backend defines the compute-backend abstraction of StreamBrain-Go.
+//
+// StreamBrain (Podobas et al., HEART 2021) ships hand-coded backends for
+// OpenMP+SIMD CPUs, CUDA GPUs, MPI clusters and HLS FPGAs behind one kernel
+// interface. This package reproduces that architecture in Go: the BCPNN core
+// is written against the Backend interface and never touches raw loops, so
+// swapping the execution strategy is a one-line change exactly as in the
+// Python original.
+//
+// Three backends are provided:
+//
+//   - "naive":    single-threaded reference kernels (the NumPy role).
+//   - "parallel": goroutine worker-team kernels with cache blocking
+//     (the OpenMP+SIMD role).
+//   - "gpusim":   a GPU-offload simulator layered on the parallel kernels
+//     that models device-resident buffers and counts kernel
+//     launches and host/device transfer bytes under both the
+//     fully-offloaded and the chatty transfer policy
+//     (the CUDA role; see DESIGN.md §1 for the substitution).
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streambrain/internal/tensor"
+)
+
+// Backend is the kernel set the BCPNN training loop is expressed in.
+// All methods must be safe for sequential use; implementations may
+// parallelize internally but calls themselves are not concurrent.
+type Backend interface {
+	// Name returns the registry name of the backend.
+	Name() string
+	// Workers returns the size of the backend's worker team (1 for naive).
+	Workers() int
+
+	// MatMul computes dst = a·b.
+	MatMul(dst, a, b *tensor.Matrix)
+	// MatMulATB computes dst = aᵀ·b without materializing aᵀ.
+	MatMulATB(dst, a, b *tensor.Matrix)
+	// OneHotMatMul computes dst = X·w where sample s of X is the indicator
+	// vector of idx[s] (the quantile one-hot encoding of §V of the paper).
+	OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix)
+	// AddBias adds the bias vector to every row of m.
+	AddBias(m *tensor.Matrix, bias []float64)
+	// SoftmaxGroups applies a temperature softmax independently to each of
+	// `groups` consecutive width-`width` segments of every row — the
+	// per-hypercolumn normalization of MCU activities.
+	SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64)
+
+	// Lerp computes dst = (1-t)·dst + t·src — the exponential trace update.
+	Lerp(dst, src []float64, t float64)
+	// LerpMatrix is Lerp over matrix storage.
+	LerpMatrix(dst, src *tensor.Matrix, t float64)
+	// OneHotMeanLerp folds the batch mean of one-hot inputs into the Ci
+	// trace: ci = (1-t)·ci + (t/len(idx))·Σ_s indicator(idx[s]).
+	OneHotMeanLerp(ci []float64, idx [][]int32, t float64)
+	// OneHotOuterLerp folds the batch outer-product mean into the joint
+	// trace: cij = (1-t)·cij + (t/len(idx))·Σ_s indicator(idx[s]) ⊗ act[s].
+	OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64)
+	// OuterLerp is the dense variant used by the supervised layer:
+	// cij = (1-t)·cij + (t/a.Rows)·aᵀb.
+	OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64)
+
+	// UpdateWeights recomputes the BCPNN weight matrix from the traces:
+	// w_ij = log(max(cij,eps²) / (max(ci_i,eps)·max(cj_j,eps))).
+	// If mask is non-nil it is an fi×h row-major boolean gate over
+	// (input hypercolumn, output hypercolumn) blocks of w (block shape
+	// mi×m); gated-off entries are set to 0 (silent connections).
+	UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+		mask []bool, fi, mi, h, m int, eps float64)
+	// UpdateBias recomputes bias_j = kbi_j · log(max(cj_j, eps)).
+	UpdateBias(bias, kbi, cj []float64, eps float64)
+}
+
+// factory builds a backend with the requested worker count.
+type factory func(workers int) Backend
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]factory{}
+)
+
+// Register installs a backend factory under name. It is called from package
+// init functions; duplicate names panic.
+func Register(name string, f factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration %q", name))
+	}
+	registry[name] = f
+}
+
+// New returns the named backend with the given worker-team size.
+// workers <= 0 selects a backend-specific default.
+func New(name string, workers int) (Backend, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return f(workers), nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(name string, workers int) Backend {
+	b, err := New(name, workers)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Names returns the sorted list of registered backend names.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

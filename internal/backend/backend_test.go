@@ -1,0 +1,350 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/tensor"
+)
+
+const tol = 1e-9
+
+func randMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randProbMat(rng *rand.Rand, rows, cols int) *tensor.Matrix {
+	m := tensor.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*0.9 + 0.05
+	}
+	return m
+}
+
+func randIdx(rng *rand.Rand, batch, groups, width int) [][]int32 {
+	idx := make([][]int32, batch)
+	for s := range idx {
+		for g := 0; g < groups; g++ {
+			idx[s] = append(idx[s], int32(g*width+rng.Intn(width)))
+		}
+	}
+	return idx
+}
+
+// allBackends returns one instance of every registered backend, with varied
+// worker counts for the parallel ones.
+func allBackends() []Backend {
+	return []Backend{
+		MustNew("naive", 0),
+		MustNew("parallel", 1),
+		MustNew("parallel", 4),
+		MustNew("gpusim", 4),
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"naive": true, "parallel": true, "gpusim": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing backends: %v (have %v)", want, names)
+	}
+}
+
+func TestNewUnknownBackend(t *testing.T) {
+	if _, err := New("tpu", 1); err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Register("naive", func(int) Backend { return nil })
+}
+
+// TestConformanceMatMul and friends cross-check every backend against the
+// naive reference, the same validation strategy StreamBrain uses for its
+// hand-coded kernels vs NumPy.
+func TestConformanceMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMat(rng, 37, 53)
+	b := randMat(rng, 53, 29)
+	want := tensor.NewMatrix(37, 29)
+	MustNew("naive", 0).MatMul(want, a, b)
+	for _, be := range allBackends() {
+		got := tensor.NewMatrix(37, 29)
+		be.MatMul(got, a, b)
+		if d := got.MaxAbsDiff(want); d > tol {
+			t.Errorf("%s MatMul diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceMatMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 64, 31)
+	b := randMat(rng, 64, 17)
+	want := tensor.NewMatrix(31, 17)
+	MustNew("naive", 0).MatMulATB(want, a, b)
+	for _, be := range allBackends() {
+		got := tensor.NewMatrix(31, 17)
+		be.MatMulATB(got, a, b)
+		if d := got.MaxAbsDiff(want); d > tol {
+			t.Errorf("%s MatMulATB diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceOneHotMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const batch, groups, width, out = 21, 9, 10, 40
+	w := randMat(rng, groups*width, out)
+	idx := randIdx(rng, batch, groups, width)
+	want := tensor.NewMatrix(batch, out)
+	MustNew("naive", 0).OneHotMatMul(want, idx, w)
+	for _, be := range allBackends() {
+		got := tensor.NewMatrix(batch, out)
+		be.OneHotMatMul(got, idx, w)
+		if d := got.MaxAbsDiff(want); d > tol {
+			t.Errorf("%s OneHotMatMul diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceAddBiasSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bias := make([]float64, 24)
+	for i := range bias {
+		bias[i] = rng.NormFloat64()
+	}
+	src := randMat(rng, 19, 24)
+	want := src.Clone()
+	nv := MustNew("naive", 0)
+	nv.AddBias(want, bias)
+	nv.SoftmaxGroups(want, 4, 6, 0.7)
+	for _, be := range allBackends() {
+		got := src.Clone()
+		be.AddBias(got, bias)
+		be.SoftmaxGroups(got, 4, 6, 0.7)
+		if d := got.MaxAbsDiff(want); d > 1e-12 {
+			t.Errorf("%s AddBias+Softmax diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceTraceKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const batch, groups, width, units = 16, 7, 10, 33
+	in := groups * width
+	idx := randIdx(rng, batch, groups, width)
+	act := randProbMat(rng, batch, units)
+	ciRef := make([]float64, in)
+	cijRef := randProbMat(rng, in, units)
+	for i := range ciRef {
+		ciRef[i] = rng.Float64()
+	}
+	nv := MustNew("naive", 0)
+	wantCi := append([]float64(nil), ciRef...)
+	wantCij := cijRef.Clone()
+	nv.OneHotMeanLerp(wantCi, idx, 0.03)
+	nv.OneHotOuterLerp(wantCij, idx, act, 0.03)
+	for _, be := range allBackends() {
+		gotCi := append([]float64(nil), ciRef...)
+		gotCij := cijRef.Clone()
+		be.OneHotMeanLerp(gotCi, idx, 0.03)
+		be.OneHotOuterLerp(gotCij, idx, act, 0.03)
+		for i := range gotCi {
+			if math.Abs(gotCi[i]-wantCi[i]) > tol {
+				t.Fatalf("%s Ci diff at %d", be.Name(), i)
+			}
+		}
+		if d := gotCij.MaxAbsDiff(wantCij); d > tol {
+			t.Errorf("%s Cij diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceOuterLerp(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randProbMat(rng, 12, 20)
+	b := randProbMat(rng, 12, 5)
+	base := randProbMat(rng, 20, 5)
+	want := base.Clone()
+	MustNew("naive", 0).OuterLerp(want, a, b, 0.1)
+	for _, be := range allBackends() {
+		got := base.Clone()
+		be.OuterLerp(got, a, b, 0.1)
+		if d := got.MaxAbsDiff(want); d > tol {
+			t.Errorf("%s OuterLerp diff %g", be.Name(), d)
+		}
+	}
+}
+
+func TestConformanceUpdateWeightsBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const fi, mi, h, m = 5, 4, 3, 6
+	in, units := fi*mi, h*m
+	ci := make([]float64, in)
+	cj := make([]float64, units)
+	kbi := make([]float64, units)
+	for i := range ci {
+		ci[i] = rng.Float64()
+	}
+	for j := range cj {
+		cj[j] = rng.Float64()
+		kbi[j] = 1 + rng.Float64()
+	}
+	cij := randProbMat(rng, in, units)
+	mask := make([]bool, fi*h)
+	for i := range mask {
+		mask[i] = rng.Intn(2) == 0
+	}
+	wantW := tensor.NewMatrix(in, units)
+	wantB := make([]float64, units)
+	nv := MustNew("naive", 0)
+	nv.UpdateWeights(wantW, ci, cj, cij, mask, fi, mi, h, m, 1e-9)
+	nv.UpdateBias(wantB, kbi, cj, 1e-9)
+	for _, be := range allBackends() {
+		gotW := tensor.NewMatrix(in, units)
+		gotB := make([]float64, units)
+		be.UpdateWeights(gotW, ci, cj, cij, mask, fi, mi, h, m, 1e-9)
+		be.UpdateBias(gotB, kbi, cj, 1e-9)
+		if d := gotW.MaxAbsDiff(wantW); d > tol {
+			t.Errorf("%s UpdateWeights diff %g", be.Name(), d)
+		}
+		for j := range gotB {
+			if math.Abs(gotB[j]-wantB[j]) > tol {
+				t.Fatalf("%s UpdateBias diff at %d", be.Name(), j)
+			}
+		}
+	}
+}
+
+func TestUpdateWeightsMaskZeroesSilentBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const fi, mi, h, m = 3, 2, 2, 2
+	in, units := fi*mi, h*m
+	ci := make([]float64, in)
+	cj := make([]float64, units)
+	for i := range ci {
+		ci[i] = 0.5
+	}
+	for j := range cj {
+		cj[j] = 0.5
+	}
+	cij := randProbMat(rng, in, units)
+	mask := []bool{true, false, false, true, true, true}
+	w := tensor.NewMatrix(in, units)
+	MustNew("naive", 0).UpdateWeights(w, ci, cj, cij, mask, fi, mi, h, m, 1e-9)
+	for i := 0; i < in; i++ {
+		for j := 0; j < units; j++ {
+			gated := mask[(i/mi)*h+j/m]
+			v := w.At(i, j)
+			if !gated && v != 0 {
+				t.Fatalf("silent weight (%d,%d) = %v, want 0", i, j, v)
+			}
+			if gated && v == 0 {
+				t.Fatalf("active weight (%d,%d) unexpectedly zero", i, j)
+			}
+		}
+	}
+}
+
+func TestUpdateWeightsIndependenceIsZero(t *testing.T) {
+	// If Cij = Ci·Cj exactly (statistical independence), weights must be 0:
+	// log(pij/(pi·pj)) = log 1. This is the defining property of the BCPNN
+	// weight — it measures deviation from independence.
+	const in, units = 4, 3
+	ci := []float64{0.2, 0.3, 0.4, 0.1}
+	cj := []float64{0.5, 0.25, 0.25}
+	cij := tensor.NewMatrix(in, units)
+	for i := 0; i < in; i++ {
+		for j := 0; j < units; j++ {
+			cij.Set(i, j, ci[i]*cj[j])
+		}
+	}
+	w := tensor.NewMatrix(in, units)
+	MustNew("naive", 0).UpdateWeights(w, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+	for _, v := range w.Data {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("independence should give zero weight, got %v", v)
+		}
+	}
+}
+
+func TestGPUSimTransferAccounting(t *testing.T) {
+	g := NewGPUSim(2, PolicyOffloaded)
+	w := tensor.NewMatrix(10, 8)
+	dst := tensor.NewMatrix(4, 8)
+	g.MakeResident(w.Data, dst.Data)
+	afterPin := g.Stats()
+	if afterPin.BytesH2D != int64(8*(len(w.Data)+len(dst.Data))) {
+		t.Fatalf("pin upload bytes = %d", afterPin.BytesH2D)
+	}
+	idx := [][]int32{{0}, {1}, {2}, {3}}
+	g.OneHotMatMul(dst, idx, w)
+	st := g.Stats()
+	// Offloaded: only the 4 indices move host→device; no D2H for resident dst.
+	wantH2D := afterPin.BytesH2D + 4*4
+	if st.BytesH2D != wantH2D {
+		t.Fatalf("offloaded H2D = %d, want %d", st.BytesH2D, wantH2D)
+	}
+	if st.BytesD2H != 0 {
+		t.Fatalf("offloaded D2H = %d, want 0", st.BytesD2H)
+	}
+	if st.KernelLaunches != 1 {
+		t.Fatalf("launches = %d, want 1", st.KernelLaunches)
+	}
+
+	// Chatty: the same call moves the whole weight matrix and result.
+	g.ResetStats()
+	g.SetPolicy(PolicyChatty)
+	g.OneHotMatMul(dst, idx, w)
+	st = g.Stats()
+	if st.BytesH2D != int64(8*len(w.Data)+4*4) {
+		t.Fatalf("chatty H2D = %d", st.BytesH2D)
+	}
+	if st.BytesD2H != int64(8*len(dst.Data)) {
+		t.Fatalf("chatty D2H = %d", st.BytesD2H)
+	}
+}
+
+func TestGPUSimMakeResidentIdempotent(t *testing.T) {
+	g := NewGPUSim(1, PolicyOffloaded)
+	buf := make([]float64, 16)
+	g.MakeResident(buf)
+	g.MakeResident(buf)
+	if st := g.Stats(); st.BytesH2D != 8*16 {
+		t.Fatalf("double pin charged twice: %d", st.BytesH2D)
+	}
+}
+
+func TestTransferPolicyString(t *testing.T) {
+	if PolicyOffloaded.String() != "offloaded" || PolicyChatty.String() != "chatty" {
+		t.Fatal("bad policy strings")
+	}
+	if TransferPolicy(9).String() == "" {
+		t.Fatal("unknown policy must still render")
+	}
+}
+
+func TestParallelWorkersDefault(t *testing.T) {
+	p := NewParallel(0)
+	if p.Workers() < 1 {
+		t.Fatalf("default workers = %d", p.Workers())
+	}
+	if NewParallel(3).Workers() != 3 {
+		t.Fatal("explicit workers not honored")
+	}
+}

@@ -1,0 +1,104 @@
+package backend
+
+import (
+	"streambrain/internal/posit"
+	"streambrain/internal/tensor"
+)
+
+func init() {
+	Register("fpgasim", func(workers int) Backend {
+		return NewFPGASim(workers, posit.Posit16)
+	})
+}
+
+// FPGASim models StreamBrain's HLS FPGA backend at the numerical level: the
+// derived parameters (weights and biases) are stored in a reduced posit
+// representation, exactly the "reduced/different numerical representation
+// (e.g., Posits)" exploration §III-A describes for the FPGA target. Compute
+// runs on the parallel CPU kernels (we are simulating the datapath's
+// numerics, not its clock), so the observable effect — and what the
+// precision ablation measures — is the accuracy impact of posit-quantized
+// parameters on the full training loop.
+//
+// Traces stay in float64: on the real device they are the accumulators,
+// which HLS designs keep in wide fixed-point precisely because accumulating
+// in the storage format diverges. Quantizing only the derived parameters
+// mirrors that design split.
+type FPGASim struct {
+	dev    *Parallel
+	format posit.Format
+}
+
+// NewFPGASim returns an FPGA simulator storing parameters in the given posit
+// format.
+func NewFPGASim(workers int, format posit.Format) *FPGASim {
+	if err := format.Validate(); err != nil {
+		panic(err)
+	}
+	return &FPGASim{dev: NewParallel(workers), format: format}
+}
+
+// Name implements Backend.
+func (f *FPGASim) Name() string { return "fpgasim" }
+
+// Workers implements Backend.
+func (f *FPGASim) Workers() int { return f.dev.Workers() }
+
+// Format returns the posit storage format in use.
+func (f *FPGASim) Format() posit.Format { return f.format }
+
+// MatMul implements Backend.
+func (f *FPGASim) MatMul(dst, a, b *tensor.Matrix) { f.dev.MatMul(dst, a, b) }
+
+// MatMulATB implements Backend.
+func (f *FPGASim) MatMulATB(dst, a, b *tensor.Matrix) { f.dev.MatMulATB(dst, a, b) }
+
+// OneHotMatMul implements Backend.
+func (f *FPGASim) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+	f.dev.OneHotMatMul(dst, idx, w)
+}
+
+// AddBias implements Backend.
+func (f *FPGASim) AddBias(m *tensor.Matrix, bias []float64) { f.dev.AddBias(m, bias) }
+
+// SoftmaxGroups implements Backend.
+func (f *FPGASim) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+	f.dev.SoftmaxGroups(m, groups, width, temperature)
+}
+
+// Lerp implements Backend.
+func (f *FPGASim) Lerp(dst, src []float64, t float64) { f.dev.Lerp(dst, src, t) }
+
+// LerpMatrix implements Backend.
+func (f *FPGASim) LerpMatrix(dst, src *tensor.Matrix, t float64) { f.dev.LerpMatrix(dst, src, t) }
+
+// OneHotMeanLerp implements Backend.
+func (f *FPGASim) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+	f.dev.OneHotMeanLerp(ci, idx, t)
+}
+
+// OneHotOuterLerp implements Backend.
+func (f *FPGASim) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+	f.dev.OneHotOuterLerp(cij, idx, act, t)
+}
+
+// OuterLerp implements Backend.
+func (f *FPGASim) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
+	f.dev.OuterLerp(cij, a, b, t)
+}
+
+// UpdateWeights implements Backend: the float64 weight recompute followed by
+// posit storage quantization.
+func (f *FPGASim) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	mask []bool, fi, mi, h, m int, eps float64) {
+	f.dev.UpdateWeights(w, ci, cj, cij, mask, fi, mi, h, m, eps)
+	f.dev.parallelFor(w.Rows, func(lo, hi int) {
+		f.format.QuantizeSlice(w.Data[lo*w.Cols : hi*w.Cols])
+	})
+}
+
+// UpdateBias implements Backend with posit storage quantization.
+func (f *FPGASim) UpdateBias(bias, kbi, cj []float64, eps float64) {
+	f.dev.UpdateBias(bias, kbi, cj, eps)
+	f.format.QuantizeSlice(bias)
+}

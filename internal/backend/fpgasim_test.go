@@ -1,0 +1,103 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/posit"
+	"streambrain/internal/tensor"
+)
+
+func TestFPGASimRegistered(t *testing.T) {
+	be := MustNew("fpgasim", 2)
+	if be.Name() != "fpgasim" || be.Workers() != 2 {
+		t.Fatalf("bad fpgasim instance: %s/%d", be.Name(), be.Workers())
+	}
+}
+
+func TestFPGASimWeightsArePositValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const fi, mi, h, m = 4, 3, 2, 5
+	in, units := fi*mi, h*m
+	ci := make([]float64, in)
+	cj := make([]float64, units)
+	for i := range ci {
+		ci[i] = 0.05 + 0.9*rng.Float64()
+	}
+	for j := range cj {
+		cj[j] = 0.05 + 0.9*rng.Float64()
+	}
+	cij := randProbMat(rng, in, units)
+	f := NewFPGASim(2, posit.Posit16)
+	w := tensor.NewMatrix(in, units)
+	f.UpdateWeights(w, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+	for i, v := range w.Data {
+		if q := posit.Posit16.Quantize(v); q != v {
+			t.Fatalf("weight %d = %v is not a posit16 value (requantizes to %v)", i, v, q)
+		}
+	}
+	bias := make([]float64, units)
+	kbi := make([]float64, units)
+	for j := range kbi {
+		kbi[j] = 1
+	}
+	f.UpdateBias(bias, kbi, cj, 1e-9)
+	for j, v := range bias {
+		if q := posit.Posit16.Quantize(v); q != v {
+			t.Fatalf("bias %d = %v is not a posit16 value", j, v)
+		}
+	}
+}
+
+func TestFPGASimCloseToParallel(t *testing.T) {
+	// Posit16 weights must track the float64 weights to ~1e-3 relative —
+	// close enough that kernels agree within tolerance on a forward pass.
+	rng := rand.New(rand.NewSource(2))
+	const in, units = 12, 10
+	ci := make([]float64, in)
+	cj := make([]float64, units)
+	for i := range ci {
+		ci[i] = 0.05 + 0.9*rng.Float64()
+	}
+	for j := range cj {
+		cj[j] = 0.05 + 0.9*rng.Float64()
+	}
+	cij := randProbMat(rng, in, units)
+	ref := tensor.NewMatrix(in, units)
+	MustNew("parallel", 2).UpdateWeights(ref, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+	got := tensor.NewMatrix(in, units)
+	NewFPGASim(2, posit.Posit16).UpdateWeights(got, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+	if d := got.MaxAbsDiff(ref); d > 5e-3 {
+		t.Fatalf("posit16 weights deviate by %g", d)
+	}
+	// posit8 deviates more — and must still be finite and ordered.
+	got8 := tensor.NewMatrix(in, units)
+	NewFPGASim(2, posit.Posit8).UpdateWeights(got8, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+	d8 := got8.MaxAbsDiff(ref)
+	d16 := got.MaxAbsDiff(ref)
+	if d8 <= d16 {
+		t.Fatalf("posit8 error %g not larger than posit16 error %g", d8, d16)
+	}
+}
+
+func TestFPGASimComputeKernelsDelegate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 9, 7)
+	b := randMat(rng, 7, 5)
+	want := tensor.NewMatrix(9, 5)
+	MustNew("naive", 0).MatMul(want, a, b)
+	got := tensor.NewMatrix(9, 5)
+	MustNew("fpgasim", 2).MatMul(got, a, b)
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("fpgasim MatMul diff %g (compute kernels must not quantize)", d)
+	}
+}
+
+func TestNewFPGASimInvalidFormatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFPGASim(1, posit.Format{Bits: 64, ES: 1})
+}

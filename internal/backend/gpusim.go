@@ -1,0 +1,229 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"streambrain/internal/tensor"
+)
+
+func init() {
+	Register("gpusim", func(workers int) Backend { return NewGPUSim(workers, PolicyOffloaded) })
+}
+
+// TransferPolicy selects how the GPU simulator accounts host↔device traffic.
+type TransferPolicy int
+
+const (
+	// PolicyOffloaded models StreamBrain's CUDA backend: model state
+	// (weights, biases, traces) is device-resident, so only per-batch inputs
+	// are uploaded and per-batch outputs downloaded. This is the design the
+	// paper credits with removing Amdahl serialization points (§III-A).
+	PolicyOffloaded TransferPolicy = iota
+	// PolicyChatty models a naive accelerator port: every kernel call
+	// uploads all operands and downloads all results. The offload ablation
+	// bench contrasts the two policies' transfer volumes.
+	PolicyChatty
+)
+
+// String implements fmt.Stringer.
+func (p TransferPolicy) String() string {
+	switch p {
+	case PolicyOffloaded:
+		return "offloaded"
+	case PolicyChatty:
+		return "chatty"
+	}
+	return fmt.Sprintf("TransferPolicy(%d)", int(p))
+}
+
+// TransferStats accumulates the modeled device traffic.
+type TransferStats struct {
+	KernelLaunches int64
+	BytesH2D       int64 // host → device
+	BytesD2H       int64 // device → host
+}
+
+// GPUSim simulates a fully-offloaded accelerator backend. Compute is executed
+// by the Parallel kernels (a dedicated "device" worker team); what makes it a
+// GPU model is the buffer-residency ledger: the simulator tracks which
+// buffers live on the device and charges H2D/D2H transfer bytes according to
+// the active TransferPolicy. Benchmarks read the ledger to reproduce the
+// paper's offload-vs-chatty argument quantitatively.
+type GPUSim struct {
+	dev    *Parallel
+	policy TransferPolicy
+
+	mu       sync.Mutex
+	resident map[*float64]bool
+	stats    TransferStats
+}
+
+// NewGPUSim returns a GPU simulator with the given device worker-team size.
+func NewGPUSim(workers int, policy TransferPolicy) *GPUSim {
+	return &GPUSim{
+		dev:      NewParallel(workers),
+		policy:   policy,
+		resident: make(map[*float64]bool),
+	}
+}
+
+// Name implements Backend.
+func (g *GPUSim) Name() string { return "gpusim" }
+
+// Workers implements Backend.
+func (g *GPUSim) Workers() int { return g.dev.Workers() }
+
+// SetPolicy switches the transfer-accounting policy.
+func (g *GPUSim) SetPolicy(p TransferPolicy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.policy = p
+}
+
+// Stats returns a snapshot of the transfer ledger.
+func (g *GPUSim) Stats() TransferStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// ResetStats clears the ledger (buffer residency is preserved).
+func (g *GPUSim) ResetStats() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats = TransferStats{}
+}
+
+// key identifies a buffer by the address of its first element; an empty
+// buffer has no identity and is never charged.
+func key(s []float64) *float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	return &s[0]
+}
+
+// MakeResident pins buffers to the device: they are uploaded once (charged
+// now) and never again under PolicyOffloaded. The BCPNN trainer pins its
+// weights, biases and traces at layer construction, mirroring cudaMalloc'd
+// state in StreamBrain's CUDA backend.
+func (g *GPUSim) MakeResident(bufs ...[]float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, b := range bufs {
+		k := key(b)
+		if k == nil || g.resident[k] {
+			continue
+		}
+		g.resident[k] = true
+		g.stats.BytesH2D += int64(8 * len(b))
+	}
+}
+
+// launch charges one kernel launch plus transfers for the operand buffers:
+// ins are read by the kernel (H2D if not resident), outs are written (D2H if
+// not resident). Under PolicyChatty residency is ignored and everything
+// moves every call.
+func (g *GPUSim) launch(ins [][]float64, outs [][]float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stats.KernelLaunches++
+	for _, b := range ins {
+		if g.policy == PolicyChatty || !g.resident[key(b)] {
+			g.stats.BytesH2D += int64(8 * len(b))
+		}
+	}
+	for _, b := range outs {
+		if g.policy == PolicyChatty || !g.resident[key(b)] {
+			g.stats.BytesD2H += int64(8 * len(b))
+		}
+	}
+}
+
+// idxBytes models the upload cost of a one-hot index batch (4 bytes/index).
+func (g *GPUSim) idxBytes(idx [][]int32) {
+	var n int64
+	for _, a := range idx {
+		n += int64(4 * len(a))
+	}
+	g.mu.Lock()
+	g.stats.BytesH2D += n
+	g.mu.Unlock()
+}
+
+// MatMul implements Backend.
+func (g *GPUSim) MatMul(dst, a, b *tensor.Matrix) {
+	g.launch([][]float64{a.Data, b.Data}, [][]float64{dst.Data})
+	g.dev.MatMul(dst, a, b)
+}
+
+// MatMulATB implements Backend.
+func (g *GPUSim) MatMulATB(dst, a, b *tensor.Matrix) {
+	g.launch([][]float64{a.Data, b.Data}, [][]float64{dst.Data})
+	g.dev.MatMulATB(dst, a, b)
+}
+
+// OneHotMatMul implements Backend.
+func (g *GPUSim) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+	g.idxBytes(idx)
+	g.launch([][]float64{w.Data}, [][]float64{dst.Data})
+	g.dev.OneHotMatMul(dst, idx, w)
+}
+
+// AddBias implements Backend.
+func (g *GPUSim) AddBias(m *tensor.Matrix, bias []float64) {
+	g.launch([][]float64{bias}, [][]float64{m.Data})
+	g.dev.AddBias(m, bias)
+}
+
+// SoftmaxGroups implements Backend.
+func (g *GPUSim) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+	g.launch(nil, [][]float64{m.Data})
+	g.dev.SoftmaxGroups(m, groups, width, temperature)
+}
+
+// Lerp implements Backend.
+func (g *GPUSim) Lerp(dst, src []float64, t float64) {
+	g.launch([][]float64{src}, [][]float64{dst})
+	g.dev.Lerp(dst, src, t)
+}
+
+// LerpMatrix implements Backend.
+func (g *GPUSim) LerpMatrix(dst, src *tensor.Matrix, t float64) {
+	g.launch([][]float64{src.Data}, [][]float64{dst.Data})
+	g.dev.LerpMatrix(dst, src, t)
+}
+
+// OneHotMeanLerp implements Backend.
+func (g *GPUSim) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+	g.idxBytes(idx)
+	g.launch(nil, [][]float64{ci})
+	g.dev.OneHotMeanLerp(ci, idx, t)
+}
+
+// OneHotOuterLerp implements Backend.
+func (g *GPUSim) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+	g.idxBytes(idx)
+	g.launch([][]float64{act.Data}, [][]float64{cij.Data})
+	g.dev.OneHotOuterLerp(cij, idx, act, t)
+}
+
+// OuterLerp implements Backend.
+func (g *GPUSim) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
+	g.launch([][]float64{a.Data, b.Data}, [][]float64{cij.Data})
+	g.dev.OuterLerp(cij, a, b, t)
+}
+
+// UpdateWeights implements Backend.
+func (g *GPUSim) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	mask []bool, fi, mi, h, m int, eps float64) {
+	g.launch([][]float64{ci, cj, cij.Data}, [][]float64{w.Data})
+	g.dev.UpdateWeights(w, ci, cj, cij, mask, fi, mi, h, m, eps)
+}
+
+// UpdateBias implements Backend.
+func (g *GPUSim) UpdateBias(bias, kbi, cj []float64, eps float64) {
+	g.launch([][]float64{kbi, cj}, [][]float64{bias})
+	g.dev.UpdateBias(bias, kbi, cj, eps)
+}

@@ -1,0 +1,190 @@
+package backend
+
+import (
+	"math"
+
+	"streambrain/internal/tensor"
+)
+
+func init() {
+	Register("naive", func(int) Backend { return &Naive{} })
+}
+
+// Naive is the single-threaded reference backend. Every other backend is
+// cross-checked against it by the conformance tests, mirroring the role the
+// NumPy implementation plays for StreamBrain's hand-coded kernels.
+type Naive struct{}
+
+// Name implements Backend.
+func (*Naive) Name() string { return "naive" }
+
+// Workers implements Backend.
+func (*Naive) Workers() int { return 1 }
+
+// MatMul implements Backend.
+func (*Naive) MatMul(dst, a, b *tensor.Matrix) { tensor.MatMulNaive(dst, a, b) }
+
+// MatMulATB implements Backend.
+func (*Naive) MatMulATB(dst, a, b *tensor.Matrix) { tensor.MatMulATB(dst, a, b) }
+
+// OneHotMatMul implements Backend.
+func (*Naive) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+	tensor.OneHotMatMul(dst, idx, w)
+}
+
+// AddBias implements Backend.
+func (*Naive) AddBias(m *tensor.Matrix, bias []float64) { addBiasRange(m, bias, 0, m.Rows) }
+
+func addBiasRange(m *tensor.Matrix, bias []float64, r0, r1 int) {
+	if len(bias) != m.Cols {
+		panic("backend: AddBias length mismatch")
+	}
+	for r := r0; r < r1; r++ {
+		row := m.Row(r)
+		for c, b := range bias {
+			row[c] += b
+		}
+	}
+}
+
+// SoftmaxGroups implements Backend.
+func (*Naive) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+	tensor.SoftmaxGroups(m, groups, width, temperature)
+}
+
+// Lerp implements Backend.
+func (*Naive) Lerp(dst, src []float64, t float64) { tensor.Lerp(dst, src, t) }
+
+// LerpMatrix implements Backend.
+func (*Naive) LerpMatrix(dst, src *tensor.Matrix, t float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("backend: LerpMatrix shape mismatch")
+	}
+	tensor.Lerp(dst.Data, src.Data, t)
+}
+
+// OneHotMeanLerp implements Backend.
+func (*Naive) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+	oneHotMeanLerp(ci, idx, t)
+}
+
+func oneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+	if len(idx) == 0 {
+		return
+	}
+	tensor.Scale(1-t, ci)
+	inc := t / float64(len(idx))
+	for _, active := range idx {
+		for _, i := range active {
+			ci[i] += inc
+		}
+	}
+}
+
+// OneHotOuterLerp implements Backend.
+func (*Naive) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+	oneHotOuterLerpRange(cij, idx, act, t, 0, cij.Rows)
+}
+
+// oneHotOuterLerpRange applies the decay+accumulate to cij rows [r0,r1).
+// Restricting to a row band lets the parallel backend shard without locks.
+func oneHotOuterLerpRange(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64, r0, r1 int) {
+	if len(idx) != act.Rows {
+		panic("backend: OneHotOuterLerp batch mismatch")
+	}
+	if cij.Cols != act.Cols {
+		panic("backend: OneHotOuterLerp width mismatch")
+	}
+	if len(idx) == 0 {
+		return
+	}
+	tensor.Scale(1-t, cij.Data[r0*cij.Cols:r1*cij.Cols])
+	inc := t / float64(len(idx))
+	for s, active := range idx {
+		arow := act.Row(s)
+		for _, i := range active {
+			ii := int(i)
+			if ii < r0 || ii >= r1 {
+				continue
+			}
+			tensor.Axpy(inc, arow, cij.Row(ii))
+		}
+	}
+}
+
+// OuterLerp implements Backend.
+func (*Naive) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
+	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Matrix) { tensor.MatMulATB(dst, x, y) })
+}
+
+// outerLerp implements cij = (1-t)cij + (t/rows)·aᵀb given an ATB kernel.
+func outerLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64,
+	atb func(dst, x, y *tensor.Matrix)) {
+	if a.Rows == 0 {
+		return
+	}
+	tmp := tensor.NewMatrix(a.Cols, b.Cols)
+	atb(tmp, a, b)
+	tensor.Scale(1/float64(a.Rows), tmp.Data)
+	tensor.Lerp(cij.Data, tmp.Data, t)
+}
+
+// UpdateWeights implements Backend.
+func (*Naive) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	mask []bool, fi, mi, h, m int, eps float64) {
+	updateWeightsRange(w, ci, cj, cij, mask, fi, mi, h, m, eps, 0, w.Rows)
+}
+
+// updateWeightsRange recomputes w rows [r0,r1) from the traces.
+//
+// Row i of w corresponds to input unit i, living in input hypercolumn
+// i/mi. Column j corresponds to hidden unit j in hypercolumn j/m. The mask,
+// when present, gates (input hypercolumn × hidden hypercolumn) blocks.
+func updateWeightsRange(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	mask []bool, fi, mi, h, m int, eps float64, r0, r1 int) {
+	if w.Rows != cij.Rows || w.Cols != cij.Cols {
+		panic("backend: UpdateWeights shape mismatch")
+	}
+	if len(ci) != w.Rows || len(cj) != w.Cols {
+		panic("backend: UpdateWeights trace length mismatch")
+	}
+	if mask != nil && (len(mask) != fi*h || fi*mi != w.Rows || h*m != w.Cols) {
+		panic("backend: UpdateWeights mask geometry mismatch")
+	}
+	eps2 := eps * eps
+	// Precompute log(max(cj,eps)) once per column; it is shared by all rows.
+	logcj := make([]float64, len(cj))
+	for j, v := range cj {
+		logcj[j] = math.Log(math.Max(v, eps))
+	}
+	for i := r0; i < r1; i++ {
+		logci := math.Log(math.Max(ci[i], eps))
+		crow := cij.Row(i)
+		wrow := w.Row(i)
+		var maskRow []bool
+		if mask != nil {
+			maskRow = mask[(i/mi)*h : (i/mi)*h+h]
+		}
+		for j := range wrow {
+			if maskRow != nil && !maskRow[j/m] {
+				wrow[j] = 0
+				continue
+			}
+			wrow[j] = math.Log(math.Max(crow[j], eps2)) - logci - logcj[j]
+		}
+	}
+}
+
+// UpdateBias implements Backend.
+func (*Naive) UpdateBias(bias, kbi, cj []float64, eps float64) {
+	updateBias(bias, kbi, cj, eps)
+}
+
+func updateBias(bias, kbi, cj []float64, eps float64) {
+	if len(bias) != len(cj) || len(kbi) != len(cj) {
+		panic("backend: UpdateBias length mismatch")
+	}
+	for j := range bias {
+		bias[j] = kbi[j] * math.Log(math.Max(cj[j], eps))
+	}
+}

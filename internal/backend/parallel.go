@@ -1,0 +1,148 @@
+package backend
+
+import (
+	"runtime"
+	"sync"
+
+	"streambrain/internal/tensor"
+)
+
+func init() {
+	Register("parallel", func(workers int) Backend { return NewParallel(workers) })
+}
+
+// Parallel is the goroutine worker-team backend — the Go analogue of
+// StreamBrain's OpenMP+SIMD CPU backend. Kernels are cache-blocked and
+// sharded across a fixed worker count; inner loops are unit-stride and
+// unrolled so the compiler can vectorize them.
+type Parallel struct {
+	workers int
+	block   int
+}
+
+// NewParallel returns a Parallel backend with the given team size.
+// workers <= 0 selects GOMAXPROCS.
+func NewParallel(workers int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel{workers: workers, block: tensor.DefaultBlock}
+}
+
+// SetBlock overrides the GEMM cache-block edge (for the blocking ablation).
+func (p *Parallel) SetBlock(block int) { p.block = block }
+
+// Name implements Backend.
+func (p *Parallel) Name() string { return "parallel" }
+
+// Workers implements Backend.
+func (p *Parallel) Workers() int { return p.workers }
+
+// parallelFor runs fn over [0,n) split into contiguous chunks, one per worker.
+func (p *Parallel) parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul implements Backend.
+func (p *Parallel) MatMul(dst, a, b *tensor.Matrix) {
+	tensor.MatMulParallel(dst, a, b, p.block, p.workers)
+}
+
+// MatMulATB implements Backend.
+func (p *Parallel) MatMulATB(dst, a, b *tensor.Matrix) {
+	tensor.MatMulATBParallel(dst, a, b, p.workers)
+}
+
+// OneHotMatMul implements Backend.
+func (p *Parallel) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+	tensor.OneHotMatMulParallel(dst, idx, w, p.workers)
+}
+
+// AddBias implements Backend.
+func (p *Parallel) AddBias(m *tensor.Matrix, bias []float64) {
+	p.parallelFor(m.Rows, func(lo, hi int) { addBiasRange(m, bias, lo, hi) })
+}
+
+// SoftmaxGroups implements Backend.
+func (p *Parallel) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+	tensor.SoftmaxGroupsParallel(m, groups, width, temperature, p.workers)
+}
+
+// Lerp implements Backend.
+func (p *Parallel) Lerp(dst, src []float64, t float64) {
+	tensor.LerpParallel(dst, src, t, p.workers)
+}
+
+// LerpMatrix implements Backend.
+func (p *Parallel) LerpMatrix(dst, src *tensor.Matrix, t float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("backend: LerpMatrix shape mismatch")
+	}
+	tensor.LerpParallel(dst.Data, src.Data, t, p.workers)
+}
+
+// OneHotMeanLerp implements Backend. The Ci trace is short (total input
+// units); sharding it would cost more than it saves, so it stays serial.
+func (p *Parallel) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+	oneHotMeanLerp(ci, idx, t)
+}
+
+// OneHotOuterLerp implements Backend. The Cij trace is the largest state in
+// the model (inputs × hidden units); it is sharded by trace row band so each
+// worker owns a disjoint slice and no locking is needed.
+func (p *Parallel) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+	if len(idx) == 0 {
+		return
+	}
+	p.parallelFor(cij.Rows, func(lo, hi int) {
+		oneHotOuterLerpRange(cij, idx, act, t, lo, hi)
+	})
+}
+
+// OuterLerp implements Backend.
+func (p *Parallel) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
+	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Matrix) {
+		tensor.MatMulATBParallel(dst, x, y, p.workers)
+	})
+}
+
+// UpdateWeights implements Backend.
+func (p *Parallel) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	mask []bool, fi, mi, h, m int, eps float64) {
+	p.parallelFor(w.Rows, func(lo, hi int) {
+		updateWeightsRange(w, ci, cj, cij, mask, fi, mi, h, m, eps, lo, hi)
+	})
+}
+
+// UpdateBias implements Backend.
+func (p *Parallel) UpdateBias(bias, kbi, cj []float64, eps float64) {
+	updateBias(bias, kbi, cj, eps)
+}

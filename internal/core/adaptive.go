@@ -1,0 +1,136 @@
+package core
+
+import "sort"
+
+// AdaptivePlasticity implements the paper's stated future direction of
+// "adapting hyperparameters associated with structural plasticity
+// dynamically online" (§VII): a controller that watches the mutual-
+// information gains realized by each epoch's mask swaps and adjusts the
+// swap budget and hysteresis margin.
+//
+// Control law: when the median realized gain is large relative to the mean
+// per-connection MI, the mask is far from converged — raise the budget so
+// it moves faster; when gains shrink below a fraction of that scale, the
+// mask has converged — shrink the budget toward zero and widen the margin
+// so noise cannot thrash it. The controller only ever touches the two
+// structural hyperparameters; the learning rule itself is untouched.
+type AdaptivePlasticity struct {
+	// MinSwaps and MaxSwaps bound the per-epoch budget.
+	MinSwaps, MaxSwaps int
+	// GrowFactor scales the budget up on large gains; ShrinkFactor scales
+	// it down on small gains.
+	GrowFactor, ShrinkFactor float64
+	// LowGainFraction is the convergence threshold: median gain below this
+	// fraction of the mean active-connection MI counts as "converged".
+	LowGainFraction float64
+
+	// History records the controller's decisions for inspection/tests.
+	History []AdaptiveStep
+}
+
+// AdaptiveStep is one epoch's controller decision.
+type AdaptiveStep struct {
+	Epoch      int
+	MedianGain float64
+	MeanMI     float64
+	Swaps      int // budget chosen for the next epoch
+	Margin     float64
+}
+
+// NewAdaptivePlasticity returns a controller with conservative defaults.
+func NewAdaptivePlasticity() *AdaptivePlasticity {
+	return &AdaptivePlasticity{
+		MinSwaps:        0,
+		MaxSwaps:        16,
+		GrowFactor:      1.5,
+		ShrinkFactor:    0.5,
+		LowGainFraction: 0.05,
+	}
+}
+
+// Observe consumes one epoch's swap records and retunes the layer. It is
+// designed to be called from an EpochHook, after the layer's
+// StructuralUpdate for that epoch.
+func (a *AdaptivePlasticity) Observe(epoch int, l *HiddenLayer, swaps []SwapRecord) {
+	// Scale reference: mean MI of currently active connections.
+	mi := l.MutualInformation()
+	var sum float64
+	var n int
+	for i, on := range l.Mask {
+		if on {
+			sum += mi[i]
+			n++
+		}
+	}
+	meanMI := 0.0
+	if n > 0 {
+		meanMI = sum / float64(n)
+	}
+	med := medianGain(swaps)
+
+	budget := l.p.SwapsPerEpoch
+	margin := l.p.SwapMargin
+	switch {
+	case len(swaps) == 0 || med < a.LowGainFraction*meanMI:
+		// Converged (or nothing worth swapping): cool down.
+		budget = int(float64(budget) * a.ShrinkFactor)
+		margin *= 1.25
+		if margin > 0.5 {
+			margin = 0.5
+		}
+	case med > 2*a.LowGainFraction*meanMI:
+		// Plenty of structure left to find: heat up.
+		budget = int(float64(budget)*a.GrowFactor) + 1
+		margin *= 0.9
+		if margin < 0.01 {
+			margin = 0.01
+		}
+	}
+	if budget < a.MinSwaps {
+		budget = a.MinSwaps
+	}
+	if budget > a.MaxSwaps {
+		budget = a.MaxSwaps
+	}
+	l.p.SwapsPerEpoch = budget
+	l.p.SwapMargin = margin
+	a.History = append(a.History, AdaptiveStep{
+		Epoch: epoch, MedianGain: med, MeanMI: meanMI,
+		Swaps: budget, Margin: margin,
+	})
+}
+
+// SetSwapsPerEpoch overrides the structural swap budget at runtime — the
+// hook the interactive (ParaView-guided, §VII) control path uses.
+func (l *HiddenLayer) SetSwapsPerEpoch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	l.p.SwapsPerEpoch = n
+}
+
+// SetSwapMargin overrides the swap hysteresis margin at runtime.
+func (l *HiddenLayer) SetSwapMargin(m float64) {
+	if m < 0 {
+		m = 0
+	}
+	l.p.SwapMargin = m
+}
+
+// SwapsPerEpoch reports the current budget (tests and UIs read it back).
+func (l *HiddenLayer) SwapsPerEpoch() int { return l.p.SwapsPerEpoch }
+
+// SwapMargin reports the current hysteresis margin.
+func (l *HiddenLayer) SwapMargin() float64 { return l.p.SwapMargin }
+
+func medianGain(swaps []SwapRecord) float64 {
+	if len(swaps) == 0 {
+		return 0
+	}
+	gains := make([]float64, len(swaps))
+	for i, s := range swaps {
+		gains[i] = s.GainMI
+	}
+	sort.Float64s(gains)
+	return gains[len(gains)/2]
+}

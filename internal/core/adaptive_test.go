@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/backend"
+)
+
+func TestAdaptiveSettersClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	l := NewHiddenLayer(backend.MustNew("naive", 0), 6, 3, smallParams(), rng)
+	l.SetSwapsPerEpoch(-5)
+	if l.SwapsPerEpoch() != 0 {
+		t.Fatalf("negative budget not clamped: %d", l.SwapsPerEpoch())
+	}
+	l.SetSwapsPerEpoch(7)
+	if l.SwapsPerEpoch() != 7 {
+		t.Fatal("budget setter ignored")
+	}
+	l.SetSwapMargin(-1)
+	if l.SwapMargin() != 0 {
+		t.Fatalf("negative margin not clamped: %v", l.SwapMargin())
+	}
+	l.SetSwapMargin(0.2)
+	if l.SwapMargin() != 0.2 {
+		t.Fatal("margin setter ignored")
+	}
+}
+
+// TestAdaptiveCoolsDownWhenConverged: with no swaps happening, the
+// controller must shrink the budget toward MinSwaps and widen the margin.
+func TestAdaptiveCoolsDownWhenConverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	p := smallParams()
+	p.SwapsPerEpoch = 8
+	l := NewHiddenLayer(backend.MustNew("naive", 0), 10, 4, p, rng)
+	a := NewAdaptivePlasticity()
+	margin0 := l.SwapMargin()
+	for epoch := 0; epoch < 6; epoch++ {
+		a.Observe(epoch, l, nil) // no swaps = converged signal
+	}
+	if l.SwapsPerEpoch() != a.MinSwaps {
+		t.Fatalf("budget %d after sustained convergence, want %d",
+			l.SwapsPerEpoch(), a.MinSwaps)
+	}
+	if l.SwapMargin() <= margin0 {
+		t.Fatalf("margin %v did not widen from %v", l.SwapMargin(), margin0)
+	}
+	if len(a.History) != 6 {
+		t.Fatalf("history has %d steps", len(a.History))
+	}
+}
+
+// TestAdaptiveHeatsUpOnLargeGains: big realized MI gains must grow the
+// budget (bounded by MaxSwaps).
+func TestAdaptiveHeatsUpOnLargeGains(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := smallParams()
+	p.SwapsPerEpoch = 2
+	l := NewHiddenLayer(backend.MustNew("naive", 0), 10, 4, p, rng)
+	a := NewAdaptivePlasticity()
+	big := []SwapRecord{{HCU: 0, Silenced: 1, Enabled: 2, GainMI: 1e6}}
+	for epoch := 0; epoch < 10; epoch++ {
+		a.Observe(epoch, l, big)
+	}
+	if l.SwapsPerEpoch() != a.MaxSwaps {
+		t.Fatalf("budget %d after sustained gains, want cap %d",
+			l.SwapsPerEpoch(), a.MaxSwaps)
+	}
+}
+
+// TestAdaptiveEndToEnd: the controller attached as an epoch hook must keep
+// the network learning and converge the swap budget downward by the end.
+func TestAdaptiveEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	p := smallParams()
+	p.HCUs = 1
+	p.MCUs = 10
+	p.ReceptiveField = 0.3
+	p.SwapsPerEpoch = 4
+	p.UnsupervisedEpochs = 10
+	p.SupervisedEpochs = 5
+	p.Taupdt = 0.05
+	train := synthEncoded(rng, 1500, 10, 4, []int{2, 6}, 0.1)
+	test := synthEncoded(rng, 400, 10, 4, []int{2, 6}, 0.1)
+	n := NewNetwork(backend.MustNew("naive", 0), 10, 4, 2, p)
+	a := NewAdaptivePlasticity()
+	hook := func(epoch int, l *HiddenLayer) {
+		a.Observe(epoch, l, l.LastSwaps())
+	}
+	n.TrainUnsupervised(train, p.UnsupervisedEpochs, hook)
+	n.TrainSupervised(train, p.SupervisedEpochs)
+	n.CalibrateThreshold(train)
+	acc, _ := n.Evaluate(test)
+	if acc < 0.70 {
+		t.Fatalf("adaptive training accuracy %.3f", acc)
+	}
+	if len(a.History) != p.UnsupervisedEpochs {
+		t.Fatalf("controller observed %d epochs", len(a.History))
+	}
+	// The budget at the end should not exceed the starting budget once the
+	// mask has settled (cool-down happened at least once).
+	cooled := false
+	for _, step := range a.History {
+		if step.Swaps < 4 {
+			cooled = true
+		}
+	}
+	if !cooled {
+		t.Log("controller never cooled; acceptable on some seeds but worth watching")
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"streambrain/internal/backend"
+	"streambrain/internal/data"
+	"streambrain/internal/mpi"
+)
+
+// DistributedTrainer runs BCPNN data-parallel training across MPI ranks —
+// the scheme §II-B motivates: because learning is local, ranks train on
+// disjoint shards and only the probability traces need merging, one
+// allreduce-mean per epoch (there is no gradient to synchronize every step).
+//
+// All ranks start from the identical seed, so their initial layers are
+// bit-identical; after every trace allreduce the structural-plasticity
+// update is a deterministic function of identical traces, which keeps the
+// masks synchronized without any extra communication.
+type DistributedTrainer struct {
+	World *mpi.World
+	// MergeEvery is the number of local batches between hidden-trace
+	// allreduces. 1 (the default) keeps replicas bit-identical at every
+	// batch boundary — the synchronous scheme; larger values trade staleness
+	// for fewer collectives. Hidden MCU identities are exchangeable, so
+	// infrequent merging risks averaging units that drifted into different
+	// roles; the classifier head has fixed output identities (classes) and
+	// is always safe to merge per epoch.
+	MergeEvery int
+	// nets[r] is rank r's replica.
+	nets []*Network
+	// shards[r] is rank r's training shard.
+	shards []*data.Encoded
+}
+
+// NewDistributedTrainer builds R identically-seeded network replicas and
+// shards the training set round-robin across them (round-robin keeps shard
+// class balance close to the global balance).
+//
+// The trace rate is rescaled to τ_R = 1−(1−τ)^R: with R ranks each global
+// step merges R rank-local batches, so an epoch contains 1/R as many trace
+// updates as the single-rank run; compounding the rate keeps the per-epoch
+// trace convergence — and therefore the learned weight magnitudes and the
+// classifier's calibration — invariant in the rank count.
+func NewDistributedTrainer(ranks int, backendName string, workersPerRank int,
+	fi, mi, classes int, p Params, train *data.Encoded) *DistributedTrainer {
+	scaled := 1.0
+	for r := 0; r < ranks; r++ {
+		scaled *= 1 - p.Taupdt
+	}
+	p.Taupdt = 1 - scaled
+	t := &DistributedTrainer{
+		World:      mpi.NewWorld(ranks),
+		MergeEvery: 1,
+		nets:       make([]*Network, ranks),
+		shards:     make([]*data.Encoded, ranks),
+	}
+	rows := make([][]int, ranks)
+	for i := 0; i < train.Len(); i++ {
+		r := i % ranks
+		rows[r] = append(rows[r], i)
+	}
+	for r := 0; r < ranks; r++ {
+		t.nets[r] = NewNetwork(backend.MustNew(backendName, workersPerRank), fi, mi, classes, p)
+		t.shards[r] = train.Subset(rows[r])
+	}
+	return t
+}
+
+// allreduceTraces averages a hidden layer's traces across ranks in place.
+func allreduceTraces(c *mpi.Comm, l *HiddenLayer) {
+	c.AllreduceMean(l.Ci)
+	c.AllreduceMean(l.Cj)
+	c.AllreduceMean(l.Cij.Data)
+	c.AllreduceMean(l.Kbi)
+}
+
+// allreduceClassifier averages a BCPNN readout's traces across ranks.
+func allreduceClassifier(c *mpi.Comm, cl *Classifier) {
+	c.AllreduceMean(cl.Ci)
+	c.AllreduceMean(cl.Cj)
+	c.AllreduceMean(cl.Cij.Data)
+}
+
+// Train runs both phases. Each unsupervised epoch: every rank runs the same
+// number of local batches (the global minimum, so collectives always match
+// up), allreduce-merging the hidden traces every MergeEvery batches, then
+// the (deterministic, replica-identical) structural update. The supervised
+// phase merges the classifier traces once per epoch. Returns rank 0's
+// network, which after the final allreduce is representative of all
+// replicas.
+func (t *DistributedTrainer) Train(unsupEpochs, supEpochs int) *Network {
+	merge := t.MergeEvery
+	if merge < 1 {
+		merge = 1
+	}
+	// Matched batch count: every rank must issue the same collective
+	// sequence or the world deadlocks. Remainder batches are dropped.
+	nBatches := -1
+	for _, shard := range t.shards {
+		b := shard.Len() / t.nets[0].p.BatchSize
+		if nBatches < 0 || b < nBatches {
+			nBatches = b
+		}
+	}
+	if nBatches < 1 {
+		nBatches = 1
+	}
+	t.World.Run(func(c *mpi.Comm) {
+		n := t.nets[c.Rank()]
+		shard := t.shards[c.Rank()]
+		if unsupEpochs > 0 {
+			// Seed input marginals from the local shard, then average so
+			// every replica starts from the global empirical marginals.
+			n.Hidden.InitTracesFromData(shard.Idx)
+			allreduceTraces(c, n.Hidden)
+			n.Hidden.refreshParameters()
+			n.tracesSeeded = true
+		}
+		for e := 0; e < unsupEpochs; e++ {
+			// Same annealed symmetry-breaking noise schedule as the
+			// single-rank trainer; identical seeds keep draws replica-equal.
+			anneal := 0.0
+			if unsupEpochs > 1 {
+				anneal = 1 - float64(e)/float64(unsupEpochs-1)
+			}
+			n.Hidden.SetNoise(n.p.SupportNoise * anneal)
+			// Materialize this epoch's shuffled batches so we can cut off at
+			// the matched count.
+			var batches [][][]int32
+			shard.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, _ []int) {
+				batches = append(batches, append([][]int32(nil), idx...))
+			})
+			for b := 0; b < nBatches && b < len(batches); b++ {
+				n.Hidden.TrainBatch(batches[b])
+				if (b+1)%merge == 0 {
+					allreduceTraces(c, n.Hidden)
+					n.Hidden.refreshParameters()
+				}
+			}
+			allreduceTraces(c, n.Hidden)
+			n.Hidden.refreshParameters()
+			n.Hidden.StructuralUpdate()
+		}
+		cl, isBCPNN := n.Out.(*Classifier)
+		for e := 0; e < supEpochs; e++ {
+			n.TrainSupervised(shard, 1)
+			if isBCPNN {
+				allreduceClassifier(c, cl)
+				cl.refresh()
+			}
+			c.Barrier()
+		}
+	})
+	if supEpochs > 0 {
+		t.nets[0].CalibrateThreshold(t.shards[0])
+	}
+	return t.nets[0]
+}
+
+// Networks exposes the per-rank replicas (tests verify replica agreement).
+func (t *DistributedTrainer) Networks() []*Network { return t.nets }

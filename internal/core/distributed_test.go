@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDistributedTrainerLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	p := smallParams()
+	p.UnsupervisedEpochs = 4
+	p.SupervisedEpochs = 4
+	p.Taupdt = 0.05
+	train := synthEncoded(rng, 1600, 8, 4, []int{1, 5}, 0.1)
+	test := synthEncoded(rng, 400, 8, 4, []int{1, 5}, 0.1)
+	dt := NewDistributedTrainer(4, "naive", 1, 8, 4, 2, p, train)
+	net := dt.Train(4, 4)
+	acc, _ := net.Evaluate(test)
+	if acc < 0.75 {
+		t.Fatalf("distributed accuracy %.3f", acc)
+	}
+}
+
+// TestDistributedReplicasStayInSync: after training, every rank must hold
+// identical traces and masks — the property that makes the "return rank 0"
+// contract sound.
+func TestDistributedReplicasStayInSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := smallParams()
+	p.Taupdt = 0.05
+	train := synthEncoded(rng, 800, 8, 4, []int{2}, 0.1)
+	dt := NewDistributedTrainer(3, "naive", 1, 8, 4, 2, p, train)
+	dt.Train(3, 2)
+	nets := dt.Networks()
+	ref := nets[0].Hidden
+	for r := 1; r < len(nets); r++ {
+		l := nets[r].Hidden
+		if d := l.Cij.MaxAbsDiff(ref.Cij); d > 1e-12 {
+			t.Fatalf("rank %d Cij differs by %g", r, d)
+		}
+		for i := range ref.Mask {
+			if l.Mask[i] != ref.Mask[i] {
+				t.Fatalf("rank %d mask diverged at %d", r, i)
+			}
+		}
+		for j := range ref.Cj {
+			if l.Cj[j] != ref.Cj[j] {
+				t.Fatalf("rank %d Cj diverged at %d", r, j)
+			}
+		}
+	}
+}
+
+// TestDistributedShardingBalanced: round-robin sharding must split the data
+// evenly (±1) across ranks.
+func TestDistributedShardingBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p := smallParams()
+	train := synthEncoded(rng, 1001, 6, 4, []int{0}, 0.1)
+	dt := NewDistributedTrainer(4, "naive", 1, 6, 4, 2, p, train)
+	total := 0
+	for r, shard := range dt.shards {
+		total += shard.Len()
+		if shard.Len() < 250 || shard.Len() > 251 {
+			t.Fatalf("rank %d shard size %d", r, shard.Len())
+		}
+	}
+	if total != 1001 {
+		t.Fatalf("shards cover %d of 1001", total)
+	}
+}
+
+// TestDistributedMatchesSingleRankShape: more ranks must not destroy
+// learning (accuracy within a few points of the 1-rank run on the same
+// budget).
+func TestDistributedMatchesSingleRankShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := smallParams()
+	p.Taupdt = 0.05
+	train := synthEncoded(rng, 1200, 8, 4, []int{1, 5}, 0.1)
+	test := synthEncoded(rng, 400, 8, 4, []int{1, 5}, 0.1)
+	accFor := func(ranks int) float64 {
+		dt := NewDistributedTrainer(ranks, "naive", 1, 8, 4, 2, p, train)
+		net := dt.Train(4, 4)
+		acc, _ := net.Evaluate(test)
+		return acc
+	}
+	a1 := accFor(1)
+	a4 := accFor(4)
+	if a4 < a1-0.10 {
+		t.Fatalf("4-rank accuracy %.3f collapsed vs 1-rank %.3f", a4, a1)
+	}
+}

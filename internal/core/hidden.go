@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/tensor"
+)
+
+// HiddenLayer is the unsupervised BCPNN feature layer: H hypercolumns of M
+// minicolumns each, fully described by its probability traces. Weights and
+// biases are *derived* quantities recomputed from the traces after every
+// batch — the traces are the learning state, which is what makes the rule
+// local and communication-free (paper §II-B).
+type HiddenLayer struct {
+	be backend.Backend
+
+	// Input geometry: Fi input hypercolumns of Mi units each.
+	Fi, Mi int
+	// Hidden geometry: H HCUs of M MCUs each.
+	H, M int
+
+	// Derived parameters.
+	W    *tensor.Matrix // (Fi·Mi)×(H·M) log-odds weights, mask applied
+	Bias []float64      // H·M
+	Kbi  []float64      // homeostatic bias gain per unit
+
+	// Probability traces. Cij is kept dense — silent connections keep
+	// learning statistics even while gated out of the support, which is what
+	// lets structural plasticity score them (DESIGN.md §5.1).
+	Ci  []float64
+	Cj  []float64
+	Cij *tensor.Matrix
+
+	// Mask is the Fi×H receptive-field gate; exactly K entries per HCU
+	// column are true.
+	Mask []bool
+	K    int
+
+	// lastSwaps records the most recent structural update for observers.
+	lastSwaps []SwapRecord
+
+	p   Params
+	rng *rand.Rand
+
+	// noiseStd is the current support-noise level; the trainer anneals it
+	// across unsupervised epochs via SetNoise, and it is never applied in
+	// Forward (prediction stays deterministic).
+	noiseStd float64
+
+	// scratch reused across batches to keep the hot loop allocation-free.
+	pool    *tensor.Pool
+	meanAct []float64
+}
+
+// NewHiddenLayer builds a hidden layer for inputs of fi hypercolumns × mi
+// units, with p.HCUs×p.MCUs hidden units on the given backend.
+func NewHiddenLayer(be backend.Backend, fi, mi int, p Params, rng *rand.Rand) *HiddenLayer {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if fi < 1 || mi < 1 {
+		panic(fmt.Sprintf("core: bad input geometry %dx%d", fi, mi))
+	}
+	h, m := p.HCUs, p.MCUs
+	in, units := fi*mi, h*m
+	l := &HiddenLayer{
+		be: be, Fi: fi, Mi: mi, H: h, M: m,
+		W:       tensor.NewMatrix(in, units),
+		Bias:    make([]float64, units),
+		Kbi:     make([]float64, units),
+		Ci:      make([]float64, in),
+		Cj:      make([]float64, units),
+		Cij:     tensor.NewMatrix(in, units),
+		p:       p,
+		rng:     rng,
+		pool:    tensor.NewPool(),
+		meanAct: make([]float64, units),
+	}
+	// Priors: uniform within each hypercolumn. The joint trace gets a small
+	// multiplicative jitter so MCUs inside an HCU break symmetry; without it
+	// every MCU would stay identical forever (the rule is deterministic).
+	pi := 1 / float64(mi)
+	pj := 1 / float64(m)
+	for i := range l.Ci {
+		l.Ci[i] = pi
+	}
+	for j := range l.Cj {
+		l.Cj[j] = pj
+		l.Kbi[j] = 1
+	}
+	for i := 0; i < in; i++ {
+		row := l.Cij.Row(i)
+		for j := range row {
+			row[j] = pi * pj * (1 + p.InitNoise*(rng.Float64()-0.5))
+		}
+	}
+	l.K = receptiveK(p.ReceptiveField, fi)
+	l.initMask()
+	l.refreshParameters()
+	return l
+}
+
+// InitTracesFromData replaces the uniform input-marginal prior with
+// empirical marginals counted from a sample of encoded inputs (Laplace-
+// smoothed within each hypercolumn), and re-seeds the joint trace
+// consistently as Cij = Ci·Cj·(1+jitter).
+//
+// This matters for structural plasticity: trace-based MI estimates pool the
+// prior state with the data-driven state, and a mixture of two product
+// distributions acquires spurious mutual information whenever BOTH marginals
+// shift between the states. Seeding Ci at its true value pins the input
+// marginal, so only the unit marginal drifts during learning and the
+// artifact vanishes — otherwise constant inputs (e.g. always-off MNIST
+// fringe pixels, whose marginal moves 0.5→~1) would out-score genuinely
+// informative ones.
+func (l *HiddenLayer) InitTracesFromData(idx [][]int32) {
+	if len(idx) == 0 {
+		return
+	}
+	counts := make([]float64, l.Inputs())
+	for _, active := range idx {
+		for _, i := range active {
+			counts[i]++
+		}
+	}
+	n := float64(len(idx))
+	for u := range l.Ci {
+		l.Ci[u] = (counts[u] + 1.0/float64(l.Mi)) / (n + 1)
+	}
+	pj := 1 / float64(l.M)
+	for i := 0; i < l.Inputs(); i++ {
+		row := l.Cij.Row(i)
+		for j := range row {
+			row[j] = l.Ci[i] * pj * (1 + l.p.InitNoise*(l.rng.Float64()-0.5))
+		}
+	}
+	l.refreshParameters()
+}
+
+// receptiveK converts a receptive-field fraction to a connection count.
+func receptiveK(rf float64, fi int) int {
+	k := int(math.Round(rf * float64(fi)))
+	if k < 0 {
+		k = 0
+	}
+	if k > fi {
+		k = fi
+	}
+	return k
+}
+
+// initMask deals each HCU a random set of K active input hypercolumns —
+// "initially, each HCU is initiated with a sparse and random receptive
+// field" (paper §II-C).
+func (l *HiddenLayer) initMask() {
+	l.Mask = make([]bool, l.Fi*l.H)
+	for h := 0; h < l.H; h++ {
+		perm := l.rng.Perm(l.Fi)
+		for _, fi := range perm[:l.K] {
+			l.Mask[fi*l.H+h] = true
+		}
+	}
+}
+
+// Units returns the total number of hidden units (H·M).
+func (l *HiddenLayer) Units() int { return l.H * l.M }
+
+// Inputs returns the total number of input units (Fi·Mi).
+func (l *HiddenLayer) Inputs() int { return l.Fi * l.Mi }
+
+// refreshParameters recomputes W and Bias from the traces; called after
+// every trace update and after every mask change.
+func (l *HiddenLayer) refreshParameters() {
+	l.be.UpdateWeights(l.W, l.Ci, l.Cj, l.Cij, l.Mask, l.Fi, l.Mi, l.H, l.M, l.p.Eps)
+	l.be.UpdateBias(l.Bias, l.Kbi, l.Cj, l.p.Eps)
+}
+
+// Forward computes the hidden activation of a one-hot batch into out
+// (batch × H·M): masked support plus bias, then per-HCU softmax. Forward is
+// deterministic; the training-only support noise lives in forwardNoisy.
+func (l *HiddenLayer) Forward(idx [][]int32, out *tensor.Matrix) {
+	if out.Rows != len(idx) || out.Cols != l.Units() {
+		panic("core: Forward output shape mismatch")
+	}
+	l.be.OneHotMatMul(out, idx, l.W)
+	l.be.AddBias(out, l.Bias)
+	l.be.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
+}
+
+// forwardNoisy is Forward plus the annealed symmetry-breaking support noise.
+func (l *HiddenLayer) forwardNoisy(idx [][]int32, out *tensor.Matrix) {
+	if out.Rows != len(idx) || out.Cols != l.Units() {
+		panic("core: forwardNoisy output shape mismatch")
+	}
+	l.be.OneHotMatMul(out, idx, l.W)
+	l.be.AddBias(out, l.Bias)
+	if l.noiseStd > 0 {
+		for i := range out.Data {
+			out.Data[i] += l.noiseStd * l.rng.NormFloat64()
+		}
+	}
+	l.be.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
+}
+
+// SetNoise sets the support-noise standard deviation used by TrainBatch.
+func (l *HiddenLayer) SetNoise(std float64) { l.noiseStd = std }
+
+// TrainBatch performs one unsupervised BCPNN step on a mini-batch:
+// noisy forward pass (see SetNoise), trace update, homeostasis, parameter
+// refresh.
+func (l *HiddenLayer) TrainBatch(idx [][]int32) {
+	act := l.pool.Get(len(idx), l.Units())
+	l.forwardNoisy(idx, act)
+	t := l.p.Taupdt
+	l.be.OneHotMeanLerp(l.Ci, idx, t)
+	tensor.ColMeans(l.meanAct, act)
+	l.be.Lerp(l.Cj, l.meanAct, t)
+	l.be.OneHotOuterLerp(l.Cij, idx, act, t)
+	l.homeostasis()
+	l.refreshParameters()
+	l.pool.Put(act)
+}
+
+// homeostasis adapts the per-unit bias gain Kbi. The paper defers the bias
+// regulation mechanism to Ravichandran et al. [3]; we implement the same
+// effect (no permanently dead MCUs) with a floored-bias rule: units whose
+// activation trace has fallen below pmin = PMinFraction/M get their bias
+// gain driven toward the value that would place the bias at the fair-share
+// level log(1/M), removing their competitive handicap so they can re-enter;
+// healthy units relax toward gain 1 (the pure Bayesian bias). Documented as
+// a substitution in DESIGN.md §3.
+func (l *HiddenLayer) homeostasis() {
+	fair := math.Log(1 / float64(l.M))
+	pmin := l.p.PMinFraction / float64(l.M)
+	for j, cj := range l.Cj {
+		target := 1.0
+		if cj < pmin {
+			lp := math.Log(math.Max(cj, l.p.Eps))
+			// lp <= log(pmin) < 0; the ratio is in (0, 1].
+			target = fair / lp
+		}
+		l.Kbi[j] = (1-l.p.Taubdt)*l.Kbi[j] + l.p.Taubdt*target
+	}
+}
+
+// ActiveFraction reports the fraction of hidden units whose activation trace
+// is above half the fair share — a liveness diagnostic used by tests.
+func (l *HiddenLayer) ActiveFraction() float64 {
+	if len(l.Cj) == 0 {
+		return 0
+	}
+	threshold := 0.5 / float64(l.M)
+	n := 0
+	for _, cj := range l.Cj {
+		if cj > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.Cj))
+}

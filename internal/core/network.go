@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/data"
+	"streambrain/internal/metrics"
+	"streambrain/internal/tensor"
+)
+
+// EpochHook observes training after each unsupervised epoch; the in-situ
+// visualization adaptors (internal/viz) attach here, playing the role of the
+// ParaView Catalyst co-processing trigger ("the adaptor triggers
+// co-processing at end of each epoch", paper §III-B).
+type EpochHook func(epoch int, layer *HiddenLayer)
+
+// Network is the three-layer StreamBrain topology the paper uses throughout:
+// input → hidden BCPNN layer → classification layer (§III: "we primarily
+// focus on three-layer networks").
+type Network struct {
+	be     backend.Backend
+	Hidden *HiddenLayer
+	Out    Readout
+	p      Params
+	rng    *rand.Rand
+
+	// tracesSeeded records that the hidden input marginals were seeded from
+	// data (done once, lazily, on the first unsupervised epoch).
+	tracesSeeded bool
+
+	// threshold is the calibrated binary decision threshold on the class-1
+	// score (0.5 until CalibrateThreshold runs). Generative BCPNN readouts
+	// sum log-odds over correlated hidden units, which preserves ranking
+	// (AUC) but systematically offsets the posterior scale, so argmax at
+	// 0.5 can collapse to the majority class; calibrating the cut on
+	// training data is the standard remedy and uses no test information.
+	threshold float64
+
+	// TrainTime accumulates wall-clock training duration; the Fig. 3/4
+	// harnesses report it alongside accuracy.
+	TrainTime time.Duration
+}
+
+// NewNetwork builds a network for one-hot input of fi hypercolumns × mi
+// units and the given class count, with a pure-BCPNN readout.
+func NewNetwork(be backend.Backend, fi, mi, classes int, p Params) *Network {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	hidden := NewHiddenLayer(be, fi, mi, p, rng)
+	out := NewClassifier(be, hidden.Units(), classes, p, rng)
+	return &Network{be: be, Hidden: hidden, Out: out, p: p, rng: rng, threshold: 0.5}
+}
+
+// SetReadout swaps the classification head (the hybrid BCPNN+SGD mode
+// installs an sgd.Softmax here).
+func (n *Network) SetReadout(r Readout) { n.Out = r }
+
+// Params returns the network's hyperparameters.
+func (n *Network) Params() Params { return n.p }
+
+// Backend returns the compute backend in use.
+func (n *Network) Backend() backend.Backend { return n.be }
+
+// TrainUnsupervised runs the feature-learning phase: `epochs` passes of
+// batched trace updates, with one structural-plasticity round at the end of
+// every epoch ("usually it is updated once per epoch", §III-B), then the
+// epoch hooks.
+func (n *Network) TrainUnsupervised(train *data.Encoded, epochs int, hooks ...EpochHook) {
+	start := time.Now()
+	if !n.tracesSeeded && epochs > 0 {
+		sample := train.Len()
+		if sample > 8192 {
+			sample = 8192
+		}
+		n.Hidden.InitTracesFromData(train.Idx[:sample])
+		n.tracesSeeded = true
+	}
+	for e := 0; e < epochs; e++ {
+		// Anneal the symmetry-breaking support noise: full at the first
+		// epoch, zero at the last.
+		anneal := 0.0
+		if epochs > 1 {
+			anneal = 1 - float64(e)/float64(epochs-1)
+		}
+		n.Hidden.SetNoise(n.p.SupportNoise * anneal)
+		train.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, _ []int) {
+			n.Hidden.TrainBatch(idx)
+		})
+		n.Hidden.StructuralUpdate()
+		n.TrainTime += time.Since(start)
+		start = time.Now()
+		for _, hook := range hooks {
+			hook(e, n.Hidden)
+		}
+	}
+	n.Hidden.SetNoise(0)
+}
+
+// TrainSupervised runs the classification phase on the frozen hidden code.
+func (n *Network) TrainSupervised(train *data.Encoded, epochs int) {
+	start := time.Now()
+	act := tensor.NewMatrix(n.p.BatchSize, n.Hidden.Units())
+	for e := 0; e < epochs; e++ {
+		train.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, labels []int) {
+			view := act
+			if len(idx) != act.Rows {
+				view = tensor.NewMatrix(len(idx), n.Hidden.Units())
+			}
+			n.Hidden.Forward(idx, view)
+			n.Out.TrainBatch(view, labels)
+		})
+	}
+	n.TrainTime += time.Since(start)
+}
+
+// Train runs both phases with the epoch counts from Params, then calibrates
+// the binary decision threshold on the training set.
+func (n *Network) Train(train *data.Encoded, hooks ...EpochHook) {
+	n.TrainUnsupervised(train, n.p.UnsupervisedEpochs, hooks...)
+	n.TrainSupervised(train, n.p.SupervisedEpochs)
+	n.CalibrateThreshold(train)
+}
+
+// CalibrateThreshold sweeps the class-1 score cut that maximizes training
+// accuracy (binary problems only; multiclass keeps argmax). At most 20000
+// training samples are scored.
+func (n *Network) CalibrateThreshold(train *data.Encoded) {
+	if n.Out.Classes() != 2 || train.Len() == 0 {
+		return
+	}
+	sample := train
+	if train.Len() > 20000 {
+		rows := n.rng.Perm(train.Len())[:20000]
+		sample = train.Subset(rows)
+	}
+	_, scores := n.Predict(sample)
+	type sl struct {
+		s float64
+		y int
+	}
+	pairs := make([]sl, len(scores))
+	pos := 0
+	for i, s := range scores {
+		pairs[i] = sl{s, sample.Y[i]}
+		pos += sample.Y[i]
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	// Sweep cut points: predicting 1 for scores >= cut. Start with the cut
+	// below the minimum (everything predicted 1).
+	correct := pos
+	best := correct
+	bestThreshold := pairs[0].s - 1e-12
+	for i := 0; i < len(pairs); i++ {
+		// Move the cut just above pairs[i]: sample i flips to predicted 0.
+		if pairs[i].y == 0 {
+			correct++
+		} else {
+			correct--
+		}
+		// Only place cuts between distinct scores.
+		if i+1 < len(pairs) && pairs[i+1].s == pairs[i].s {
+			continue
+		}
+		if correct > best {
+			best = correct
+			if i+1 < len(pairs) {
+				bestThreshold = (pairs[i].s + pairs[i+1].s) / 2
+			} else {
+				bestThreshold = pairs[i].s + 1e-12
+			}
+		}
+	}
+	n.threshold = bestThreshold
+}
+
+// Threshold returns the current binary decision threshold.
+func (n *Network) Threshold() float64 { return n.threshold }
+
+// Predict classifies every sample: predicted class plus, for binary
+// problems, the signal probability used for ROC/AUC (class 1 = signal).
+func (n *Network) Predict(ds *data.Encoded) (pred []int, signalScore []float64) {
+	pred = make([]int, ds.Len())
+	signalScore = make([]float64, ds.Len())
+	classes := n.Out.Classes()
+	const chunk = 512
+	act := tensor.NewMatrix(chunk, n.Hidden.Units())
+	probs := tensor.NewMatrix(chunk, classes)
+	for lo := 0; lo < ds.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		aview := act
+		pview := probs
+		if hi-lo != chunk {
+			aview = tensor.NewMatrix(hi-lo, n.Hidden.Units())
+			pview = tensor.NewMatrix(hi-lo, classes)
+		}
+		n.Hidden.Forward(ds.Idx[lo:hi], aview)
+		n.Out.Scores(aview, pview)
+		for s := 0; s < hi-lo; s++ {
+			row := pview.Row(s)
+			if classes == 2 {
+				signalScore[lo+s] = row[1]
+				if row[1] >= n.threshold {
+					pred[lo+s] = 1
+				}
+			} else {
+				pred[lo+s] = tensor.ArgMaxRow(row)
+			}
+		}
+	}
+	return pred, signalScore
+}
+
+// Evaluate returns test accuracy and (for binary problems) AUC — the two
+// numbers every experiment in the paper reports.
+func (n *Network) Evaluate(ds *data.Encoded) (acc, auc float64) {
+	pred, score := n.Predict(ds)
+	acc = metrics.Accuracy(pred, ds.Y)
+	if n.Out.Classes() == 2 {
+		auc = metrics.AUC(score, ds.Y)
+	}
+	return acc, auc
+}

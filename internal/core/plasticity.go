@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// MutualInformation returns the Fi×H matrix of estimated mutual information
+// between each input hypercolumn and each HCU's output variable, computed
+// from the probability traces:
+//
+//	I(fi, h) = Σ_{a∈fi} Σ_{j∈h} Cij[a,j] · log( Cij[a,j] / (Ci[a]·Cj[j]) )
+//
+// Because the traces are dense (the mask gates only the support), the score
+// is defined for silent connections too — this is what lets structural
+// plasticity compare "active low-entropy" against "silent high-entropy"
+// connections, the exchange the paper describes in §III-B.
+func (l *HiddenLayer) MutualInformation() []float64 {
+	eps := l.p.Eps
+	mi := make([]float64, l.Fi*l.H)
+	units := l.Units()
+	for a := 0; a < l.Inputs(); a++ {
+		fi := a / l.Mi
+		pa := math.Max(l.Ci[a], eps)
+		row := l.Cij.Row(a)
+		for j := 0; j < units; j++ {
+			h := j / l.M
+			pj := math.Max(l.Cj[j], eps)
+			paj := row[j]
+			if paj < eps {
+				continue // lim p→0 of p·log p = 0
+			}
+			mi[fi*l.H+h] += paj * math.Log(paj/(pa*pj))
+		}
+	}
+	// Estimation noise can push a block's sum slightly negative; clamp, MI
+	// is non-negative by definition.
+	for i, v := range mi {
+		if v < 0 {
+			mi[i] = 0
+		}
+	}
+	return mi
+}
+
+// SwapRecord describes one structural-plasticity exchange.
+type SwapRecord struct {
+	HCU      int
+	Silenced int // input hypercolumn turned off
+	Enabled  int // input hypercolumn turned on
+	GainMI   float64
+}
+
+// StructuralUpdate runs one round of structural plasticity: for each HCU,
+// up to SwapsPerEpoch exchanges of the weakest active input hypercolumn for
+// the strongest silent one, provided the silent one's MI exceeds the active
+// one's by the hysteresis margin. Returns the executed swaps. The mask keeps
+// exactly K active entries per HCU throughout (checked by tests as an
+// invariant).
+func (l *HiddenLayer) StructuralUpdate() []SwapRecord {
+	if l.K == 0 || l.K == l.Fi {
+		return nil // nothing to exchange at the degenerate field sizes
+	}
+	mi := l.MutualInformation()
+	var swaps []SwapRecord
+	for h := 0; h < l.H; h++ {
+		for s := 0; s < l.p.SwapsPerEpoch; s++ {
+			worstActive, bestSilent := -1, -1
+			worstMI, bestMI := math.Inf(1), math.Inf(-1)
+			for fi := 0; fi < l.Fi; fi++ {
+				score := mi[fi*l.H+h]
+				if l.Mask[fi*l.H+h] {
+					if score < worstMI {
+						worstMI, worstActive = score, fi
+					}
+				} else if score > bestMI {
+					bestMI, bestSilent = score, fi
+				}
+			}
+			if worstActive < 0 || bestSilent < 0 {
+				break
+			}
+			if bestMI <= worstMI*(1+l.p.SwapMargin) {
+				break // no silent candidate clears the hysteresis bar
+			}
+			l.Mask[worstActive*l.H+h] = false
+			l.Mask[bestSilent*l.H+h] = true
+			swaps = append(swaps, SwapRecord{
+				HCU: h, Silenced: worstActive, Enabled: bestSilent,
+				GainMI: bestMI - worstMI,
+			})
+		}
+	}
+	if len(swaps) > 0 {
+		l.refreshParameters()
+	}
+	l.lastSwaps = swaps
+	return swaps
+}
+
+// LastSwaps returns the records of the most recent StructuralUpdate — the
+// signal the adaptive-plasticity controller consumes from an EpochHook.
+func (l *HiddenLayer) LastSwaps() []SwapRecord { return l.lastSwaps }
+
+// ReceptiveField returns HCU h's mask as a []bool over input hypercolumns —
+// the quantity Figs. 1, 2 and 5 of the paper visualize.
+func (l *HiddenLayer) ReceptiveField(h int) []bool {
+	out := make([]bool, l.Fi)
+	for fi := 0; fi < l.Fi; fi++ {
+		out[fi] = l.Mask[fi*l.H+h]
+	}
+	return out
+}
+
+// SetReceptiveField overwrites HCU h's mask (used by tests and by the
+// receptive-field resize API); the layer's K is not changed, so the caller
+// is responsible for keeping the count consistent.
+func (l *HiddenLayer) SetReceptiveField(h int, field []bool) {
+	if len(field) != l.Fi {
+		panic("core: SetReceptiveField length mismatch")
+	}
+	for fi, on := range field {
+		l.Mask[fi*l.H+h] = on
+	}
+	l.refreshParameters()
+}
+
+// TopInputs returns the input hypercolumns of HCU h ranked by descending
+// mutual information — the "where does this HCU look" introspection that
+// the paper argues is BCPNN's unique data-science payoff (§V-B).
+func (l *HiddenLayer) TopInputs(h int) []int {
+	mi := l.MutualInformation()
+	idx := make([]int, l.Fi)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return mi[idx[a]*l.H+h] > mi[idx[b]*l.H+h]
+	})
+	return idx
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/data"
+	"streambrain/internal/tensor"
+)
+
+// TestForwardMassInvariantAcrossGeometries: for random layer geometries and
+// random one-hot inputs, every HCU's activation mass must be exactly 1 —
+// the softmax normalization invariant, property-checked over the geometry
+// space rather than one fixed shape.
+func TestForwardMassInvariantAcrossGeometries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fi := 2 + rng.Intn(8)
+		mi := 2 + rng.Intn(5)
+		p := DefaultParams()
+		p.HCUs = 1 + rng.Intn(3)
+		p.MCUs = 2 + rng.Intn(10)
+		p.ReceptiveField = rng.Float64()
+		p.BatchSize = 8
+		l := NewHiddenLayer(backend.MustNew("naive", 0), fi, mi, p, rng)
+		batch := make([][]int32, 4)
+		for s := range batch {
+			active := make([]int32, fi)
+			for g := 0; g < fi; g++ {
+				active[g] = int32(g*mi + rng.Intn(mi))
+			}
+			batch[s] = active
+		}
+		act := tensor.NewMatrix(4, l.Units())
+		l.Forward(batch, act)
+		for s := 0; s < 4; s++ {
+			row := act.Row(s)
+			for h := 0; h < l.H; h++ {
+				var sum float64
+				for j := h * l.M; j < (h+1)*l.M; j++ {
+					sum += row[j]
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainBatchPreservesTraceMass: one training step on random geometry
+// keeps per-hypercolumn trace masses at 1 (the lerp of distributions is a
+// distribution).
+func TestTrainBatchPreservesTraceMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fi := 2 + rng.Intn(6)
+		mi := 2 + rng.Intn(4)
+		p := DefaultParams()
+		p.HCUs = 1 + rng.Intn(2)
+		p.MCUs = 2 + rng.Intn(6)
+		p.BatchSize = 8
+		p.Taupdt = 0.01 + rng.Float64()*0.3
+		p.InitNoise = 0 // jitter shifts mass by O(noise); the law is exact without it
+		l := NewHiddenLayer(backend.MustNew("naive", 0), fi, mi, p, rng)
+		batch := make([][]int32, 8)
+		for s := range batch {
+			active := make([]int32, fi)
+			for g := 0; g < fi; g++ {
+				active[g] = int32(g*mi + rng.Intn(mi))
+			}
+			batch[s] = active
+		}
+		l.SetNoise(rng.Float64())
+		l.TrainBatch(batch)
+		for g := 0; g < fi; g++ {
+			var sum float64
+			for u := g * mi; u < (g+1)*mi; u++ {
+				sum += l.Ci[u]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		for h := 0; h < l.H; h++ {
+			var sum float64
+			for j := h * l.M; j < (h+1)*l.M; j++ {
+				sum += l.Cj[j]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		// Total joint mass: Σ Cij over one input hypercolumn ≈ 1 as well.
+		for g := 0; g < fi; g++ {
+			var sum float64
+			for u := g * mi; u < (g+1)*mi; u++ {
+				row := l.Cij.Row(u)
+				for h := 0; h < l.H; h++ {
+					for j := h * l.M; j < (h+1)*l.M; j++ {
+						sum += row[j]
+					}
+				}
+			}
+			if math.Abs(sum-float64(l.H)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutualInformationNonNegative: the MI estimate must be non-negative
+// for arbitrary (valid) trace states.
+func TestMutualInformationNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := DefaultParams()
+		p.HCUs = 1 + rng.Intn(2)
+		p.MCUs = 2 + rng.Intn(4)
+		l := NewHiddenLayer(backend.MustNew("naive", 0), 3+rng.Intn(4), 2+rng.Intn(3), p, rng)
+		// Randomize traces into a valid-ish state.
+		for i := range l.Ci {
+			l.Ci[i] = rng.Float64()
+		}
+		for j := range l.Cj {
+			l.Cj[j] = rng.Float64()
+		}
+		for i := range l.Cij.Data {
+			l.Cij.Data[i] = rng.Float64()
+		}
+		for _, v := range l.MutualInformation() {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// synthMulticlass builds a C-class one-hot task: each class owns a disjoint
+// bin range in the informative hypercolumns.
+func synthMulticlass(rng *rand.Rand, n, fi, mi, classes int, informative []int, noise float64) ([]([]int32), []int) {
+	idx := make([][]int32, n)
+	labels := make([]int, n)
+	isInf := map[int]bool{}
+	for _, f := range informative {
+		isInf[f] = true
+	}
+	for s := 0; s < n; s++ {
+		y := rng.Intn(classes)
+		labels[s] = y
+		active := make([]int32, fi)
+		for f := 0; f < fi; f++ {
+			var bin int
+			if isInf[f] && rng.Float64() > noise {
+				width := mi / classes
+				bin = y*width + rng.Intn(width)
+			} else {
+				bin = rng.Intn(mi)
+			}
+			active[f] = int32(f*mi + bin)
+		}
+		idx[s] = active
+	}
+	return idx, labels
+}
+
+// TestNetworkMulticlass: the full pipeline must handle more than two
+// classes (prediction falls back to argmax; Evaluate skips AUC).
+func TestNetworkMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	const classes, fi, mi = 4, 8, 8
+	p := smallParams()
+	p.HCUs = 2
+	p.MCUs = 12
+	p.ReceptiveField = 0.6
+	p.Taupdt = 0.05
+	p.UnsupervisedEpochs = 6
+	p.SupervisedEpochs = 6
+	idx, labels := synthMulticlass(rng, 2400, fi, mi, classes, []int{1, 4, 6}, 0.1)
+	tidx, tlabels := synthMulticlass(rng, 600, fi, mi, classes, []int{1, 4, 6}, 0.1)
+	enc := &data.Encoded{Idx: idx, Y: labels, Classes: classes,
+		Hypercolumns: fi, UnitsPerHC: mi}
+	encTest := &data.Encoded{Idx: tidx, Y: tlabels, Classes: classes,
+		Hypercolumns: fi, UnitsPerHC: mi}
+	n := NewNetwork(backend.MustNew("parallel", 4), fi, mi, classes, p)
+	n.Train(enc)
+	pred, _ := n.Predict(encTest)
+	correct := 0
+	for i := range pred {
+		if pred[i] == tlabels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(pred))
+	if acc < 0.60 { // chance is 0.25
+		t.Fatalf("multiclass accuracy %.3f", acc)
+	}
+}

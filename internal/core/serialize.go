@@ -1,0 +1,147 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/tensor"
+)
+
+// networkState is the serializable snapshot of a trained network. Traces are
+// the complete learning state (weights and biases are derived), so saving
+// them preserves the ability to *resume* training, not just to predict —
+// the property that makes BCPNN checkpointing trivial compared to
+// optimizer-state-laden backprop checkpoints.
+type networkState struct {
+	Version int
+	Params  Params
+	Classes int
+
+	// Hidden layer.
+	Fi, Mi    int
+	HiddenCi  []float64
+	HiddenCj  []float64
+	HiddenCij []float64
+	HiddenKbi []float64
+	Mask      []bool
+
+	// BCPNN classifier (nil slices when the readout is not a Classifier).
+	ClfCi  []float64
+	ClfCj  []float64
+	ClfCij []float64
+
+	Threshold float64
+	Seeded    bool
+}
+
+const stateVersion = 1
+
+// Save serializes the network's learning state (traces, masks, calibration)
+// with encoding/gob. Only the pure-BCPNN readout round-trips; hybrid SGD
+// readouts must be retrained after load (they are cheap) — Save fails
+// loudly rather than silently dropping them.
+func (n *Network) Save(w io.Writer) error {
+	cl, ok := n.Out.(*Classifier)
+	if !ok {
+		return fmt.Errorf("core: Save supports the BCPNN readout only (got %T); "+
+			"retrain hybrid readouts after load", n.Out)
+	}
+	st := networkState{
+		Version:   stateVersion,
+		Params:    n.p,
+		Classes:   cl.classes,
+		Fi:        n.Hidden.Fi,
+		Mi:        n.Hidden.Mi,
+		HiddenCi:  n.Hidden.Ci,
+		HiddenCj:  n.Hidden.Cj,
+		HiddenCij: n.Hidden.Cij.Data,
+		HiddenKbi: n.Hidden.Kbi,
+		Mask:      n.Hidden.Mask,
+		ClfCi:     cl.Ci,
+		ClfCj:     cl.Cj,
+		ClfCij:    cl.Cij.Data,
+		Threshold: n.threshold,
+		Seeded:    n.tracesSeeded,
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a network from a Save snapshot onto the given backend
+// (the backend choice is an execution concern, not model state, so a model
+// saved from "parallel" can be loaded onto "gpusim").
+func Load(r io.Reader, be backend.Backend) (*Network, error) {
+	var st networkState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("core: load: state version %d, want %d", st.Version, stateVersion)
+	}
+	if err := st.Params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	in := st.Fi * st.Mi
+	units := st.Params.HCUs * st.Params.MCUs
+	if len(st.HiddenCi) != in || len(st.HiddenCj) != units ||
+		len(st.HiddenCij) != in*units || len(st.Mask) != st.Fi*st.Params.HCUs {
+		return nil, fmt.Errorf("core: load: inconsistent state geometry")
+	}
+	if len(st.ClfCi) != units || len(st.ClfCj) != st.Classes ||
+		len(st.ClfCij) != units*st.Classes {
+		return nil, fmt.Errorf("core: load: inconsistent classifier geometry")
+	}
+	n := NewNetwork(be, st.Fi, st.Mi, st.Classes, st.Params)
+	copy(n.Hidden.Ci, st.HiddenCi)
+	copy(n.Hidden.Cj, st.HiddenCj)
+	copy(n.Hidden.Cij.Data, st.HiddenCij)
+	copy(n.Hidden.Kbi, st.HiddenKbi)
+	copy(n.Hidden.Mask, st.Mask)
+	n.Hidden.refreshParameters()
+	cl := n.Out.(*Classifier)
+	copy(cl.Ci, st.ClfCi)
+	copy(cl.Cj, st.ClfCj)
+	copy(cl.Cij.Data, st.ClfCij)
+	cl.refresh()
+	n.threshold = st.Threshold
+	n.tracesSeeded = st.Seeded
+	// Re-derive the RNG so resumed training is still seeded (though not
+	// bit-identical to an uninterrupted run; document as such).
+	n.rng = rand.New(rand.NewSource(st.Params.Seed + 97))
+	return n, nil
+}
+
+// statesEqual is a test helper comparing the derived parameters of two
+// networks (weights and biases), which must match after a round trip.
+func statesEqual(a, b *Network, tol float64) bool {
+	if !a.Hidden.W.Equal(b.Hidden.W, tol) {
+		return false
+	}
+	ca, ok1 := a.Out.(*Classifier)
+	cb, ok2 := b.Out.(*Classifier)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return ca.W.Equal(cb.W, tol) && equalSlices(a.Hidden.Bias, b.Hidden.Bias, tol)
+}
+
+func equalSlices(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := a[i] - b[i]
+		if d < -tol || d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Ensure tensor is referenced (Cij reconstruction uses its layout).
+var _ = tensor.NewMatrix

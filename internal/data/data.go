@@ -1,0 +1,300 @@
+// Package data provides the dataset plumbing shared by every experiment:
+// in-memory datasets of continuous features, stratified/balanced splits, the
+// paper's 10-quantile one-hot preprocessing (§V), z-score standardization for
+// the dense baselines, and mini-batch iteration with seeded shuffling.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambrain/internal/metrics"
+	"streambrain/internal/tensor"
+)
+
+// Dataset is a supervised dataset of continuous features.
+type Dataset struct {
+	// X holds one sample per row.
+	X *tensor.Matrix
+	// Y holds the class label of each row, in [0, Classes).
+	Y []int
+	// Classes is the number of distinct classes.
+	Classes int
+	// FeatureNames optionally labels the columns of X.
+	FeatureNames []string
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// Features returns the number of input features.
+func (d *Dataset) Features() int { return d.X.Cols }
+
+// Validate checks internal consistency and returns a descriptive error.
+func (d *Dataset) Validate() error {
+	if d.X == nil {
+		return fmt.Errorf("data: nil X")
+	}
+	if len(d.Y) != d.X.Rows {
+		return fmt.Errorf("data: %d labels for %d rows", len(d.Y), d.X.Rows)
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("data: %d classes", d.Classes)
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("data: label %d out of range at row %d", y, i)
+		}
+	}
+	if d.FeatureNames != nil && len(d.FeatureNames) != d.X.Cols {
+		return fmt.Errorf("data: %d feature names for %d features",
+			len(d.FeatureNames), d.X.Cols)
+	}
+	return nil
+}
+
+// Subset returns a new dataset containing the given rows (copied).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	out := &Dataset{
+		X:            tensor.NewMatrix(len(rows), d.X.Cols),
+		Y:            make([]int, len(rows)),
+		Classes:      d.Classes,
+		FeatureNames: d.FeatureNames,
+	}
+	for i, r := range rows {
+		copy(out.X.Row(i), d.X.Row(r))
+		out.Y[i] = d.Y[r]
+	}
+	return out
+}
+
+// Split partitions the dataset into train/test with stratified sampling:
+// each class contributes trainFrac of its samples to the train split, so the
+// class balance is preserved on both sides. The split is deterministic for a
+// given rng seed.
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test *Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("data: trainFrac must be in (0,1)")
+	}
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	var trainRows, testRows []int
+	for _, rows := range byClass {
+		perm := rng.Perm(len(rows))
+		cut := int(float64(len(rows)) * trainFrac)
+		for k, p := range perm {
+			if k < cut {
+				trainRows = append(trainRows, rows[p])
+			} else {
+				testRows = append(testRows, rows[p])
+			}
+		}
+	}
+	shuffleInts(trainRows, rng)
+	shuffleInts(testRows, rng)
+	return d.Subset(trainRows), d.Subset(testRows)
+}
+
+// Balanced extracts a class-balanced subset of at most perClass samples per
+// class ("we extract a balanced subset of the training set", §V). If a class
+// has fewer samples than perClass, the minimum class count is used for all
+// classes so the result stays exactly balanced.
+func (d *Dataset) Balanced(perClass int, rng *rand.Rand) *Dataset {
+	byClass := make([][]int, d.Classes)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	minCount := perClass
+	for _, rows := range byClass {
+		if len(rows) < minCount {
+			minCount = len(rows)
+		}
+	}
+	var keep []int
+	for _, rows := range byClass {
+		perm := rng.Perm(len(rows))
+		for k := 0; k < minCount; k++ {
+			keep = append(keep, rows[perm[k]])
+		}
+	}
+	shuffleInts(keep, rng)
+	return d.Subset(keep)
+}
+
+func shuffleInts(xs []int, rng *rand.Rand) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Encoder is the quantile one-hot encoder of §V: each continuous feature is
+// split at its q-quantile boundaries (fitted on training data) and encoded
+// as a one-hot vector of length Bins. The encoded input forms one input
+// hypercolumn per feature — the representation the BCPNN layer consumes.
+type Encoder struct {
+	Bins int
+	Cuts [][]float64 // per-feature ascending bin boundaries, len Bins-1 each
+}
+
+// FitEncoder computes per-feature quantile boundaries from d.
+func FitEncoder(d *Dataset, bins int) *Encoder {
+	if bins < 2 {
+		panic("data: FitEncoder needs bins >= 2")
+	}
+	enc := &Encoder{Bins: bins, Cuts: make([][]float64, d.Features())}
+	col := make([]float64, d.Len())
+	for f := 0; f < d.Features(); f++ {
+		for r := 0; r < d.Len(); r++ {
+			col[r] = d.X.At(r, f)
+		}
+		enc.Cuts[f] = metrics.Quantiles(col, bins)
+	}
+	return enc
+}
+
+// Encoded is a dataset in one-hot hypercolumn form: sample s activates
+// exactly one unit per input hypercolumn, listed in Idx[s]. Global unit
+// index of feature f's bin b is f*Bins+b.
+type Encoded struct {
+	Idx          [][]int32
+	Y            []int
+	Classes      int
+	Hypercolumns int // number of input hypercolumns (= features)
+	UnitsPerHC   int // units per hypercolumn (= bins)
+}
+
+// TotalInputs returns the width of the flattened one-hot input vector.
+func (e *Encoded) TotalInputs() int { return e.Hypercolumns * e.UnitsPerHC }
+
+// Len returns the number of samples.
+func (e *Encoded) Len() int { return len(e.Idx) }
+
+// Transform encodes a dataset with the fitted boundaries. The dataset must
+// have the same feature count the encoder was fitted on.
+func (enc *Encoder) Transform(d *Dataset) *Encoded {
+	if len(enc.Cuts) != d.Features() {
+		panic(fmt.Sprintf("data: encoder fitted on %d features, dataset has %d",
+			len(enc.Cuts), d.Features()))
+	}
+	out := &Encoded{
+		Idx:          make([][]int32, d.Len()),
+		Y:            append([]int(nil), d.Y...),
+		Classes:      d.Classes,
+		Hypercolumns: d.Features(),
+		UnitsPerHC:   enc.Bins,
+	}
+	for s := 0; s < d.Len(); s++ {
+		row := d.X.Row(s)
+		active := make([]int32, d.Features())
+		for f, v := range row {
+			b := metrics.BinIndex(v, enc.Cuts[f])
+			active[f] = int32(f*enc.Bins + b)
+		}
+		out.Idx[s] = active
+	}
+	return out
+}
+
+// Subset returns the encoded samples at the given positions (sharing the
+// underlying index slices, which are immutable by convention).
+func (e *Encoded) Subset(rows []int) *Encoded {
+	out := &Encoded{
+		Idx:          make([][]int32, len(rows)),
+		Y:            make([]int, len(rows)),
+		Classes:      e.Classes,
+		Hypercolumns: e.Hypercolumns,
+		UnitsPerHC:   e.UnitsPerHC,
+	}
+	for i, r := range rows {
+		out.Idx[i] = e.Idx[r]
+		out.Y[i] = e.Y[r]
+	}
+	return out
+}
+
+// Batches invokes fn once per mini-batch over a fresh shuffle of the encoded
+// samples. The final short batch is included. fn receives views that are
+// only valid during the call.
+func (e *Encoded) Batches(batchSize int, rng *rand.Rand, fn func(idx [][]int32, labels []int)) {
+	if batchSize < 1 {
+		panic("data: batchSize must be >= 1")
+	}
+	perm := rng.Perm(e.Len())
+	idx := make([][]int32, 0, batchSize)
+	labels := make([]int, 0, batchSize)
+	for _, p := range perm {
+		idx = append(idx, e.Idx[p])
+		labels = append(labels, e.Y[p])
+		if len(idx) == batchSize {
+			fn(idx, labels)
+			idx = idx[:0]
+			labels = labels[:0]
+		}
+	}
+	if len(idx) > 0 {
+		fn(idx, labels)
+	}
+}
+
+// Standardizer z-scores features using statistics fitted on training data;
+// the dense baselines (MLP, SGD readout on raw features) consume this form.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-feature mean and (population) standard
+// deviation; zero-variance features get Std 1 so transform is a no-op there.
+func FitStandardizer(d *Dataset) *Standardizer {
+	nf := d.Features()
+	st := &Standardizer{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	n := float64(d.Len())
+	for r := 0; r < d.Len(); r++ {
+		row := d.X.Row(r)
+		for f, v := range row {
+			st.Mean[f] += v
+		}
+	}
+	for f := range st.Mean {
+		st.Mean[f] /= n
+	}
+	for r := 0; r < d.Len(); r++ {
+		row := d.X.Row(r)
+		for f, v := range row {
+			dv := v - st.Mean[f]
+			st.Std[f] += dv * dv
+		}
+	}
+	for f := range st.Std {
+		st.Std[f] = math.Sqrt(st.Std[f] / n)
+		if st.Std[f] == 0 {
+			st.Std[f] = 1
+		}
+	}
+	return st
+}
+
+// Transform returns a standardized copy of d's features.
+func (st *Standardizer) Transform(d *Dataset) *tensor.Matrix {
+	if len(st.Mean) != d.Features() {
+		panic("data: standardizer feature mismatch")
+	}
+	out := tensor.NewMatrix(d.Len(), d.Features())
+	for r := 0; r < d.Len(); r++ {
+		src := d.X.Row(r)
+		dst := out.Row(r)
+		for f, v := range src {
+			dst[f] = (v - st.Mean[f]) / st.Std[f]
+		}
+	}
+	return out
+}
+
+// LabelsOneHot expands labels into a dense one-hot matrix (n×classes).
+func LabelsOneHot(labels []int, classes int) *tensor.Matrix {
+	m := tensor.NewMatrix(len(labels), classes)
+	for i, y := range labels {
+		m.Set(i, y, 1)
+	}
+	return m
+}

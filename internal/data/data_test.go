@@ -1,0 +1,302 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streambrain/internal/tensor"
+)
+
+// makeDataset builds a small labeled dataset with controllable class counts.
+func makeDataset(rng *rand.Rand, perClass []int, features int) *Dataset {
+	total := 0
+	for _, c := range perClass {
+		total += c
+	}
+	d := &Dataset{
+		X:       tensor.NewMatrix(total, features),
+		Y:       make([]int, total),
+		Classes: len(perClass),
+	}
+	row := 0
+	for class, count := range perClass {
+		for k := 0; k < count; k++ {
+			for f := 0; f < features; f++ {
+				d.X.Set(row, f, rng.NormFloat64()+float64(class))
+			}
+			d.Y[row] = class
+			row++
+		}
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := makeDataset(rng, []int{5, 5}, 3)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := &Dataset{X: tensor.NewMatrix(2, 1), Y: []int{0}, Classes: 2}
+	if bad.Validate() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad2 := &Dataset{X: tensor.NewMatrix(1, 1), Y: []int{5}, Classes: 2}
+	if bad2.Validate() == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := makeDataset(rng, []int{100, 300}, 2)
+	train, test := d.Split(0.75, rng)
+	if train.Len()+test.Len() != 400 {
+		t.Fatalf("split lost samples: %d + %d", train.Len(), test.Len())
+	}
+	count := func(ds *Dataset, c int) int {
+		n := 0
+		for _, y := range ds.Y {
+			if y == c {
+				n++
+			}
+		}
+		return n
+	}
+	if count(train, 0) != 75 || count(train, 1) != 225 {
+		t.Fatalf("train not stratified: %d/%d", count(train, 0), count(train, 1))
+	}
+	if count(test, 0) != 25 || count(test, 1) != 75 {
+		t.Fatalf("test not stratified: %d/%d", count(test, 0), count(test, 1))
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	// Tag each sample with a unique feature value; after the split every tag
+	// must appear exactly once across the two sides.
+	rng := rand.New(rand.NewSource(3))
+	d := makeDataset(rng, []int{20, 20}, 1)
+	for i := 0; i < d.Len(); i++ {
+		d.X.Set(i, 0, float64(i))
+	}
+	train, test := d.Split(0.5, rng)
+	seen := map[float64]int{}
+	for i := 0; i < train.Len(); i++ {
+		seen[train.X.At(i, 0)]++
+	}
+	for i := 0; i < test.Len(); i++ {
+		seen[test.X.At(i, 0)]++
+	}
+	if len(seen) != 40 {
+		t.Fatalf("expected 40 unique tags, got %d", len(seen))
+	}
+	for tag, n := range seen {
+		if n != 1 {
+			t.Fatalf("tag %v appears %d times", tag, n)
+		}
+	}
+}
+
+func TestSplitBadFracPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := makeDataset(rng, []int{4, 4}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Split(1.5, rng)
+}
+
+func TestBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := makeDataset(rng, []int{50, 200}, 2)
+	b := d.Balanced(80, rng)
+	// min(80, 50) = 50 per class.
+	if b.Len() != 100 {
+		t.Fatalf("balanced size = %d, want 100", b.Len())
+	}
+	n0 := 0
+	for _, y := range b.Y {
+		if y == 0 {
+			n0++
+		}
+	}
+	if n0 != 50 {
+		t.Fatalf("class 0 count = %d, want 50", n0)
+	}
+}
+
+func TestEncoderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := makeDataset(rng, []int{200, 200}, 5)
+	enc := FitEncoder(d, 10)
+	e := enc.Transform(d)
+	if e.Hypercolumns != 5 || e.UnitsPerHC != 10 || e.TotalInputs() != 50 {
+		t.Fatalf("bad encoded geometry: %+v", e)
+	}
+	if e.Len() != d.Len() {
+		t.Fatalf("encoded length %d != %d", e.Len(), d.Len())
+	}
+	// Exactly one active unit per hypercolumn, inside that hypercolumn's
+	// index range.
+	for s, active := range e.Idx {
+		if len(active) != 5 {
+			t.Fatalf("sample %d has %d active units", s, len(active))
+		}
+		for f, a := range active {
+			if int(a) < f*10 || int(a) >= (f+1)*10 {
+				t.Fatalf("sample %d feature %d: unit %d outside hypercolumn", s, f, a)
+			}
+		}
+	}
+}
+
+// TestEncoderEvenOccupancy: fitting and transforming the same data must fill
+// each feature's bins approximately evenly (the §V preprocessing invariant).
+func TestEncoderEvenOccupancy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := makeDataset(rng, []int{2000, 2000}, 3)
+	enc := FitEncoder(d, 10)
+	e := enc.Transform(d)
+	counts := make([]int, e.TotalInputs())
+	for _, active := range e.Idx {
+		for _, a := range active {
+			counts[a]++
+		}
+	}
+	for u, c := range counts {
+		if c < 250 || c > 550 { // 400 expected per bin
+			t.Fatalf("unit %d occupancy %d, expected ≈400", u, c)
+		}
+	}
+}
+
+// TestEncoderMonotone property: larger feature values never land in a
+// smaller bin.
+func TestEncoderMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := makeDataset(rng, []int{500, 500}, 1)
+	enc := FitEncoder(d, 10)
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		da := &Dataset{X: tensor.FromSlice(2, 1, []float64{a, b}), Y: []int{0, 0}, Classes: 2}
+		e := enc.Transform(da)
+		return e.Idx[0][0] <= e.Idx[1][0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderFeatureMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	enc := FitEncoder(makeDataset(rng, []int{10, 10}, 3), 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	enc.Transform(makeDataset(rng, []int{5, 5}, 2))
+}
+
+func TestEncodedSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := makeDataset(rng, []int{10, 10}, 2)
+	e := FitEncoder(d, 4).Transform(d)
+	sub := e.Subset([]int{3, 7})
+	if sub.Len() != 2 || sub.Y[0] != e.Y[3] || sub.Y[1] != e.Y[7] {
+		t.Fatal("subset mismatch")
+	}
+}
+
+func TestBatchesCoverAllSamplesOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := makeDataset(rng, []int{17, 18}, 2)
+	e := FitEncoder(d, 4).Transform(d)
+	seen := 0
+	sizes := []int{}
+	e.Batches(8, rng, func(idx [][]int32, labels []int) {
+		if len(idx) != len(labels) {
+			t.Fatal("batch idx/label mismatch")
+		}
+		seen += len(idx)
+		sizes = append(sizes, len(idx))
+	})
+	if seen != 35 {
+		t.Fatalf("batches covered %d of 35 samples", seen)
+	}
+	// 35 = 4 full batches of 8 plus one of 3.
+	if len(sizes) != 5 || sizes[4] != 3 {
+		t.Fatalf("unexpected batch sizes %v", sizes)
+	}
+}
+
+func TestBatchesShuffleDiffersAcrossSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := makeDataset(rng, []int{64, 64}, 1)
+	e := FitEncoder(d, 4).Transform(d)
+	order := func(seed int64) []int {
+		var got []int
+		e.Batches(128, rand.New(rand.NewSource(seed)), func(_ [][]int32, labels []int) {
+			got = append(got, labels...)
+		})
+		return got
+	}
+	a, b := order(1), order(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical shuffles")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := makeDataset(rng, []int{500, 500}, 4)
+	st := FitStandardizer(d)
+	z := st.Transform(d)
+	for f := 0; f < 4; f++ {
+		var mean, ss float64
+		for r := 0; r < z.Rows; r++ {
+			mean += z.At(r, f)
+		}
+		mean /= float64(z.Rows)
+		for r := 0; r < z.Rows; r++ {
+			dv := z.At(r, f) - mean
+			ss += dv * dv
+		}
+		std := math.Sqrt(ss / float64(z.Rows))
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+			t.Fatalf("feature %d: mean %v std %v after standardize", f, mean, std)
+		}
+	}
+}
+
+func TestStandardizerConstantFeature(t *testing.T) {
+	d := &Dataset{X: tensor.FromSlice(3, 1, []float64{5, 5, 5}), Y: []int{0, 1, 0}, Classes: 2}
+	st := FitStandardizer(d)
+	z := st.Transform(d)
+	for r := 0; r < 3; r++ {
+		if z.At(r, 0) != 0 {
+			t.Fatal("constant feature must standardize to 0, not NaN")
+		}
+	}
+}
+
+func TestLabelsOneHot(t *testing.T) {
+	m := LabelsOneHot([]int{1, 0, 2}, 3)
+	want := tensor.FromSlice(3, 3, []float64{0, 1, 0, 1, 0, 0, 0, 0, 1})
+	if !m.Equal(want, 0) {
+		t.Fatalf("one-hot mismatch: %v", m)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/viz"
+)
+
+// Fig2Result reports the in-situ visualization run.
+type Fig2Result struct {
+	// VTIFiles are the per-epoch VTI snapshots (one per epoch, §III-B:
+	// "the Catalyst pipeline writes the receptive fields as VTI files").
+	VTIFiles []string
+	// PNGFiles are the per-epoch montage renders.
+	PNGFiles []string
+	// LiveAddr is the live-view address when a live server was requested.
+	LiveAddr string
+}
+
+// RunFig2 regenerates experiment E5 (paper Fig. 2): training the Higgs
+// network with four HCUs at 40% receptive-field density while the in-situ
+// pipeline co-processes every epoch — VTI + PNG snapshots in cfg.OutDir and,
+// if live is true, a browser-inspectable live endpoint standing in for the
+// ParaView live connection.
+func RunFig2(cfg Config, mcus int, live bool) (*Fig2Result, error) {
+	if mcus <= 0 {
+		mcus = 100
+	}
+	splits := PrepareHiggs(cfg)
+	p := core.DefaultParams()
+	p.HCUs = 4
+	p.MCUs = mcus
+	p.ReceptiveField = 0.40 // "four HCUs with a density of 40%" (§III-B)
+	p.UnsupervisedEpochs = cfg.UnsupEpochs
+	p.SupervisedEpochs = 0
+	p.Seed = cfg.Seed
+
+	res := &Fig2Result{}
+	var adaptors viz.Multi
+	var vtiw *viz.VTIWriter
+	var pngw *viz.PNGWriter
+	if cfg.OutDir != "" {
+		var err error
+		vtiw, err = viz.NewVTIWriter(cfg.OutDir, "fig2_rf")
+		if err != nil {
+			return nil, err
+		}
+		pngw, err = viz.NewPNGWriter(cfg.OutDir, "fig2_rf", 4, 16)
+		if err != nil {
+			return nil, err
+		}
+		adaptors = append(adaptors, vtiw, pngw)
+	}
+	var ls *viz.LiveServer
+	if live {
+		var err error
+		ls, err = viz.NewLiveServer("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		res.LiveAddr = ls.Addr()
+		adaptors = append(adaptors, ls)
+		cfg.printf("live view at http://%s/\n", ls.Addr())
+	}
+
+	be := backend.MustNew(cfg.Backend, cfg.Workers)
+	net := core.NewNetwork(be, splits.Train.Hypercolumns, splits.Train.UnitsPerHC,
+		splits.Train.Classes, p)
+	hook := func(epoch int, layer *core.HiddenLayer) {
+		if len(adaptors) == 0 {
+			return
+		}
+		if err := adaptors.CoProcess(epoch, MaskFields(layer, HiggsGrid)); err != nil {
+			cfg.printf("co-processing error at epoch %d: %v\n", epoch, err)
+		}
+	}
+	cfg.printf("# Fig 2 — in-situ visualization (4 HCUs, density 40%%, %d epochs)\n",
+		cfg.UnsupEpochs)
+	net.TrainUnsupervised(splits.Train, cfg.UnsupEpochs, hook)
+	if vtiw != nil {
+		res.VTIFiles = vtiw.Written
+		res.PNGFiles = pngw.Written
+		cfg.printf("wrote %d VTI and %d PNG epoch snapshots to %s\n",
+			len(res.VTIFiles), len(res.PNGFiles), cfg.OutDir)
+	}
+	if ls != nil && !live {
+		ls.Close() //nolint:errcheck
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"streambrain/internal/core"
+	"streambrain/internal/metrics"
+)
+
+// Fig3Row is one bar/line pair of the paper's Fig. 3: test accuracy (bars)
+// and training time (lines) for an (HCUs, MCUs) capacity point.
+type Fig3Row struct {
+	HCUs, MCUs   int
+	Acc, AUC     metrics.Summary
+	TrainSeconds metrics.Summary
+}
+
+// Fig3HCUs and Fig3MCUs are the sweep axes of the paper's Fig. 3.
+var (
+	Fig3HCUs = []int{1, 2, 4, 6, 8}
+	Fig3MCUs = []int{30, 300, 3000}
+)
+
+// RunFig3 regenerates experiment E1 (paper Fig. 3): the HCU×MCU capacity
+// sweep at a fixed 30% receptive field. mcus/hcus nil selects the paper's
+// full grid.
+func RunFig3(cfg Config, hcus, mcus []int) []Fig3Row {
+	if hcus == nil {
+		hcus = Fig3HCUs
+	}
+	if mcus == nil {
+		mcus = Fig3MCUs
+	}
+	splits := PrepareHiggs(cfg)
+	cfg.printf("# Fig 3 — capacity sweep (RF=30%%, %d train / %d test, %d repeats)\n",
+		splits.Train.Len(), splits.Test.Len(), cfg.Repeats)
+	cfg.printf("%-6s %-6s %-22s %-22s %s\n", "HCUs", "MCUs", "test accuracy", "AUC", "train time (s)")
+	var rows []Fig3Row
+	for _, m := range mcus {
+		for _, h := range hcus {
+			p := core.DefaultParams()
+			p.HCUs = h
+			p.MCUs = m
+			p.ReceptiveField = 0.30
+			p.UnsupervisedEpochs = cfg.UnsupEpochs
+			p.SupervisedEpochs = cfg.SupEpochs
+			acc, auc, secs := Repeat(cfg, splits, p, false)
+			row := Fig3Row{HCUs: h, MCUs: m, Acc: acc, AUC: auc, TrainSeconds: secs}
+			rows = append(rows, row)
+			cfg.printf("%-6d %-6d %-22s %-22s %.2f ± %.2f\n",
+				h, m, acc.String(), auc.String(), secs.Mean, secs.Std)
+		}
+	}
+	return rows
+}
+
+// Fig3Headline runs the paper's headline configuration — 1 HCU × 3000 MCUs
+// with the hybrid BCPNN+SGD readout, which the paper reports at 69.15%
+// accuracy and 76.4% AUC (§V-A) — and returns its summary.
+func Fig3Headline(cfg Config) (acc, auc metrics.Summary) {
+	splits := PrepareHiggs(cfg)
+	p := core.DefaultParams()
+	p.HCUs = 1
+	p.MCUs = 3000
+	p.ReceptiveField = 0.30
+	p.UnsupervisedEpochs = cfg.UnsupEpochs
+	p.SupervisedEpochs = cfg.SupEpochs
+	acc, auc, _ = Repeat(cfg, splits, p, true)
+	cfg.printf("# headline (1 HCU × 3000 MCU, BCPNN+SGD): acc %s, AUC %s\n",
+		acc.String(), auc.String())
+	return acc, auc
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"streambrain/internal/core"
+	"streambrain/internal/metrics"
+)
+
+// Fig4Row is one point of the paper's Fig. 4: test accuracy (line) and
+// training time (bars) at a receptive-field fraction.
+type Fig4Row struct {
+	RF           float64
+	Acc, AUC     metrics.Summary
+	TrainSeconds metrics.Summary
+}
+
+// Fig4RFs is the sweep axis of the paper's Fig. 4 (5%…95%).
+var Fig4RFs = []float64{0.05, 0.15, 0.25, 0.35, 0.40, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95}
+
+// RunFig4 regenerates experiment E2 (paper Fig. 4): the receptive-field
+// sweep at fixed capacity (1 HCU × 3000 MCUs in the paper; mcus configures
+// the reduced-scale runs). rfs nil selects the paper's sweep.
+func RunFig4(cfg Config, mcus int, rfs []float64) []Fig4Row {
+	if rfs == nil {
+		rfs = Fig4RFs
+	}
+	if mcus <= 0 {
+		mcus = 3000
+	}
+	splits := PrepareHiggs(cfg)
+	cfg.printf("# Fig 4 — receptive-field sweep (1 HCU × %d MCUs, %d train / %d test, %d repeats)\n",
+		mcus, splits.Train.Len(), splits.Test.Len(), cfg.Repeats)
+	cfg.printf("%-6s %-22s %-22s %s\n", "RF", "test accuracy", "AUC", "train time (s)")
+	var rows []Fig4Row
+	for _, rf := range rfs {
+		p := core.DefaultParams()
+		p.HCUs = 1
+		p.MCUs = mcus
+		p.ReceptiveField = rf
+		p.UnsupervisedEpochs = cfg.UnsupEpochs
+		p.SupervisedEpochs = cfg.SupEpochs
+		acc, auc, secs := Repeat(cfg, splits, p, false)
+		row := Fig4Row{RF: rf, Acc: acc, AUC: auc, TrainSeconds: secs}
+		rows = append(rows, row)
+		cfg.printf("%-6.2f %-22s %-22s %.2f ± %.2f\n",
+			rf, acc.String(), auc.String(), secs.Mean, secs.Std)
+	}
+	return rows
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/viz"
+)
+
+// FieldGrid describes how to reshape a 1-D hypercolumn mask into a 2-D
+// image for rendering (Higgs: 28 features as 4×7; MNIST: 784 pixels as
+// 28×28).
+type FieldGrid struct{ Width, Height int }
+
+// HiggsGrid lays the 28 HIGGS features out as a 7×4 image.
+var HiggsGrid = FieldGrid{Width: 7, Height: 4}
+
+// MaskFields converts every HCU's receptive-field mask into a viz.Field.
+func MaskFields(l *core.HiddenLayer, grid FieldGrid) []viz.Field {
+	fields := make([]viz.Field, l.H)
+	for h := 0; h < l.H; h++ {
+		fields[h] = viz.BoolField(fmt.Sprintf("hcu%02d", h), grid.Width, grid.Height,
+			l.ReceptiveField(h))
+	}
+	return fields
+}
+
+// MIFields converts every HCU's mutual-information map into a viz.Field —
+// the continuous counterpart of the binary masks.
+func MIFields(l *core.HiddenLayer, grid FieldGrid) []viz.Field {
+	mi := l.MutualInformation()
+	fields := make([]viz.Field, l.H)
+	for h := 0; h < l.H; h++ {
+		data := make([]float64, l.Fi)
+		for fi := 0; fi < l.Fi; fi++ {
+			data[fi] = mi[fi*l.H+h]
+		}
+		fields[h] = viz.Field{Name: fmt.Sprintf("mi%02d", h),
+			Width: grid.Width, Height: grid.Height, Data: data}
+	}
+	return fields
+}
+
+// Fig5Result holds the mask learned at one receptive-field size.
+type Fig5Result struct {
+	RF    float64
+	Field viz.Field
+}
+
+// RunFig5 regenerates experiment E3 (paper Fig. 5): the evolution of the
+// learned mask as the receptive-field size grows from 0% to 95%. One
+// single-HCU network is trained per RF; the final masks are returned and,
+// when cfg.OutDir is set, rendered as a montage PNG plus a VTI file (the
+// paper's 4×5 grid of masks).
+func RunFig5(cfg Config, mcus int) ([]Fig5Result, error) {
+	if mcus <= 0 {
+		mcus = 300
+	}
+	rfs := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45,
+		0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}
+	splits := PrepareHiggs(cfg)
+	cfg.printf("# Fig 5 — mask evolution across receptive-field sizes (1 HCU × %d MCUs)\n", mcus)
+	var results []Fig5Result
+	var fields []viz.Field
+	for _, rf := range rfs {
+		p := core.DefaultParams()
+		p.HCUs = 1
+		p.MCUs = mcus
+		p.ReceptiveField = rf
+		p.UnsupervisedEpochs = cfg.UnsupEpochs
+		p.SupervisedEpochs = 0
+		p.Seed = cfg.Seed
+		be := backend.MustNew(cfg.Backend, cfg.Workers)
+		net := core.NewNetwork(be, splits.Train.Hypercolumns, splits.Train.UnitsPerHC,
+			splits.Train.Classes, p)
+		net.TrainUnsupervised(splits.Train, cfg.UnsupEpochs)
+		f := MaskFields(net.Hidden, HiggsGrid)[0]
+		f.Name = fmt.Sprintf("rf%02.0f", rf*100)
+		results = append(results, Fig5Result{RF: rf, Field: f})
+		fields = append(fields, f)
+		active := 0
+		for _, v := range f.Data {
+			if v > 0 {
+				active++
+			}
+		}
+		cfg.printf("RF %4.0f%% -> %2d of %d input features active\n",
+			rf*100, active, splits.Train.Hypercolumns)
+	}
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		png := filepath.Join(cfg.OutDir, "fig5_masks.png")
+		if err := viz.SavePNG(png, viz.RenderMontage(fields, 5, 16)); err != nil {
+			return nil, err
+		}
+		vtiw, err := viz.NewVTIWriter(cfg.OutDir, "fig5_masks")
+		if err != nil {
+			return nil, err
+		}
+		if err := vtiw.CoProcess(0, fields); err != nil {
+			return nil, err
+		}
+		cfg.printf("wrote %s and %s\n", png, vtiw.Written[0])
+	}
+	return results, nil
+}

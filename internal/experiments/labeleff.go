@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/metrics"
+	"streambrain/internal/mlp"
+	"streambrain/internal/tensor"
+)
+
+// LabelEffRow is one point of the label-efficiency experiment E7: accuracy
+// of BCPNN (unsupervised features on ALL data + classifier on the labeled
+// subset) against an MLP restricted to the labeled subset only.
+type LabelEffRow struct {
+	LabeledFraction float64
+	Labeled         int
+	BCPNNAcc        float64
+	BCPNNAUC        float64
+	MLPAcc          float64
+	MLPAUC          float64
+}
+
+// RunLabelEfficiency regenerates experiment E7 (paper §I: BCPNN's
+// semi-supervised capability "allows bringing order even to unlabeled (the
+// majority) of data"). The unsupervised feature phase always consumes the
+// full training set; only the supervised classifier sees the labeled
+// subset. The MLP baseline, being fully supervised, can only use the
+// labeled subset for everything — the gap at small label budgets is the
+// semi-supervised payoff.
+func RunLabelEfficiency(cfg Config, mcus int, fractions []float64) []LabelEffRow {
+	if mcus <= 0 {
+		mcus = 300
+	}
+	if fractions == nil {
+		fractions = []float64{0.01, 0.05, 0.20, 1.00}
+	}
+	splits := PrepareHiggs(cfg)
+	std := prepStandardized(splits)
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	cfg.printf("# E7 — label efficiency (%d train / %d test, features always unsupervised on all)\n",
+		splits.Train.Len(), splits.Test.Len())
+	cfg.printf("%-10s %-8s %-20s %s\n", "labeled%", "count", "BCPNN acc/AUC", "MLP acc/AUC")
+
+	var rows []LabelEffRow
+	for _, frac := range fractions {
+		nLab := int(frac * float64(splits.Train.Len()))
+		if nLab < 10 {
+			nLab = 10
+		}
+		perm := rng.Perm(splits.Train.Len())[:nLab]
+		labeled := splits.Train.Subset(perm)
+
+		// BCPNN: unsupervised on everything, classifier on the subset.
+		p := core.DefaultParams()
+		p.HCUs = 1
+		p.MCUs = mcus
+		p.ReceptiveField = 0.40
+		p.Seed = cfg.Seed
+		be := backend.MustNew(cfg.Backend, cfg.Workers)
+		net := core.NewNetwork(be, splits.Train.Hypercolumns, splits.Train.UnitsPerHC,
+			splits.Train.Classes, p)
+		net.TrainUnsupervised(splits.Train, cfg.UnsupEpochs)
+		// Small label sets need more supervised passes to converge the
+		// readout traces; scale epochs to keep total labeled presentations
+		// roughly constant.
+		supEpochs := cfg.SupEpochs
+		if nLab < splits.Train.Len()/4 {
+			supEpochs = cfg.SupEpochs * splits.Train.Len() / (4 * nLab)
+			if supEpochs > 60 {
+				supEpochs = 60
+			}
+		}
+		net.TrainSupervised(labeled, supEpochs)
+		net.CalibrateThreshold(labeled)
+		bAcc, bAUC := net.Evaluate(splits.Test)
+
+		// MLP: labeled subset only.
+		xLab := tensor.NewMatrix(nLab, std.train.Cols)
+		yLab := make([]int, nLab)
+		for i, r := range perm {
+			copy(xLab.Row(i), std.train.Row(r))
+			yLab[i] = splits.TrainRaw.Y[r]
+		}
+		mcfg := mlp.DefaultConfig()
+		mcfg.Seed = cfg.Seed
+		m := mlp.New(xLab.Cols, 2, mcfg)
+		m.Fit(xLab, yLab)
+		pred, score := m.Predict(std.test)
+		mAcc := metrics.Accuracy(pred, splits.TestRaw.Y)
+		mAUC := metrics.AUC(score, splits.TestRaw.Y)
+
+		row := LabelEffRow{
+			LabeledFraction: frac, Labeled: nLab,
+			BCPNNAcc: bAcc, BCPNNAUC: bAUC, MLPAcc: mAcc, MLPAUC: mAUC,
+		}
+		rows = append(rows, row)
+		cfg.printf("%-10.2f %-8d %.4f / %.4f      %.4f / %.4f\n",
+			frac*100, nLab, bAcc, bAUC, mAcc, mAUC)
+	}
+	return rows
+}
+
+// ensure data import is used (Subset helper belongs to it conceptually).
+var _ = data.LabelsOneHot

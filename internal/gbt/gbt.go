@@ -1,0 +1,312 @@
+// Package gbt implements gradient-boosted decision trees with logistic loss
+// and histogram-based splits (an XGBoost-style second-order method at small
+// scale). It is the "Boosted Decision Trees" related-work baseline of §VI:
+// the classical HEP method the Higgs benchmark was originally evaluated
+// with, used here to regenerate the E6 AUC-ordering table.
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"streambrain/internal/tensor"
+)
+
+// Config holds the boosting hyperparameters.
+type Config struct {
+	// Trees is the number of boosting rounds.
+	Trees int
+	// Depth is the maximum tree depth.
+	Depth int
+	// LearningRate shrinks each tree's contribution.
+	LearningRate float64
+	// Lambda is the L2 leaf regularizer.
+	Lambda float64
+	// MinLeaf is the minimum samples per leaf.
+	MinLeaf int
+	// Bins is the number of histogram bins per feature.
+	Bins int
+	// Subsample is the per-tree row sampling fraction (1 = all rows).
+	Subsample float64
+	// Seed drives subsampling.
+	Seed int64
+}
+
+// DefaultConfig returns the baseline configuration used by the E6 table.
+func DefaultConfig() Config {
+	return Config{
+		Trees:        150,
+		Depth:        4,
+		LearningRate: 0.15,
+		Lambda:       1.0,
+		MinLeaf:      20,
+		Bins:         32,
+		Subsample:    0.8,
+		Seed:         1,
+	}
+}
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature     int
+	bin         uint8 // go left when binned value <= bin
+	left, right int   // child indices into the tree's node slice
+	value       float64
+}
+
+// tree is a flat-array regression tree over binned features.
+type tree struct {
+	nodes []node
+}
+
+func (t *tree) predict(row []uint8) float64 {
+	i := 0
+	for {
+		n := t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if row[n.feature] <= n.bin {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Model is a fitted boosted ensemble.
+type Model struct {
+	cfg   Config
+	trees []*tree
+	cuts  [][]float64 // per-feature bin boundaries
+	base  float64     // prior log-odds
+}
+
+// binFeatures quantizes x columns into uint8 bins using per-feature
+// quantile boundaries computed from the data.
+func binFeatures(x *tensor.Matrix, bins int) (binned [][]uint8, cuts [][]float64) {
+	n, f := x.Rows, x.Cols
+	cuts = make([][]float64, f)
+	col := make([]float64, n)
+	for j := 0; j < f; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = x.At(i, j)
+		}
+		sorted := append([]float64(nil), col...)
+		sort.Float64s(sorted)
+		var cs []float64
+		for b := 1; b < bins; b++ {
+			v := sorted[b*(n-1)/bins]
+			if len(cs) == 0 || v > cs[len(cs)-1] {
+				cs = append(cs, v)
+			}
+		}
+		cuts[j] = cs
+	}
+	binned = make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		row := make([]uint8, f)
+		src := x.Row(i)
+		for j, v := range src {
+			row[j] = uint8(sort.SearchFloat64s(cuts[j], v))
+		}
+		binned[i] = row
+	}
+	return binned, cuts
+}
+
+// applyCuts bins a matrix with previously computed boundaries.
+func applyCuts(x *tensor.Matrix, cuts [][]float64) [][]uint8 {
+	binned := make([][]uint8, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := make([]uint8, x.Cols)
+		src := x.Row(i)
+		for j, v := range src {
+			row[j] = uint8(sort.SearchFloat64s(cuts[j], v))
+		}
+		binned[i] = row
+	}
+	return binned
+}
+
+// buildCtx carries the per-boosting-round state.
+type buildCtx struct {
+	cfg    Config
+	binned [][]uint8
+	grad   []float64
+	hess   []float64
+	nbins  int
+}
+
+// leafValue is the Newton step −Σg/(Σh+λ).
+func (c *buildCtx) leafValue(rows []int) float64 {
+	var g, h float64
+	for _, r := range rows {
+		g += c.grad[r]
+		h += c.hess[r]
+	}
+	return -g / (h + c.cfg.Lambda)
+}
+
+// bestSplit scans histogram cuts of every feature for the split maximizing
+// the second-order gain; returns ok=false when no split clears MinLeaf.
+func (c *buildCtx) bestSplit(rows []int) (feature int, bin uint8, gain float64, ok bool) {
+	var gTot, hTot float64
+	for _, r := range rows {
+		gTot += c.grad[r]
+		hTot += c.hess[r]
+	}
+	lam := c.cfg.Lambda
+	parent := gTot * gTot / (hTot + lam)
+	nf := len(c.binned[0])
+	gHist := make([]float64, c.nbins)
+	hHist := make([]float64, c.nbins)
+	cnt := make([]int, c.nbins)
+	bestGain := 0.0
+	for f := 0; f < nf; f++ {
+		for b := 0; b < c.nbins; b++ {
+			gHist[b], hHist[b], cnt[b] = 0, 0, 0
+		}
+		for _, r := range rows {
+			b := c.binned[r][f]
+			gHist[b] += c.grad[r]
+			hHist[b] += c.hess[r]
+			cnt[b]++
+		}
+		var gL, hL float64
+		nL := 0
+		for b := 0; b < c.nbins-1; b++ {
+			gL += gHist[b]
+			hL += hHist[b]
+			nL += cnt[b]
+			nR := len(rows) - nL
+			if nL < c.cfg.MinLeaf || nR < c.cfg.MinLeaf {
+				continue
+			}
+			gR := gTot - gL
+			hR := hTot - hL
+			g := gL*gL/(hL+lam) + gR*gR/(hR+lam) - parent
+			if g > bestGain {
+				bestGain, feature, bin, ok = g, f, uint8(b), true
+			}
+		}
+	}
+	return feature, bin, bestGain, ok
+}
+
+// build grows one tree depth-first.
+func (c *buildCtx) build(t *tree, rows []int, depth int) int {
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, node{feature: -1})
+	if depth >= c.cfg.Depth || len(rows) < 2*c.cfg.MinLeaf {
+		t.nodes[idx].value = c.leafValue(rows)
+		return idx
+	}
+	f, b, _, ok := c.bestSplit(rows)
+	if !ok {
+		t.nodes[idx].value = c.leafValue(rows)
+		return idx
+	}
+	var left, right []int
+	for _, r := range rows {
+		if c.binned[r][f] <= b {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	l := c.build(t, left, depth+1)
+	r := c.build(t, right, depth+1)
+	t.nodes[idx].feature = f
+	t.nodes[idx].bin = b
+	t.nodes[idx].left = l
+	t.nodes[idx].right = r
+	return idx
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Fit trains a boosted ensemble on binary labels (0/1).
+func Fit(x *tensor.Matrix, y []int, cfg Config) *Model {
+	if x.Rows != len(y) {
+		panic("gbt: Fit length mismatch")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	binned, cuts := binFeatures(x, cfg.Bins)
+	n := x.Rows
+	// Prior log-odds from the class balance.
+	pos := 0
+	for _, v := range y {
+		pos += v
+	}
+	p := (float64(pos) + 1) / (float64(n) + 2)
+	m := &Model{cfg: cfg, cuts: cuts, base: math.Log(p / (1 - p))}
+	logit := make([]float64, n)
+	for i := range logit {
+		logit[i] = m.base
+	}
+	ctx := &buildCtx{cfg: cfg, binned: binned, nbins: cfg.Bins,
+		grad: make([]float64, n), hess: make([]float64, n)}
+	for round := 0; round < cfg.Trees; round++ {
+		for i := 0; i < n; i++ {
+			pi := sigmoid(logit[i])
+			ctx.grad[i] = pi - float64(y[i])
+			ctx.hess[i] = pi * (1 - pi)
+		}
+		rows := make([]int, 0, n)
+		if cfg.Subsample < 1 {
+			for i := 0; i < n; i++ {
+				if rng.Float64() < cfg.Subsample {
+					rows = append(rows, i)
+				}
+			}
+			if len(rows) < 2*cfg.MinLeaf {
+				rows = rows[:0]
+				for i := 0; i < n; i++ {
+					rows = append(rows, i)
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				rows = append(rows, i)
+			}
+		}
+		t := &tree{}
+		ctx.build(t, rows, 0)
+		m.trees = append(m.trees, t)
+		for i := 0; i < n; i++ {
+			logit[i] += cfg.LearningRate * t.predict(binned[i])
+		}
+	}
+	return m
+}
+
+// Score returns the signal probability of every row of x.
+func (m *Model) Score(x *tensor.Matrix) []float64 {
+	binned := applyCuts(x, m.cuts)
+	out := make([]float64, x.Rows)
+	for i, row := range binned {
+		z := m.base
+		for _, t := range m.trees {
+			z += m.cfg.LearningRate * t.predict(row)
+		}
+		out[i] = sigmoid(z)
+	}
+	return out
+}
+
+// Predict returns hard labels (threshold 0.5) and the signal probability.
+func (m *Model) Predict(x *tensor.Matrix) (pred []int, score []float64) {
+	score = m.Score(x)
+	pred = make([]int, len(score))
+	for i, s := range score {
+		if s >= 0.5 {
+			pred[i] = 1
+		}
+	}
+	return pred, score
+}
+
+// NumTrees returns the fitted ensemble size.
+func (m *Model) NumTrees() int { return len(m.trees) }

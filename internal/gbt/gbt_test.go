@@ -1,0 +1,151 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/metrics"
+	"streambrain/internal/tensor"
+)
+
+// rings builds a radially-separable task (inner disk vs outer ring) that no
+// single axis-aligned split solves but shallow trees handle easily.
+func rings(rng *rand.Rand, n int) (*tensor.Matrix, []int) {
+	x := tensor.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if a*a+b*b < 1.2 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func TestGBTSolvesRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := rings(rng, 2000)
+	cfg := DefaultConfig()
+	cfg.Trees = 60
+	m := Fit(x, y, cfg)
+	pred, score := m.Predict(x)
+	if acc := metrics.Accuracy(pred, y); acc < 0.92 {
+		t.Fatalf("rings accuracy %.3f", acc)
+	}
+	if auc := metrics.AUC(score, y); auc < 0.97 {
+		t.Fatalf("rings AUC %.3f", auc)
+	}
+}
+
+func TestGBTGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xtr, ytr := rings(rng, 2000)
+	xte, yte := rings(rng, 800)
+	cfg := DefaultConfig()
+	cfg.Trees = 60
+	m := Fit(xtr, ytr, cfg)
+	pred, _ := m.Predict(xte)
+	if acc := metrics.Accuracy(pred, yte); acc < 0.90 {
+		t.Fatalf("held-out accuracy %.3f", acc)
+	}
+}
+
+func TestMoreTreesHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xtr, ytr := rings(rng, 1500)
+	xte, yte := rings(rng, 600)
+	few := DefaultConfig()
+	few.Trees = 3
+	many := DefaultConfig()
+	many.Trees = 80
+	m1 := Fit(xtr, ytr, few)
+	m2 := Fit(xtr, ytr, many)
+	_, s1 := m1.Predict(xte)
+	_, s2 := m2.Predict(xte)
+	if metrics.AUC(s2, yte) <= metrics.AUC(s1, yte) {
+		t.Fatalf("80 trees (%.3f) not better than 3 trees (%.3f)",
+			metrics.AUC(s2, yte), metrics.AUC(s1, yte))
+	}
+	if m2.NumTrees() != 80 {
+		t.Fatalf("NumTrees = %d", m2.NumTrees())
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := rings(rng, 400)
+	cfg := DefaultConfig()
+	cfg.Trees = 10
+	m := Fit(x, y, cfg)
+	for i, s := range m.Score(x) {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("score[%d] = %v", i, s)
+		}
+	}
+}
+
+func TestBasePriorMatchesImbalance(t *testing.T) {
+	// With no informative features, predictions must collapse to the class
+	// prior rather than chase noise.
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	x := tensor.NewMatrix(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		if rng.Float64() < 0.8 {
+			y[i] = 1
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Trees = 5
+	cfg.Depth = 2
+	m := Fit(x, y, cfg)
+	scores := m.Score(x)
+	mean := metrics.Mean(scores)
+	if mean < 0.65 || mean > 0.95 {
+		t.Fatalf("mean score %.3f far from the 0.8 prior", mean)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// A tiny dataset with a large MinLeaf must yield stump-or-leaf trees
+	// without panicking.
+	rng := rand.New(rand.NewSource(6))
+	x, y := rings(rng, 50)
+	cfg := DefaultConfig()
+	cfg.Trees = 3
+	cfg.MinLeaf = 30
+	m := Fit(x, y, cfg)
+	if m.NumTrees() != 3 {
+		t.Fatalf("expected 3 trees, got %d", m.NumTrees())
+	}
+}
+
+func TestFitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fit(tensor.NewMatrix(3, 2), []int{0, 1}, DefaultConfig())
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := rings(rng, 500)
+	cfg := DefaultConfig()
+	cfg.Trees = 10
+	s1 := Fit(x, y, cfg).Score(x)
+	s2 := Fit(x, y, cfg).Score(x)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

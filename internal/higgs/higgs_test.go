@@ -1,0 +1,297 @@
+package higgs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streambrain/internal/metrics"
+)
+
+func TestFromPtEtaPhiMRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := 1 + rng.Float64()*200
+		eta := rng.NormFloat64()
+		phi := (rng.Float64()*2 - 1) * math.Pi
+		m := rng.Float64() * 100
+		v := FromPtEtaPhiM(pt, eta, phi, m)
+		return math.Abs(v.Pt()-pt) < 1e-6*pt+1e-9 &&
+			math.Abs(v.Eta()-eta) < 1e-9 &&
+			math.Abs(v.Phi()-phi) < 1e-9 &&
+			math.Abs(v.M()-m) < 1e-6*(m+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantMassAdditive(t *testing.T) {
+	// Two massless back-to-back particles of energy E have pair mass 2E.
+	a := Vec4{E: 50, Px: 50}
+	b := Vec4{E: 50, Px: -50}
+	if m := a.Add(b).M(); math.Abs(m-100) > 1e-9 {
+		t.Fatalf("pair mass = %v, want 100", m)
+	}
+}
+
+func TestBoostPreservesInvariantMass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := FromPtEtaPhiM(10+rng.Float64()*100, rng.NormFloat64(),
+			rng.Float64()*6-3, rng.Float64()*50)
+		bx := rng.Float64()*1.2 - 0.6
+		by := rng.Float64()*1.2 - 0.6
+		bz := rng.Float64()*1.2 - 0.6
+		if bx*bx+by*by+bz*bz >= 0.95 {
+			return true // skip ultra-relativistic numerical edge
+		}
+		return math.Abs(v.Boost(bx, by, bz).M()-v.M()) < 1e-6*(v.M()+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoostZeroIsIdentity(t *testing.T) {
+	v := Vec4{E: 10, Px: 1, Py: 2, Pz: 3}
+	if v.Boost(0, 0, 0) != v {
+		t.Fatal("zero boost changed the vector")
+	}
+}
+
+// TestTwoBodyDecayConservation: daughters must conserve four-momentum and
+// carry the requested masses — the core correctness property of the event
+// generator.
+func TestTwoBodyDecayConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		parent := FromPtEtaPhiM(rng.Float64()*100, rng.NormFloat64(),
+			rng.Float64()*6-3, 150+rng.Float64()*300)
+		m1 := rng.Float64() * 60
+		m2 := rng.Float64() * 60
+		d1, d2 := TwoBodyDecay(parent, m1, m2, rng)
+		sum := d1.Add(d2)
+		if math.Abs(sum.E-parent.E) > 1e-6*parent.E ||
+			math.Abs(sum.Px-parent.Px) > 1e-6 ||
+			math.Abs(sum.Py-parent.Py) > 1e-6 ||
+			math.Abs(sum.Pz-parent.Pz) > 1e-6 {
+			t.Fatalf("trial %d: momentum not conserved: %+v vs %+v", trial, sum, parent)
+		}
+		if math.Abs(d1.M()-m1) > 1e-5*(m1+1) || math.Abs(d2.M()-m2) > 1e-5*(m2+1) {
+			t.Fatalf("trial %d: daughter masses %v/%v want %v/%v",
+				trial, d1.M(), d2.M(), m1, m2)
+		}
+	}
+}
+
+func TestTwoBodyDecayBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	parent := FromPtEtaPhiM(20, 0.3, 1, 50) // lighter than m1+m2
+	d1, d2 := TwoBodyDecay(parent, 40, 30, rng)
+	if d1.M() <= 0 || d2.M() <= 0 {
+		t.Fatal("threshold lift failed")
+	}
+}
+
+func TestTransverseMassWPeak(t *testing.T) {
+	// Leptonic W decays must produce a transverse-mass distribution bounded
+	// by (and concentrated just below) the W mass.
+	rng := rand.New(rand.NewSource(3))
+	over := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		w := FromPtEtaPhiM(rng.Float64()*40, rng.NormFloat64(), 1, massW)
+		lep, nu := decayWToLepton(w, rng)
+		if TransverseMass(lep, nu) > massW*1.02 {
+			over++
+		}
+	}
+	if frac := float64(over) / n; frac > 0.02 {
+		t.Fatalf("%.1f%% of mT above the W mass; kinematic edge violated", frac*100)
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	d := Generate(500, 0.5, 42)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 || d.Features() != NumFeatures {
+		t.Fatalf("bad shape %dx%d", d.Len(), d.Features())
+	}
+	d2 := Generate(500, 0.5, 42)
+	if !d.X.Equal(d2.X, 0) {
+		t.Fatal("same seed produced different data")
+	}
+	d3 := Generate(500, 0.5, 43)
+	if d.X.Equal(d3.X, 0) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateNoNaNs(t *testing.T) {
+	d := Generate(3000, 0.5, 7)
+	for i, v := range d.X.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite feature at flat index %d: %v", i, v)
+		}
+	}
+}
+
+func TestGenerateSignalFraction(t *testing.T) {
+	d := Generate(4000, 0.3, 9)
+	pos := 0
+	for _, y := range d.Y {
+		pos += y
+	}
+	frac := float64(pos) / 4000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("signal fraction %.3f, want ≈0.30", frac)
+	}
+}
+
+// featureAUC computes the single-feature discrimination of column f.
+func featureAUC(t *testing.T, f int) float64 {
+	t.Helper()
+	d := Generate(6000, 0.5, 11)
+	col := make([]float64, d.Len())
+	for r := 0; r < d.Len(); r++ {
+		col[r] = d.X.At(r, f)
+	}
+	return metrics.AUC(col, d.Y)
+}
+
+// TestMbbIsDiscriminative: m_bb (the h⁰→bb̄ candidate) must separate signal
+// from background — in signal it peaks at 125 GeV, in tt̄ it is broad.
+// This is the physics the whole benchmark is built on.
+func TestMbbIsDiscriminative(t *testing.T) {
+	auc := featureAUC(t, 25) // m_bb
+	// Direction may be either way; use distance from 0.5.
+	if math.Abs(auc-0.5) < 0.05 {
+		t.Fatalf("m_bb AUC %.3f too close to chance", auc)
+	}
+}
+
+// TestMlvNotDiscriminative: both classes contain a real leptonic W, so the
+// m_lv transverse mass must carry little discrimination (Baldi et al. make
+// the same observation on the real data).
+func TestMlvNotDiscriminative(t *testing.T) {
+	auc := featureAUC(t, 23) // m_lv
+	if math.Abs(auc-0.5) > 0.1 {
+		t.Fatalf("m_lv AUC %.3f should be near chance", auc)
+	}
+}
+
+// TestHighLevelBeatLowLevelPhi: azimuthal angles are rotationally symmetric
+// and must be pure noise.
+func TestPhiFeaturesAreNoise(t *testing.T) {
+	for _, f := range []int{2, 4, 7} { // lepton_phi, met_phi, jet1_phi
+		auc := featureAUC(t, f)
+		if math.Abs(auc-0.5) > 0.035 {
+			t.Fatalf("phi feature %d has AUC %.3f; symmetry broken", f, auc)
+		}
+	}
+}
+
+// TestMassPeaks verifies the resonance structure: signal m_bb concentrates
+// near 125 GeV, background m_jjj near the top mass.
+func TestMassPeaks(t *testing.T) {
+	d := Generate(8000, 0.5, 13)
+	var sigMbb, bkgMjjj []float64
+	for r := 0; r < d.Len(); r++ {
+		if d.Y[r] == 1 {
+			sigMbb = append(sigMbb, d.X.At(r, 25))
+		} else {
+			bkgMjjj = append(bkgMjjj, d.X.At(r, 22))
+		}
+	}
+	medMbb := metrics.Quantiles(sigMbb, 2)[0]
+	if medMbb < 80 || medMbb > 180 {
+		t.Fatalf("signal m_bb median %.1f GeV, want near 125", medMbb)
+	}
+	medMjjj := metrics.Quantiles(bkgMjjj, 2)[0]
+	if medMjjj < 110 || medMjjj > 260 {
+		t.Fatalf("background m_jjj median %.1f GeV, want near 173", medMjjj)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Generate(50, 0.5, 21)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 50 {
+		t.Fatalf("round trip lost rows: %d", back.Len())
+	}
+	for i := 0; i < 50; i++ {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+	if diff := back.X.MaxAbsDiff(d.X); diff > 1e-3 {
+		t.Fatalf("feature round-trip error %g", diff)
+	}
+}
+
+func TestReadCSVMaxRows(t *testing.T) {
+	d := Generate(30, 0.5, 22)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 10 {
+		t.Fatalf("maxRows ignored: %d", back.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString(""), 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1.0,2.0\n"), 0); err == nil {
+		t.Fatal("short row accepted")
+	}
+	bad := "1.0" + string(bytes.Repeat([]byte(",x"), NumFeatures)) + "\n"
+	if _, err := ReadCSV(bytes.NewBufferString(bad), 0); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestLoadFallsBackToSynthetic(t *testing.T) {
+	d, err := Load("", 0, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("synthetic fallback size %d", d.Len())
+	}
+	if _, err := Load("/nonexistent/higgs.csv", 0, 10, 5); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEtaClamping(t *testing.T) {
+	v := Vec4{E: 100, Pz: 100} // straight down the beam pipe
+	if eta := v.Eta(); eta != 10 {
+		t.Fatalf("forward eta = %v, want clamp 10", eta)
+	}
+	v2 := Vec4{E: 100, Pz: -100}
+	if eta := v2.Eta(); eta != -10 {
+		t.Fatalf("backward eta = %v, want clamp -10", eta)
+	}
+	if (Vec4{E: 1}).Eta() != 0 {
+		t.Fatal("zero-momentum eta must be 0")
+	}
+}

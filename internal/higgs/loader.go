@@ -1,0 +1,111 @@
+package higgs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"streambrain/internal/data"
+	"streambrain/internal/tensor"
+)
+
+// ReadCSV parses the UCI HIGGS CSV format: one event per line, first column
+// the label (1.0 = signal, 0.0 = background) followed by the 28 features.
+// maxRows > 0 truncates the read; 0 reads everything. This is the loader
+// used when the real 2 GB dataset is available on disk.
+func ReadCSV(r io.Reader, maxRows int) (*data.Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var rows [][]float64
+	var labels []int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != NumFeatures+1 {
+			return nil, fmt.Errorf("higgs: line %d has %d columns, want %d",
+				line, len(parts), NumFeatures+1)
+		}
+		lab, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("higgs: line %d label: %w", line, err)
+		}
+		row := make([]float64, NumFeatures)
+		for i, p := range parts[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("higgs: line %d column %d: %w", line, i+1, err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+		if lab >= 0.5 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, 0)
+		}
+		if maxRows > 0 && len(rows) >= maxRows {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("higgs: scan: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("higgs: empty input")
+	}
+	d := &data.Dataset{
+		X:            tensor.NewMatrix(len(rows), NumFeatures),
+		Y:            labels,
+		Classes:      2,
+		FeatureNames: FeatureNames,
+	}
+	for i, row := range rows {
+		copy(d.X.Row(i), row)
+	}
+	return d, nil
+}
+
+// WriteCSV emits a dataset in the UCI HIGGS CSV format, the inverse of
+// ReadCSV. The cmd/higgsgen tool uses it to materialize synthetic samples.
+func WriteCSV(w io.Writer, d *data.Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%.6e", float64(d.Y[i])); err != nil {
+			return err
+		}
+		row := d.X.Row(i)
+		for _, v := range row {
+			if _, err := fmt.Fprintf(bw, ",%.6e", v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load returns a HIGGS dataset: if path is non-empty and exists, the real
+// CSV is read (up to maxRows); otherwise a synthetic sample of n events is
+// generated from the seed. This mirrors StreamBrain's data-loader behaviour
+// of fetching well-known datasets on demand while remaining usable offline.
+func Load(path string, maxRows, n int, seed int64) (*data.Dataset, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("higgs: open %s: %w", path, err)
+		}
+		defer f.Close()
+		return ReadCSV(f, maxRows)
+	}
+	return Generate(n, 0.5, seed), nil
+}

@@ -1,0 +1,345 @@
+// Package hypersearch provides black-box hyperparameter optimization with an
+// ask/tell interface. It stands in for the Adaptive Experimentation Platform
+// (Ax) + Nevergrad stack the paper uses (§IV) to navigate BCPNN's larger-
+// than-backprop hyperparameter space: the same parameter-space/ask/tell
+// workflow, with Nevergrad's workhorse (1+1) evolution strategy, plain
+// random search, and differential evolution as engines.
+package hypersearch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kind classifies a parameter's domain.
+type Kind int
+
+// Parameter kinds.
+const (
+	// Float is a uniform continuous parameter in [Lo, Hi].
+	Float Kind = iota
+	// LogFloat is a continuous parameter searched on a log scale.
+	LogFloat
+	// Int is an integer parameter in [Lo, Hi] (inclusive, rounded).
+	Int
+	// Choice is a categorical parameter over the Choices values.
+	Choice
+)
+
+// Param declares one dimension of the search space.
+type Param struct {
+	Name    string
+	Kind    Kind
+	Lo, Hi  float64
+	Choices []float64
+}
+
+// Space is an ordered set of parameters; candidate vectors align with it.
+type Space []Param
+
+// Validate reports the first malformed parameter.
+func (s Space) Validate() error {
+	for i, p := range s {
+		switch p.Kind {
+		case Float, Int:
+			if p.Hi < p.Lo {
+				return fmt.Errorf("hypersearch: param %d (%s): Hi < Lo", i, p.Name)
+			}
+		case LogFloat:
+			if p.Lo <= 0 || p.Hi < p.Lo {
+				return fmt.Errorf("hypersearch: param %d (%s): log bounds need 0 < Lo <= Hi", i, p.Name)
+			}
+		case Choice:
+			if len(p.Choices) == 0 {
+				return fmt.Errorf("hypersearch: param %d (%s): empty choices", i, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Sample draws a uniform random candidate.
+func (s Space) Sample(rng *rand.Rand) []float64 {
+	x := make([]float64, len(s))
+	for i, p := range s {
+		switch p.Kind {
+		case Float:
+			x[i] = p.Lo + rng.Float64()*(p.Hi-p.Lo)
+		case LogFloat:
+			x[i] = math.Exp(math.Log(p.Lo) + rng.Float64()*(math.Log(p.Hi)-math.Log(p.Lo)))
+		case Int:
+			x[i] = float64(int(p.Lo) + rng.Intn(int(p.Hi)-int(p.Lo)+1))
+		case Choice:
+			x[i] = p.Choices[rng.Intn(len(p.Choices))]
+		}
+	}
+	return x
+}
+
+// Clamp projects a candidate back into the space, rounding discrete kinds.
+func (s Space) Clamp(x []float64) {
+	for i, p := range s {
+		switch p.Kind {
+		case Float, LogFloat:
+			if x[i] < p.Lo {
+				x[i] = p.Lo
+			}
+			if x[i] > p.Hi {
+				x[i] = p.Hi
+			}
+		case Int:
+			v := math.Round(x[i])
+			if v < p.Lo {
+				v = p.Lo
+			}
+			if v > p.Hi {
+				v = p.Hi
+			}
+			x[i] = v
+		case Choice:
+			// Snap to the nearest declared choice.
+			best, bd := p.Choices[0], math.Abs(x[i]-p.Choices[0])
+			for _, c := range p.Choices[1:] {
+				if d := math.Abs(x[i] - c); d < bd {
+					best, bd = c, d
+				}
+			}
+			x[i] = best
+		}
+	}
+}
+
+// Optimizer is the ask/tell loop contract. Objectives are maximized.
+type Optimizer interface {
+	// Ask proposes the next candidate to evaluate.
+	Ask() []float64
+	// Tell reports the objective achieved by a candidate from Ask.
+	Tell(x []float64, objective float64)
+	// Best returns the best candidate and objective seen so far.
+	Best() ([]float64, float64)
+}
+
+// Run drives an optimizer for `budget` evaluations of eval and returns the
+// best candidate found.
+func Run(opt Optimizer, budget int, eval func([]float64) float64) ([]float64, float64) {
+	for i := 0; i < budget; i++ {
+		x := opt.Ask()
+		opt.Tell(x, eval(x))
+	}
+	return opt.Best()
+}
+
+// ---------------------------------------------------------------- random
+
+// RandomSearch evaluates independent uniform samples — the baseline every
+// structured optimizer must beat.
+type RandomSearch struct {
+	space Space
+	rng   *rand.Rand
+	bestX []float64
+	bestV float64
+	seen  bool
+}
+
+// NewRandomSearch builds a random-search optimizer.
+func NewRandomSearch(space Space, seed int64) *RandomSearch {
+	mustValid(space)
+	return &RandomSearch{space: space, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Ask implements Optimizer.
+func (r *RandomSearch) Ask() []float64 { return r.space.Sample(r.rng) }
+
+// Tell implements Optimizer.
+func (r *RandomSearch) Tell(x []float64, v float64) {
+	if !r.seen || v > r.bestV {
+		r.bestX = append([]float64(nil), x...)
+		r.bestV = v
+		r.seen = true
+	}
+}
+
+// Best implements Optimizer.
+func (r *RandomSearch) Best() ([]float64, float64) { return r.bestX, r.bestV }
+
+// ---------------------------------------------------------------- (1+1)-ES
+
+// OnePlusOne is the (1+1) evolution strategy with the 1/5th success rule:
+// mutate the incumbent with per-dimension Gaussian steps, adopt on
+// improvement, widen the step on success and narrow it on failure. This is
+// Nevergrad's default single-worker optimizer.
+type OnePlusOne struct {
+	space Space
+	rng   *rand.Rand
+	sigma float64 // step size relative to each parameter's range
+	bestX []float64
+	bestV float64
+	seen  bool
+}
+
+// NewOnePlusOne builds a (1+1)-ES starting from a uniform random incumbent.
+func NewOnePlusOne(space Space, seed int64) *OnePlusOne {
+	mustValid(space)
+	return &OnePlusOne{space: space, rng: rand.New(rand.NewSource(seed)), sigma: 0.25}
+}
+
+// Ask implements Optimizer.
+func (o *OnePlusOne) Ask() []float64 {
+	if !o.seen {
+		return o.space.Sample(o.rng)
+	}
+	x := append([]float64(nil), o.bestX...)
+	for i, p := range o.space {
+		switch p.Kind {
+		case Float:
+			x[i] += o.sigma * (p.Hi - p.Lo) * o.rng.NormFloat64()
+		case LogFloat:
+			span := math.Log(p.Hi) - math.Log(p.Lo)
+			x[i] = math.Exp(math.Log(x[i]) + o.sigma*span*o.rng.NormFloat64())
+		case Int:
+			step := o.sigma * (p.Hi - p.Lo)
+			if step < 1 {
+				step = 1
+			}
+			x[i] += math.Round(step * o.rng.NormFloat64())
+		case Choice:
+			// Categorical mutation keeps a probability floor: sigma decay
+			// must not freeze discrete dimensions out of the search.
+			pm := o.sigma
+			if pm < 0.15 {
+				pm = 0.15
+			}
+			if o.rng.Float64() < pm {
+				x[i] = p.Choices[o.rng.Intn(len(p.Choices))]
+			}
+		}
+	}
+	o.space.Clamp(x)
+	return x
+}
+
+// Tell implements Optimizer: adopt improvements and adapt sigma by the
+// 1/5th rule (×1.5 on success, ×0.87 ≈ 1.5^(−1/4) on failure).
+func (o *OnePlusOne) Tell(x []float64, v float64) {
+	if !o.seen {
+		o.bestX = append([]float64(nil), x...)
+		o.bestV = v
+		o.seen = true
+		return
+	}
+	if v > o.bestV {
+		o.bestX = append([]float64(nil), x...)
+		o.bestV = v
+		o.sigma *= 1.5
+		if o.sigma > 1 {
+			o.sigma = 1
+		}
+	} else {
+		o.sigma *= 0.87
+		if o.sigma < 1e-3 {
+			o.sigma = 1e-3
+		}
+	}
+}
+
+// Best implements Optimizer.
+func (o *OnePlusOne) Best() ([]float64, float64) { return o.bestX, o.bestV }
+
+// ---------------------------------------------------------------- DE
+
+// DifferentialEvolution is DE/rand/1/bin with a ring-scheduled population:
+// each Ask proposes a mutant for the next population slot, each Tell replaces
+// the slot's incumbent when the mutant wins.
+type DifferentialEvolution struct {
+	space  Space
+	rng    *rand.Rand
+	f, cr  float64
+	pop    [][]float64
+	score  []float64
+	filled int
+	next   int
+}
+
+// NewDE builds a DE optimizer with the given population size (≥4).
+func NewDE(space Space, popSize int, seed int64) *DifferentialEvolution {
+	mustValid(space)
+	if popSize < 4 {
+		popSize = 4
+	}
+	return &DifferentialEvolution{
+		space: space,
+		rng:   rand.New(rand.NewSource(seed)),
+		f:     0.8, cr: 0.9,
+		pop:   make([][]float64, popSize),
+		score: make([]float64, popSize),
+	}
+}
+
+// Ask implements Optimizer.
+func (d *DifferentialEvolution) Ask() []float64 {
+	if d.filled < len(d.pop) {
+		return d.space.Sample(d.rng)
+	}
+	t := d.next
+	// Pick three distinct rows ≠ t.
+	pick := func(exclude map[int]bool) int {
+		for {
+			i := d.rng.Intn(len(d.pop))
+			if !exclude[i] {
+				return i
+			}
+		}
+	}
+	ex := map[int]bool{t: true}
+	a := pick(ex)
+	ex[a] = true
+	b := pick(ex)
+	ex[b] = true
+	c := pick(ex)
+	x := append([]float64(nil), d.pop[t]...)
+	forced := d.rng.Intn(len(d.space))
+	for i := range d.space {
+		if i == forced || d.rng.Float64() < d.cr {
+			x[i] = d.pop[a][i] + d.f*(d.pop[b][i]-d.pop[c][i])
+		}
+	}
+	d.space.Clamp(x)
+	return x
+}
+
+// Tell implements Optimizer.
+func (d *DifferentialEvolution) Tell(x []float64, v float64) {
+	cp := append([]float64(nil), x...)
+	if d.filled < len(d.pop) {
+		d.pop[d.filled] = cp
+		d.score[d.filled] = v
+		d.filled++
+		return
+	}
+	if v > d.score[d.next] {
+		d.pop[d.next] = cp
+		d.score[d.next] = v
+	}
+	d.next = (d.next + 1) % len(d.pop)
+}
+
+// Best implements Optimizer.
+func (d *DifferentialEvolution) Best() ([]float64, float64) {
+	if d.filled == 0 {
+		return nil, math.Inf(-1)
+	}
+	bi := 0
+	for i := 1; i < d.filled; i++ {
+		if d.score[i] > d.score[bi] {
+			bi = i
+		}
+	}
+	return d.pop[bi], d.score[bi]
+}
+
+func mustValid(s Space) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,171 @@
+package hypersearch
+
+import (
+	"math"
+	"testing"
+)
+
+// testSpace is a mixed-kind space whose optimum is known.
+func testSpace() Space {
+	return Space{
+		{Name: "x", Kind: Float, Lo: -5, Hi: 5},
+		{Name: "lr", Kind: LogFloat, Lo: 1e-4, Hi: 1},
+		{Name: "n", Kind: Int, Lo: 1, Hi: 10},
+		{Name: "c", Kind: Choice, Choices: []float64{0, 1, 2}},
+	}
+}
+
+// sphereObjective peaks at x=2, lr=0.01, n=7, c=1 with value 0.
+func sphereObjective(v []float64) float64 {
+	dx := v[0] - 2
+	dl := math.Log10(v[1]) - math.Log10(0.01)
+	dn := v[2] - 7
+	dc := v[3] - 1
+	return -(dx*dx + dl*dl + 0.1*dn*dn + dc*dc)
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := testSpace().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Space{{Name: "b", Kind: LogFloat, Lo: 0, Hi: 1}}
+	if bad.Validate() == nil {
+		t.Fatal("log with Lo=0 accepted")
+	}
+	bad2 := Space{{Name: "b", Kind: Float, Lo: 2, Hi: 1}}
+	if bad2.Validate() == nil {
+		t.Fatal("Hi<Lo accepted")
+	}
+	bad3 := Space{{Name: "b", Kind: Choice}}
+	if bad3.Validate() == nil {
+		t.Fatal("empty choices accepted")
+	}
+}
+
+func TestSampleInBounds(t *testing.T) {
+	s := testSpace()
+	r := NewRandomSearch(s, 1)
+	for i := 0; i < 500; i++ {
+		x := r.Ask()
+		if x[0] < -5 || x[0] > 5 {
+			t.Fatalf("float out of bounds: %v", x[0])
+		}
+		if x[1] < 1e-4 || x[1] > 1 {
+			t.Fatalf("logfloat out of bounds: %v", x[1])
+		}
+		if x[2] != math.Trunc(x[2]) || x[2] < 1 || x[2] > 10 {
+			t.Fatalf("int invalid: %v", x[2])
+		}
+		if x[3] != 0 && x[3] != 1 && x[3] != 2 {
+			t.Fatalf("choice invalid: %v", x[3])
+		}
+	}
+}
+
+func TestLogFloatCoversDecades(t *testing.T) {
+	// Log sampling must hit both the small and large decades; uniform
+	// sampling of [1e-4, 1] would almost never produce values < 1e-3.
+	s := Space{{Name: "lr", Kind: LogFloat, Lo: 1e-4, Hi: 1}}
+	r := NewRandomSearch(s, 2)
+	small := 0
+	for i := 0; i < 1000; i++ {
+		if r.Ask()[0] < 1e-3 {
+			small++
+		}
+	}
+	if small < 150 {
+		t.Fatalf("only %d/1000 samples below 1e-3; not log-uniform", small)
+	}
+}
+
+func TestClampSnapsChoices(t *testing.T) {
+	s := testSpace()
+	x := []float64{99, 5, 3.4, 1.4}
+	s.Clamp(x)
+	if x[0] != 5 || x[1] != 1 || x[2] != 3 || x[3] != 1 {
+		t.Fatalf("clamp produced %v", x)
+	}
+}
+
+func runOptimizer(t *testing.T, name string, opt Optimizer, budget int, wantAtLeast float64) {
+	t.Helper()
+	_, best := Run(opt, budget, sphereObjective)
+	if best < wantAtLeast {
+		t.Fatalf("%s: best %.3f after %d evals, want >= %.3f", name, best, budget, wantAtLeast)
+	}
+}
+
+func TestRandomSearchConverges(t *testing.T) {
+	runOptimizer(t, "random", NewRandomSearch(testSpace(), 3), 400, -1.0)
+}
+
+func TestOnePlusOneConverges(t *testing.T) {
+	runOptimizer(t, "1+1", NewOnePlusOne(testSpace(), 4), 400, -0.3)
+}
+
+func TestDEConverges(t *testing.T) {
+	runOptimizer(t, "de", NewDE(testSpace(), 12, 5), 600, -0.3)
+}
+
+func TestOnePlusOneBeatsRandomOnNarrowPeak(t *testing.T) {
+	// A needle objective: random search rarely lands near it, while the ES
+	// walks in once it touches the basin. Run several seeds and compare
+	// average performance.
+	needle := func(v []float64) float64 {
+		d := (v[0] - 1.234) * (v[0] - 1.234)
+		return -d
+	}
+	s := Space{{Name: "x", Kind: Float, Lo: -100, Hi: 100}}
+	var esSum, rsSum float64
+	const seeds = 5
+	for seed := int64(0); seed < seeds; seed++ {
+		_, esBest := Run(NewOnePlusOne(s, seed), 200, needle)
+		_, rsBest := Run(NewRandomSearch(s, seed), 200, needle)
+		esSum += esBest
+		rsSum += rsBest
+	}
+	if esSum/seeds <= rsSum/seeds {
+		t.Fatalf("ES average %.4f not better than random %.4f", esSum/seeds, rsSum/seeds)
+	}
+}
+
+func TestTellUpdatesBest(t *testing.T) {
+	r := NewRandomSearch(testSpace(), 6)
+	x1 := r.Ask()
+	r.Tell(x1, 1)
+	x2 := r.Ask()
+	r.Tell(x2, 5)
+	r.Tell(r.Ask(), 3)
+	_, v := r.Best()
+	if v != 5 {
+		t.Fatalf("best = %v, want 5", v)
+	}
+}
+
+func TestBestCopiesCandidate(t *testing.T) {
+	r := NewRandomSearch(testSpace(), 7)
+	x := r.Ask()
+	r.Tell(x, 1)
+	x[0] = 12345
+	bx, _ := r.Best()
+	if bx[0] == 12345 {
+		t.Fatal("Best aliases the told slice")
+	}
+}
+
+func TestDEBestEmpty(t *testing.T) {
+	d := NewDE(testSpace(), 4, 8)
+	if x, v := d.Best(); x != nil || !math.IsInf(v, -1) {
+		t.Fatalf("empty Best = %v, %v", x, v)
+	}
+}
+
+func TestOptimizersDeterministic(t *testing.T) {
+	run := func() float64 {
+		_, v := Run(NewOnePlusOne(testSpace(), 42), 100, sphereObjective)
+		return v
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different outcomes")
+	}
+}

@@ -1,0 +1,249 @@
+package imgdata
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// cifarBytes builds an in-memory CIFAR-10 stream of n records with the
+// given labels; pixel planes are filled with a recognizable ramp.
+func cifarBytes(labels []int) []byte {
+	var buf bytes.Buffer
+	for _, lab := range labels {
+		buf.WriteByte(byte(lab))
+		for plane := 0; plane < 3; plane++ {
+			for p := 0; p < cifarPixels; p++ {
+				buf.WriteByte(byte((p + plane) % 256))
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadCIFAR10(t *testing.T) {
+	raw := cifarBytes([]int{3, 7, 0})
+	d, err := ReadCIFAR10(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 || d.Features() != cifarPixels {
+		t.Fatalf("shape %dx%d", d.Len(), d.Features())
+	}
+	if d.Y[0] != 3 || d.Y[1] != 7 || d.Y[2] != 0 {
+		t.Fatalf("labels %v", d.Y)
+	}
+	if d.Classes != 8 { // max label 7 → 8 classes
+		t.Fatalf("classes %d", d.Classes)
+	}
+	for _, v := range d.X.Row(0) {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+	// Luma of (p, p+1, p+2) ramp at p=0: (0.299*0+0.587*1+0.114*2)/255.
+	want := (0.587 + 0.228) / 255
+	if math.Abs(d.X.At(0, 0)-want) > 1e-9 {
+		t.Fatalf("luma conversion wrong: %v vs %v", d.X.At(0, 0), want)
+	}
+}
+
+func TestReadCIFAR10MaxRows(t *testing.T) {
+	raw := cifarBytes([]int{1, 2, 3, 4})
+	d, err := ReadCIFAR10(bytes.NewReader(raw), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("maxRows ignored: %d", d.Len())
+	}
+}
+
+func TestReadCIFAR10Truncated(t *testing.T) {
+	raw := cifarBytes([]int{1})[:100]
+	if _, err := ReadCIFAR10(bytes.NewReader(raw), 0); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, err := ReadCIFAR10(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadCIFAR100FineLabels(t *testing.T) {
+	// CIFAR-100 record: coarse byte, fine byte, then planes.
+	var buf bytes.Buffer
+	buf.WriteByte(5)  // coarse
+	buf.WriteByte(42) // fine
+	for i := 0; i < 3*cifarPixels; i++ {
+		buf.WriteByte(byte(i % 251))
+	}
+	d, err := ReadCIFAR100(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Y[0] != 42 {
+		t.Fatalf("fine label %d, want 42", d.Y[0])
+	}
+}
+
+// stlBytes builds one STL-10 image whose R plane holds a column-major ramp.
+func stlBytes(n int) []byte {
+	var buf bytes.Buffer
+	for img := 0; img < n; img++ {
+		for plane := 0; plane < 3; plane++ {
+			for p := 0; p < stlPixels; p++ {
+				buf.WriteByte(byte((p + img) % 256))
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestReadSTL10WithLabels(t *testing.T) {
+	imgs := stlBytes(2)
+	labels := []byte{1, 10} // STL labels are 1-based
+	d, err := ReadSTL10(bytes.NewReader(imgs), bytes.NewReader(labels), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Features() != stlPixels {
+		t.Fatalf("shape %dx%d", d.Len(), d.Features())
+	}
+	if d.Y[0] != 0 || d.Y[1] != 9 {
+		t.Fatalf("labels %v (must be shifted to 0-based)", d.Y)
+	}
+	if d.Classes != 10 {
+		t.Fatalf("classes %d", d.Classes)
+	}
+}
+
+func TestReadSTL10Unlabeled(t *testing.T) {
+	d, err := ReadSTL10(bytes.NewReader(stlBytes(3)), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len %d", d.Len())
+	}
+	for _, y := range d.Y {
+		if y != 0 {
+			t.Fatal("unlabeled split must carry zero labels")
+		}
+	}
+}
+
+func TestReadSTL10BadLabel(t *testing.T) {
+	if _, err := ReadSTL10(bytes.NewReader(stlBytes(1)),
+		bytes.NewReader([]byte{11}), 0); err == nil {
+		t.Fatal("label 11 accepted")
+	}
+	if _, err := ReadSTL10(bytes.NewReader(stlBytes(1)),
+		bytes.NewReader([]byte{0}), 0); err == nil {
+		t.Fatal("label 0 accepted")
+	}
+}
+
+func TestReadSTL10ColumnMajorTranspose(t *testing.T) {
+	// Build an image whose R plane is 255 only at column-major position 1
+	// (column 0, row 1); after transposition that pixel must land at
+	// row-major (row 1, col 0) = index 96.
+	record := make([]byte, 3*stlPixels)
+	record[1] = 255
+	d, err := ReadSTL10(bytes.NewReader(record), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.X.Row(0)
+	bright := -1
+	for p, v := range row {
+		if v > 0.2 {
+			bright = p
+			break
+		}
+	}
+	if bright != stlSide {
+		t.Fatalf("bright pixel at %d, want %d (column-major transpose)", bright, stlSide)
+	}
+}
+
+func TestSyntheticTextures(t *testing.T) {
+	d := SyntheticTextures(40, 16, 4, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 40 || d.Features() != 256 || d.Classes != 4 {
+		t.Fatalf("bad geometry %d/%d/%d", d.Len(), d.Features(), d.Classes)
+	}
+	counts := make([]int, 4)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+	// Distinct classes must have distinct mean images.
+	mean := func(class int) []float64 {
+		m := make([]float64, 256)
+		n := 0
+		for i := 0; i < d.Len(); i++ {
+			if d.Y[i] != class {
+				continue
+			}
+			n++
+			for p, v := range d.X.Row(i) {
+				m[p] += v
+			}
+		}
+		for p := range m {
+			m[p] /= float64(n)
+		}
+		return m
+	}
+	m0, m1 := mean(0), mean(2)
+	var dist float64
+	for p := range m0 {
+		dd := m0[p] - m1[p]
+		dist += dd * dd
+	}
+	if math.Sqrt(dist) < 0.5 {
+		t.Fatalf("texture classes too similar: %v", math.Sqrt(dist))
+	}
+}
+
+func TestEncodeIntensity(t *testing.T) {
+	d := SyntheticTextures(10, 8, 2, 2)
+	e := EncodeIntensity(d, 4)
+	if e.Hypercolumns != 64 || e.UnitsPerHC != 4 {
+		t.Fatalf("geometry %dx%d", e.Hypercolumns, e.UnitsPerHC)
+	}
+	for s, active := range e.Idx {
+		if len(active) != 64 {
+			t.Fatalf("sample %d: %d active", s, len(active))
+		}
+		for p, a := range active {
+			if int(a)/4 != p {
+				t.Fatalf("unit %d outside hypercolumn %d", a, p)
+			}
+			bin := int(a) % 4
+			v := d.X.At(s, p)
+			wantBin := int(v * 4)
+			if wantBin > 3 {
+				wantBin = 3
+			}
+			if bin != wantBin {
+				t.Fatalf("pixel %v binned to %d, want %d", v, bin, wantBin)
+			}
+		}
+	}
+}
+
+func TestEncodeIntensityBadBinsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EncodeIntensity(SyntheticTextures(2, 4, 2, 3), 1)
+}

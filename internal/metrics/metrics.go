@@ -1,0 +1,339 @@
+// Package metrics implements the evaluation measures the paper reports:
+// classification accuracy, ROC curves and Area Under the Curve (AUC, the
+// headline 76.4% figure), confusion matrices, and the summary statistics
+// (mean, standard deviation, quantiles) used across the ten-repetition
+// experiment protocol.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of predictions equal to the labels.
+// It panics on length mismatch and returns 0 for empty input.
+func Accuracy(pred, label []int) float64 {
+	if len(pred) != len(label) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == label[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// ConfusionMatrix counts predictions: cell [i][j] is the number of samples
+// with true class i predicted as class j.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusionMatrix builds the matrix from parallel label/prediction slices.
+func NewConfusionMatrix(classes int, label, pred []int) *ConfusionMatrix {
+	if len(pred) != len(label) {
+		panic("metrics: ConfusionMatrix length mismatch")
+	}
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i, l := range label {
+		if l < 0 || l >= classes || pred[i] < 0 || pred[i] >= classes {
+			panic(fmt.Sprintf("metrics: class out of range: label=%d pred=%d classes=%d",
+				l, pred[i], classes))
+		}
+		cm.Counts[l][pred[i]]++
+	}
+	return cm
+}
+
+// Accuracy returns trace/total of the confusion matrix.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	total, diag := 0, 0
+	for i, row := range cm.Counts {
+		for j, c := range row {
+			total += c
+			if i == j {
+				diag += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns the recall of class c (true positives / actual positives).
+func (cm *ConfusionMatrix) Recall(c int) float64 {
+	row := cm.Counts[c]
+	total := 0
+	for _, v := range row {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(row[c]) / float64(total)
+}
+
+// Precision returns the precision of class c (true positives / predicted
+// positives).
+func (cm *ConfusionMatrix) Precision(c int) float64 {
+	col, tp := 0, 0
+	for i := range cm.Counts {
+		col += cm.Counts[i][c]
+		if i == c {
+			tp = cm.Counts[i][c]
+		}
+	}
+	if col == 0 {
+		return 0
+	}
+	return float64(tp) / float64(col)
+}
+
+// String renders the confusion matrix as an aligned table.
+func (cm *ConfusionMatrix) String() string {
+	s := "pred→"
+	for j := 0; j < cm.Classes; j++ {
+		s += fmt.Sprintf("\t%d", j)
+	}
+	for i, row := range cm.Counts {
+		s += fmt.Sprintf("\n%d", i)
+		for _, c := range row {
+			s += fmt.Sprintf("\t%d", c)
+		}
+	}
+	return s
+}
+
+// ROCPoint is one operating point of a binary classifier.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC computes the full ROC curve of a binary classifier from scores (higher
+// means "more positive") and binary labels (1 = positive/signal, 0 =
+// negative/background). The curve is tie-aware: samples with equal scores
+// move together, so the curve is identical however ties are ordered.
+func ROC(score []float64, label []int) []ROCPoint {
+	if len(score) != len(label) {
+		panic("metrics: ROC length mismatch")
+	}
+	type sl struct {
+		s float64
+		l int
+	}
+	pairs := make([]sl, len(score))
+	pos, neg := 0, 0
+	for i := range score {
+		if math.IsNaN(score[i]) {
+			panic("metrics: ROC got NaN score")
+		}
+		pairs[i] = sl{score[i], label[i]}
+		if label[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s > pairs[j].s })
+
+	curve := []ROCPoint{{0, 0, math.Inf(1)}}
+	tp, fp := 0, 0
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			if pairs[j].l == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		var fpr, tpr float64
+		if neg > 0 {
+			fpr = float64(fp) / float64(neg)
+		}
+		if pos > 0 {
+			tpr = float64(tp) / float64(pos)
+		}
+		curve = append(curve, ROCPoint{fpr, tpr, pairs[i].s})
+		i = j
+	}
+	return curve
+}
+
+// AUC integrates the ROC curve with the trapezoid rule. A random classifier
+// scores 0.5; a perfect one scores 1. Degenerate inputs (single class) return
+// NaN-free 0.5 by convention so sweep harnesses stay well-defined.
+func AUC(score []float64, label []int) float64 {
+	pos, neg := 0, 0
+	for _, l := range label {
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	curve := ROC(score, label)
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AMS computes the Approximate Median Significance at a decision threshold —
+// the metric of the Higgs Kaggle challenge the paper's §VI discusses:
+//
+//	AMS = sqrt( 2·( (s+b+br)·ln(1 + s/(b+br)) − s ) )
+//
+// where s and b are the luminosity-weighted counts of true signal and true
+// background above the threshold and br = 10 is the standard regularization
+// term. weight nil gives every event unit weight.
+func AMS(score []float64, label []int, weight []float64, threshold float64) float64 {
+	if len(score) != len(label) {
+		panic("metrics: AMS length mismatch")
+	}
+	if weight != nil && len(weight) != len(score) {
+		panic("metrics: AMS weight length mismatch")
+	}
+	const br = 10.0
+	var s, b float64
+	for i, sc := range score {
+		if sc < threshold {
+			continue
+		}
+		w := 1.0
+		if weight != nil {
+			w = weight[i]
+		}
+		if label[i] == 1 {
+			s += w
+		} else {
+			b += w
+		}
+	}
+	if s == 0 {
+		return 0
+	}
+	radicand := 2 * ((s+b+br)*math.Log(1+s/(b+br)) - s)
+	if radicand <= 0 {
+		return 0
+	}
+	return math.Sqrt(radicand)
+}
+
+// BestAMS scans thresholds over the observed scores and returns the maximum
+// AMS and the threshold achieving it (the challenge's selection procedure).
+func BestAMS(score []float64, label []int, weight []float64) (best, threshold float64) {
+	if len(score) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), score...)
+	sort.Float64s(sorted)
+	// Evaluate at up to 200 quantile cuts; finer scanning changes little.
+	steps := 200
+	if len(sorted) < steps {
+		steps = len(sorted)
+	}
+	for k := 0; k < steps; k++ {
+		t := sorted[k*len(sorted)/steps]
+		if a := AMS(score, label, weight, t); a > best {
+			best, threshold = a, t
+		}
+	}
+	return best, threshold
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs;
+// 0 for fewer than two samples. The paper reports a 9.3% std for its largest
+// network over ten repetitions — this is that estimator.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, v := range xs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantiles returns the q-quantile boundaries of xs — q-1 cut points that
+// split the sorted data into q groups of approximately even size. This is
+// the "compute the 10-quantiles" preprocessing step of §V: the returned
+// boundaries feed the one-hot bin encoder. xs is not modified.
+func Quantiles(xs []float64, q int) []float64 {
+	if q < 2 {
+		panic("metrics: Quantiles needs q >= 2")
+	}
+	if len(xs) == 0 {
+		panic("metrics: Quantiles of empty data")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cuts := make([]float64, q-1)
+	n := len(sorted)
+	for k := 1; k < q; k++ {
+		// Linear interpolation between closest ranks (type-7 estimator,
+		// NumPy's default, which the original Python pipeline used).
+		pos := float64(k) / float64(q) * float64(n-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		cuts[k-1] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return cuts
+}
+
+// BinIndex returns the bin of v under the given ascending cut points:
+// 0 if v < cuts[0], len(cuts) if v >= cuts[len(cuts)-1], using binary search.
+func BinIndex(v float64, cuts []float64) int {
+	return sort.SearchFloat64s(cuts, math.Nextafter(v, math.Inf(1)))
+}
+
+// Summary holds mean ± std over experiment repetitions.
+type Summary struct {
+	Mean, Std float64
+	N         int
+}
+
+// Summarize reduces repetition results to a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), Std: StdDev(xs), N: len(xs)}
+}
+
+// String renders "mean ± std (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.Std, s.N)
+}

@@ -1,0 +1,331 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 0, 1, 1}, []int{1, 0, 0, 1}); a != 0.75 {
+		t.Fatalf("Accuracy = %v, want 0.75", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("empty Accuracy = %v, want 0", a)
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	label := []int{0, 0, 1, 1, 1}
+	pred := []int{0, 1, 1, 1, 0}
+	cm := NewConfusionMatrix(2, label, pred)
+	if cm.Counts[0][0] != 1 || cm.Counts[0][1] != 1 || cm.Counts[1][1] != 2 || cm.Counts[1][0] != 1 {
+		t.Fatalf("bad counts: %v", cm.Counts)
+	}
+	if a := cm.Accuracy(); math.Abs(a-0.6) > 1e-12 {
+		t.Fatalf("cm accuracy = %v", a)
+	}
+	if r := cm.Recall(1); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", r)
+	}
+	if p := cm.Precision(1); math.Abs(p-2.0/3) > 1e-12 {
+		t.Fatalf("precision = %v", p)
+	}
+	if cm.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestConfusionOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewConfusionMatrix(2, []int{2}, []int{0})
+}
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	score := []float64{0.9, 0.8, 0.2, 0.1}
+	label := []int{1, 1, 0, 0}
+	if a := AUC(score, label); math.Abs(a-1) > 1e-12 {
+		t.Fatalf("perfect AUC = %v", a)
+	}
+}
+
+func TestAUCInvertedClassifier(t *testing.T) {
+	score := []float64{0.1, 0.2, 0.8, 0.9}
+	label := []int{1, 1, 0, 0}
+	if a := AUC(score, label); math.Abs(a-0) > 1e-12 {
+		t.Fatalf("inverted AUC = %v", a)
+	}
+}
+
+func TestAUCConstantScores(t *testing.T) {
+	// All-equal scores: a single tie group, AUC must be exactly 0.5.
+	score := []float64{0.5, 0.5, 0.5, 0.5}
+	label := []int{1, 0, 1, 0}
+	if a := AUC(score, label); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("constant-score AUC = %v, want 0.5", a)
+	}
+}
+
+func TestAUCSingleClassConvention(t *testing.T) {
+	if a := AUC([]float64{1, 2}, []int{1, 1}); a != 0.5 {
+		t.Fatalf("single-class AUC = %v, want 0.5", a)
+	}
+}
+
+// TestAUCMatchesMannWhitney: AUC equals the Mann–Whitney U statistic —
+// P(score_pos > score_neg) + 0.5·P(tie). Property-checked on random data.
+func TestAUCMatchesMannWhitney(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		score := make([]float64, n)
+		label := make([]int, n)
+		pos := false
+		neg := false
+		for i := range score {
+			score[i] = float64(rng.Intn(8)) // coarse grid forces ties
+			label[i] = rng.Intn(2)
+			if label[i] == 1 {
+				pos = true
+			} else {
+				neg = true
+			}
+		}
+		if !pos || !neg {
+			return true // convention case tested separately
+		}
+		var u, pairs float64
+		for i := range score {
+			if label[i] != 1 {
+				continue
+			}
+			for j := range score {
+				if label[j] != 0 {
+					continue
+				}
+				pairs++
+				switch {
+				case score[i] > score[j]:
+					u++
+				case score[i] == score[j]:
+					u += 0.5
+				}
+			}
+		}
+		return math.Abs(AUC(score, label)-u/pairs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	score := make([]float64, 200)
+	label := make([]int, 200)
+	for i := range score {
+		score[i] = rng.NormFloat64()
+		label[i] = rng.Intn(2)
+	}
+	curve := ROC(score, label)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("ROC not monotone at %d", i)
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("ROC does not end at (1,1): %+v", last)
+	}
+}
+
+func TestROCNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ROC([]float64{math.NaN()}, []int{1})
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138089935) > 1e-6 {
+		t.Fatalf("StdDev = %v", s)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Fatal("single-sample StdDev must be 0")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+}
+
+func TestQuantilesUniform(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	cuts := Quantiles(xs, 10)
+	if len(cuts) != 9 {
+		t.Fatalf("10-quantiles must give 9 cuts, got %d", len(cuts))
+	}
+	for k, c := range cuts {
+		want := float64(k+1) / 10 * 999
+		if math.Abs(c-want) > 1e-9 {
+			t.Fatalf("cut %d = %v, want %v", k, c, want)
+		}
+	}
+}
+
+func TestQuantilesDoNotModifyInput(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	Quantiles(xs, 2)
+	if xs[0] != 5 {
+		t.Fatal("Quantiles sorted the caller's slice")
+	}
+}
+
+// TestQuantileBinningEvenSizes: binning the training data by its own
+// 10-quantiles must yield approximately even bin occupancy — the property
+// §V relies on ("split the distribution into ten groups with approximately
+// even sizes").
+func TestQuantileBinningEvenSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+	}
+	cuts := Quantiles(xs, 10)
+	counts := make([]int, 10)
+	for _, v := range xs {
+		counts[BinIndex(v, cuts)]++
+	}
+	for b, c := range counts {
+		if c < 900 || c > 1100 {
+			t.Fatalf("bin %d holds %d of 10000; not even", b, c)
+		}
+	}
+}
+
+// TestBinIndexBounds: BinIndex must cover the full range and respect cut
+// semantics (left-inclusive bins above each cut).
+func TestBinIndexBounds(t *testing.T) {
+	cuts := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 3}, {99, 3}}
+	for _, c := range cases {
+		if got := BinIndex(c.v, cuts); got != c.want {
+			t.Fatalf("BinIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestBinIndexSorted property: bin index is monotone in v.
+func TestBinIndexMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cuts := make([]float64, 9)
+		for i := range cuts {
+			cuts[i] = rng.NormFloat64()
+		}
+		sort.Float64s(cuts)
+		v1, v2 := rng.NormFloat64(), rng.NormFloat64()
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		return BinIndex(v1, cuts) <= BinIndex(v2, cuts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{0.6, 0.7, 0.8})
+	if s.N != 3 || math.Abs(s.Mean-0.7) > 1e-12 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestAMSBasics(t *testing.T) {
+	// All signal above threshold, no background: AMS = sqrt(2((s+br)ln(1+s/br)−s)).
+	score := []float64{0.9, 0.9, 0.1}
+	label := []int{1, 1, 0}
+	got := AMS(score, label, nil, 0.5)
+	s := 2.0
+	br := 10.0
+	want := math.Sqrt(2 * ((s+br)*math.Log(1+s/br) - s))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AMS = %v, want %v", got, want)
+	}
+}
+
+func TestAMSNoSelection(t *testing.T) {
+	if a := AMS([]float64{0.1, 0.2}, []int{1, 0}, nil, 0.9); a != 0 {
+		t.Fatalf("empty selection AMS = %v", a)
+	}
+}
+
+func TestAMSWeights(t *testing.T) {
+	score := []float64{0.9, 0.9}
+	label := []int{1, 0}
+	unweighted := AMS(score, label, nil, 0.5)
+	weighted := AMS(score, label, []float64{2, 0.5}, 0.5)
+	if weighted <= unweighted {
+		t.Fatalf("doubling signal weight must raise AMS: %v vs %v", weighted, unweighted)
+	}
+}
+
+func TestAMSMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AMS([]float64{1}, []int{1, 0}, nil, 0.5)
+}
+
+func TestBestAMSFindsSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	n := 2000
+	score := make([]float64, n)
+	label := make([]int, n)
+	for i := range score {
+		label[i] = rng.Intn(2)
+		score[i] = 0.3*rng.NormFloat64() + float64(label[i])
+	}
+	best, threshold := BestAMS(score, label, nil)
+	if best <= AMS(score, label, nil, math.Inf(-1)) {
+		t.Fatalf("BestAMS %v not above the select-everything baseline", best)
+	}
+	if threshold < -1 || threshold > 2 {
+		t.Fatalf("implausible threshold %v", threshold)
+	}
+	if b, _ := BestAMS(nil, nil, nil); b != 0 {
+		t.Fatalf("empty BestAMS = %v", b)
+	}
+}

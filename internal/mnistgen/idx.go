@@ -1,0 +1,126 @@
+package mnistgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"streambrain/internal/data"
+	"streambrain/internal/tensor"
+)
+
+// IDX magic numbers (big-endian): 0x00000803 = unsigned-byte rank-3 tensor
+// (images), 0x00000801 = unsigned-byte rank-1 tensor (labels). These are the
+// formats of the real MNIST distribution, so this reader loads the genuine
+// files when present.
+const (
+	idxImagesMagic = 0x00000803
+	idxLabelsMagic = 0x00000801
+)
+
+// ReadIDX loads an MNIST-format image/label file pair into a dataset with
+// pixels scaled to [0,1].
+func ReadIDX(images, labels io.Reader) (*data.Dataset, error) {
+	var magic, count, rows, cols uint32
+	if err := binary.Read(images, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("mnistgen: image header: %w", err)
+	}
+	if magic != idxImagesMagic {
+		return nil, fmt.Errorf("mnistgen: image magic %#x, want %#x", magic, idxImagesMagic)
+	}
+	if err := binary.Read(images, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(images, binary.BigEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(images, binary.BigEndian, &cols); err != nil {
+		return nil, err
+	}
+
+	var lmagic, lcount uint32
+	if err := binary.Read(labels, binary.BigEndian, &lmagic); err != nil {
+		return nil, fmt.Errorf("mnistgen: label header: %w", err)
+	}
+	if lmagic != idxLabelsMagic {
+		return nil, fmt.Errorf("mnistgen: label magic %#x, want %#x", lmagic, idxLabelsMagic)
+	}
+	if err := binary.Read(labels, binary.BigEndian, &lcount); err != nil {
+		return nil, err
+	}
+	if count != lcount {
+		return nil, fmt.Errorf("mnistgen: %d images but %d labels", count, lcount)
+	}
+
+	pix := int(rows * cols)
+	d := &data.Dataset{
+		X:       tensor.NewMatrix(int(count), pix),
+		Y:       make([]int, count),
+		Classes: 10,
+	}
+	buf := make([]byte, pix)
+	for i := 0; i < int(count); i++ {
+		if _, err := io.ReadFull(images, buf); err != nil {
+			return nil, fmt.Errorf("mnistgen: image %d: %w", i, err)
+		}
+		row := d.X.Row(i)
+		for p, b := range buf {
+			row[p] = float64(b) / 255
+		}
+	}
+	lbuf := make([]byte, count)
+	if _, err := io.ReadFull(labels, lbuf); err != nil {
+		return nil, fmt.Errorf("mnistgen: labels: %w", err)
+	}
+	for i, b := range lbuf {
+		if b > 9 {
+			return nil, fmt.Errorf("mnistgen: label %d out of range", b)
+		}
+		d.Y[i] = int(b)
+	}
+	return d, nil
+}
+
+// WriteIDX emits a dataset as an MNIST-format image/label file pair; the
+// inverse of ReadIDX (pixels are quantized to bytes).
+func WriteIDX(images, labels io.Writer, d *data.Dataset) error {
+	side := 1
+	for side*side < d.Features() {
+		side++
+	}
+	if side*side != d.Features() {
+		return fmt.Errorf("mnistgen: %d features is not a square image", d.Features())
+	}
+	for _, v := range []uint32{idxImagesMagic, uint32(d.Len()), uint32(side), uint32(side)} {
+		if err := binary.Write(images, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, d.Features())
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Row(i)
+		for p, v := range row {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			buf[p] = byte(v * 255)
+		}
+		if _, err := images.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, v := range []uint32{idxLabelsMagic, uint32(d.Len())} {
+		if err := binary.Write(labels, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	lbuf := make([]byte, d.Len())
+	for i, y := range d.Y {
+		lbuf[i] = byte(y)
+	}
+	_, err := labels.Write(lbuf)
+	return err
+}

@@ -1,0 +1,191 @@
+// Package mnistgen is the MNIST substrate for the Fig. 1 receptive-field
+// experiment: a procedural 28×28 handwritten-digit generator (stroke
+// templates + random affine jitter + pixel noise), an IDX-format
+// reader/writer compatible with the real MNIST files, and the dual-rail
+// one-hot encoding BCPNN consumes (one input hypercolumn of 2 units per
+// pixel: off/on).
+//
+// The generator is a substitution for the real MNIST download (DESIGN.md
+// §1): Fig. 1 is a qualitative demonstration that receptive fields
+// concentrate on informative center pixels and tile complementarily — a
+// property synthetic digits share, since they have the same bright-center /
+// empty-fringe structure.
+package mnistgen
+
+import (
+	"math"
+	"math/rand"
+
+	"streambrain/internal/data"
+	"streambrain/internal/tensor"
+)
+
+// Side is the image edge length; images are Side×Side gray pixels in [0,1].
+const Side = 28
+
+// Pixels is the flattened image size.
+const Pixels = Side * Side
+
+// stroke is a polyline in the unit square (0..1 coordinates).
+type stroke [][2]float64
+
+// glyphs holds stroke templates for digits 0–9, hand-laid out in the unit
+// square. Coordinates are (x, y) with y growing downward.
+var glyphs = [10][]stroke{
+	0: {{{0.5, 0.15}, {0.25, 0.3}, {0.2, 0.6}, {0.35, 0.85}, {0.6, 0.85}, {0.78, 0.6}, {0.75, 0.3}, {0.5, 0.15}}},
+	1: {{{0.35, 0.3}, {0.55, 0.15}, {0.55, 0.85}}, {{0.35, 0.85}, {0.72, 0.85}}},
+	2: {{{0.27, 0.3}, {0.42, 0.15}, {0.65, 0.2}, {0.7, 0.4}, {0.3, 0.85}, {0.75, 0.85}}},
+	3: {{{0.28, 0.2}, {0.6, 0.15}, {0.7, 0.32}, {0.5, 0.48}, {0.72, 0.65}, {0.6, 0.85}, {0.28, 0.8}}},
+	4: {{{0.6, 0.85}, {0.6, 0.15}, {0.25, 0.6}, {0.78, 0.6}}},
+	5: {{{0.7, 0.15}, {0.32, 0.15}, {0.3, 0.45}, {0.6, 0.42}, {0.72, 0.62}, {0.6, 0.85}, {0.28, 0.82}}},
+	6: {{{0.65, 0.15}, {0.35, 0.35}, {0.27, 0.65}, {0.45, 0.85}, {0.68, 0.72}, {0.6, 0.52}, {0.3, 0.58}}},
+	7: {{{0.25, 0.15}, {0.75, 0.15}, {0.45, 0.85}}},
+	8: {{{0.5, 0.15}, {0.3, 0.28}, {0.5, 0.47}, {0.7, 0.28}, {0.5, 0.15}}, {{0.5, 0.47}, {0.27, 0.67}, {0.5, 0.87}, {0.73, 0.67}, {0.5, 0.47}}},
+	9: {{{0.68, 0.42}, {0.45, 0.5}, {0.3, 0.32}, {0.45, 0.15}, {0.68, 0.25}, {0.65, 0.6}, {0.55, 0.85}}},
+}
+
+// affine is a random 2-D similarity-ish distortion.
+type affine struct {
+	cos, sin, scaleX, scaleY, dx, dy float64
+}
+
+func randomAffine(rng *rand.Rand) affine {
+	angle := (rng.Float64() - 0.5) * 0.45 // ±13°
+	return affine{
+		cos:    math.Cos(angle),
+		sin:    math.Sin(angle),
+		scaleX: 0.82 + rng.Float64()*0.22,
+		scaleY: 0.82 + rng.Float64()*0.22,
+		dx:     (rng.Float64() - 0.5) * 0.08,
+		dy:     (rng.Float64() - 0.5) * 0.08,
+	}
+}
+
+func (a affine) apply(x, y float64) (float64, float64) {
+	// Center, scale, rotate, translate, un-center.
+	cx, cy := x-0.5, y-0.5
+	cx *= a.scaleX
+	cy *= a.scaleY
+	rx := cx*a.cos - cy*a.sin
+	ry := cx*a.sin + cy*a.cos
+	return rx + 0.5 + a.dx, ry + 0.5 + a.dy
+}
+
+// drawSegment rasterizes a line segment with a soft pen of the given
+// radius (in pixels) using distance-based intensity.
+func drawSegment(img []float64, x0, y0, x1, y1, radius float64) {
+	steps := int(math.Hypot(x1-x0, y1-y0)/0.5) + 1
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		px := x0 + t*(x1-x0)
+		py := y0 + t*(y1-y0)
+		lo := int(math.Floor(-radius - 1))
+		hi := int(math.Ceil(radius + 1))
+		for dy := lo; dy <= hi; dy++ {
+			for dx := lo; dx <= hi; dx++ {
+				ix := int(math.Round(px)) + dx
+				iy := int(math.Round(py)) + dy
+				if ix < 0 || ix >= Side || iy < 0 || iy >= Side {
+					continue
+				}
+				d := math.Hypot(float64(ix)-px, float64(iy)-py)
+				v := 1 - (d-radius+1)/1.5
+				if v > 1 {
+					v = 1
+				}
+				if v <= 0 {
+					continue
+				}
+				idx := iy*Side + ix
+				if v > img[idx] {
+					img[idx] = v
+				}
+			}
+		}
+	}
+}
+
+// RenderDigit draws one digit with random jitter into a Pixels-long slice.
+func RenderDigit(digit int, rng *rand.Rand) []float64 {
+	if digit < 0 || digit > 9 {
+		panic("mnistgen: digit out of range")
+	}
+	img := make([]float64, Pixels)
+	a := randomAffine(rng)
+	radius := 1.0 + rng.Float64()*0.6
+	for _, st := range glyphs[digit] {
+		for i := 0; i+1 < len(st); i++ {
+			x0, y0 := a.apply(st[i][0], st[i][1])
+			x1, y1 := a.apply(st[i+1][0], st[i+1][1])
+			drawSegment(img, x0*Side, y0*Side, x1*Side, y1*Side, radius)
+		}
+	}
+	// Pixel noise: strong jitter on the strokes, a faint floor plus rare
+	// salt on the background (real MNIST backgrounds are almost exactly 0).
+	for i, v := range img {
+		var n float64
+		if v > 0 {
+			n = v + 0.06*rng.NormFloat64()
+		} else {
+			n = 0.008 * math.Abs(rng.NormFloat64())
+			if rng.Float64() < 0.003 {
+				n += 0.4 * rng.Float64()
+			}
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > 1 {
+			n = 1
+		}
+		img[i] = n
+	}
+	return img
+}
+
+// Generate produces a balanced dataset of n synthetic digit images with
+// labels 0–9, reproducible from the seed.
+func Generate(n int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &data.Dataset{
+		X:       tensor.NewMatrix(n, Pixels),
+		Y:       make([]int, n),
+		Classes: 10,
+	}
+	for i := 0; i < n; i++ {
+		digit := i % 10
+		copy(d.X.Row(i), RenderDigit(digit, rng))
+		d.Y[i] = digit
+	}
+	// Shuffle rows so batches are class-mixed.
+	perm := rng.Perm(n)
+	shuffled := d.Subset(perm)
+	return shuffled
+}
+
+// EncodeDualRail converts images to the BCPNN input format: one input
+// hypercolumn per pixel with two units (off, on), hot according to the
+// threshold. This is the 28×28→784×2 encoding Ravichandran et al. use for
+// MNIST, and the geometry the Fig. 1 masks are drawn over.
+func EncodeDualRail(d *data.Dataset, threshold float64) *data.Encoded {
+	e := &data.Encoded{
+		Idx:          make([][]int32, d.Len()),
+		Y:            append([]int(nil), d.Y...),
+		Classes:      d.Classes,
+		Hypercolumns: d.Features(),
+		UnitsPerHC:   2,
+	}
+	for s := 0; s < d.Len(); s++ {
+		row := d.X.Row(s)
+		active := make([]int32, len(row))
+		for p, v := range row {
+			bit := int32(0)
+			if v > threshold {
+				bit = 1
+			}
+			active[p] = int32(p)*2 + bit
+		}
+		e.Idx[s] = active
+	}
+	return e
+}

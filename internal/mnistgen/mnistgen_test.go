@@ -1,0 +1,181 @@
+package mnistgen
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRenderDigitBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for digit := 0; digit <= 9; digit++ {
+		img := RenderDigit(digit, rng)
+		if len(img) != Pixels {
+			t.Fatalf("digit %d: %d pixels", digit, len(img))
+		}
+		var ink float64
+		for _, v := range img {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("digit %d: pixel out of range %v", digit, v)
+			}
+			ink += v
+		}
+		if ink < 10 {
+			t.Fatalf("digit %d: almost no ink (%v)", digit, ink)
+		}
+		if ink > Pixels/2 {
+			t.Fatalf("digit %d: mostly ink (%v); strokes too fat", digit, ink)
+		}
+	}
+}
+
+func TestRenderDigitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RenderDigit(10, rand.New(rand.NewSource(1)))
+}
+
+// TestInkConcentratedInCenter: the property Fig. 1 depends on — information
+// lives in the image center, fringes are empty.
+func TestInkConcentratedInCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var center, fringe float64
+	for digit := 0; digit <= 9; digit++ {
+		for rep := 0; rep < 20; rep++ {
+			img := RenderDigit(digit, rng)
+			for y := 0; y < Side; y++ {
+				for x := 0; x < Side; x++ {
+					v := img[y*Side+x]
+					if x >= 7 && x < 21 && y >= 7 && y < 21 {
+						center += v
+					} else if x < 3 || x >= 25 || y < 3 || y >= 25 {
+						fringe += v
+					}
+				}
+			}
+		}
+	}
+	if center < 10*fringe {
+		t.Fatalf("center ink %v not dominating fringe ink %v", center, fringe)
+	}
+}
+
+func TestDigitsAreDistinct(t *testing.T) {
+	// Average images of different digits must differ substantially;
+	// otherwise the classes are not learnable.
+	rng := rand.New(rand.NewSource(3))
+	mean := func(digit int) []float64 {
+		m := make([]float64, Pixels)
+		for rep := 0; rep < 30; rep++ {
+			img := RenderDigit(digit, rng)
+			for i, v := range img {
+				m[i] += v / 30
+			}
+		}
+		return m
+	}
+	m1 := mean(1)
+	m8 := mean(8)
+	var dist float64
+	for i := range m1 {
+		d := m1[i] - m8[i]
+		dist += d * d
+	}
+	if math.Sqrt(dist) < 2 {
+		t.Fatalf("digits 1 and 8 mean images too close: %v", math.Sqrt(dist))
+	}
+}
+
+func TestGenerateBalancedAndDeterministic(t *testing.T) {
+	d := Generate(200, 5)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	for digit, c := range counts {
+		if c != 20 {
+			t.Fatalf("digit %d appears %d times, want 20", digit, c)
+		}
+	}
+	d2 := Generate(200, 5)
+	if !d.X.Equal(d2.X, 0) {
+		t.Fatal("same seed produced different images")
+	}
+}
+
+func TestEncodeDualRail(t *testing.T) {
+	d := Generate(50, 6)
+	e := EncodeDualRail(d, 0.5)
+	if e.Hypercolumns != Pixels || e.UnitsPerHC != 2 {
+		t.Fatalf("bad geometry %dx%d", e.Hypercolumns, e.UnitsPerHC)
+	}
+	for s, active := range e.Idx {
+		if len(active) != Pixels {
+			t.Fatalf("sample %d has %d active units", s, len(active))
+		}
+		for p, a := range active {
+			if int(a)/2 != p {
+				t.Fatalf("sample %d pixel %d: active unit %d outside its hypercolumn", s, p, a)
+			}
+			on := int(a)%2 == 1
+			if on != (d.X.At(s, p) > 0.5) {
+				t.Fatalf("sample %d pixel %d: rail %v disagrees with pixel %v", s, p, on, d.X.At(s, p))
+			}
+		}
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	d := Generate(30, 7)
+	var imgBuf, labBuf bytes.Buffer
+	if err := WriteIDX(&imgBuf, &labBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIDX(&imgBuf, &labBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 30 || back.Features() != Pixels {
+		t.Fatalf("round trip shape %dx%d", back.Len(), back.Features())
+	}
+	for i := range back.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+	// Byte quantization allows 1/255 error.
+	if diff := back.X.MaxAbsDiff(d.X); diff > 1.0/254 {
+		t.Fatalf("pixel round-trip error %v", diff)
+	}
+}
+
+func TestReadIDXBadMagic(t *testing.T) {
+	var img, lab bytes.Buffer
+	img.Write([]byte{0, 0, 8, 99, 0, 0, 0, 0, 0, 0, 0, 28, 0, 0, 0, 28})
+	lab.Write([]byte{0, 0, 8, 1, 0, 0, 0, 0})
+	if _, err := ReadIDX(&img, &lab); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadIDXCountMismatch(t *testing.T) {
+	d := Generate(10, 8)
+	var img1, lab1 bytes.Buffer
+	if err := WriteIDX(&img1, &lab1, d); err != nil {
+		t.Fatal(err)
+	}
+	var img2, lab2 bytes.Buffer
+	if err := WriteIDX(&img2, &lab2, Generate(20, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIDX(&img1, &lab2); err == nil {
+		t.Fatal("image/label count mismatch accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// Package mpi is an in-process message-passing library modeled on the MPI
+// subset StreamBrain's distributed backend uses: SPMD ranks, point-to-point
+// send/receive, and the collectives BCPNN data-parallel training needs
+// (Barrier, Broadcast, Reduce, Allreduce, Allgather).
+//
+// Ranks are goroutines inside one process and links are Go channels, so the
+// semantics (SPMD program structure, deterministic collective trees, value
+// copies across rank boundaries) match a real MPI job while latency constants
+// obviously do not — see DESIGN.md §1 for the substitution rationale. The
+// collectives are implemented with the textbook HPC algorithms (binomial
+// trees, dissemination barrier) rather than a shared-memory shortcut, so
+// message counts scale exactly as they would on a cluster: O(log P) rounds.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one typed envelope between a rank pair. Data is always a copy;
+// ranks never share backing arrays, just as MPI processes never share memory.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World owns the communication fabric for a fixed number of ranks.
+type World struct {
+	size  int
+	links [][]chan message // links[src][dst]
+}
+
+// NewWorld creates a fabric for size ranks. Each directed pair gets a
+// buffered FIFO link; collectives rely on FIFO order per pair, which Go
+// channels guarantee (MPI's non-overtaking rule).
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	links := make([][]chan message, size)
+	for s := range links {
+		links[s] = make([]chan message, size)
+		for d := range links[s] {
+			links[s][d] = make(chan message, 8)
+		}
+	}
+	return &World{size: size, links: links}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each in its own goroutine, and blocks until
+// every rank returns. It is the mpirun of this package.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	rank  int
+	world *World
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to rank dst with the given tag. It blocks
+// only when the link buffer is full (rendezvous beyond the eager limit, in
+// MPI terms).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	cp := append([]float64(nil), data...)
+	c.world.links[c.rank][dst] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. The expected tag is asserted: a mismatch is a protocol bug in the
+// calling program, so it panics (the moral equivalent of an MPI error of
+// class MPI_ERR_TAG).
+func (c *Comm) Recv(src, tag int) []float64 {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	m := <-c.world.links[src][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d",
+			c.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// Internal collective tags live in a reserved negative space so they can
+// never collide with user point-to-point tags.
+const (
+	tagBarrier = -1000 - iota
+	tagBcast
+	tagReduce
+	tagGather
+)
+
+// Barrier blocks until every rank has entered it. Dissemination algorithm:
+// ⌈log2 P⌉ rounds, in round k rank r signals (r+2^k) mod P and waits for
+// (r-2^k) mod P.
+func (c *Comm) Barrier() {
+	p := c.world.size
+	for dist := 1; dist < p; dist *= 2 {
+		to := (c.rank + dist) % p
+		from := (c.rank - dist + p) % p
+		c.Send(to, tagBarrier-dist, nil)
+		c.Recv(from, tagBarrier-dist)
+	}
+}
+
+// Broadcast copies root's data to every rank, in place, via a binomial tree
+// rooted at root. All ranks must pass slices of equal length.
+func (c *Comm) Broadcast(root int, data []float64) {
+	p := c.world.size
+	// Work in the rotated space where the root is rank 0.
+	vrank := (c.rank - root + p) % p
+	// Receive from parent (except the root).
+	if vrank != 0 {
+		// The parent clears the lowest set bit of vrank.
+		parent := (vrank&(vrank-1) + root) % p
+		got := c.Recv(parent, tagBcast)
+		if len(got) != len(data) {
+			panic("mpi: Broadcast length mismatch across ranks")
+		}
+		copy(data, got)
+	}
+	// Forward to children: set each bit above the lowest set bit.
+	for bit := 1; bit < p; bit *= 2 {
+		if vrank&(bit-1) != 0 || vrank&bit != 0 {
+			continue
+		}
+		child := vrank | bit
+		if child < p {
+			c.Send((child+root)%p, tagBcast, data)
+		}
+	}
+}
+
+// ReduceOp combines two values element-wise during reductions.
+type ReduceOp func(a, b float64) float64
+
+// Predefined reduction operators.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines data from all ranks with op; the result lands in root's
+// data slice (other ranks' slices hold partial reductions afterwards and
+// should be treated as scratch). Binomial tree, ⌈log2 P⌉ rounds.
+func (c *Comm) Reduce(root int, data []float64, op ReduceOp) {
+	p := c.world.size
+	vrank := (c.rank - root + p) % p
+	for bit := 1; bit < p; bit *= 2 {
+		if vrank&(bit-1) != 0 {
+			continue
+		}
+		if vrank&bit != 0 {
+			// Sender: deliver partial result to parent and exit the tree.
+			parent := (vrank ^ bit + root) % p
+			c.Send(parent, tagReduce, data)
+			return
+		}
+		child := vrank | bit
+		if child < p {
+			got := c.Recv((child+root)%p, tagReduce)
+			if len(got) != len(data) {
+				panic("mpi: Reduce length mismatch across ranks")
+			}
+			for i := range data {
+				data[i] = op(data[i], got[i])
+			}
+		}
+	}
+}
+
+// Allreduce combines data across all ranks with op and leaves the full
+// result on every rank: Reduce to rank 0 followed by Broadcast, the classic
+// tree implementation.
+func (c *Comm) Allreduce(data []float64, op ReduceOp) {
+	c.Reduce(0, data, op)
+	c.Broadcast(0, data)
+}
+
+// AllreduceMean averages data element-wise across ranks — the collective
+// BCPNN data-parallel training uses to merge trace estimates (DESIGN.md A3).
+func (c *Comm) AllreduceMean(data []float64) {
+	c.Allreduce(data, OpSum)
+	inv := 1 / float64(c.world.size)
+	for i := range data {
+		data[i] *= inv
+	}
+}
+
+// Allgather concatenates every rank's send buffer in rank order and returns
+// the result on all ranks. Gather-to-root + broadcast.
+func (c *Comm) Allgather(send []float64) []float64 {
+	p := c.world.size
+	n := len(send)
+	// Every rank must contribute the same length; assert via a max reduce.
+	lenCheck := []float64{float64(n)}
+	c.Allreduce(lenCheck, OpMax)
+	if int(lenCheck[0]) != n {
+		panic("mpi: Allgather length mismatch across ranks")
+	}
+	all := make([]float64, p*n)
+	copy(all[c.rank*n:], send)
+	if c.rank == 0 {
+		for r := 1; r < p; r++ {
+			got := c.Recv(r, tagGather)
+			copy(all[r*n:], got)
+		}
+	} else {
+		c.Send(0, tagGather, send)
+	}
+	c.Broadcast(0, all)
+	return all
+}

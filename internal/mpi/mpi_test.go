@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// worldSizes covers 1 rank, powers of two, and awkward non-powers.
+var worldSizes = []int{1, 2, 3, 4, 5, 7, 8}
+
+func TestNewWorldInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendRecvPair(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("bad payload %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, 0, buf)
+			buf[0] = 0 // mutate after send; receiver must still see 42
+		} else {
+			if got := c.Recv(0, 0); got[0] != 42 {
+				t.Errorf("send aliased caller buffer: %v", got)
+			}
+		}
+	})
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	panicked := make(chan bool, 1)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil)
+		} else {
+			defer func() { panicked <- recover() != nil }()
+			c.Recv(0, 2)
+		}
+	})
+	if !<-panicked {
+		t.Fatal("expected tag mismatch panic")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range worldSizes {
+		var before, after int64
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			atomic.AddInt64(&before, 1)
+			if c.Rank() == 0 {
+				// Give the others a head start at the barrier; they must
+				// not pass until rank 0 arrives.
+				time.Sleep(5 * time.Millisecond)
+				if n := atomic.LoadInt64(&after); n != 0 {
+					t.Errorf("p=%d: %d ranks passed barrier early", p, n)
+				}
+			}
+			c.Barrier()
+			atomic.AddInt64(&after, 1)
+		})
+		if before != int64(p) || after != int64(p) {
+			t.Fatalf("p=%d: before=%d after=%d", p, before, after)
+		}
+	}
+}
+
+func TestBroadcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range worldSizes {
+		for root := 0; root < p; root++ {
+			w := NewWorld(p)
+			w.Run(func(c *Comm) {
+				data := make([]float64, 4)
+				if c.Rank() == root {
+					for i := range data {
+						data[i] = float64(root*10 + i)
+					}
+				}
+				c.Broadcast(root, data)
+				for i := range data {
+					if data[i] != float64(root*10+i) {
+						t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), data)
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			data := []float64{float64(c.Rank() + 1), 1}
+			c.Reduce(0, data, OpSum)
+			if c.Rank() == 0 {
+				wantFirst := float64(p*(p+1)) / 2
+				if math.Abs(data[0]-wantFirst) > 1e-12 || data[1] != float64(p) {
+					t.Errorf("p=%d: reduce got %v, want [%v %d]", p, data, wantFirst, p)
+				}
+			}
+		})
+	}
+}
+
+func TestAllreduceSumMaxMin(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			r := float64(c.Rank())
+			sum := []float64{r}
+			c.Allreduce(sum, OpSum)
+			if want := float64(p*(p-1)) / 2; sum[0] != want {
+				t.Errorf("p=%d rank=%d: sum=%v want %v", p, c.Rank(), sum[0], want)
+			}
+			max := []float64{r}
+			c.Allreduce(max, OpMax)
+			if max[0] != float64(p-1) {
+				t.Errorf("p=%d: max=%v", p, max[0])
+			}
+			min := []float64{r}
+			c.Allreduce(min, OpMin)
+			if min[0] != 0 {
+				t.Errorf("p=%d: min=%v", p, min[0])
+			}
+		})
+	}
+}
+
+func TestAllreduceMean(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			data := []float64{float64(c.Rank()), 10}
+			c.AllreduceMean(data)
+			wantMean := float64(p-1) / 2
+			if math.Abs(data[0]-wantMean) > 1e-12 || math.Abs(data[1]-10) > 1e-12 {
+				t.Errorf("p=%d: mean=%v want [%v 10]", p, data, wantMean)
+			}
+		})
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		w.Run(func(c *Comm) {
+			all := c.Allgather([]float64{float64(c.Rank()), float64(c.Rank() * 2)})
+			if len(all) != 2*p {
+				t.Errorf("p=%d: len=%d", p, len(all))
+				return
+			}
+			for r := 0; r < p; r++ {
+				if all[2*r] != float64(r) || all[2*r+1] != float64(2*r) {
+					t.Errorf("p=%d rank=%d: bad gather %v", p, c.Rank(), all)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestCollectivesRepeatable(t *testing.T) {
+	// Reusing the same world for consecutive collectives must not deadlock
+	// or cross-talk (tag discipline between rounds).
+	w := NewWorld(4)
+	w.Run(func(c *Comm) {
+		for iter := 0; iter < 20; iter++ {
+			data := []float64{1}
+			c.Allreduce(data, OpSum)
+			if data[0] != 4 {
+				t.Errorf("iter %d: %v", iter, data[0])
+				return
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Send(5, 0, nil)
+	})
+}

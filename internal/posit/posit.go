@@ -1,0 +1,246 @@
+// Package posit implements the posit number format (Gustafson's type-III
+// unum) in software: encode/decode between float64 and posit bit patterns,
+// plus quantization helpers.
+//
+// StreamBrain's FPGA backend is built for "architectural exploration such as
+// parallelism or reduced/different numerical representation (e.g., Posits)"
+// (paper §III-A, citing Podobas' posit-FPGA work [17]). This package is the
+// numerical half of that exploration: the fpgasim backend quantizes the
+// BCPNN weight storage through posits, and the ablation bench measures the
+// accuracy cost of posit(16,1) and posit(8,0) weights against float64.
+//
+// Format recap: a posit(n, es) value is [sign | regime | exponent | fraction]
+// where the regime is a unary-coded super-exponent of useed = 2^(2^es).
+// Posits have tapered precision — maximal near ±1, decaying toward the
+// extremes — which matches BCPNN weights (log-odds clustered around 0).
+package posit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a posit configuration.
+type Format struct {
+	// Bits is the total width (2..32 supported here).
+	Bits int
+	// ES is the exponent field width.
+	ES int
+}
+
+// Standard formats.
+var (
+	// Posit16 is posit(16,1), the common FPGA middle ground.
+	Posit16 = Format{Bits: 16, ES: 1}
+	// Posit8 is posit(8,0), the aggressive low-precision point.
+	Posit8 = Format{Bits: 8, ES: 0}
+	// Posit32 is posit(32,2), near-float32 fidelity.
+	Posit32 = Format{Bits: 32, ES: 2}
+)
+
+// Validate reports an invalid configuration.
+func (f Format) Validate() error {
+	if f.Bits < 2 || f.Bits > 32 {
+		return fmt.Errorf("posit: bits %d out of range [2,32]", f.Bits)
+	}
+	if f.ES < 0 || f.ES > 3 {
+		return fmt.Errorf("posit: es %d out of range [0,3]", f.ES)
+	}
+	return nil
+}
+
+// useed returns 2^(2^es), the regime scaling base.
+func (f Format) useed() float64 {
+	return math.Pow(2, math.Pow(2, float64(f.ES)))
+}
+
+// MaxValue returns the largest representable magnitude: useed^(Bits-2).
+func (f Format) MaxValue() float64 {
+	return math.Pow(f.useed(), float64(f.Bits-2))
+}
+
+// MinValue returns the smallest positive representable magnitude.
+func (f Format) MinValue() float64 {
+	return 1 / f.MaxValue()
+}
+
+// Encode rounds a float64 to the nearest posit bit pattern (two's-complement
+// in the low f.Bits bits of the result). NaN maps to the NaR pattern
+// (sign bit only); ±Inf saturate to ±MaxValue as posits have no infinities.
+func (f Format) Encode(x float64) uint32 {
+	n := uint(f.Bits)
+	signMask := uint32(1) << (n - 1)
+	if math.IsNaN(x) {
+		return signMask // NaR
+	}
+	if x == 0 {
+		return 0
+	}
+	neg := x < 0 || math.IsInf(x, -1)
+	ax := math.Abs(x)
+	if math.IsInf(x, 0) || ax >= f.MaxValue() {
+		ax = f.MaxValue()
+	}
+	if ax <= f.MinValue() {
+		ax = f.MinValue()
+	}
+
+	// Decompose |x| = 2^e_total · m with m ∈ [1, 2).
+	eTotal := math.Floor(math.Log2(ax))
+	m := ax / math.Pow(2, eTotal)
+	// Split the total binary exponent into regime (k) and exponent (e):
+	// e_total = k·2^es + e with 0 <= e < 2^es.
+	pow := 1 << uint(f.ES)
+	k := int(math.Floor(eTotal / float64(pow)))
+	e := int(eTotal) - k*pow
+	if e < 0 { // floor already handles this, defensive
+		e += pow
+		k--
+	}
+
+	// Assemble [regime | exponent | fraction] after the sign bit, from the
+	// most significant end.
+	var bits uint32
+	var used uint // bits consumed after sign
+	appendBit := func(b uint32) {
+		if used >= n-1 {
+			return
+		}
+		bits = (bits << 1) | (b & 1)
+		used++
+	}
+	// Regime: k >= 0 → k+1 ones then a zero; k < 0 → -k zeros then a one.
+	if k >= 0 {
+		for i := 0; i <= k; i++ {
+			appendBit(1)
+		}
+		appendBit(0)
+	} else {
+		for i := 0; i < -k; i++ {
+			appendBit(0)
+		}
+		appendBit(1)
+	}
+	// Exponent bits (es of them, MSB first).
+	for i := f.ES - 1; i >= 0; i-- {
+		appendBit(uint32(e>>uint(i)) & 1)
+	}
+	// Fraction bits: remaining space. Track the first dropped bit and the
+	// sticky OR of the rest for round-to-nearest-even.
+	frac := m - 1 // in [0,1)
+	var guard uint32
+	var sticky bool
+	fracStart := used
+	for used < n-1 {
+		frac *= 2
+		b := uint32(0)
+		if frac >= 1 {
+			b = 1
+			frac -= 1
+		}
+		appendBit(b)
+	}
+	_ = fracStart
+	// Guard bit = next bit beyond capacity.
+	frac *= 2
+	if frac >= 1 {
+		guard = 1
+		frac -= 1
+	}
+	if frac > 0 {
+		sticky = true
+	}
+	// Left-align into the n-1 payload bits (regime may have been truncated,
+	// in which case `used` == n-1 already and alignment is a no-op).
+	payload := bits << (n - 1 - used)
+	// Round to nearest, ties to even.
+	if guard == 1 && (sticky || payload&1 == 1) {
+		payload++
+		if payload >= signMask { // overflow into the sign position: saturate
+			payload = signMask - 1
+		}
+	}
+	if payload == 0 {
+		payload = 1 // never round a nonzero value to zero
+	}
+	if neg {
+		// Two's complement within n bits.
+		payload = (^payload + 1) & (signMask | (signMask - 1))
+	}
+	return payload
+}
+
+// Decode converts a posit bit pattern back to float64. The NaR pattern
+// decodes to NaN.
+func (f Format) Decode(bits uint32) float64 {
+	n := uint(f.Bits)
+	mask := uint32(1)<<n - 1
+	bits &= mask
+	signMask := uint32(1) << (n - 1)
+	if bits == 0 {
+		return 0
+	}
+	if bits == signMask {
+		return math.NaN() // NaR
+	}
+	neg := bits&signMask != 0
+	if neg {
+		bits = (^bits + 1) & mask
+	}
+	// Scan the regime.
+	pos := int(n) - 2 // bit index after the sign
+	first := (bits >> uint(pos)) & 1
+	k := 0
+	run := 0
+	for pos >= 0 && (bits>>uint(pos))&1 == first {
+		run++
+		pos--
+	}
+	if first == 1 {
+		k = run - 1
+	} else {
+		k = -run
+	}
+	pos-- // skip the terminating regime bit (if any remained)
+	// Exponent bits.
+	e := 0
+	for i := 0; i < f.ES; i++ {
+		e <<= 1
+		if pos >= 0 {
+			e |= int(bits>>uint(pos)) & 1
+			pos--
+		}
+	}
+	// Fraction.
+	frac := 1.0
+	scale := 0.5
+	for ; pos >= 0; pos-- {
+		if (bits>>uint(pos))&1 == 1 {
+			frac += scale
+		}
+		scale /= 2
+	}
+	pow := 1 << uint(f.ES)
+	val := frac * math.Pow(2, float64(k*pow+e))
+	if neg {
+		val = -val
+	}
+	return val
+}
+
+// Quantize rounds x through the posit format (Encode then Decode) — the
+// value the FPGA would actually store.
+func (f Format) Quantize(x float64) float64 { return f.Decode(f.Encode(x)) }
+
+// QuantizeSlice rounds every element of xs in place and returns the maximum
+// absolute rounding error, the number the precision-ablation bench reports.
+func (f Format) QuantizeSlice(xs []float64) (maxErr float64) {
+	for i, v := range xs {
+		q := f.Quantize(v)
+		if d := math.Abs(q - v); d > maxErr {
+			maxErr = d
+		}
+		xs[i] = q
+	}
+	return maxErr
+}

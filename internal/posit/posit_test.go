@@ -1,0 +1,196 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var formats = []Format{Posit8, Posit16, Posit32, {Bits: 12, ES: 1}}
+
+func TestValidate(t *testing.T) {
+	for _, f := range formats {
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if (Format{Bits: 1, ES: 0}).Validate() == nil {
+		t.Fatal("1-bit format accepted")
+	}
+	if (Format{Bits: 16, ES: 4}).Validate() == nil {
+		t.Fatal("es=4 accepted")
+	}
+}
+
+func TestZeroAndNaR(t *testing.T) {
+	for _, f := range formats {
+		if f.Encode(0) != 0 || f.Decode(0) != 0 {
+			t.Fatalf("%+v: zero does not round-trip", f)
+		}
+		nar := f.Encode(math.NaN())
+		if nar != uint32(1)<<(uint(f.Bits)-1) {
+			t.Fatalf("%+v: NaR pattern %#x", f, nar)
+		}
+		if !math.IsNaN(f.Decode(nar)) {
+			t.Fatalf("%+v: NaR does not decode to NaN", f)
+		}
+	}
+}
+
+func TestExactSmallIntegers(t *testing.T) {
+	// Posits represent small powers of two and nearby integers exactly.
+	for _, f := range []Format{Posit16, Posit32} {
+		for _, v := range []float64{1, 2, 4, 0.5, 0.25, -1, -2, 1.5, -0.75} {
+			if got := f.Quantize(v); got != v {
+				t.Fatalf("%+v: Quantize(%v) = %v", f, v, got)
+			}
+		}
+	}
+}
+
+func TestSignSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		q := Posit16.Quantize(x)
+		qn := Posit16.Quantize(-x)
+		return q == -qn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripMonotone: quantization must be monotone non-decreasing —
+// order of weights is preserved, which is what keeps argmax decisions
+// stable under posit storage.
+func TestRoundTripMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range formats {
+		for trial := 0; trial < 300; trial++ {
+			a := rng.NormFloat64() * 5
+			b := rng.NormFloat64() * 5
+			if a > b {
+				a, b = b, a
+			}
+			qa, qb := f.Quantize(a), f.Quantize(b)
+			if qa > qb {
+				t.Fatalf("%+v: monotonicity violated: Q(%v)=%v > Q(%v)=%v",
+					f, a, qa, b, qb)
+			}
+		}
+	}
+}
+
+// TestTaperedPrecision: the relative error near 1 must be far smaller than
+// near the extremes — the defining property of posits, and the reason they
+// suit BCPNN's near-zero log-odds weights.
+func TestTaperedPrecision(t *testing.T) {
+	f := Posit16
+	relErr := func(x float64) float64 {
+		return math.Abs(f.Quantize(x)-x) / math.Abs(x)
+	}
+	nearOne := relErr(1.2345)
+	extreme := relErr(2.34e6)
+	if nearOne > 1e-3 {
+		t.Fatalf("near-1 relative error %g too large", nearOne)
+	}
+	if extreme < 10*nearOne {
+		t.Fatalf("precision not tapered: near-1 %g vs extreme %g", nearOne, extreme)
+	}
+}
+
+func TestSaturationNoInfinity(t *testing.T) {
+	for _, f := range formats {
+		max := f.MaxValue()
+		if got := f.Quantize(math.Inf(1)); got != max {
+			t.Fatalf("%+v: +Inf quantized to %v, want %v", f, got, max)
+		}
+		if got := f.Quantize(1e300); got != max {
+			t.Fatalf("%+v: huge value %v, want saturation %v", f, got, max)
+		}
+		if got := f.Quantize(math.Inf(-1)); got != -max {
+			t.Fatalf("%+v: -Inf quantized to %v", f, got)
+		}
+	}
+}
+
+func TestTinyValuesDoNotFlushToZero(t *testing.T) {
+	// Unlike IEEE denormal flushing, nonzero posits never round to zero.
+	for _, f := range formats {
+		if got := f.Quantize(1e-300); got == 0 {
+			t.Fatalf("%+v: tiny value flushed to zero", f)
+		}
+		if got := f.Quantize(1e-300); got != f.MinValue() {
+			t.Fatalf("%+v: tiny value %v, want MinValue %v", f, got, f.MinValue())
+		}
+	}
+}
+
+// TestQuantizeIdempotent: quantizing an already-quantized value must be a
+// no-op (the fixed-point property of a correct rounder).
+func TestQuantizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range formats {
+		for trial := 0; trial < 300; trial++ {
+			x := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			q := f.Quantize(x)
+			if q2 := f.Quantize(q); q2 != q {
+				t.Fatalf("%+v: not idempotent: %v -> %v -> %v", f, x, q, q2)
+			}
+		}
+	}
+}
+
+// TestPrecisionOrdering: wider formats must be at least as accurate.
+func TestPrecisionOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var err8, err16, err32 float64
+	for trial := 0; trial < 500; trial++ {
+		x := rng.NormFloat64() * 3
+		err8 += math.Abs(Posit8.Quantize(x) - x)
+		err16 += math.Abs(Posit16.Quantize(x) - x)
+		err32 += math.Abs(Posit32.Quantize(x) - x)
+	}
+	if !(err32 < err16 && err16 < err8) {
+		t.Fatalf("precision not ordered: p8=%g p16=%g p32=%g", err8, err16, err32)
+	}
+}
+
+func TestQuantizeSliceReportsMaxErr(t *testing.T) {
+	xs := []float64{0, 1, 3.14159, -2.71828}
+	orig := append([]float64(nil), xs...)
+	maxErr := Posit8.QuantizeSlice(xs)
+	if maxErr <= 0 {
+		t.Fatal("no rounding error on irrational inputs is implausible for posit8")
+	}
+	worst := 0.0
+	for i := range xs {
+		d := math.Abs(xs[i] - orig[i])
+		if d > worst {
+			worst = d
+		}
+	}
+	if math.Abs(worst-maxErr) > 1e-15 {
+		t.Fatalf("reported maxErr %g, recomputed %g", maxErr, worst)
+	}
+}
+
+// TestDecodeEncodeAllPosit8 exhaustively round-trips every posit8 pattern:
+// Decode then Encode must reproduce the pattern (codec bijectivity on the
+// representable set).
+func TestDecodeEncodeAllPosit8(t *testing.T) {
+	f := Posit8
+	for bits := uint32(0); bits < 256; bits++ {
+		v := f.Decode(bits)
+		if math.IsNaN(v) {
+			continue // NaR covered elsewhere
+		}
+		back := f.Encode(v)
+		if back != bits {
+			t.Fatalf("pattern %#02x decodes to %v but re-encodes to %#02x", bits, v, back)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package spiking implements the spiking formulation of BCPNN. The paper
+// notes (§II) that "the BCPNN model supports both spiking- and rate-based
+// models of computation, where the former maps well to neuromorphic
+// hardware while the latter maps well to accelerators"; internal/core is
+// the rate-based accelerator path, and this package is the spiking path.
+//
+// The chain follows the standard spiking-BCPNN construction (Tully &
+// Lansner): Poisson/Bernoulli spikes are low-pass filtered into fast
+// synaptic Z-traces, the Z-traces drive slower probability P-traces, and
+// the weights are the same Bayesian log-odds of the P-traces as in the
+// rate model. In the limit of many timesteps the Z-traces converge to the
+// underlying rates, so spiking BCPNN is an unbiased sampling approximation
+// of rate BCPNN — a property the tests verify directly.
+package spiking
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streambrain/internal/tensor"
+)
+
+// Config holds the spiking-simulation parameters.
+type Config struct {
+	// StepsPerSample is the number of simulation timesteps each input is
+	// presented for.
+	StepsPerSample int
+	// Dt is the timestep length in seconds.
+	Dt float64
+	// RateHigh and RateLow are the Poisson rates (Hz) of active and
+	// inactive input units. One-hot inputs use RateHigh on the hot unit of
+	// each hypercolumn and RateLow on the rest.
+	RateHigh, RateLow float64
+	// TauZ is the fast synaptic trace time constant (seconds).
+	TauZ float64
+	// TauP is the slow probability trace time constant (seconds).
+	TauP float64
+	// Eps floors probabilities inside logarithms.
+	Eps float64
+	// Seed drives spike sampling.
+	Seed int64
+}
+
+// DefaultConfig returns simulation parameters with biologically-ordinary
+// magnitudes (50 Hz active rate, 20 ms synaptic trace, 5 s learning trace).
+func DefaultConfig() Config {
+	return Config{
+		StepsPerSample: 100,
+		Dt:             0.001,
+		RateHigh:       50,
+		RateLow:        0.5,
+		TauZ:           0.020,
+		TauP:           5.0,
+		Eps:            1e-9,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first invalid parameter.
+func (c Config) Validate() error {
+	switch {
+	case c.StepsPerSample < 1:
+		return fmt.Errorf("spiking: StepsPerSample %d", c.StepsPerSample)
+	case c.Dt <= 0:
+		return fmt.Errorf("spiking: Dt %v", c.Dt)
+	case c.RateHigh <= 0 || c.RateLow < 0:
+		return fmt.Errorf("spiking: rates %v/%v", c.RateHigh, c.RateLow)
+	case c.RateHigh*c.Dt > 1:
+		return fmt.Errorf("spiking: RateHigh·Dt = %v > 1 (Bernoulli approximation breaks)",
+			c.RateHigh*c.Dt)
+	case c.TauZ <= 0 || c.TauP <= 0:
+		return fmt.Errorf("spiking: taus %v/%v", c.TauZ, c.TauP)
+	case c.Eps <= 0:
+		return fmt.Errorf("spiking: Eps %v", c.Eps)
+	}
+	return nil
+}
+
+// Layer is a spiking BCPNN hypercolumn layer. Geometry matches the rate
+// model: Fi input hypercolumns × Mi units feed H HCUs × M MCUs.
+type Layer struct {
+	cfg Config
+	rng *rand.Rand
+
+	Fi, Mi, H, M int
+
+	// Derived parameters, identical formulas to the rate model.
+	W    *tensor.Matrix
+	Bias []float64
+
+	// Fast synaptic traces (filtered spike trains).
+	Zi []float64
+	Zj []float64
+
+	// Slow probability traces.
+	Ci  []float64
+	Cj  []float64
+	Cij *tensor.Matrix
+
+	// scratch
+	support []float64
+	spikesI []float64
+	spikesJ []float64
+}
+
+// NewLayer builds a spiking layer.
+func NewLayer(fi, mi, h, m int, cfg Config) *Layer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	in, units := fi*mi, h*m
+	l := &Layer{
+		cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
+		Fi: fi, Mi: mi, H: h, M: m,
+		W:       tensor.NewMatrix(in, units),
+		Bias:    make([]float64, units),
+		Zi:      make([]float64, in),
+		Zj:      make([]float64, units),
+		Ci:      make([]float64, in),
+		Cj:      make([]float64, units),
+		Cij:     tensor.NewMatrix(in, units),
+		support: make([]float64, units),
+		spikesI: make([]float64, in),
+		spikesJ: make([]float64, units),
+	}
+	// Priors as in the rate model. Z-traces are measured in expected
+	// filtered rate units; normalize by the active rate so Z ≈ P(active).
+	pi := 1 / float64(mi)
+	pj := 1 / float64(m)
+	for i := range l.Ci {
+		l.Ci[i] = pi
+		l.Zi[i] = pi
+	}
+	for j := range l.Cj {
+		l.Cj[j] = pj
+		l.Zj[j] = pj
+	}
+	for i := 0; i < in; i++ {
+		row := l.Cij.Row(i)
+		for j := range row {
+			row[j] = pi * pj
+		}
+	}
+	l.refresh()
+	return l
+}
+
+func (l *Layer) refresh() {
+	eps := l.cfg.Eps
+	logcj := make([]float64, len(l.Cj))
+	for j, v := range l.Cj {
+		logcj[j] = math.Log(math.Max(v, eps))
+		l.Bias[j] = logcj[j]
+	}
+	for i := 0; i < l.W.Rows; i++ {
+		logci := math.Log(math.Max(l.Ci[i], eps))
+		crow := l.Cij.Row(i)
+		wrow := l.W.Row(i)
+		for j := range wrow {
+			wrow[j] = math.Log(math.Max(crow[j], eps*eps)) - logci - logcj[j]
+		}
+	}
+}
+
+// Present simulates StepsPerSample timesteps of one one-hot input sample
+// (active unit indices per input hypercolumn) with learning enabled, and
+// returns the hidden spike counts per MCU (the sample's spiking code).
+func (l *Layer) Present(active []int32) []int {
+	isHot := make(map[int32]bool, len(active))
+	for _, a := range active {
+		isHot[a] = true
+	}
+	counts := make([]int, l.H*l.M)
+	dt := l.cfg.Dt
+	zdecay := dt / l.cfg.TauZ
+	pdecay := dt / l.cfg.TauP
+	for step := 0; step < l.cfg.StepsPerSample; step++ {
+		// 1. Input spikes: Bernoulli(rate·dt) per unit.
+		for i := range l.spikesI {
+			rate := l.cfg.RateLow
+			if isHot[int32(i)] {
+				rate = l.cfg.RateHigh
+			}
+			l.spikesI[i] = 0
+			if l.rng.Float64() < rate*dt {
+				l.spikesI[i] = 1
+			}
+		}
+		// 2. Fast trace: Zi tracks the *normalized* spike train so that a
+		// tonically active unit converges to Zi ≈ 1 (rate/RateHigh).
+		for i, s := range l.spikesI {
+			target := s / (l.cfg.RateHigh * dt)
+			l.Zi[i] += zdecay * (target - l.Zi[i])
+		}
+		// 3. Hidden dynamics: support from the filtered input, then one
+		// spike per HCU sampled from the per-HCU softmax (WTA sampling —
+		// each hypercolumn emits exactly one spike per step, the spiking
+		// counterpart of the rate model's probability mass).
+		for j := range l.support {
+			l.support[j] = l.Bias[j]
+		}
+		for i, z := range l.Zi {
+			if z < 1e-6 {
+				continue
+			}
+			wrow := l.W.Row(i)
+			for j := range l.support {
+				l.support[j] += z * wrow[j]
+			}
+		}
+		for j := range l.spikesJ {
+			l.spikesJ[j] = 0
+		}
+		for h := 0; h < l.H; h++ {
+			seg := l.support[h*l.M : (h+1)*l.M]
+			winner := sampleSoftmax(seg, l.rng)
+			j := h*l.M + winner
+			l.spikesJ[j] = 1
+			counts[j]++
+		}
+		// 4. Fast hidden trace (spike per HCU per step → Zj ≈ win prob).
+		for j, s := range l.spikesJ {
+			l.Zj[j] += zdecay * (s - l.Zj[j])
+		}
+		// 5. Slow probability traces from the fast traces.
+		for i, zi := range l.Zi {
+			l.Ci[i] += pdecay * (clamp01(zi) - l.Ci[i])
+			crow := l.Cij.Row(i)
+			for j, zj := range l.Zj {
+				l.Cij.Data[i*l.Cij.Cols+j] = crow[j] + pdecay*(clamp01(zi)*zj-crow[j])
+			}
+		}
+		for j, zj := range l.Zj {
+			l.Cj[j] += pdecay * (zj - l.Cj[j])
+		}
+	}
+	l.refresh()
+	return counts
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// sampleSoftmax draws an index from softmax(support) — the stochastic WTA.
+func sampleSoftmax(support []float64, rng *rand.Rand) int {
+	maxv := support[0]
+	for _, v := range support[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	probs := make([]float64, len(support))
+	for i, v := range support {
+		probs[i] = math.Exp(v - maxv)
+		sum += probs[i]
+	}
+	r := rng.Float64() * sum
+	for i, p := range probs {
+		r -= p
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(support) - 1
+}
+
+// Rates returns the filtered input trace (≈ per-unit activation
+// probability), for the rate-equivalence tests.
+func (l *Layer) Rates() []float64 { return l.Zi }

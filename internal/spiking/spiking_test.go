@@ -1,0 +1,189 @@
+package spiking
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.StepsPerSample = 0 },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.RateHigh = 0 },
+		func(c *Config) { c.RateHigh = 2000 }, // rate·dt > 1
+		func(c *Config) { c.TauZ = 0 },
+		func(c *Config) { c.TauP = 0 },
+		func(c *Config) { c.Eps = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+// TestZTraceConvergesToRate: presenting a constant pattern long enough, the
+// filtered input trace of the hot unit must approach 1 (its normalized
+// rate) and cold units must approach RateLow/RateHigh — the spiking↔rate
+// correspondence at the input stage.
+func TestZTraceConvergesToRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepsPerSample = 4000 // 4 seconds ≫ TauZ
+	l := NewLayer(2, 3, 1, 2, cfg)
+	l.Present([]int32{0, 3}) // hot units: 0 (hc0), 3 (hc1)
+	rates := l.Rates()
+	if math.Abs(rates[0]-1) > 0.25 {
+		t.Fatalf("hot unit trace %v, want ≈1", rates[0])
+	}
+	wantCold := cfg.RateLow / cfg.RateHigh
+	for _, i := range []int{1, 2, 4, 5} {
+		if rates[i] > wantCold+0.1 {
+			t.Fatalf("cold unit %d trace %v, want ≈%v", i, rates[i], wantCold)
+		}
+	}
+}
+
+// TestHCUEmitsOneSpikePerStep: WTA sampling must produce exactly
+// StepsPerSample spikes per HCU.
+func TestHCUEmitsOneSpikePerStep(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepsPerSample = 200
+	l := NewLayer(3, 2, 2, 4, cfg)
+	counts := l.Present([]int32{0, 2, 4})
+	for h := 0; h < 2; h++ {
+		total := 0
+		for m := 0; m < 4; m++ {
+			total += counts[h*4+m]
+		}
+		if total != 200 {
+			t.Fatalf("HCU %d emitted %d spikes over 200 steps", h, total)
+		}
+	}
+}
+
+// TestTracesAreProbabilities: all slow traces must stay in [0,1] through a
+// long run.
+func TestTracesAreProbabilities(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepsPerSample = 300
+	l := NewLayer(4, 3, 1, 5, cfg)
+	patterns := [][]int32{{0, 3, 6, 9}, {1, 4, 7, 10}, {2, 5, 8, 11}}
+	for rep := 0; rep < 6; rep++ {
+		l.Present(patterns[rep%3])
+	}
+	check := func(name string, xs []float64) {
+		for i, v := range xs {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s[%d] = %v", name, i, v)
+			}
+		}
+	}
+	check("Ci", l.Ci)
+	check("Cj", l.Cj)
+	check("Cij", l.Cij.Data)
+}
+
+// TestSpikingApproximatesRateTraces: alternating two disjoint patterns, the
+// joint trace between pattern A's hot input and A's dominant hidden unit
+// must exceed the independence product Ci·Cj — the same Hebbian correlation
+// the rate model builds, here estimated by spike sampling. (Alternation
+// keeps the marginals near 0.5; a single repeated pattern would saturate
+// them at 1 where joint ≡ product and correlation is undefined.)
+func TestSpikingApproximatesRateTraces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepsPerSample = 800
+	cfg.TauP = 1.0
+	cfg.Seed = 2
+	l := NewLayer(2, 2, 1, 3, cfg)
+	a := []int32{0, 2}
+	b := []int32{1, 3}
+	for rep := 0; rep < 8; rep++ {
+		l.Present(a)
+		l.Present(b)
+	}
+	// Dominant hidden unit while pattern A is shown.
+	countsA := l.Present(a)
+	l.Present(b) // keep the alternation balanced
+	domA := 0
+	for j, c := range countsA {
+		if c > countsA[domA] {
+			domA = j
+		}
+	}
+	const hotA = 0
+	joint := l.Cij.At(hotA, domA)
+	product := l.Ci[hotA] * l.Cj[domA]
+	if joint <= product*1.1 {
+		t.Fatalf("no Hebbian correlation: Cij=%v vs Ci·Cj=%v", joint, product)
+	}
+}
+
+// TestPatternSeparation: two disjoint input patterns presented alternately
+// must drive distinguishable hidden codes (different spike-count argmax) —
+// the minimal feature-learning capability.
+func TestPatternSeparation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StepsPerSample = 600
+	cfg.TauP = 0.5
+	cfg.Seed = 4
+	l := NewLayer(2, 2, 1, 4, cfg)
+	a := []int32{0, 2}
+	b := []int32{1, 3}
+	for rep := 0; rep < 10; rep++ {
+		l.Present(a)
+		l.Present(b)
+	}
+	ca := l.Present(a)
+	cb := l.Present(b)
+	argmax := func(xs []int) int {
+		best := 0
+		for i, v := range xs {
+			if v > xs[best] {
+				best = i
+			}
+		}
+		_ = best
+		bi := 0
+		for i, v := range xs {
+			if v > xs[bi] {
+				bi = i
+			}
+		}
+		return bi
+	}
+	if argmax(ca) == argmax(cb) {
+		t.Fatalf("patterns map to the same dominant MCU: %v vs %v", ca, cb)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	run := func() []int {
+		cfg := DefaultConfig()
+		cfg.StepsPerSample = 150
+		cfg.Seed = 9
+		l := NewLayer(2, 2, 1, 3, cfg)
+		return l.Present([]int32{0, 2})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Dt = -1
+	NewLayer(2, 2, 1, 2, cfg)
+}

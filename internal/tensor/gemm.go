@@ -1,0 +1,270 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultBlock is the cache-block edge used by the blocked GEMM kernels.
+// 64×64 float64 tiles are 32 KiB — sized for a typical L1d cache. The block
+// size is a parameter so the blocking ablation bench can sweep it.
+const DefaultBlock = 64
+
+func checkGEMM(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: GEMM shape mismatch dst %dx%d = a %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("tensor: GEMM destination must not alias an operand")
+	}
+}
+
+// MatMulNaive computes dst = a·b with the textbook triple loop (ikj order so
+// the inner loop is unit-stride). It is the reference every other kernel is
+// cross-checked against.
+func MatMulNaive(dst, a, b *Matrix) {
+	checkGEMM(dst, a, b)
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBlocked computes dst = a·b using cache blocking with the given block
+// edge. block <= 0 selects DefaultBlock. The kernel accumulates into dst
+// tiles that stay resident in L1 while streaming panels of a and b.
+func MatMulBlocked(dst, a, b *Matrix, block int) {
+	checkGEMM(dst, a, b)
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	dst.Zero()
+	matMulBlockedRange(dst, a, b, block, 0, a.Rows)
+}
+
+// matMulBlockedRange runs the blocked kernel over dst rows [r0, r1).
+// It is the unit of work handed to GEMM workers.
+func matMulBlockedRange(dst, a, b *Matrix, block, r0, r1 int) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	_ = m
+	for ii := r0; ii < r1; ii += block {
+		iMax := min(ii+block, r1)
+		for kk := 0; kk < k; kk += block {
+			kMax := min(kk+block, k)
+			for jj := 0; jj < n; jj += block {
+				jMax := min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					arow := a.Data[i*k : i*k+k]
+					drow := dst.Data[i*n : i*n+n]
+					// 2-way unroll over the reduction dimension keeps two
+					// independent FMA chains in flight.
+					kkk := kk
+					for ; kkk+1 < kMax; kkk += 2 {
+						av0 := arow[kkk]
+						av1 := arow[kkk+1]
+						if av0 == 0 && av1 == 0 {
+							continue
+						}
+						b0 := b.Data[kkk*n : kkk*n+n]
+						b1 := b.Data[(kkk+1)*n : (kkk+1)*n+n]
+						for j := jj; j < jMax; j++ {
+							drow[j] += av0*b0[j] + av1*b1[j]
+						}
+					}
+					for ; kkk < kMax; kkk++ {
+						av := arow[kkk]
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[kkk*n : kkk*n+n]
+						for j := jj; j < jMax; j++ {
+							drow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulParallel computes dst = a·b by splitting dst rows across `workers`
+// goroutines, each running the blocked kernel over its row band. workers <= 1
+// degrades to the serial blocked kernel.
+func MatMulParallel(dst, a, b *Matrix, block, workers int) {
+	checkGEMM(dst, a, b)
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	if workers <= 1 || a.Rows < 2*block {
+		dst.Zero()
+		matMulBlockedRange(dst, a, b, block, 0, a.Rows)
+		return
+	}
+	dst.Zero()
+	var wg sync.WaitGroup
+	rows := a.Rows
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= rows {
+			break
+		}
+		r1 := min(r0+chunk, rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			matMulBlockedRange(dst, a, b, block, r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMulATB computes dst = aᵀ·b without materializing the transpose.
+// a is m×r, b is m×n, dst is r×n. This is the shape of the BCPNN joint-trace
+// update E[x πᵀ] where a holds a batch of inputs and b a batch of activations.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch dst %dx%d = aT %dx%d * b %dx%d",
+			dst.Rows, dst.Cols, a.Cols, a.Rows, b.Rows, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for s := 0; s < a.Rows; s++ {
+		arow := a.Row(s)
+		brow := b.Row(s)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*n : i*n+n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATBParallel is MatMulATB with the accumulation parallelized over dst
+// rows. Each worker owns a band of dst rows (a band of a's columns), so no
+// synchronization on dst is needed; a and b are read-only.
+func MatMulATBParallel(dst, a, b *Matrix, workers int) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATBParallel shape mismatch")
+	}
+	if workers <= 1 || dst.Rows < 64 {
+		MatMulATB(dst, a, b)
+		return
+	}
+	dst.Zero()
+	n := b.Cols
+	cols := a.Cols
+	chunk := (cols + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		c0 := w * chunk
+		if c0 >= cols {
+			break
+		}
+		c1 := min(c0+chunk, cols)
+		wg.Add(1)
+		go func(c0, c1 int) {
+			defer wg.Done()
+			for s := 0; s < a.Rows; s++ {
+				arow := a.Row(s)
+				brow := b.Row(s)
+				for i := c0; i < c1; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					drow := dst.Data[i*n : i*n+n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}(c0, c1)
+	}
+	wg.Wait()
+}
+
+// OneHotMatMul computes dst = X·W where X is a batch of concatenated one-hot
+// groups given by active indices instead of a dense matrix: sample s has
+// exactly len(idx[s]) active inputs (value 1) at the listed positions.
+// W is in×out, dst is batch×out. Exploiting the one-hot structure turns the
+// input GEMM into len(idx[s]) row gathers per sample, the optimization the
+// StreamBrain paper attributes to the quantile one-hot encoding (§V).
+func OneHotMatMul(dst *Matrix, idx [][]int32, w *Matrix) {
+	if dst.Rows != len(idx) || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: OneHotMatMul shape mismatch dst %dx%d, idx %d, w %dx%d",
+			dst.Rows, dst.Cols, len(idx), w.Rows, w.Cols))
+	}
+	n := w.Cols
+	for s, active := range idx {
+		drow := dst.Row(s)
+		for i := range drow {
+			drow[i] = 0
+		}
+		for _, in := range active {
+			wrow := w.Data[int(in)*n : int(in)*n+n]
+			j := 0
+			for ; j+3 < n; j += 4 {
+				drow[j] += wrow[j]
+				drow[j+1] += wrow[j+1]
+				drow[j+2] += wrow[j+2]
+				drow[j+3] += wrow[j+3]
+			}
+			for ; j < n; j++ {
+				drow[j] += wrow[j]
+			}
+		}
+	}
+}
+
+// OneHotMatMulParallel parallelizes OneHotMatMul over the batch dimension.
+func OneHotMatMulParallel(dst *Matrix, idx [][]int32, w *Matrix, workers int) {
+	if workers <= 1 || len(idx) < 4 {
+		OneHotMatMul(dst, idx, w)
+		return
+	}
+	if dst.Rows != len(idx) || dst.Cols != w.Cols {
+		panic("tensor: OneHotMatMulParallel shape mismatch")
+	}
+	var wg sync.WaitGroup
+	rows := len(idx)
+	chunk := (rows + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		r0 := wk * chunk
+		if r0 >= rows {
+			break
+		}
+		r1 := min(r0+chunk, rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			sub := &Matrix{Rows: r1 - r0, Cols: dst.Cols,
+				Data: dst.Data[r0*dst.Cols : r1*dst.Cols]}
+			OneHotMatMul(sub, idx[r0:r1], w)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

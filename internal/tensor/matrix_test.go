@@ -1,0 +1,196 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("element %d not zeroed: %v", i, v)
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad slice length")
+		}
+	}()
+	FromSlice(2, 3, make([]float64, 5))
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatalf("Row(1)[2] = %v, want 7.5", row[2])
+	}
+	row[0] = 3 // Row must alias, not copy.
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row did not alias underlying data")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopyFromShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).CopyFrom(NewMatrix(2, 3))
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 5, 7)
+	tr := m.Transpose()
+	if tr.Rows != 7 || tr.Cols != 5 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c) != tr.At(c, r) {
+				t.Fatalf("transpose mismatch at %d,%d", r, c)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Property: (Aᵀ)ᵀ = A.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(8)
+		c := 1 + rng.Intn(8)
+		m := randMatrix(rng, r, c)
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndMaxAbsDiff(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, 2, 3})
+	b := FromSlice(1, 3, []float64{1, 2.05, 3})
+	if a.Equal(b, 0.01) {
+		t.Fatal("Equal too lenient")
+	}
+	if !a.Equal(b, 0.1) {
+		t.Fatal("Equal too strict")
+	}
+	if d := a.MaxAbsDiff(b); math.Abs(d-0.05) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.05", d)
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(4)
+	for _, v := range m.Data {
+		if v != 4 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice(1, 2, []float64{1, 2})
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small matrix")
+	}
+	large := NewMatrix(20, 20)
+	if s := large.String(); s != "Matrix(20x20)" {
+		t.Fatalf("large String = %q", s)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	m1 := p.Get(4, 4)
+	m1.Fill(3)
+	p.Put(m1)
+	m2 := p.Get(4, 4)
+	for _, v := range m2.Data {
+		if v != 0 {
+			t.Fatal("pooled matrix not zeroed on Get")
+		}
+	}
+	hits, total := p.Stats()
+	if hits != 1 || total != 2 {
+		t.Fatalf("stats = (%d,%d), want (1,2)", hits, total)
+	}
+}
+
+func TestPoolReshapesSameElementCount(t *testing.T) {
+	p := NewPool()
+	m := p.Get(2, 8)
+	p.Put(m)
+	m2 := p.Get(4, 4) // same 16 elements, different shape
+	if m2.Rows != 4 || m2.Cols != 4 {
+		t.Fatalf("reshaped get returned %dx%d", m2.Rows, m2.Cols)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				m := p.Get(8, 8)
+				p.Put(m)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

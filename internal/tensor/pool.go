@@ -1,0 +1,61 @@
+package tensor
+
+import "sync"
+
+// Pool recycles Matrix buffers between training steps. BCPNN training
+// allocates several batch-sized temporaries per step (supports, activations,
+// batch means, the joint outer product); recycling them keeps the hot loop
+// allocation-free, which is the Go analogue of StreamBrain's preallocated
+// device buffers.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	free  map[int][]*Matrix
+	hits  int64
+	total int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[int][]*Matrix)}
+}
+
+// Get returns a zeroed rows×cols matrix, reusing a previously released buffer
+// of the same element count when available.
+func (p *Pool) Get(rows, cols int) *Matrix {
+	n := rows * cols
+	p.mu.Lock()
+	p.total++
+	list := p.free[n]
+	if len(list) > 0 {
+		m := list[len(list)-1]
+		p.free[n] = list[:len(list)-1]
+		p.hits++
+		p.mu.Unlock()
+		m.Rows, m.Cols = rows, cols
+		m.Zero()
+		return m
+	}
+	p.mu.Unlock()
+	return NewMatrix(rows, cols)
+}
+
+// Put releases m back to the pool. m must not be used afterwards.
+func (p *Pool) Put(m *Matrix) {
+	if m == nil || len(m.Data) == 0 {
+		return
+	}
+	n := len(m.Data)
+	p.mu.Lock()
+	p.free[n] = append(p.free[n], m)
+	p.mu.Unlock()
+}
+
+// Stats reports (reuse hits, total Gets) since creation, for tests and the
+// allocation ablation bench.
+func (p *Pool) Stats() (hits, total int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.total
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+)
+
+// Axpy computes y += alpha*x element-wise. Slices must have equal length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Lerp computes dst = (1-t)*dst + t*src element-wise — the exponential moving
+// average that underlies every BCPNN trace update.
+func Lerp(dst, src []float64, t float64) {
+	if len(dst) != len(src) {
+		panic("tensor: Lerp length mismatch")
+	}
+	omt := 1 - t
+	i := 0
+	for ; i+3 < len(dst); i += 4 {
+		dst[i] = omt*dst[i] + t*src[i]
+		dst[i+1] = omt*dst[i+1] + t*src[i+1]
+		dst[i+2] = omt*dst[i+2] + t*src[i+2]
+		dst[i+3] = omt*dst[i+3] + t*src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = omt*dst[i] + t*src[i]
+	}
+}
+
+// LerpParallel is Lerp split across `workers` goroutines; used by the
+// parallel backend for the large Cij trace (inputs × units).
+func LerpParallel(dst, src []float64, t float64, workers int) {
+	if workers <= 1 || len(dst) < 1<<14 {
+		Lerp(dst, src, t)
+		return
+	}
+	if len(dst) != len(src) {
+		panic("tensor: LerpParallel length mismatch")
+	}
+	var wg sync.WaitGroup
+	n := len(dst)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			Lerp(dst[lo:hi], src[lo:hi], t)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SoftmaxRow computes, in place, the softmax of x with temperature T.
+// It is max-subtracted for numerical stability; T <= 0 selects T = 1.
+func SoftmaxRow(x []float64, temperature float64) {
+	if len(x) == 0 {
+		return
+	}
+	if temperature <= 0 {
+		temperature = 1
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp((v - maxv) / temperature)
+		x[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// All supports were -Inf; fall back to uniform so downstream traces
+		// stay valid probability masses.
+		u := 1 / float64(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// SoftmaxGroups applies SoftmaxRow independently to each of `groups`
+// consecutive segments of length `width` in every row of m. This is the
+// per-hypercolumn softmax: each HCU's MCU activities form a probability mass.
+func SoftmaxGroups(m *Matrix, groups, width int, temperature float64) {
+	if groups*width != m.Cols {
+		panic("tensor: SoftmaxGroups groups*width != cols")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for g := 0; g < groups; g++ {
+			SoftmaxRow(row[g*width:(g+1)*width], temperature)
+		}
+	}
+}
+
+// SoftmaxGroupsParallel parallelizes SoftmaxGroups over rows.
+func SoftmaxGroupsParallel(m *Matrix, groups, width int, temperature float64, workers int) {
+	if workers <= 1 || m.Rows < 4 {
+		SoftmaxGroups(m, groups, width, temperature)
+		return
+	}
+	if groups*width != m.Cols {
+		panic("tensor: SoftmaxGroupsParallel groups*width != cols")
+	}
+	var wg sync.WaitGroup
+	chunk := (m.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= m.Rows {
+			break
+		}
+		r1 := min(r0+chunk, m.Rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			for r := r0; r < r1; r++ {
+				row := m.Row(r)
+				for g := 0; g < groups; g++ {
+					SoftmaxRow(row[g*width:(g+1)*width], temperature)
+				}
+			}
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// ColMeans computes the per-column mean of m into dst (length m.Cols).
+// It is the batch expectation E[x] used by the trace updates.
+func ColMeans(dst []float64, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColMeans length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			dst[c] += v
+		}
+	}
+	if m.Rows > 0 {
+		Scale(1/float64(m.Rows), dst)
+	}
+}
+
+// ArgMaxRow returns the index of the maximum element of x (first on ties).
+func ArgMaxRow(x []float64) int {
+	best := 0
+	bv := math.Inf(-1)
+	for i, v := range x {
+		if v > bv {
+			bv = v
+			best = i
+		}
+	}
+	return best
+}
+
+// Clip bounds every element of x into [lo, hi] in place.
+func Clip(x []float64, lo, hi float64) {
+	for i, v := range x {
+		if v < lo {
+			x[i] = lo
+		} else if v > hi {
+			x[i] = hi
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image/png"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// LiveServer is the live-connection half of the Catalyst substitution: a
+// lightweight HTTP endpoint that always serves the most recent epoch's
+// receptive fields, so a browser (standing in for the ParaView client) can
+// "accept live connection … visualize, pause, and inspect the fields as the
+// training progresses" (§III-B).
+//
+// Endpoints:
+//
+//	/            HTML page that polls and redraws the montage
+//	/latest.png  current montage render
+//	/latest.json current fields and epoch as JSON
+type LiveServer struct {
+	mu       sync.RWMutex
+	epoch    int
+	fields   []Field
+	controls map[string]float64
+
+	listener net.Listener
+	server   *http.Server
+}
+
+// NewLiveServer starts serving on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns immediately; training pushes updates via CoProcess.
+func NewLiveServer(addr string) (*LiveServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("viz: live server: %w", err)
+	}
+	ls := &LiveServer{listener: ln, controls: make(map[string]float64)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", ls.handleIndex)
+	mux.HandleFunc("/latest.png", ls.handlePNG)
+	mux.HandleFunc("/latest.json", ls.handleJSON)
+	mux.HandleFunc("/control", ls.handleControl)
+	ls.server = &http.Server{Handler: mux}
+	go ls.server.Serve(ln) //nolint:errcheck // shutdown returns ErrServerClosed
+	return ls, nil
+}
+
+// Addr returns the bound address (host:port).
+func (ls *LiveServer) Addr() string { return ls.listener.Addr().String() }
+
+// Close shuts the server down.
+func (ls *LiveServer) Close() error { return ls.server.Close() }
+
+// CoProcess implements Adaptor: publish this epoch's fields.
+func (ls *LiveServer) CoProcess(epoch int, fields []Field) error {
+	cp := make([]Field, len(fields))
+	for i, f := range fields {
+		cp[i] = Field{Name: f.Name, Width: f.Width, Height: f.Height,
+			Data: append([]float64(nil), f.Data...)}
+	}
+	ls.mu.Lock()
+	ls.epoch = epoch
+	ls.fields = cp
+	ls.mu.Unlock()
+	return nil
+}
+
+func (ls *LiveServer) snapshot() (int, []Field) {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.epoch, ls.fields
+}
+
+func (ls *LiveServer) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<!doctype html><title>StreamBrain in-situ</title>
+<body style="background:#111;color:#eee;font-family:monospace">
+<h3>StreamBrain receptive fields (live)</h3>
+<div id="e"></div><img id="m" src="/latest.png">
+<script>
+setInterval(function(){
+  document.getElementById('m').src='/latest.png?t='+Date.now();
+  fetch('/latest.json').then(function(r){return r.json()}).then(function(j){
+    document.getElementById('e').textContent='epoch '+j.epoch;});
+},1000);
+</script></body>`)
+}
+
+func (ls *LiveServer) handlePNG(w http.ResponseWriter, _ *http.Request) {
+	_, fields := ls.snapshot()
+	if len(fields) == 0 {
+		http.Error(w, "no fields yet", http.StatusNotFound)
+		return
+	}
+	img := RenderMontage(fields, 4, 8)
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Write(buf.Bytes()) //nolint:errcheck
+}
+
+// liveJSON is the /latest.json payload.
+type liveJSON struct {
+	Epoch  int     `json:"epoch"`
+	Fields []Field `json:"fields"`
+}
+
+func (ls *LiveServer) handleJSON(w http.ResponseWriter, _ *http.Request) {
+	epoch, fields := ls.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(liveJSON{Epoch: epoch, Fields: fields}) //nolint:errcheck
+}
+
+// handleControl implements the user-guided tuning channel the paper's §VII
+// sketches ("adapting hyperparameters associated with structural plasticity
+// dynamically online, possibly guided by an end-user through the ParaView
+// visualization"): POST /control?key=<name>&value=<float> records a knob
+// setting; the training loop polls Controls() from its epoch hook and
+// applies whatever it understands (e.g. swapsPerEpoch, swapMargin).
+func (ls *LiveServer) handleControl(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	val := r.URL.Query().Get("value")
+	if key == "" || val == "" {
+		http.Error(w, "need key= and value=", http.StatusBadRequest)
+		return
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		http.Error(w, "value not a number", http.StatusBadRequest)
+		return
+	}
+	ls.mu.Lock()
+	ls.controls[key] = f
+	ls.mu.Unlock()
+	fmt.Fprintf(w, "ok %s=%g\n", key, f)
+}
+
+// Controls returns a copy of the user-set knobs.
+func (ls *LiveServer) Controls() map[string]float64 {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	out := make(map[string]float64, len(ls.controls))
+	for k, v := range ls.controls {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+)
+
+// heatColor maps a normalized value in [0,1] to the blue→red ramp used by
+// the paper's Fig. 2 (red = active connection, blue = silent connection).
+func heatColor(v float64) color.RGBA {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	r := uint8(255 * v)
+	b := uint8(255 * (1 - v))
+	g := uint8(64 * (1 - 2*abs(v-0.5)))
+	return color.RGBA{R: r, G: g, B: b, A: 255}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Render draws a field as an image, scaled up by `scale` (nearest neighbor),
+// normalized to the field's own min/max.
+func Render(f Field, scale int) *image.RGBA {
+	if scale < 1 {
+		scale = 1
+	}
+	lo, hi := f.Data[0], f.Data[0]
+	for _, v := range f.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	img := image.NewRGBA(image.Rect(0, 0, f.Width*scale, f.Height*scale))
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			v := f.Data[y*f.Width+x]
+			n := 0.0
+			if span > 0 {
+				n = (v - lo) / span
+			}
+			c := heatColor(n)
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					img.SetRGBA(x*scale+dx, y*scale+dy, c)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// RenderMontage tiles many fields into one image with `cols` columns and a
+// 1-pixel (scaled) separator — the layout of the paper's Fig. 5 mask grid.
+func RenderMontage(fields []Field, cols, scale int) *image.RGBA {
+	if len(fields) == 0 || cols < 1 {
+		return image.NewRGBA(image.Rect(0, 0, 1, 1))
+	}
+	rows := (len(fields) + cols - 1) / cols
+	fw, fh := fields[0].Width, fields[0].Height
+	gap := scale
+	img := image.NewRGBA(image.Rect(0, 0,
+		cols*fw*scale+(cols-1)*gap, rows*fh*scale+(rows-1)*gap))
+	for i, f := range fields {
+		tile := Render(f, scale)
+		ox := (i % cols) * (fw*scale + gap)
+		oy := (i / cols) * (fh*scale + gap)
+		for y := 0; y < tile.Rect.Dy(); y++ {
+			for x := 0; x < tile.Rect.Dx(); x++ {
+				img.Set(ox+x, oy+y, tile.At(x, y))
+			}
+		}
+	}
+	return img
+}
+
+// SavePNG writes an image to path.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	return png.Encode(f, img)
+}
+
+// PNGWriter is the Catalyst adaptor that renders each epoch's fields into a
+// montage PNG under Dir.
+type PNGWriter struct {
+	Dir     string
+	Prefix  string
+	Scale   int
+	Cols    int
+	Written []string
+}
+
+// NewPNGWriter creates Dir if needed.
+func NewPNGWriter(dir, prefix string, cols, scale int) (*PNGWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("viz: %w", err)
+	}
+	if cols < 1 {
+		cols = 4
+	}
+	if scale < 1 {
+		scale = 8
+	}
+	return &PNGWriter{Dir: dir, Prefix: prefix, Cols: cols, Scale: scale}, nil
+}
+
+// CoProcess implements Adaptor.
+func (pw *PNGWriter) CoProcess(epoch int, fields []Field) error {
+	path := filepath.Join(pw.Dir, fmt.Sprintf("%s_%04d.png", pw.Prefix, epoch))
+	if err := SavePNG(path, RenderMontage(fields, pw.Cols, pw.Scale)); err != nil {
+		return err
+	}
+	pw.Written = append(pw.Written, path)
+	return nil
+}

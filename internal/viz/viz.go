@@ -1,0 +1,98 @@
+// Package viz implements the in-situ visualization subsystem the paper
+// introduces in §III-B: per-epoch co-processing of the HCU receptive fields,
+// written as genuine VTK XML ImageData (.vti) files that ParaView can open,
+// rendered to PNG and ASCII for quick inspection, and served over a live
+// HTTP endpoint that plays the role of the ParaView Catalyst live
+// connection (visualize / pause / inspect as training progresses).
+//
+// The coupling point is the Adaptor interface: the training loop calls
+// CoProcess once per epoch with the current fields, exactly where the
+// paper's Catalyst adaptor triggers its pipeline.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one named 2-D scalar field — typically an HCU's receptive field
+// (mask or mutual-information map) reshaped to the input's spatial layout.
+type Field struct {
+	Name          string
+	Width, Height int
+	Data          []float64 // row-major, Width*Height values
+}
+
+// Validate reports geometry errors.
+func (f Field) Validate() error {
+	if f.Width <= 0 || f.Height <= 0 {
+		return fmt.Errorf("viz: field %q has invalid size %dx%d", f.Name, f.Width, f.Height)
+	}
+	if len(f.Data) != f.Width*f.Height {
+		return fmt.Errorf("viz: field %q has %d values for %dx%d",
+			f.Name, len(f.Data), f.Width, f.Height)
+	}
+	return nil
+}
+
+// BoolField converts a mask to a Field (true → 1, false → 0).
+func BoolField(name string, width, height int, mask []bool) Field {
+	data := make([]float64, len(mask))
+	for i, on := range mask {
+		if on {
+			data[i] = 1
+		}
+	}
+	return Field{Name: name, Width: width, Height: height, Data: data}
+}
+
+// Adaptor receives the per-epoch co-processing callback.
+type Adaptor interface {
+	// CoProcess is invoked at the end of each training epoch with the
+	// current receptive fields.
+	CoProcess(epoch int, fields []Field) error
+}
+
+// Multi fans one CoProcess call out to several adaptors, failing on the
+// first error.
+type Multi []Adaptor
+
+// CoProcess implements Adaptor.
+func (m Multi) CoProcess(epoch int, fields []Field) error {
+	for _, a := range m {
+		if err := a.CoProcess(epoch, fields); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIRender draws a field as a text heatmap using a density ramp, the
+// zero-dependency way to eyeball a receptive field in a terminal.
+func ASCIIRender(f Field) string {
+	ramp := " .:-=+*#%@"
+	lo, hi := f.Data[0], f.Data[0]
+	for _, v := range f.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%dx%d)\n", f.Name, f.Width, f.Height)
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			v := f.Data[y*f.Width+x]
+			idx := 0
+			if span > 0 {
+				idx = int((v - lo) / span * float64(len(ramp)-1))
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

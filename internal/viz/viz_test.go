@@ -1,0 +1,307 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testField(name string) Field {
+	f := Field{Name: name, Width: 4, Height: 3, Data: make([]float64, 12)}
+	for i := range f.Data {
+		f.Data[i] = float64(i)
+	}
+	return f
+}
+
+func TestFieldValidate(t *testing.T) {
+	if err := testField("ok").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Field{Name: "bad", Width: 4, Height: 3, Data: make([]float64, 5)}
+	if bad.Validate() == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if (Field{Name: "z", Width: 0, Height: 1}).Validate() == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestBoolField(t *testing.T) {
+	f := BoolField("mask", 2, 2, []bool{true, false, false, true})
+	want := []float64{1, 0, 0, 1}
+	for i := range want {
+		if f.Data[i] != want[i] {
+			t.Fatalf("BoolField[%d] = %v", i, f.Data[i])
+		}
+	}
+}
+
+func TestWriteVTIStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVTI(&buf, []Field{testField("hcu0"), testField("hcu1")}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`<VTKFile type="ImageData"`,
+		`WholeExtent="0 3 0 2 0 0"`,
+		`<DataArray type="Float64" Name="hcu0"`,
+		`<DataArray type="Float64" Name="hcu1"`,
+		`</VTKFile>`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("VTI missing %q in:\n%s", want, s)
+		}
+	}
+	// All 12 values of each field must appear.
+	if c := strings.Count(s, "11 "); c < 2 {
+		t.Fatalf("expected both fields' last value, found %d", c)
+	}
+}
+
+func TestWriteVTIErrors(t *testing.T) {
+	if err := WriteVTI(io.Discard, nil); err == nil {
+		t.Fatal("no fields accepted")
+	}
+	a := testField("a")
+	b := Field{Name: "b", Width: 2, Height: 2, Data: make([]float64, 4)}
+	if err := WriteVTI(io.Discard, []Field{a, b}); err == nil {
+		t.Fatal("mixed geometry accepted")
+	}
+}
+
+func TestVTIWriterPerEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewVTIWriter(dir, "rf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		if err := w.CoProcess(epoch, []Field{testField("hcu0")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(w.Written) != 3 {
+		t.Fatalf("wrote %d files", len(w.Written))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rf_0002.vti")); err != nil {
+		t.Fatalf("missing epoch file: %v", err)
+	}
+}
+
+func TestRenderGeometry(t *testing.T) {
+	img := Render(testField("f"), 3)
+	if img.Rect.Dx() != 12 || img.Rect.Dy() != 9 {
+		t.Fatalf("render size %dx%d", img.Rect.Dx(), img.Rect.Dy())
+	}
+	// Min value renders blue, max renders red.
+	c0 := img.RGBAAt(0, 0)
+	cN := img.RGBAAt(11, 8)
+	if c0.B <= c0.R {
+		t.Fatalf("min pixel not blue: %+v", c0)
+	}
+	if cN.R <= cN.B {
+		t.Fatalf("max pixel not red: %+v", cN)
+	}
+}
+
+func TestRenderConstantField(t *testing.T) {
+	f := Field{Name: "c", Width: 2, Height: 2, Data: []float64{5, 5, 5, 5}}
+	img := Render(f, 1) // must not divide by zero
+	if img.Rect.Dx() != 2 {
+		t.Fatal("bad size")
+	}
+}
+
+func TestRenderMontageLayout(t *testing.T) {
+	fields := []Field{testField("a"), testField("b"), testField("c")}
+	img := RenderMontage(fields, 2, 2)
+	// 2 cols of 4px*2 scale + 1 gap of 2; 2 rows of 3*2 + 1 gap.
+	if img.Rect.Dx() != 2*8+2 || img.Rect.Dy() != 2*6+2 {
+		t.Fatalf("montage size %dx%d", img.Rect.Dx(), img.Rect.Dy())
+	}
+	empty := RenderMontage(nil, 2, 2)
+	if empty.Rect.Dx() != 1 {
+		t.Fatal("empty montage should be 1x1")
+	}
+}
+
+func TestPNGWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewPNGWriter(dir, "fig", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CoProcess(7, []Field{testField("a")}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig_0007.png")
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("png not written: %v", err)
+	}
+}
+
+func TestASCIIRender(t *testing.T) {
+	s := ASCIIRender(testField("f"))
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("ascii has %d lines", len(lines))
+	}
+	if len(lines[1]) != 4 {
+		t.Fatalf("row width %d", len(lines[1]))
+	}
+	// Max-value corner must use the densest ramp char.
+	if lines[3][3] != '@' {
+		t.Fatalf("max cell rendered as %q", lines[3][3])
+	}
+}
+
+func TestMultiAdaptorFanOut(t *testing.T) {
+	dir := t.TempDir()
+	v, _ := NewVTIWriter(dir, "v")
+	p, _ := NewPNGWriter(dir, "p", 2, 2)
+	m := Multi{v, p}
+	if err := m.CoProcess(0, []Field{testField("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Written) != 1 || len(p.Written) != 1 {
+		t.Fatal("fan-out missed an adaptor")
+	}
+}
+
+func TestLiveServerEndpoints(t *testing.T) {
+	ls, err := NewLiveServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	// Before any CoProcess, the PNG endpoint reports 404.
+	resp, err := http.Get("http://" + ls.Addr() + "/latest.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-publish status %d", resp.StatusCode)
+	}
+
+	if err := ls.CoProcess(5, []Field{testField("hcu0")}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get("http://" + ls.Addr() + "/latest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Epoch  int `json:"epoch"`
+		Fields []struct {
+			Name string `json:"Name"`
+		} `json:"fields"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Epoch != 5 || len(payload.Fields) != 1 || payload.Fields[0].Name != "hcu0" {
+		t.Fatalf("bad payload: %+v", payload)
+	}
+
+	resp2, err := http.Get("http://" + ls.Addr() + "/latest.png")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("png endpoint status %d, %d bytes", resp2.StatusCode, len(body))
+	}
+	// PNG magic.
+	if fmt.Sprintf("%x", body[:4]) != "89504e47" {
+		t.Fatal("latest.png is not a PNG")
+	}
+
+	resp3, err := http.Get("http://" + ls.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if !strings.Contains(string(html), "StreamBrain") {
+		t.Fatal("index page missing title")
+	}
+}
+
+func TestLiveServerCopiesFields(t *testing.T) {
+	ls, err := NewLiveServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	f := testField("a")
+	if err := ls.CoProcess(0, []Field{f}); err != nil {
+		t.Fatal(err)
+	}
+	f.Data[0] = 999 // mutate after publish; server must hold a copy
+	_, fields := ls.snapshot()
+	if fields[0].Data[0] == 999 {
+		t.Fatal("live server aliases caller data")
+	}
+}
+
+func TestLiveServerControlEndpoint(t *testing.T) {
+	ls, err := NewLiveServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+
+	// GET is rejected.
+	resp, err := http.Get("http://" + ls.Addr() + "/control?key=swaps&value=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /control status %d", resp.StatusCode)
+	}
+
+	post := func(q string) int {
+		r, err := http.Post("http://"+ls.Addr()+"/control?"+q, "text/plain", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r.StatusCode
+	}
+	if code := post("key=swapsPerEpoch&value=5"); code != http.StatusOK {
+		t.Fatalf("valid control rejected: %d", code)
+	}
+	if code := post("key=swapMargin&value=0.2"); code != http.StatusOK {
+		t.Fatalf("valid control rejected: %d", code)
+	}
+	if code := post("key=bad"); code != http.StatusBadRequest {
+		t.Fatalf("missing value accepted: %d", code)
+	}
+	if code := post("key=x&value=notanumber"); code != http.StatusBadRequest {
+		t.Fatalf("non-numeric accepted: %d", code)
+	}
+	controls := ls.Controls()
+	if controls["swapsPerEpoch"] != 5 || controls["swapMargin"] != 0.2 {
+		t.Fatalf("controls not recorded: %v", controls)
+	}
+	// Controls() must return a copy.
+	controls["swapsPerEpoch"] = 99
+	if ls.Controls()["swapsPerEpoch"] != 5 {
+		t.Fatal("Controls leaked internal map")
+	}
+}

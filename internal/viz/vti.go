@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteVTI serializes fields as a VTK XML ImageData file ("the Catalyst
+// pipeline writes the receptive fields as VTI files", §III-B). All fields
+// must share one geometry; they become separate point-data scalar arrays.
+// The output is plain-ASCII VTI readable by stock ParaView.
+func WriteVTI(w io.Writer, fields []Field) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("viz: WriteVTI with no fields")
+	}
+	w0, h0 := fields[0].Width, fields[0].Height
+	for _, f := range fields {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if f.Width != w0 || f.Height != h0 {
+			return fmt.Errorf("viz: WriteVTI mixed geometries %dx%d vs %dx%d",
+				f.Width, f.Height, w0, h0)
+		}
+	}
+	// VTI extents are inclusive point ranges; a WxH pixel field is stored as
+	// point data on a (W-1)x(H-1)x0 cell grid's points.
+	fmt.Fprintf(w, "<?xml version=\"1.0\"?>\n")
+	fmt.Fprintf(w, "<VTKFile type=\"ImageData\" version=\"0.1\" byte_order=\"LittleEndian\">\n")
+	fmt.Fprintf(w, "  <ImageData WholeExtent=\"0 %d 0 %d 0 0\" Origin=\"0 0 0\" Spacing=\"1 1 1\">\n",
+		w0-1, h0-1)
+	fmt.Fprintf(w, "    <Piece Extent=\"0 %d 0 %d 0 0\">\n", w0-1, h0-1)
+	fmt.Fprintf(w, "      <PointData Scalars=\"%s\">\n", fields[0].Name)
+	for _, f := range fields {
+		fmt.Fprintf(w, "        <DataArray type=\"Float64\" Name=\"%s\" format=\"ascii\">\n", f.Name)
+		for i, v := range f.Data {
+			if i%8 == 0 {
+				fmt.Fprint(w, "          ")
+			}
+			fmt.Fprintf(w, "%g ", v)
+			if i%8 == 7 || i == len(f.Data)-1 {
+				fmt.Fprintln(w)
+			}
+		}
+		fmt.Fprintf(w, "        </DataArray>\n")
+	}
+	fmt.Fprintf(w, "      </PointData>\n")
+	fmt.Fprintf(w, "    </Piece>\n")
+	fmt.Fprintf(w, "  </ImageData>\n")
+	fmt.Fprintf(w, "</VTKFile>\n")
+	return nil
+}
+
+// VTIWriter is the file-emitting Catalyst adaptor: one .vti per epoch in
+// Dir, named <Prefix>_<epoch>.vti.
+type VTIWriter struct {
+	Dir    string
+	Prefix string
+	// Written collects the emitted paths, for tests and reporting.
+	Written []string
+}
+
+// NewVTIWriter creates Dir if needed and returns the adaptor.
+func NewVTIWriter(dir, prefix string) (*VTIWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("viz: %w", err)
+	}
+	return &VTIWriter{Dir: dir, Prefix: prefix}, nil
+}
+
+// CoProcess implements Adaptor.
+func (vw *VTIWriter) CoProcess(epoch int, fields []Field) error {
+	path := filepath.Join(vw.Dir, fmt.Sprintf("%s_%04d.vti", vw.Prefix, epoch))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := WriteVTI(f, fields); err != nil {
+		return err
+	}
+	vw.Written = append(vw.Written, path)
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package streambrain is a Go implementation of StreamBrain, the HPC
+// framework for brain-inspired BCPNN learning, together with the full
+// evaluation pipeline of "Higgs Boson Classification: Brain-inspired BCPNN
+// Learning with StreamBrain" (Svedin et al., CLUSTER 2021).
+//
+// The public API mirrors the Keras-inspired workflow the paper describes
+// (§III: construct the network, then call the training function):
+//
+//	train, test, enc := streambrain.LoadHiggs(streambrain.HiggsOptions{})
+//	_ = enc
+//	model, _ := streambrain.NewModel(streambrain.Config{
+//		Backend: "parallel",
+//		Params:  streambrain.DefaultParams(),
+//	}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+//	model.Fit(train)
+//	acc, auc := model.Evaluate(test)
+//
+// Heavy lifting lives in internal packages: internal/core (the BCPNN
+// model), internal/backend (naive / parallel / GPU-simulator kernels),
+// internal/mpi (message passing), internal/higgs and internal/mnistgen
+// (dataset substrates), internal/viz (in-situ visualization), and
+// internal/experiments (the per-figure harnesses). See DESIGN.md for the
+// complete inventory.
+package streambrain
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/sgd"
+)
+
+// Params re-exports the BCPNN hyperparameter set.
+type Params = core.Params
+
+// EpochHook re-exports the per-epoch observation callback used by the
+// in-situ visualization adaptors.
+type EpochHook = core.EpochHook
+
+// DefaultParams returns the experiment-default hyperparameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Config selects the execution backend and model variant.
+type Config struct {
+	// Backend names the compute backend: "naive", "parallel" or "gpusim".
+	// Empty selects "parallel".
+	Backend string
+	// Workers sets the backend worker-team size (0 = GOMAXPROCS).
+	Workers int
+	// Params holds the BCPNN hyperparameters (zero value = DefaultParams).
+	Params Params
+	// HybridSGD replaces the BCPNN classification layer with the SGD
+	// softmax readout — the paper's best-performing configuration
+	// (69.15% accuracy / 76.4% AUC).
+	HybridSGD bool
+	// SGD configures the hybrid readout (zero value = sgd.DefaultConfig).
+	SGD sgd.Config
+}
+
+// Model is a trained or trainable three-layer StreamBrain network.
+type Model struct {
+	net *core.Network
+	cfg Config
+}
+
+// NewModel builds a model for one-hot input with the given geometry
+// (hypercolumns × units each) and class count.
+func NewModel(cfg Config, hypercolumns, unitsPerHC, classes int) (*Model, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "parallel"
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	be, err := backend.New(cfg.Backend, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if hypercolumns < 1 || unitsPerHC < 1 || classes < 2 {
+		return nil, fmt.Errorf("streambrain: bad geometry %dx%d classes=%d",
+			hypercolumns, unitsPerHC, classes)
+	}
+	net := core.NewNetwork(be, hypercolumns, unitsPerHC, classes, cfg.Params)
+	if cfg.HybridSGD {
+		if cfg.SGD == (sgd.Config{}) {
+			cfg.SGD = sgd.DefaultConfig()
+		}
+		rng := rand.New(rand.NewSource(cfg.Params.Seed + 1))
+		net.SetReadout(sgd.NewSoftmax(net.Hidden.Units(), classes, cfg.SGD, rng))
+	}
+	return &Model{net: net, cfg: cfg}, nil
+}
+
+// Fit trains both phases (unsupervised feature learning, then the
+// classifier) with the epoch counts in Params. Hooks observe the hidden
+// layer after each unsupervised epoch.
+func (m *Model) Fit(train *data.Encoded, hooks ...EpochHook) {
+	m.net.Train(train, hooks...)
+}
+
+// FitUnsupervised runs only the feature-learning phase.
+func (m *Model) FitUnsupervised(train *data.Encoded, epochs int, hooks ...EpochHook) {
+	m.net.TrainUnsupervised(train, epochs, hooks...)
+}
+
+// FitSupervised runs only the classifier phase.
+func (m *Model) FitSupervised(train *data.Encoded, epochs int) {
+	m.net.TrainSupervised(train, epochs)
+}
+
+// Predict returns the predicted class per sample and, for binary problems,
+// the signal probability used for ROC/AUC.
+func (m *Model) Predict(ds *data.Encoded) (pred []int, signalScore []float64) {
+	return m.net.Predict(ds)
+}
+
+// Evaluate returns test accuracy and (binary) AUC.
+func (m *Model) Evaluate(ds *data.Encoded) (acc, auc float64) {
+	return m.net.Evaluate(ds)
+}
+
+// Network exposes the underlying core network for advanced use (receptive-
+// field inspection, custom readouts, visualization hooks).
+func (m *Model) Network() *core.Network { return m.net }
+
+// TrainSeconds reports accumulated wall-clock training time.
+func (m *Model) TrainSeconds() float64 { return m.net.TrainTime.Seconds() }
+
+// HiggsOptions configures LoadHiggs.
+type HiggsOptions struct {
+	// CSVPath optionally points at the real UCI HIGGS CSV; when empty a
+	// synthetic sample is generated (see internal/higgs for the physics).
+	CSVPath string
+	// Events is the synthetic sample size (default 40000).
+	Events int
+	// PerClass bounds the balanced subset per class (default Events/4).
+	PerClass int
+	// TestFraction is the held-out share (default 0.25).
+	TestFraction float64
+	// Bins is the quantile-encoding bin count (default 10, as in §V).
+	Bins int
+	// Seed drives generation and splitting.
+	Seed int64
+}
+
+// LoadHiggs runs the paper's full §V preprocessing pipeline: load (or
+// synthesize) events, extract a balanced subset, split train/test, fit
+// 10-quantile boundaries on the training split, and one-hot encode both.
+// It returns the encoded splits plus the fitted encoder.
+func LoadHiggs(opt HiggsOptions) (train, test *data.Encoded, enc *data.Encoder, err error) {
+	if opt.Events <= 0 {
+		opt.Events = 40000
+	}
+	if opt.TestFraction <= 0 || opt.TestFraction >= 1 {
+		opt.TestFraction = 0.25
+	}
+	if opt.Bins <= 0 {
+		opt.Bins = 10
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.PerClass <= 0 {
+		opt.PerClass = opt.Events / 4
+	}
+	ds, err := higgs.Load(opt.CSVPath, 0, opt.Events, opt.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	balanced := ds.Balanced(opt.PerClass, rng)
+	trainDS, testDS := balanced.Split(1-opt.TestFraction, rng)
+	enc = data.FitEncoder(trainDS, opt.Bins)
+	return enc.Transform(trainDS), enc.Transform(testDS), enc, nil
+}
+
+// Backends lists the registered compute backends.
+func Backends() []string { return backend.Names() }
