@@ -7,9 +7,12 @@
 package streambrain_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
@@ -22,6 +25,7 @@ import (
 	"streambrain/internal/mnistgen"
 	"streambrain/internal/mpi"
 	"streambrain/internal/posit"
+	"streambrain/internal/serve"
 	"streambrain/internal/tensor"
 	"streambrain/internal/viz"
 )
@@ -463,6 +467,70 @@ func BenchmarkFPGAPrecision(b *testing.B) {
 			b.ReportMetric(auc, "auc")
 		})
 	}
+}
+
+// BenchmarkServePredict measures online-inference throughput through the
+// serving subsystem: "batch=1" scores one raw event per backend call (the
+// no-batching baseline), "coalesced" pushes many concurrent requests through
+// the micro-batcher so they merge into backend-sized forward passes. The
+// events/s gap is the serving-side analogue of the training-side batching
+// win; avg-batch reports the amortization factor achieved.
+func BenchmarkServePredict(b *testing.B) {
+	splits := benchSplits(b)
+	p := core.DefaultParams()
+	p.MCUs = 300
+	p.ReceptiveField = 0.40
+	p.Seed = 1
+	net := core.NewNetwork(backend.MustNew("parallel", 0), splits.Train.Hypercolumns,
+		splits.Train.UnitsPerHC, splits.Train.Classes, p)
+	net.TrainUnsupervised(splits.Train, 2)
+	net.TrainSupervised(splits.Train, 2)
+	net.CalibrateThreshold(splits.Train)
+	var buf bytes.Buffer
+	if err := serve.SaveBundle(&buf, net, splits.Enc); err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := serve.LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("parallel", 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([][]float64, splits.TestRaw.Len())
+	for i := range events {
+		events[i] = splits.TestRaw.X.Row(i)
+	}
+
+	b.Run("batch=1", func(b *testing.B) {
+		one := make([][]float64, 1)
+		for i := 0; i < b.N; i++ {
+			one[0] = events[i%len(events)]
+			if _, _, err := bundle.Predict(one); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("coalesced", func(b *testing.B) {
+		batcher := serve.NewBatcher(func(_ int, evs [][]float64) ([]int, []float64, error) {
+			return bundle.Predict(evs)
+		}, serve.BatcherConfig{MaxBatch: 64, MaxWait: 500 * time.Microsecond, Workers: 1})
+		defer batcher.Close()
+		ctx := context.Background()
+		b.SetParallelism(64) // many in-flight requests per core, like live traffic
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, _, err := batcher.Predict(ctx, events[i%len(events)]); err != nil {
+					b.Error(err) // Fatal is not legal off the benchmark goroutine
+					return
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		b.ReportMetric(batcher.Stats().AvgBatch(), "avg-batch")
+	})
 }
 
 // BenchmarkQuantileEncode is ablation A6 (DESIGN.md §5.5): the §V

@@ -1,0 +1,71 @@
+// Command streambrain-serve exposes a trained model bundle as an HTTP JSON
+// prediction service with request micro-batching:
+//
+//	streambrain -events 40000 -hybrid -save-bundle model.bundle
+//	streambrain-serve -bundle model.bundle -addr :8080
+//	curl -s localhost:8080/v1/predict -d '{"events": [[...28 raw features...]]}'
+//
+// Concurrent requests are coalesced into single backend-sized forward passes
+// (up to -max-batch events per call, waiting at most -max-wait for company),
+// the same batching that gives StreamBrain its training throughput.
+// GET /healthz reports liveness, GET /stats reports request counts, batch
+// amortization, and latency percentiles, and POST /v1/reload atomically
+// hot-swaps the bundle from disk without dropping in-flight requests.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"streambrain/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambrain-serve: ")
+
+	var (
+		bundlePath  = flag.String("bundle", "", "path to the model bundle (required)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		backendName = flag.String("backend", "parallel", "compute backend: naive | parallel | gpusim")
+		workers     = flag.Int("workers", 0, "per-replica backend worker-team size (0 = all cores)")
+		replicas    = flag.Int("replicas", defaultReplicas(), "model replicas = concurrent batch executors")
+		maxBatch    = flag.Int("max-batch", 64, "max coalesced events per backend call")
+		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits to be batched")
+	)
+	flag.Parse()
+	if *bundlePath == "" {
+		log.Fatal("-bundle is required (train one with: streambrain -save-bundle model.bundle)")
+	}
+
+	reg := serve.NewRegistry(*replicas, serve.NamedBackendFactory(*backendName, *workers))
+	if err := reg.LoadFile(*bundlePath); err != nil {
+		log.Fatal(err)
+	}
+	info := reg.Info()
+	log.Printf("loaded %s: %d features -> %d classes (saved from %q backend), %d replicas",
+		info.Source, info.Features, info.Classes, info.SavedBackend, info.Replicas)
+
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
+	}, *bundlePath)
+	defer srv.Close()
+
+	log.Printf("serving on %s (max-batch %d, max-wait %s)", *addr, *maxBatch, *maxWait)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// defaultReplicas leaves headroom for the HTTP runtime: half the cores, and
+// each replica's backend still parallelizes internally.
+func defaultReplicas() int {
+	n := runtime.GOMAXPROCS(0) / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -16,6 +16,7 @@ import (
 	"streambrain"
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
+	"streambrain/internal/serve"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		hybrid      = flag.Bool("hybrid", false, "use the BCPNN+SGD hybrid readout")
 		seed        = flag.Int64("seed", 1, "random seed")
 		saveModel   = flag.String("save", "", "write the trained model state to this path")
+		saveBundle  = flag.String("save-bundle", "", "write a serving bundle (model + encoder) to this path")
 		loadModel   = flag.String("load", "", "load a model state instead of training")
 	)
 	flag.Parse()
@@ -52,7 +54,7 @@ func main() {
 	params.BatchSize = *batch
 	params.Seed = *seed
 
-	train, test, _, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+	train, test, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
 		CSVPath: *csvPath,
 		Events:  *events,
 		Bins:    *bins,
@@ -104,19 +106,22 @@ func main() {
 	fmt.Printf("test accuracy %.4f, AUC %.4f (train time %.1fs)\n",
 		acc, auc, model.TrainSeconds())
 	if *saveModel != "" {
-		if *hybrid {
-			log.Print("note: hybrid readouts are not serialized; saving is skipped")
-		} else {
-			f, err := os.Create(*saveModel)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := model.Network().Save(f); err != nil {
-				log.Fatal(err)
-			}
-			f.Close()
-			fmt.Printf("saved model state to %s\n", *saveModel)
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			log.Fatal(err)
 		}
+		if err := model.Network().Save(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("saved model state to %s\n", *saveModel)
+	}
+	if *saveBundle != "" {
+		if err := serve.SaveBundleFile(*saveBundle, model.Network(), enc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved serving bundle to %s (serve with: streambrain-serve -bundle %s)\n",
+			*saveBundle, *saveBundle)
 	}
 	if acc < 0.5 {
 		os.Exit(1)

@@ -1,0 +1,111 @@
+// Serving: the full online-inference loop in one process — train a small
+// hybrid model, save it as a bundle (model + fitted encoder), serve it over
+// HTTP with request micro-batching, score a raw event with a JSON POST, and
+// read the batching stats back.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streambrain"
+	"streambrain/internal/higgs"
+	"streambrain/internal/serve"
+)
+
+func main() {
+	// 1. Train the paper's hybrid configuration at toy scale.
+	train, test, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 8000,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := streambrain.DefaultParams()
+	params.MCUs = 100
+	params.ReceptiveField = 0.40
+	params.UnsupervisedEpochs = 3
+	params.SupervisedEpochs = 3
+	params.Seed = 42
+	model, err := streambrain.NewModel(streambrain.Config{
+		Backend:   "parallel",
+		Params:    params,
+		HybridSGD: true,
+	}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Fit(train)
+	acc, auc := model.Evaluate(test)
+	fmt.Printf("trained: accuracy %.3f, AUC %.3f\n", acc, auc)
+
+	// 2. Save the bundle: network and encoder travel together, so the
+	//    serving process scores raw 28-feature events end-to-end.
+	dir, err := os.MkdirTemp("", "streambrain-serving")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	bundlePath := filepath.Join(dir, "model.bundle")
+	if err := serve.SaveBundleFile(bundlePath, model.Network(), enc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bundle saved to %s\n", bundlePath)
+
+	// 3. Serve it. (cmd/streambrain-serve is the standalone equivalent.)
+	reg := serve.NewRegistry(2, serve.NamedBackendFactory("parallel", 0))
+	if err := reg.LoadFile(bundlePath); err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Batcher: serve.BatcherConfig{MaxBatch: 32, MaxWait: 2 * time.Millisecond},
+	}, bundlePath)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// 4. Score a raw event exactly as an external client would.
+	raw := higgs.Generate(1, 0.5, 7).X.Row(0)
+	body, _ := json.Marshal(serve.PredictRequest{Events: [][]float64{raw}})
+	resp, err := http.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	p := pr.Predictions[0]
+	class := "background"
+	if p.Class == 1 {
+		class = "signal"
+	}
+	fmt.Printf("event scored: %s (signal probability %.3f)\n", class, p.SignalScore)
+
+	// 5. Read the batching stats back.
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("stats: %d requests, %d events in %d backend calls (avg batch %.1f), p50 %.2fms\n",
+		st.Requests, st.Events, st.Batches, st.AvgBatch, st.Latency.P50Ms)
+}

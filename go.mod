@@ -1,0 +1,3 @@
+module streambrain
+
+go 1.24

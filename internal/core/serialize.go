@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"math/rand"
 
 	"streambrain/internal/backend"
+	"streambrain/internal/sgd"
 	"streambrain/internal/tensor"
 )
 
@@ -33,26 +35,31 @@ type networkState struct {
 	ClfCj  []float64
 	ClfCij []float64
 
+	// ReadoutKind selects the classification head: "" or "bcpnn" for the
+	// pure-BCPNN Classifier (v1 states predate the field), "sgd" for the
+	// hybrid softmax readout, whose full optimizer state rides in SGDState.
+	ReadoutKind string
+	SGDState    []byte
+
 	Threshold float64
 	Seeded    bool
 }
 
-const stateVersion = 1
+const stateVersion = 2
+
+const (
+	readoutBCPNN = "bcpnn"
+	readoutSGD   = "sgd"
+)
 
 // Save serializes the network's learning state (traces, masks, calibration)
-// with encoding/gob. Only the pure-BCPNN readout round-trips; hybrid SGD
-// readouts must be retrained after load (they are cheap) — Save fails
-// loudly rather than silently dropping them.
+// with encoding/gob. Both readouts round-trip: the pure-BCPNN classifier via
+// its traces, the hybrid SGD softmax via its weight and momentum state.
 func (n *Network) Save(w io.Writer) error {
-	cl, ok := n.Out.(*Classifier)
-	if !ok {
-		return fmt.Errorf("core: Save supports the BCPNN readout only (got %T); "+
-			"retrain hybrid readouts after load", n.Out)
-	}
 	st := networkState{
 		Version:   stateVersion,
 		Params:    n.p,
-		Classes:   cl.classes,
+		Classes:   n.Out.Classes(),
 		Fi:        n.Hidden.Fi,
 		Mi:        n.Hidden.Mi,
 		HiddenCi:  n.Hidden.Ci,
@@ -60,11 +67,24 @@ func (n *Network) Save(w io.Writer) error {
 		HiddenCij: n.Hidden.Cij.Data,
 		HiddenKbi: n.Hidden.Kbi,
 		Mask:      n.Hidden.Mask,
-		ClfCi:     cl.Ci,
-		ClfCj:     cl.Cj,
-		ClfCij:    cl.Cij.Data,
 		Threshold: n.threshold,
 		Seeded:    n.tracesSeeded,
+	}
+	switch out := n.Out.(type) {
+	case *Classifier:
+		st.ReadoutKind = readoutBCPNN
+		st.ClfCi = out.Ci
+		st.ClfCj = out.Cj
+		st.ClfCij = out.Cij.Data
+	case *sgd.Softmax:
+		st.ReadoutKind = readoutSGD
+		var blob bytes.Buffer
+		if err := out.Save(&blob); err != nil {
+			return fmt.Errorf("core: save: %w", err)
+		}
+		st.SGDState = blob.Bytes()
+	default:
+		return fmt.Errorf("core: Save supports the BCPNN and SGD readouts only (got %T)", n.Out)
 	}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: save: %w", err)
@@ -80,8 +100,8 @@ func Load(r io.Reader, be backend.Backend) (*Network, error) {
 	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if st.Version != stateVersion {
-		return nil, fmt.Errorf("core: load: state version %d, want %d", st.Version, stateVersion)
+	if st.Version < 1 || st.Version > stateVersion {
+		return nil, fmt.Errorf("core: load: state version %d, want <= %d", st.Version, stateVersion)
 	}
 	if err := st.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
@@ -92,10 +112,6 @@ func Load(r io.Reader, be backend.Backend) (*Network, error) {
 		len(st.HiddenCij) != in*units || len(st.Mask) != st.Fi*st.Params.HCUs {
 		return nil, fmt.Errorf("core: load: inconsistent state geometry")
 	}
-	if len(st.ClfCi) != units || len(st.ClfCj) != st.Classes ||
-		len(st.ClfCij) != units*st.Classes {
-		return nil, fmt.Errorf("core: load: inconsistent classifier geometry")
-	}
 	n := NewNetwork(be, st.Fi, st.Mi, st.Classes, st.Params)
 	copy(n.Hidden.Ci, st.HiddenCi)
 	copy(n.Hidden.Cj, st.HiddenCj)
@@ -103,11 +119,30 @@ func Load(r io.Reader, be backend.Backend) (*Network, error) {
 	copy(n.Hidden.Kbi, st.HiddenKbi)
 	copy(n.Hidden.Mask, st.Mask)
 	n.Hidden.refreshParameters()
-	cl := n.Out.(*Classifier)
-	copy(cl.Ci, st.ClfCi)
-	copy(cl.Cj, st.ClfCj)
-	copy(cl.Cij.Data, st.ClfCij)
-	cl.refresh()
+	switch st.ReadoutKind {
+	case "", readoutBCPNN:
+		if len(st.ClfCi) != units || len(st.ClfCj) != st.Classes ||
+			len(st.ClfCij) != units*st.Classes {
+			return nil, fmt.Errorf("core: load: inconsistent classifier geometry")
+		}
+		cl := n.Out.(*Classifier)
+		copy(cl.Ci, st.ClfCi)
+		copy(cl.Cj, st.ClfCj)
+		copy(cl.Cij.Data, st.ClfCij)
+		cl.refresh()
+	case readoutSGD:
+		sm, err := sgd.Load(bytes.NewReader(st.SGDState))
+		if err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		if sm.In() != units || sm.Classes() != st.Classes {
+			return nil, fmt.Errorf("core: load: SGD readout geometry %dx%d, want %dx%d",
+				sm.In(), sm.Classes(), units, st.Classes)
+		}
+		n.SetReadout(sm)
+	default:
+		return nil, fmt.Errorf("core: load: unknown readout kind %q", st.ReadoutKind)
+	}
 	n.threshold = st.Threshold
 	n.tracesSeeded = st.Seeded
 	// Re-derive the RNG so resumed training is still seeded (though not

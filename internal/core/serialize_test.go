@@ -44,14 +44,48 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
-func TestSaveRejectsHybridReadout(t *testing.T) {
+func TestSaveLoadHybridRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	p := smallParams()
+	p.Seed = 31
+	train := synthEncoded(rng, 600, 8, 4, []int{1, 5}, 0.1)
+	test := synthEncoded(rng, 150, 8, 4, []int{1, 5}, 0.1)
 	n := NewNetwork(backend.MustNew("naive", 0), 8, 4, 2, p)
 	n.SetReadout(sgd.NewSoftmax(n.Hidden.Units(), 2, sgd.DefaultConfig(), rng))
+	n.Train(train)
+	predBefore, scoreBefore := n.Predict(test)
+
 	var buf bytes.Buffer
-	if err := n.Save(&buf); err == nil {
-		t.Fatal("hybrid readout save must fail loudly")
+	if err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, backend.MustNew("parallel", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.Out.(*sgd.Softmax); !ok {
+		t.Fatalf("loaded readout is %T, want *sgd.Softmax", loaded.Out)
+	}
+	if loaded.Threshold() != n.Threshold() {
+		t.Fatalf("threshold %v != %v", loaded.Threshold(), n.Threshold())
+	}
+	predAfter, scoreAfter := loaded.Predict(test)
+	for i := range predBefore {
+		if predBefore[i] != predAfter[i] {
+			t.Fatalf("prediction changed at %d after reload", i)
+		}
+		if d := scoreBefore[i] - scoreAfter[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("score changed at %d: %v vs %v", i, scoreBefore[i], scoreAfter[i])
+		}
+	}
+	// Hybrid resume: momentum buffers round-trip, so more supervised epochs
+	// must not crash or destroy the model.
+	accBefore, _ := loaded.Evaluate(test)
+	loaded.TrainSupervised(train, 2)
+	loaded.CalibrateThreshold(train)
+	accAfter, _ := loaded.Evaluate(test)
+	if accAfter < accBefore-0.1 {
+		t.Fatalf("resumed hybrid training degraded accuracy %.3f -> %.3f", accBefore, accAfter)
 	}
 }
 

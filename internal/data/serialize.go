@@ -1,0 +1,108 @@
+package data
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"streambrain/internal/metrics"
+)
+
+// The fitted preprocessors are model state: a network trained on quantile
+// one-hot codes is only usable together with the exact bin boundaries it was
+// trained behind. Serializing them (gob, mirroring core.Network.Save) is what
+// lets a model bundle score raw events end-to-end after a process restart.
+
+type encoderState struct {
+	Version int
+	Bins    int
+	Cuts    [][]float64
+}
+
+type standardizerState struct {
+	Version   int
+	Mean, Std []float64
+}
+
+const preprocVersion = 1
+
+// Save serializes the fitted quantile boundaries.
+func (enc *Encoder) Save(w io.Writer) error {
+	st := encoderState{Version: preprocVersion, Bins: enc.Bins, Cuts: enc.Cuts}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("data: save encoder: %w", err)
+	}
+	return nil
+}
+
+// LoadEncoder reconstructs a fitted Encoder from a Save stream.
+func LoadEncoder(r io.Reader) (*Encoder, error) {
+	var st encoderState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("data: load encoder: %w", err)
+	}
+	if st.Version != preprocVersion {
+		return nil, fmt.Errorf("data: load encoder: state version %d, want %d",
+			st.Version, preprocVersion)
+	}
+	if st.Bins < 2 || len(st.Cuts) == 0 {
+		return nil, fmt.Errorf("data: load encoder: empty or degenerate state")
+	}
+	for f, cuts := range st.Cuts {
+		if len(cuts) != st.Bins-1 {
+			return nil, fmt.Errorf("data: load encoder: feature %d has %d cuts, want %d",
+				f, len(cuts), st.Bins-1)
+		}
+	}
+	return &Encoder{Bins: st.Bins, Cuts: st.Cuts}, nil
+}
+
+// Save serializes the fitted standardization statistics.
+func (st *Standardizer) Save(w io.Writer) error {
+	s := standardizerState{Version: preprocVersion, Mean: st.Mean, Std: st.Std}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("data: save standardizer: %w", err)
+	}
+	return nil
+}
+
+// LoadStandardizer reconstructs a fitted Standardizer from a Save stream.
+func LoadStandardizer(r io.Reader) (*Standardizer, error) {
+	var s standardizerState
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("data: load standardizer: %w", err)
+	}
+	if s.Version != preprocVersion {
+		return nil, fmt.Errorf("data: load standardizer: state version %d, want %d",
+			s.Version, preprocVersion)
+	}
+	if len(s.Mean) == 0 || len(s.Mean) != len(s.Std) {
+		return nil, fmt.Errorf("data: load standardizer: %d means for %d stds",
+			len(s.Mean), len(s.Std))
+	}
+	for f, sd := range s.Std {
+		if sd <= 0 {
+			return nil, fmt.Errorf("data: load standardizer: non-positive std at feature %d", f)
+		}
+	}
+	return &Standardizer{Mean: s.Mean, Std: s.Std}, nil
+}
+
+// Features returns the number of input features the encoder was fitted on.
+func (enc *Encoder) Features() int { return len(enc.Cuts) }
+
+// TransformRow encodes a single raw feature vector into its active-unit
+// indices (one per input hypercolumn), appending to dst. This is the online
+// single-event path of Transform: the serving layer scores raw events without
+// materializing a Dataset.
+func (enc *Encoder) TransformRow(dst []int32, features []float64) ([]int32, error) {
+	if len(features) != len(enc.Cuts) {
+		return nil, fmt.Errorf("data: encoder fitted on %d features, event has %d",
+			len(enc.Cuts), len(features))
+	}
+	for f, v := range features {
+		b := metrics.BinIndex(v, enc.Cuts[f])
+		dst = append(dst, int32(f*enc.Bins+b))
+	}
+	return dst, nil
+}

@@ -1,0 +1,109 @@
+package data
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/tensor"
+)
+
+func synthDataset(rng *rand.Rand, n, features int) *Dataset {
+	x := tensor.NewMatrix(n, features)
+	y := make([]int, n)
+	for r := 0; r < n; r++ {
+		for f := 0; f < features; f++ {
+			x.Set(r, f, rng.NormFloat64()*float64(f+1))
+		}
+		y[r] = rng.Intn(2)
+	}
+	return &Dataset{X: x, Y: y, Classes: 2}
+}
+
+func TestEncoderSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := synthDataset(rng, 500, 6)
+	enc := FitEncoder(ds, 10)
+
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bins != enc.Bins || loaded.Features() != enc.Features() {
+		t.Fatalf("geometry changed: bins %d->%d features %d->%d",
+			enc.Bins, loaded.Bins, enc.Features(), loaded.Features())
+	}
+	// The loaded encoder must produce identical codes.
+	want := enc.Transform(ds)
+	got := loaded.Transform(ds)
+	for s := range want.Idx {
+		for f := range want.Idx[s] {
+			if want.Idx[s][f] != got.Idx[s][f] {
+				t.Fatalf("code changed at sample %d feature %d: %d vs %d",
+					s, f, want.Idx[s][f], got.Idx[s][f])
+			}
+		}
+	}
+}
+
+func TestEncoderTransformRowMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := synthDataset(rng, 300, 5)
+	enc := FitEncoder(ds, 8)
+	encoded := enc.Transform(ds)
+	for s := 0; s < ds.Len(); s++ {
+		row, err := enc.TransformRow(nil, ds.X.Row(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != len(encoded.Idx[s]) {
+			t.Fatalf("sample %d: %d active units, want %d", s, len(row), len(encoded.Idx[s]))
+		}
+		for f := range row {
+			if row[f] != encoded.Idx[s][f] {
+				t.Fatalf("sample %d feature %d: %d vs %d", s, f, row[f], encoded.Idx[s][f])
+			}
+		}
+	}
+}
+
+func TestEncoderTransformRowRejectsBadWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	enc := FitEncoder(synthDataset(rng, 100, 4), 4)
+	if _, err := enc.TransformRow(nil, make([]float64, 3)); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+}
+
+func TestStandardizerSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ds := synthDataset(rng, 400, 7)
+	st := FitStandardizer(ds)
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStandardizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.Transform(ds)
+	got := loaded.Transform(ds)
+	if !want.Equal(got, 0) {
+		t.Fatal("standardized features changed after round trip")
+	}
+}
+
+func TestLoadPreprocRejectsGarbage(t *testing.T) {
+	if _, err := LoadEncoder(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage encoder accepted")
+	}
+	if _, err := LoadStandardizer(bytes.NewBufferString("junk")); err == nil {
+		t.Fatal("garbage standardizer accepted")
+	}
+}

@@ -73,6 +73,7 @@ func (cfg Config) printf(format string, args ...any) {
 type HiggsSplits struct {
 	TrainRaw, TestRaw *data.Dataset
 	Train, Test       *data.Encoded
+	Enc               *data.Encoder
 }
 
 // PrepareHiggs runs the §V preprocessing once: synthesize (or later: load)
@@ -88,6 +89,7 @@ func PrepareHiggs(cfg Config) *HiggsSplits {
 		TestRaw:  testDS,
 		Train:    enc.Transform(trainDS),
 		Test:     enc.Transform(testDS),
+		Enc:      enc,
 	}
 }
 

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// PredictFunc scores a batch of raw events. worker identifies which worker
+// slot issues the call (workers run serially within a slot, so a PredictFunc
+// backed by per-worker model replicas needs no locking). It must return one
+// prediction and one score per event.
+type PredictFunc func(worker int, events [][]float64) (pred []int, score []float64, err error)
+
+// BatcherConfig tunes the micro-batching scheduler.
+type BatcherConfig struct {
+	// MaxBatch caps how many requests are coalesced into one backend call
+	// (default 64).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a window waits for
+	// company before the batch is dispatched anyway (default 2ms). Zero
+	// keeps the default; batching cannot be disabled below MaxBatch=1.
+	MaxWait time.Duration
+	// Workers is the number of concurrent batch executors (default 1).
+	// Each worker slot sees only serial calls.
+	Workers int
+	// Queue is the pending-request buffer size (default 4×MaxBatch).
+	Queue int
+}
+
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// BatcherStats is a snapshot of scheduler counters.
+type BatcherStats struct {
+	// Requests is the number of events accepted into the queue.
+	Requests uint64
+	// Batches is the number of backend calls issued.
+	Batches uint64
+	// BatchedEvents is the number of events dispatched inside those calls.
+	BatchedEvents uint64
+	// CoalescedBatches counts batches that merged two or more requests.
+	CoalescedBatches uint64
+	// MaxBatch is the largest batch observed.
+	MaxBatch uint64
+}
+
+// AvgBatch is the mean events-per-backend-call, the amortization factor.
+func (s BatcherStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedEvents) / float64(s.Batches)
+}
+
+type response struct {
+	class int
+	score float64
+	err   error
+}
+
+type request struct {
+	features []float64
+	done     chan response
+}
+
+// Batcher coalesces concurrent single-event Predict calls into batched
+// PredictFunc invocations: the first request of a window opens a timer of
+// MaxWait; every request arriving before it fires joins the batch, up to
+// MaxBatch, then the whole batch runs as one backend call. This amortizes
+// per-call dispatch overhead exactly the way training batches amortize
+// kernel launches.
+type Batcher struct {
+	cfg BatcherConfig
+	fn  PredictFunc
+
+	reqCh   chan *request
+	batchCh chan []*request
+	stop    chan struct{} // closed by Close: stop accepting
+	done    chan struct{} // closed when all workers exited
+	once    sync.Once
+
+	requests         atomic.Uint64
+	batches          atomic.Uint64
+	batchedEvents    atomic.Uint64
+	coalescedBatches atomic.Uint64
+	maxBatch         atomic.Uint64
+}
+
+// NewBatcher starts the scheduler: one collector goroutine plus cfg.Workers
+// batch executors.
+func NewBatcher(fn PredictFunc, cfg BatcherConfig) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:     cfg,
+		fn:      fn,
+		reqCh:   make(chan *request, cfg.Queue),
+		batchCh: make(chan []*request, cfg.Workers),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			b.worker(w)
+		}(w)
+	}
+	go b.collect()
+	go func() {
+		wg.Wait()
+		close(b.done)
+	}()
+	return b
+}
+
+// Predict submits one raw event and blocks until its batch returns (or ctx
+// is canceled, or the batcher closes).
+func (b *Batcher) Predict(ctx context.Context, features []float64) (class int, score float64, err error) {
+	r := &request{features: features, done: make(chan response, 1)}
+	select {
+	case b.reqCh <- r:
+		b.requests.Add(1)
+	case <-b.stop:
+		return 0, 0, ErrClosed
+	case <-ctx.Done():
+		return 0, 0, ctx.Err()
+	}
+	select {
+	case resp := <-r.done:
+		return resp.class, resp.score, resp.err
+	case <-ctx.Done():
+		// The batch still executes; the buffered done channel absorbs the
+		// orphaned response.
+		return 0, 0, ctx.Err()
+	case <-b.done:
+		// Workers exited; the response may still have been delivered.
+		select {
+		case resp := <-r.done:
+			return resp.class, resp.score, resp.err
+		default:
+			return 0, 0, ErrClosed
+		}
+	}
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Requests:         b.requests.Load(),
+		Batches:          b.batches.Load(),
+		BatchedEvents:    b.batchedEvents.Load(),
+		CoalescedBatches: b.coalescedBatches.Load(),
+		MaxBatch:         b.maxBatch.Load(),
+	}
+}
+
+// Close stops accepting requests, flushes the queue, and waits for in-flight
+// batches to finish. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.once.Do(func() { close(b.stop) })
+	<-b.done
+}
+
+// collect is the batching loop: it owns the pending slice and the window
+// timer, so batch assembly needs no locks.
+func (b *Batcher) collect() {
+	defer close(b.batchCh)
+	var pending []*request
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	flush := func() {
+		if len(pending) > 0 {
+			b.batchCh <- pending
+			pending = nil
+		}
+	}
+	for {
+		if len(pending) == 0 {
+			select {
+			case r := <-b.reqCh:
+				pending = append(pending, r)
+				if len(pending) >= b.cfg.MaxBatch {
+					flush()
+				} else {
+					timer.Reset(b.cfg.MaxWait)
+				}
+			case <-b.stop:
+				b.drain(flush, &pending)
+				return
+			}
+		} else {
+			select {
+			case r := <-b.reqCh:
+				pending = append(pending, r)
+				if len(pending) >= b.cfg.MaxBatch {
+					timer.Stop()
+					flush()
+				}
+			case <-timer.C:
+				flush()
+			case <-b.stop:
+				timer.Stop()
+				b.drain(flush, &pending)
+				return
+			}
+		}
+	}
+}
+
+// drain flushes everything already queued at Close time so no accepted
+// request is left without a response.
+func (b *Batcher) drain(flush func(), pending *[]*request) {
+	for {
+		select {
+		case r := <-b.reqCh:
+			*pending = append(*pending, r)
+			if len(*pending) >= b.cfg.MaxBatch {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+// worker executes assembled batches serially within its slot.
+func (b *Batcher) worker(w int) {
+	for batch := range b.batchCh {
+		n := uint64(len(batch))
+		b.batches.Add(1)
+		b.batchedEvents.Add(n)
+		if n >= 2 {
+			b.coalescedBatches.Add(1)
+		}
+		for {
+			old := b.maxBatch.Load()
+			if n <= old || b.maxBatch.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		events := make([][]float64, len(batch))
+		for i, r := range batch {
+			events[i] = r.features
+		}
+		pred, score, err := b.fn(w, events)
+		if err == nil && (len(pred) != len(batch) || len(score) != len(batch)) {
+			err = fmt.Errorf("serve: predict returned %d/%d results for %d events",
+				len(pred), len(score), len(batch))
+		}
+		for i, r := range batch {
+			if err != nil {
+				r.done <- response{err: err}
+				continue
+			}
+			r.done <- response{class: pred[i], score: score[i]}
+		}
+	}
+}

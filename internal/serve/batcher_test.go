@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoPredict maps each event's first feature straight through, so a test
+// can verify responses are wired back to the request that submitted them.
+func echoPredict(_ int, events [][]float64) ([]int, []float64, error) {
+	pred := make([]int, len(events))
+	score := make([]float64, len(events))
+	for i, ev := range events {
+		pred[i] = int(ev[0])
+		score[i] = ev[0] / 1000
+	}
+	return pred, score, nil
+}
+
+// TestBatcherCoalesces is the micro-batching contract: with MaxBatch=2, four
+// concurrent in-flight requests must be dispatched as exactly two backend
+// calls of two events each — coalescing is triggered by count, so the test
+// is deterministic regardless of scheduling.
+func TestBatcherCoalesces(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	fn := func(w int, events [][]float64) ([]int, []float64, error) {
+		mu.Lock()
+		sizes = append(sizes, len(events))
+		mu.Unlock()
+		return echoPredict(w, events)
+	}
+	b := NewBatcher(fn, BatcherConfig{MaxBatch: 2, MaxWait: 10 * time.Second, Workers: 1})
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class, _, err := b.Predict(context.Background(), []float64{float64(i)})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+			} else if class != i {
+				t.Errorf("request %d got class %d", i, class)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 2 || sizes[1] != 2 {
+		t.Fatalf("batch sizes %v, want [2 2]", sizes)
+	}
+	st := b.Stats()
+	if st.CoalescedBatches != 2 || st.Requests != 4 || st.BatchedEvents != 4 {
+		t.Fatalf("stats %+v, want 2 coalesced batches over 4 events", st)
+	}
+}
+
+// TestBatcherMaxWaitFlush: a lone request must not wait for MaxBatch
+// partners forever — the window timer dispatches it alone.
+func TestBatcherMaxWaitFlush(t *testing.T) {
+	b := NewBatcher(echoPredict, BatcherConfig{MaxBatch: 64, MaxWait: 5 * time.Millisecond})
+	defer b.Close()
+	start := time.Now()
+	class, score, err := b.Predict(context.Background(), []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 7 || score != 7.0/1000 {
+		t.Fatalf("got class %d score %v", class, score)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("lone request waited %v", waited)
+	}
+	if st := b.Stats(); st.Batches != 1 || st.MaxBatch != 1 {
+		t.Fatalf("stats %+v, want one batch of one", st)
+	}
+}
+
+// TestBatcherResponseRouting floods the batcher and checks every caller gets
+// its own answer back, not a neighbor's.
+func TestBatcherResponseRouting(t *testing.T) {
+	b := NewBatcher(echoPredict, BatcherConfig{MaxBatch: 16, MaxWait: time.Millisecond, Workers: 4})
+	defer b.Close()
+	const n = 400
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class, score, err := b.Predict(context.Background(), []float64{float64(i)})
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			if class != i || score != float64(i)/1000 {
+				t.Errorf("request %d routed to class %d score %v", i, class, score)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.BatchedEvents != n {
+		t.Fatalf("dispatched %d events, want %d", st.BatchedEvents, n)
+	}
+}
+
+// TestBatcherErrorFansOut: a backend failure must reach every request of the
+// batch.
+func TestBatcherErrorFansOut(t *testing.T) {
+	boom := errors.New("boom")
+	fn := func(int, [][]float64) ([]int, []float64, error) { return nil, nil, boom }
+	b := NewBatcher(fn, BatcherConfig{MaxBatch: 2, MaxWait: 10 * time.Second})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := b.Predict(context.Background(), []float64{1}); !errors.Is(err, boom) {
+				t.Errorf("got %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatcherShortResultsRejected: a PredictFunc that loses events must
+// surface an error instead of mis-routing.
+func TestBatcherShortResultsRejected(t *testing.T) {
+	fn := func(int, [][]float64) ([]int, []float64, error) {
+		return []int{0}, []float64{0}, nil // always one result
+	}
+	b := NewBatcher(fn, BatcherConfig{MaxBatch: 2, MaxWait: 10 * time.Second})
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Predict(context.Background(), []float64{1})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("request %d accepted a short result set", i)
+		}
+	}
+}
+
+// TestBatcherClose: Close drains in-flight work and later Predicts fail
+// fast with ErrClosed.
+func TestBatcherClose(t *testing.T) {
+	b := NewBatcher(echoPredict, BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond})
+	if _, _, err := b.Predict(context.Background(), []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, _, err := b.Predict(context.Background(), []float64{1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherContextCancel: a canceled caller unblocks immediately even
+// though its batch may still execute.
+func TestBatcherContextCancel(t *testing.T) {
+	gate := make(chan struct{})
+	fn := func(w int, events [][]float64) ([]int, []float64, error) {
+		<-gate
+		return echoPredict(w, events)
+	}
+	b := NewBatcher(fn, BatcherConfig{MaxBatch: 1, MaxWait: time.Millisecond})
+	defer b.Close()
+	defer close(gate)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Predict(ctx, []float64{1})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the blocked worker
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Predict did not return")
+	}
+}
+
+// TestBatcherManyWorkersThroughput is a smoke test that batches flow through
+// multiple worker slots without deadlock when the queue saturates.
+func TestBatcherManyWorkersThroughput(t *testing.T) {
+	fn := func(w int, events [][]float64) ([]int, []float64, error) {
+		time.Sleep(time.Millisecond)
+		return echoPredict(w, events)
+	}
+	b := NewBatcher(fn, BatcherConfig{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 3, Queue: 8})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Predict(context.Background(), []float64{float64(i)}); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.BatchedEvents != 64 {
+		t.Fatalf("dispatched %d events, want 64", st.BatchedEvents)
+	}
+	if st.Batches == 64 {
+		t.Log("no coalescing occurred under load (legal but unexpected)")
+	}
+}

@@ -1,0 +1,185 @@
+// Package serve is the online-inference subsystem: model bundles that pair a
+// trained core.Network with the fitted data.Encoder it was trained behind, a
+// micro-batching scheduler that coalesces concurrent requests into single
+// backend-sized Predict calls, and an HTTP JSON prediction service with
+// atomic hot-swap of the active bundle.
+//
+// The design transplants StreamBrain's training-side insight — throughput
+// comes from batching work onto compute kernels — to the serving side:
+// requests arriving within a small window are merged into one forward pass,
+// amortizing kernel dispatch exactly the way training batches do.
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+)
+
+// bundleMagic guards against feeding a bare network snapshot (or arbitrary
+// gob) to the bundle loader; version gates format evolution.
+const (
+	bundleMagic   = "streambrain-bundle"
+	bundleVersion = 1
+)
+
+// bundleFile is the on-disk envelope: the encoder and network snapshots ride
+// as opaque sub-streams so their formats evolve independently.
+type bundleFile struct {
+	Magic    string
+	Version  int
+	Backend  string // backend name at save time (a hint, not a requirement)
+	Features int
+	Classes  int
+	Encoder  []byte
+	Network  []byte
+}
+
+// Bundle is a loaded model bundle: everything needed to score a raw event.
+type Bundle struct {
+	Net *core.Network
+	Enc *data.Encoder
+
+	// Features and Classes describe the raw input width and output arity.
+	Features int
+	Classes  int
+
+	// SavedBackend records the backend the bundle was saved from.
+	SavedBackend string
+}
+
+// SaveBundle writes the network and encoder as one self-contained bundle.
+func SaveBundle(w io.Writer, net *core.Network, enc *data.Encoder) error {
+	if net == nil || enc == nil {
+		return fmt.Errorf("serve: SaveBundle needs a network and an encoder")
+	}
+	if got, want := enc.Bins, net.Hidden.Mi; got != want {
+		return fmt.Errorf("serve: encoder bins %d, network expects %d units per input hypercolumn", got, want)
+	}
+	if got, want := enc.Features(), net.Hidden.Fi; got != want {
+		return fmt.Errorf("serve: encoder has %d features, network expects %d input hypercolumns", got, want)
+	}
+	var encBlob, netBlob bytes.Buffer
+	if err := enc.Save(&encBlob); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if err := net.Save(&netBlob); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	bf := bundleFile{
+		Magic:    bundleMagic,
+		Version:  bundleVersion,
+		Backend:  net.Backend().Name(),
+		Features: enc.Features(),
+		Classes:  net.Out.Classes(),
+		Encoder:  encBlob.Bytes(),
+		Network:  netBlob.Bytes(),
+	}
+	if err := gob.NewEncoder(w).Encode(&bf); err != nil {
+		return fmt.Errorf("serve: save bundle: %w", err)
+	}
+	return nil
+}
+
+// SaveBundleFile writes a bundle atomically: to a temp file in the target
+// directory, then rename, so a concurrent hot-swap never reads a torn file.
+func SaveBundleFile(path string, net *core.Network, enc *data.Encoder) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bundle-*")
+	if err != nil {
+		return fmt.Errorf("serve: save bundle: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveBundle(tmp, net, enc); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: save bundle: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: save bundle: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle reconstructs a bundle onto the given backend. As with
+// core.Load, the backend is an execution concern: a bundle saved from
+// "parallel" can be served on "gpusim" and vice versa.
+func LoadBundle(r io.Reader, be backend.Backend) (*Bundle, error) {
+	var bf bundleFile
+	if err := gob.NewDecoder(r).Decode(&bf); err != nil {
+		return nil, fmt.Errorf("serve: load bundle: %w", err)
+	}
+	if bf.Magic != bundleMagic {
+		return nil, fmt.Errorf("serve: load bundle: not a streambrain bundle")
+	}
+	if bf.Version != bundleVersion {
+		return nil, fmt.Errorf("serve: load bundle: version %d, want %d", bf.Version, bundleVersion)
+	}
+	enc, err := data.LoadEncoder(bytes.NewReader(bf.Encoder))
+	if err != nil {
+		return nil, fmt.Errorf("serve: load bundle: %w", err)
+	}
+	net, err := core.Load(bytes.NewReader(bf.Network), be)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load bundle: %w", err)
+	}
+	if enc.Features() != net.Hidden.Fi || enc.Bins != net.Hidden.Mi {
+		return nil, fmt.Errorf("serve: load bundle: encoder %dx%d does not match network input %dx%d",
+			enc.Features(), enc.Bins, net.Hidden.Fi, net.Hidden.Mi)
+	}
+	if bf.Features != enc.Features() || bf.Classes != net.Out.Classes() {
+		return nil, fmt.Errorf("serve: load bundle: header geometry disagrees with payload")
+	}
+	return &Bundle{
+		Net:          net,
+		Enc:          enc,
+		Features:     enc.Features(),
+		Classes:      net.Out.Classes(),
+		SavedBackend: bf.Backend,
+	}, nil
+}
+
+// LoadBundleFile loads a bundle from disk.
+func LoadBundleFile(path string, be backend.Backend) (*Bundle, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: load bundle: %w", err)
+	}
+	defer f.Close()
+	return LoadBundle(f, be)
+}
+
+// Predict scores a batch of raw feature vectors end-to-end: quantile one-hot
+// encode with the bundled boundaries, then one network forward pass over the
+// whole batch. Safe for concurrent use on a frozen (non-training) network —
+// the forward path only reads shared weights.
+func (b *Bundle) Predict(events [][]float64) (pred []int, signalScore []float64, err error) {
+	if len(events) == 0 {
+		return nil, nil, nil
+	}
+	idx := make([][]int32, len(events))
+	for i, ev := range events {
+		row, err := b.Enc.TransformRow(make([]int32, 0, b.Features), ev)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: event %d: %w", i, err)
+		}
+		idx[i] = row
+	}
+	ds := &data.Encoded{
+		Idx:          idx,
+		Y:            make([]int, len(events)), // unused by Predict
+		Classes:      b.Classes,
+		Hypercolumns: b.Features,
+		UnitsPerHC:   b.Enc.Bins,
+	}
+	pred, signalScore = b.Net.Predict(ds)
+	return pred, signalScore, nil
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambrain/internal/backend"
+)
+
+// BackendFactory builds a fresh backend instance for one model replica.
+type BackendFactory func() (backend.Backend, error)
+
+// NamedBackendFactory adapts backend.New to a factory.
+func NamedBackendFactory(name string, workers int) BackendFactory {
+	return func() (backend.Backend, error) { return backend.New(name, workers) }
+}
+
+// activeSet is one immutable generation of the registry: the decoded model
+// replicas plus provenance. Swaps replace the whole set through one atomic
+// pointer store, so readers always see a consistent generation.
+type activeSet struct {
+	bundles  []*Bundle
+	source   string
+	loadedAt time.Time
+}
+
+// BundleInfo describes the active generation for health/stats reporting.
+type BundleInfo struct {
+	Source       string    `json:"source"`
+	LoadedAt     time.Time `json:"loaded_at"`
+	Features     int       `json:"features"`
+	Classes      int       `json:"classes"`
+	SavedBackend string    `json:"saved_backend"`
+	Replicas     int       `json:"replicas"`
+}
+
+// Registry holds the active model bundle as per-worker replicas and supports
+// atomic hot-swap from disk. The Backend interface does not promise
+// concurrent calls, so instead of sharing one network across workers the
+// registry decodes `replicas` independent copies from the same bundle bytes;
+// worker w of the batcher drives replica w serially. In-flight batches
+// finish on the generation they started with.
+type Registry struct {
+	replicas int
+	factory  BackendFactory
+
+	mu     sync.Mutex // serializes swaps, not reads
+	active atomic.Pointer[activeSet]
+}
+
+// NewRegistry builds an empty registry producing `replicas` model copies per
+// load (min 1).
+func NewRegistry(replicas int, factory BackendFactory) *Registry {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Registry{replicas: replicas, factory: factory}
+}
+
+// Replicas returns the per-generation replica count.
+func (r *Registry) Replicas() int { return r.replicas }
+
+// LoadBytes decodes a new generation from bundle bytes and atomically swaps
+// it in. source is recorded for reporting.
+func (r *Registry) LoadBytes(raw []byte, source string, loadedAt time.Time) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Replica decodes are independent; run them in parallel so reload
+	// latency does not grow with the replica count.
+	bundles := make([]*Bundle, r.replicas)
+	errs := make([]error, r.replicas)
+	var wg sync.WaitGroup
+	wg.Add(r.replicas)
+	for i := range bundles {
+		go func(i int) {
+			defer wg.Done()
+			be, err := r.factory()
+			if err != nil {
+				errs[i] = fmt.Errorf("serve: registry: %w", err)
+				return
+			}
+			bundles[i], errs[i] = LoadBundle(bytes.NewReader(raw), be)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	r.active.Store(&activeSet{bundles: bundles, source: source, loadedAt: loadedAt})
+	return nil
+}
+
+// LoadFile reads a bundle file and atomically swaps it in. The old
+// generation keeps serving until the new one is fully decoded; a load error
+// leaves the active generation untouched.
+func (r *Registry) LoadFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: registry: %w", err)
+	}
+	return r.LoadBytes(raw, path, time.Now())
+}
+
+// Replica returns worker w's model copy from the current generation, or nil
+// when nothing is loaded.
+func (r *Registry) Replica(w int) *Bundle {
+	set := r.active.Load()
+	if set == nil {
+		return nil
+	}
+	return set.bundles[w%len(set.bundles)]
+}
+
+// Info reports the active generation, or nil when nothing is loaded.
+func (r *Registry) Info() *BundleInfo {
+	set := r.active.Load()
+	if set == nil {
+		return nil
+	}
+	b := set.bundles[0]
+	return &BundleInfo{
+		Source:       set.source,
+		LoadedAt:     set.loadedAt,
+		Features:     b.Features,
+		Classes:      b.Classes,
+		SavedBackend: b.SavedBackend,
+		Replicas:     len(set.bundles),
+	}
+}

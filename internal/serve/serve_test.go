@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/sgd"
+)
+
+// trainTiny trains a small model (hybrid or pure BCPNN) on synthetic Higgs
+// events and returns it with its fitted encoder and the raw test split.
+func trainTiny(t testing.TB, hybrid bool, seed int64) (*core.Network, *data.Encoder, *data.Dataset) {
+	t.Helper()
+	ds := higgs.Generate(1600, 0.5, seed)
+	rng := rand.New(rand.NewSource(seed + 7))
+	trainDS, testDS := ds.Split(0.75, rng)
+	enc := data.FitEncoder(trainDS, 8)
+	encoded := enc.Transform(trainDS)
+
+	p := core.DefaultParams()
+	p.MCUs = 40
+	p.ReceptiveField = 0.4
+	p.UnsupervisedEpochs = 2
+	p.SupervisedEpochs = 2
+	p.Seed = seed
+	net := core.NewNetwork(backend.MustNew("parallel", 2),
+		encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p)
+	if hybrid {
+		net.SetReadout(sgd.NewSoftmax(net.Hidden.Units(), encoded.Classes,
+			sgd.DefaultConfig(), rand.New(rand.NewSource(seed+1))))
+	}
+	net.Train(encoded)
+	return net, enc, testDS
+}
+
+func rawRows(ds *data.Dataset, n int) [][]float64 {
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = ds.X.Row(i)
+	}
+	return rows
+}
+
+func TestBundleRoundTripMatchesInProcess(t *testing.T) {
+	for _, hybrid := range []bool{false, true} {
+		name := "bcpnn"
+		if hybrid {
+			name = "hybrid"
+		}
+		t.Run(name, func(t *testing.T) {
+			net, enc, testDS := trainTiny(t, hybrid, 21)
+			var buf bytes.Buffer
+			if err := SaveBundle(&buf, net, enc); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("naive", 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Features != enc.Features() || loaded.Classes != 2 {
+				t.Fatalf("bundle geometry %dx%d", loaded.Features, loaded.Classes)
+			}
+			events := rawRows(testDS, 64)
+			wantPred, wantScore := net.Predict(enc.Transform(testDS.Subset(seq(len(events)))))
+			gotPred, gotScore, err := loaded.Predict(events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range events {
+				if gotPred[i] != wantPred[i] {
+					t.Fatalf("event %d: class %d, in-process %d", i, gotPred[i], wantPred[i])
+				}
+				if d := gotScore[i] - wantScore[i]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("event %d: score %v, in-process %v", i, gotScore[i], wantScore[i])
+				}
+			}
+		})
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestBundleRejectsMismatchedEncoder(t *testing.T) {
+	net, _, _ := trainTiny(t, false, 22)
+	ds := higgs.Generate(200, 0.5, 5)
+	wrong := data.FitEncoder(ds, 11) // wrong bin count for the network
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, net, wrong); err == nil {
+		t.Fatal("mismatched encoder accepted")
+	}
+}
+
+func TestLoadBundleRejectsBareNetworkSnapshot(t *testing.T) {
+	net, _, _ := trainTiny(t, false, 23)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("naive", 0)); err == nil {
+		t.Fatal("bare network snapshot accepted as a bundle")
+	}
+}
+
+// newTestServer saves a bundle for the trained model, loads it into a
+// registry, and returns the running httptest server plus helpers.
+func newTestServer(t *testing.T, hybrid bool, cfg ServerConfig) (*httptest.Server, *Server, *Bundle, *data.Dataset, string) {
+	t.Helper()
+	net, enc, testDS := trainTiny(t, hybrid, 31)
+	path := filepath.Join(t.TempDir(), "model.bundle")
+	if err := SaveBundleFile(path, net, enc); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(2, NamedBackendFactory("parallel", 2))
+	if err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(reg, cfg, path)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, srv, reg.Replica(0), testDS, path
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestHTTPEndToEnd is the acceptance path: train → save bundle → serve →
+// POST a raw event → the response matches the in-process prediction on the
+// equivalently encoded input.
+func TestHTTPEndToEnd(t *testing.T) {
+	ts, _, bundle, testDS, _ := newTestServer(t, true, ServerConfig{})
+
+	events := rawRows(testDS, 32)
+	wantPred, wantScore, err := bundle.Predict(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Events: events})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != len(events) {
+		t.Fatalf("%d predictions for %d events", len(pr.Predictions), len(events))
+	}
+	for i, p := range pr.Predictions {
+		if p.Class != wantPred[i] {
+			t.Fatalf("event %d: served class %d, in-process %d", i, p.Class, wantPred[i])
+		}
+		if d := p.SignalScore - wantScore[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("event %d: served score %v, in-process %v", i, p.SignalScore, wantScore[i])
+		}
+	}
+
+	// Single-event shorthand.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{Features: events[0]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single event status %d: %s", resp.StatusCode, body)
+	}
+	var single PredictResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Predictions) != 1 || single.Predictions[0].Class != wantPred[0] {
+		t.Fatalf("single event response %s", body)
+	}
+}
+
+// TestHTTPCoalescing posts one multi-event request through a server with
+// MaxBatch sized to the request; the events are submitted to the batcher
+// individually and must merge into coalesced backend calls.
+func TestHTTPCoalescing(t *testing.T) {
+	ts, srv, _, testDS, _ := newTestServer(t, false, ServerConfig{
+		Batcher: BatcherConfig{MaxBatch: 16, MaxWait: 500 * time.Millisecond, Workers: 1},
+	})
+	events := rawRows(testDS, 16)
+	resp, body := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Events: events})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	st := srv.Batcher().Stats()
+	if st.BatchedEvents != 16 {
+		t.Fatalf("dispatched %d events, want 16", st.BatchedEvents)
+	}
+	if st.CoalescedBatches < 1 {
+		t.Fatalf("no coalesced batches: %+v", st)
+	}
+	if st.Batches > 15 {
+		t.Fatalf("16 events took %d backend calls — nothing merged", st.Batches)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	ts, _, bundle, _, _ := newTestServer(t, false, ServerConfig{})
+
+	// Wrong feature width → 400.
+	resp, body := postJSON(t, ts.URL+"/v1/predict",
+		PredictRequest{Events: [][]float64{make([]float64, bundle.Features-1)}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("narrow event: status %d: %s", resp.StatusCode, body)
+	}
+	// Empty request → 400.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d: %s", resp.StatusCode, body)
+	}
+	// Bad JSON → 400.
+	r, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", r.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndStats(t *testing.T) {
+	ts, _, _, testDS, _ := newTestServer(t, false, ServerConfig{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	postJSON(t, ts.URL+"/v1/predict", PredictRequest{Events: rawRows(testDS, 8)})
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 1 || st.Events != 8 {
+		t.Fatalf("stats counted %d requests / %d events, want 1 / 8", st.Requests, st.Events)
+	}
+	if st.Bundle == nil || st.Bundle.Features == 0 {
+		t.Fatalf("stats bundle info missing: %+v", st)
+	}
+	if st.Latency.Count != 1 || st.Latency.MaxMs <= 0 {
+		t.Fatalf("latency summary %+v", st.Latency)
+	}
+}
+
+func TestHealthzWithoutBundle(t *testing.T) {
+	reg := NewRegistry(1, NamedBackendFactory("naive", 0))
+	srv := NewServer(reg, ServerConfig{}, "")
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with no bundle: status %d", resp.StatusCode)
+	}
+	r, body := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Features: []float64{1}})
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("predict with no bundle: status %d: %s", r.StatusCode, body)
+	}
+}
+
+// TestHTTPHotSwap trains a second model, reloads it through /v1/reload, and
+// asserts the served predictions switch to the new model atomically.
+func TestHTTPHotSwap(t *testing.T) {
+	ts, _, _, testDS, path := newTestServer(t, false, ServerConfig{})
+
+	// Train a different model (different seed/geometry) and overwrite the
+	// bundle file the server was started from.
+	net2, enc2, _ := trainTiny(t, true, 77)
+	if err := SaveBundleFile(path, net2, enc2); err != nil {
+		t.Fatal(err)
+	}
+	want2 := NewRegistry(1, NamedBackendFactory("naive", 0))
+	if err := want2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	events := rawRows(testDS, 16)
+	wantPred, wantScore, err := want2.Replica(0).Predict(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/reload", reloadRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d: %s", resp.StatusCode, body)
+	}
+	var info BundleInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != path || info.Replicas != 2 {
+		t.Fatalf("reload info %+v", info)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{Events: events})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-swap predict status %d: %s", resp.StatusCode, body)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pr.Predictions {
+		if p.Class != wantPred[i] {
+			t.Fatalf("event %d: post-swap class %d, want %d", i, p.Class, wantPred[i])
+		}
+		if d := p.SignalScore - wantScore[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("event %d: post-swap score %v, want %v", i, p.SignalScore, wantScore[i])
+		}
+	}
+}
+
+// TestReloadBadPathKeepsServing: a failed reload must leave the old
+// generation live.
+func TestReloadBadPathKeepsServing(t *testing.T) {
+	ts, _, _, testDS, _ := newTestServer(t, false, ServerConfig{})
+	resp, body := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Path: filepath.Join(os.TempDir(), "nope.bundle")})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("bad reload status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{Events: rawRows(testDS, 2)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serving broke after failed reload: %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSaveBundleFileAtomic(t *testing.T) {
+	net, enc, _ := trainTiny(t, false, 41)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bundle")
+	if err := SaveBundleFile(path, net, enc); err != nil {
+		t.Fatal(err)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".bundle-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+	if _, err := LoadBundleFile(path, backend.MustNew("naive", 0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxEventsPerRequest bounds one HTTP request's payload so a single caller
+// cannot monopolize the batch queue.
+const maxEventsPerRequest = 4096
+
+// ServerConfig tunes the HTTP prediction service.
+type ServerConfig struct {
+	// Batcher tunes the micro-batching scheduler. Batcher.Workers is
+	// clamped to the registry's replica count.
+	Batcher BatcherConfig
+}
+
+// PredictRequest is the body of POST /v1/predict. Either Events (a batch of
+// raw feature vectors) or Features (one vector) must be set.
+type PredictRequest struct {
+	Events   [][]float64 `json:"events,omitempty"`
+	Features []float64   `json:"features,omitempty"`
+}
+
+// Prediction is one scored event. SignalScore is the class-1 probability
+// used for ROC thresholds (binary problems; 0 otherwise).
+type Prediction struct {
+	Class       int     `json:"class"`
+	SignalScore float64 `json:"signal_score"`
+}
+
+// PredictResponse is the body returned by POST /v1/predict.
+type PredictResponse struct {
+	Predictions []Prediction `json:"predictions"`
+}
+
+// StatsResponse is the body returned by GET /stats.
+type StatsResponse struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Events        uint64         `json:"events"`
+	Batches       uint64         `json:"batches"`
+	AvgBatch      float64        `json:"avg_batch"`
+	MaxBatch      uint64         `json:"max_batch"`
+	Coalesced     uint64         `json:"coalesced_batches"`
+	Latency       LatencySummary `json:"latency"`
+	Bundle        *BundleInfo    `json:"bundle,omitempty"`
+}
+
+// healthResponse is the body returned by GET /healthz.
+type healthResponse struct {
+	Status string      `json:"status"`
+	Bundle *BundleInfo `json:"bundle,omitempty"`
+}
+
+type reloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// Server is the HTTP prediction service: it owns a Registry (which model is
+// live) and a Batcher (how requests reach it).
+type Server struct {
+	reg     *Registry
+	batcher *Batcher
+	lat     *latencyRing
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu         sync.Mutex // serializes /v1/reload handling
+	reloadPath string     // default path for /v1/reload
+}
+
+// NewServer builds the service around a registry. reloadPath, when
+// non-empty, is the default bundle path for POST /v1/reload.
+func NewServer(reg *Registry, cfg ServerConfig, reloadPath string) *Server {
+	bcfg := cfg.Batcher
+	if bcfg.Workers <= 0 || bcfg.Workers > reg.Replicas() {
+		bcfg.Workers = reg.Replicas()
+	}
+	s := &Server{
+		reg:        reg,
+		lat:        &latencyRing{},
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		reloadPath: reloadPath,
+	}
+	s.batcher = NewBatcher(func(w int, events [][]float64) ([]int, []float64, error) {
+		b := reg.Replica(w)
+		if b == nil {
+			return nil, nil, errors.New("serve: no bundle loaded")
+		}
+		pred, score, err := b.Predict(events)
+		return pred, score, err
+	}, bcfg)
+	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the batcher. The server must not receive new requests
+// afterwards.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Batcher exposes the scheduler (benchmarks drive it directly).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	ok := false
+	defer func() { s.lat.observe(time.Since(started), !ok) }()
+
+	info := s.reg.Info()
+	if info == nil {
+		writeError(w, http.StatusServiceUnavailable, "no bundle loaded")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	events := req.Events
+	if len(req.Features) > 0 {
+		events = append(events, req.Features)
+	}
+	if len(events) == 0 {
+		writeError(w, http.StatusBadRequest, "no events in request")
+		return
+	}
+	if len(events) > maxEventsPerRequest {
+		writeError(w, http.StatusBadRequest, "%d events exceeds the per-request cap of %d",
+			len(events), maxEventsPerRequest)
+		return
+	}
+	for i, ev := range events {
+		if len(ev) != info.Features {
+			writeError(w, http.StatusBadRequest, "event %d has %d features, model expects %d",
+				i, len(ev), info.Features)
+			return
+		}
+	}
+
+	// Each event goes through the batcher on its own so coalescing happens
+	// across concurrent HTTP requests as well as within one request.
+	preds := make([]Prediction, len(events))
+	errs := make([]error, len(events))
+	var wg sync.WaitGroup
+	wg.Add(len(events))
+	for i, ev := range events {
+		go func(i int, ev []float64) {
+			defer wg.Done()
+			class, score, err := s.batcher.Predict(r.Context(), ev)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			preds[i] = Prediction{Class: class, SignalScore: score}
+		}(i, ev)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, "predict: %v", err)
+			return
+		}
+	}
+	ok = true
+	writeJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+	}
+	path := req.Path
+	if path == "" {
+		path = s.reloadPath
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, "no bundle path: pass {\"path\": ...} or start the server with a default")
+		return
+	}
+	if err := s.reg.LoadFile(path); err != nil {
+		writeError(w, http.StatusConflict, "reload: %v", err)
+		return
+	}
+	s.reloadPath = path
+	writeJSON(w, http.StatusOK, s.reg.Info())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	info := s.reg.Info()
+	if info == nil {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: "no bundle loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Bundle: info})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	bs := s.batcher.Stats()
+	lat := s.lat.snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      lat.Count,
+		Events:        bs.Requests,
+		Batches:       bs.Batches,
+		AvgBatch:      bs.AvgBatch(),
+		MaxBatch:      bs.MaxBatch,
+		Coalesced:     bs.CoalescedBatches,
+		Latency:       lat,
+		Bundle:        s.reg.Info(),
+	})
+}

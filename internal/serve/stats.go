@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRing is the per-endpoint latency tracker: monotone counters plus a
+// fixed ring of recent request latencies from which percentiles are computed
+// on demand. A bounded ring keeps the tracker O(1) per request and biases
+// percentiles toward current behavior — the right trade-off for an /stats
+// endpoint that operators poll.
+const latencyRingSize = 4096
+
+type latencyRing struct {
+	mu     sync.Mutex
+	count  uint64
+	errors uint64
+	ring   [latencyRingSize]time.Duration
+	next   int
+	filled int
+}
+
+func (l *latencyRing) observe(d time.Duration, failed bool) {
+	l.mu.Lock()
+	l.count++
+	if failed {
+		l.errors++
+	}
+	l.ring[l.next] = d
+	l.next = (l.next + 1) % latencyRingSize
+	if l.filled < latencyRingSize {
+		l.filled++
+	}
+	l.mu.Unlock()
+}
+
+// LatencySummary reports request-latency percentiles in milliseconds over
+// the recent window.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (l *latencyRing) snapshot() LatencySummary {
+	l.mu.Lock()
+	s := LatencySummary{Count: l.count, Errors: l.errors}
+	window := make([]time.Duration, l.filled)
+	copy(window, l.ring[:l.filled])
+	l.mu.Unlock()
+	if len(window) == 0 {
+		return s
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	s.P50Ms = ms(percentile(window, 0.50))
+	s.P90Ms = ms(percentile(window, 0.90))
+	s.P99Ms = ms(percentile(window, 0.99))
+	s.MaxMs = ms(window[len(window)-1])
+	return s
+}
+
+// percentile returns the nearest-rank percentile of a sorted window.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

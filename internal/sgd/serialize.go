@@ -1,0 +1,68 @@
+package sgd
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"streambrain/internal/tensor"
+)
+
+// softmaxState snapshots the full optimizer state — weights, biases, and the
+// momentum buffers — so a loaded readout both predicts identically and
+// resumes SGD training exactly where it stopped.
+type softmaxState struct {
+	Version     int
+	In, Classes int
+	Cfg         Config
+	W, B        []float64
+	VW, VB      []float64
+}
+
+const softmaxVersion = 1
+
+// Save serializes the classifier with encoding/gob.
+func (s *Softmax) Save(w io.Writer) error {
+	st := softmaxState{
+		Version: softmaxVersion,
+		In:      s.in, Classes: s.classes, Cfg: s.cfg,
+		W: s.W.Data, B: s.B, VW: s.vw.Data, VB: s.vb,
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("sgd: save: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a Softmax from a Save stream.
+func Load(r io.Reader) (*Softmax, error) {
+	var st softmaxState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("sgd: load: %w", err)
+	}
+	if st.Version != softmaxVersion {
+		return nil, fmt.Errorf("sgd: load: state version %d, want %d", st.Version, softmaxVersion)
+	}
+	if st.In < 1 || st.Classes < 2 {
+		return nil, fmt.Errorf("sgd: load: bad geometry %dx%d", st.In, st.Classes)
+	}
+	n := st.In * st.Classes
+	if len(st.W) != n || len(st.VW) != n || len(st.B) != st.Classes || len(st.VB) != st.Classes {
+		return nil, fmt.Errorf("sgd: load: inconsistent state geometry")
+	}
+	s := &Softmax{
+		in: st.In, classes: st.Classes, cfg: st.Cfg,
+		W:  tensor.NewMatrix(st.In, st.Classes),
+		B:  make([]float64, st.Classes),
+		vw: tensor.NewMatrix(st.In, st.Classes),
+		vb: make([]float64, st.Classes),
+	}
+	copy(s.W.Data, st.W)
+	copy(s.B, st.B)
+	copy(s.vw.Data, st.VW)
+	copy(s.vb, st.VB)
+	return s, nil
+}
+
+// In returns the input width the classifier was built for.
+func (s *Softmax) In() int { return s.in }

@@ -18,19 +18,29 @@
 // Heavy lifting lives in internal packages: internal/core (the BCPNN
 // model), internal/backend (naive / parallel / GPU-simulator kernels),
 // internal/mpi (message passing), internal/higgs and internal/mnistgen
-// (dataset substrates), internal/viz (in-situ visualization), and
-// internal/experiments (the per-figure harnesses). See DESIGN.md for the
-// complete inventory.
+// (dataset substrates), internal/viz (in-situ visualization), internal/serve
+// (model bundles, the request micro-batcher, and the HTTP prediction
+// service behind cmd/streambrain-serve), and internal/experiments (the
+// per-figure harnesses). See DESIGN.md for the complete inventory.
+//
+// A trained model plus its fitted encoder round-trips as one bundle —
+// SaveModel / LoadModel — which is what cmd/streambrain-serve serves online:
+//
+//	_ = streambrain.SaveModel(f, model, enc)
+//	// later, in the serving process:
+//	model, enc, _ := streambrain.LoadModel(f, streambrain.Config{})
 package streambrain
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
 	"streambrain/internal/data"
 	"streambrain/internal/higgs"
+	"streambrain/internal/serve"
 	"streambrain/internal/sgd"
 )
 
@@ -183,3 +193,31 @@ func LoadHiggs(opt HiggsOptions) (train, test *data.Encoded, enc *data.Encoder, 
 
 // Backends lists the registered compute backends.
 func Backends() []string { return backend.Names() }
+
+// SaveModel writes the trained model together with the fitted encoder as one
+// self-contained bundle, the unit of deployment for cmd/streambrain-serve:
+// a loaded bundle scores raw feature vectors end-to-end. Both readouts
+// (pure BCPNN and the hybrid SGD softmax) round-trip.
+func SaveModel(w io.Writer, m *Model, enc *data.Encoder) error {
+	return serve.SaveBundle(w, m.net, enc)
+}
+
+// LoadModel reconstructs a model and its encoder from a SaveModel bundle.
+// Only cfg.Backend and cfg.Workers are consulted (the backend is an
+// execution concern, not model state); the hyperparameters come from the
+// bundle itself.
+func LoadModel(r io.Reader, cfg Config) (*Model, *data.Encoder, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "parallel"
+	}
+	be, err := backend.New(cfg.Backend, cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := serve.LoadBundle(r, be)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Params = b.Net.Params()
+	return &Model{net: b.Net, cfg: cfg}, b.Enc, nil
+}

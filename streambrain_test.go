@@ -1,6 +1,7 @@
 package streambrain_test
 
 import (
+	"bytes"
 	"testing"
 
 	"streambrain"
@@ -110,6 +111,52 @@ func TestHybridFacade(t *testing.T) {
 	acc, _ := model.Evaluate(test)
 	if acc < 0.5 {
 		t.Fatalf("hybrid collapsed: %.3f", acc)
+	}
+}
+
+// TestSaveLoadModelFacade round-trips a hybrid model plus its encoder
+// through the public bundle API and checks the reloaded pair scores raw
+// events identically.
+func TestSaveLoadModelFacade(t *testing.T) {
+	train, test, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 6000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := streambrain.DefaultParams()
+	params.MCUs = 50
+	params.UnsupervisedEpochs = 2
+	params.SupervisedEpochs = 2
+	params.Seed = 5
+	model, err := streambrain.NewModel(streambrain.Config{
+		Backend: "parallel", Params: params, HybridSGD: true,
+	}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Fit(train)
+
+	var buf bytes.Buffer
+	if err := streambrain.SaveModel(&buf, model, enc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, loadedEnc, err := streambrain.LoadModel(&buf, streambrain.Config{Backend: "naive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedEnc.Bins != enc.Bins || len(loadedEnc.Cuts) != len(enc.Cuts) {
+		t.Fatalf("encoder changed: %d bins %d features", loadedEnc.Bins, len(loadedEnc.Cuts))
+	}
+	wantPred, wantScore := model.Predict(test)
+	gotPred, gotScore := loaded.Predict(test)
+	for i := range wantPred {
+		if wantPred[i] != gotPred[i] {
+			t.Fatalf("prediction changed at %d after bundle reload", i)
+		}
+		if d := wantScore[i] - gotScore[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("score changed at %d: %v vs %v", i, wantScore[i], gotScore[i])
+		}
 	}
 }
 
