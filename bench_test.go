@@ -26,6 +26,7 @@ import (
 	"streambrain/internal/mpi"
 	"streambrain/internal/posit"
 	"streambrain/internal/serve"
+	"streambrain/internal/stream"
 	"streambrain/internal/tensor"
 	"streambrain/internal/viz"
 )
@@ -360,7 +361,7 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 }
 
-// BenchmarkOffload is ablation A2 (DESIGN.md §4): identical training steps
+// BenchmarkOffload is ablation A4 (DESIGN.md §5.6): identical training steps
 // under the offloaded vs chatty transfer policy; the reported MB/step metric
 // is the modeled host↔device traffic difference that motivates StreamBrain's
 // fully-offloaded CUDA design.
@@ -531,6 +532,55 @@ func BenchmarkServePredict(b *testing.B) {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 		b.ReportMetric(batcher.Stats().AvgBatch(), "avg-batch")
 	})
+}
+
+// BenchmarkStreamIngest measures the continual-learning pipeline's
+// steady-state ingest rate (DESIGN.md §7): events/s through encode →
+// prequential predict → window metrics → PartialFit, after warmup/bootstrap
+// has completed outside the timer. The companion to BenchmarkServePredict —
+// together they bound the co-located learn-and-serve process.
+func BenchmarkStreamIngest(b *testing.B) {
+	const warm = 1024
+	ds := higgs.Generate(warm+512, 0.5, 1)
+	p := core.DefaultParams()
+	p.MCUs = 300
+	p.ReceptiveField = 0.40
+	p.Seed = 1
+	pipe, err := stream.New(stream.Config{
+		Backend:      "parallel",
+		Params:       p,
+		Warmup:       warm,
+		Window:       2048,
+		PublishEvery: -1, // isolate the training path; publish cost is serve-side
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := make(chan stream.Event) // unbuffered: sends complete only when ingested
+	done := make(chan error, 1)
+	go func() { done <- pipe.Run(context.Background(), stream.ChanSource(ch)) }()
+	emit := func(i int) {
+		row := i % ds.Len()
+		ch <- stream.Event{Features: ds.X.Row(row), Label: ds.Y[row]}
+	}
+	for i := 0; i < warm; i++ {
+		emit(i)
+	}
+	// The next send is only consumed once bootstrap training has finished,
+	// so everything after it is steady state.
+	emit(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emit(warm + 1 + i)
+	}
+	close(ch)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	st := pipe.Stats()
+	b.ReportMetric(st.WindowAccuracy, "window-acc")
 }
 
 // BenchmarkQuantileEncode is ablation A6 (DESIGN.md §5.5): the §V

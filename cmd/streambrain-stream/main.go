@@ -1,0 +1,166 @@
+// Command streambrain-stream runs the online continual-learning pipeline:
+// it ingests a stream of raw Higgs events (replayed from a CSV file at a
+// configurable rate, or synthesized on the fly), trains the BCPNN
+// incrementally in micro-batches, tracks sliding-window accuracy/AUC with a
+// drift signal, and periodically publishes fresh model snapshots — into an
+// in-process HTTP prediction service (-addr), a bundle file (-save-bundle),
+// or both. One process learns and serves concurrently:
+//
+//	streambrain-stream -events 100000 -rate 5000 -addr :8080
+//	curl -s localhost:8080/healthz          # generation advances as it learns
+//	curl -s localhost:8080/v1/predict -d '{"events": [[...28 raw features...]]}'
+//
+// With -csv the real UCI HIGGS file is replayed instead of the synthetic
+// generator; -loop replays past one pass for long soak runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"streambrain/internal/core"
+	"streambrain/internal/higgs"
+	"streambrain/internal/serve"
+	"streambrain/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambrain-stream: ")
+
+	var (
+		csvPath = flag.String("csv", "", "replay a UCI HIGGS CSV instead of synthesizing events")
+		events  = flag.Int("events", 100000, "synthetic event count (ignored with -csv)")
+		loop    = flag.Int("loop", 0, "total events to emit, looping over the input (0 = one pass)")
+		rate    = flag.Float64("rate", 0, "ingest pacing in events/s (0 = as fast as possible)")
+		seed    = flag.Int64("seed", 1, "synthetic generation seed")
+
+		backendName = flag.String("backend", "parallel", "compute backend: naive | parallel | gpusim")
+		workers     = flag.Int("workers", 0, "backend worker-team size (0 = all cores)")
+		mcus        = flag.Int("mcus", 300, "minicolumn units per HCU")
+		hcus        = flag.Int("hcus", 1, "hidden hypercolumn units")
+		rf          = flag.Float64("rf", 0.30, "receptive-field fraction")
+		bins        = flag.Int("bins", 10, "quantile-encoding bins")
+
+		warmup       = flag.Int("warmup", 2048, "events buffered before the first model is fitted")
+		batch        = flag.Int("batch", 128, "training micro-batch size")
+		window       = flag.Int("window", 2048, "sliding metric window (events)")
+		publishEvery = flag.Int("publish-every", 8192, "events between bundle snapshots (<0 disables periodic publishes)")
+		refitEvery   = flag.Int("refit-every", 0, "events between encoder refits (0 = refit only on drift)")
+		driftDrop    = flag.Float64("drift-drop", 0.10, "windowed-accuracy drop that signals drift")
+
+		addr       = flag.String("addr", "", "serve predictions over HTTP at this address while training (empty = train-only)")
+		replicas   = flag.Int("replicas", 2, "serving model replicas when -addr is set")
+		saveBundle = flag.String("save-bundle", "", "also rewrite this bundle file on every snapshot")
+		statsEvery = flag.Duration("stats-every", 5*time.Second, "progress log interval")
+	)
+	flag.Parse()
+
+	// The input: a real CSV replay or the synthetic physics generator,
+	// paced to -rate.
+	ds, err := higgs.Load(*csvPath, 0, *events, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := stream.NewDatasetSource(ds, *loop, *rate)
+	emitting := ds.Len()
+	if *loop > 0 {
+		emitting = *loop
+	}
+	log.Printf("source: %d events loaded, emitting %d at %s",
+		ds.Len(), emitting, rateString(*rate))
+
+	// The outputs: an in-process serving registry and/or a bundle file.
+	var pubs stream.MultiPublisher
+	var reg *serve.Registry
+	if *addr != "" {
+		reg = serve.NewRegistry(*replicas, serve.NamedBackendFactory(*backendName, *workers))
+		pubs = append(pubs, &stream.RegistryPublisher{Reg: reg})
+	}
+	if *saveBundle != "" {
+		pubs = append(pubs, stream.FilePublisher{Path: *saveBundle})
+	}
+	var pub stream.Publisher
+	if len(pubs) > 0 {
+		pub = pubs
+	}
+
+	params := core.DefaultParams()
+	params.MCUs = *mcus
+	params.HCUs = *hcus
+	params.ReceptiveField = *rf
+	params.BatchSize = *batch
+	params.Seed = *seed
+	pipe, err := stream.New(stream.Config{
+		Backend:      *backendName,
+		Workers:      *workers,
+		Params:       params,
+		Bins:         *bins,
+		Warmup:       *warmup,
+		BatchSize:    *batch,
+		Window:       *window,
+		DriftDrop:    *driftDrop,
+		PublishEvery: *publishEvery,
+		RefitEvery:   *refitEvery,
+	}, pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *addr != "" {
+		srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+		defer srv.Close()
+		go func() {
+			log.Printf("serving on %s while training", *addr)
+			if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	go progress(ctx, pipe, *statsEvery)
+
+	start := time.Now()
+	if err := pipe.Run(ctx, src); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	logStats(pipe.Stats(), time.Since(start))
+}
+
+// progress logs one status line per interval until ctx ends.
+func progress(ctx context.Context, p *stream.Pipeline, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			logStats(p.Stats(), time.Since(start))
+		}
+	}
+}
+
+func logStats(s stream.Stats, elapsed time.Duration) {
+	log.Printf("%8.1fs  %9d events  %6d batches  acc %.3f  auc %.3f  publishes %d  refits %d  drifts %d  (%.0f events/s)",
+		elapsed.Seconds(), s.Events, s.Batches, s.WindowAccuracy, s.WindowAUC,
+		s.Publishes, s.Refits, s.Drifts, float64(s.Events)/elapsed.Seconds())
+}
+
+func rateString(rate float64) string {
+	if rate <= 0 {
+		return "full speed"
+	}
+	return time.Duration(float64(time.Second)/rate).String() + "/event"
+}

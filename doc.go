@@ -1,0 +1,38 @@
+// Package streambrain is a Go implementation of StreamBrain, the HPC
+// framework for brain-inspired BCPNN learning, together with the full
+// evaluation pipeline of "Higgs Boson Classification: Brain-inspired BCPNN
+// Learning with StreamBrain" (Svedin et al., CLUSTER 2021).
+//
+// The public API mirrors the Keras-inspired workflow the paper describes
+// (§III: construct the network, then call the training function):
+//
+//	train, test, enc := streambrain.LoadHiggs(streambrain.HiggsOptions{})
+//	_ = enc
+//	model, _ := streambrain.NewModel(streambrain.Config{
+//		Backend: "parallel",
+//		Params:  streambrain.DefaultParams(),
+//	}, train.Hypercolumns, train.UnitsPerHC, train.Classes)
+//	model.Fit(train)
+//	acc, auc := model.Evaluate(test)
+//
+// Heavy lifting lives in internal packages: internal/core (the BCPNN
+// model), internal/backend (naive / parallel / GPU-simulator kernels),
+// internal/mpi (message passing), internal/higgs and internal/mnistgen
+// (dataset substrates), internal/viz (in-situ visualization), internal/serve
+// (model bundles, the request micro-batcher, and the HTTP prediction
+// service behind cmd/streambrain-serve), internal/stream (the online
+// continual-learning pipeline behind cmd/streambrain-stream, which trains
+// on a live event stream and publishes snapshots into the serving
+// registry), and internal/experiments (the per-figure harnesses). See
+// DESIGN.md for the complete inventory.
+//
+// A trained model plus its fitted encoder round-trips as one bundle —
+// SaveModel / LoadModel — which is what cmd/streambrain-serve serves online:
+//
+//	_ = streambrain.SaveModel(f, model, enc)
+//	// later, in the serving process:
+//	model, enc, _ := streambrain.LoadModel(f, streambrain.Config{})
+//
+// Runnable Example functions for each of these entry points live in
+// example_test.go and run under go test.
+package streambrain

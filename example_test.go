@@ -1,0 +1,146 @@
+package streambrain_test
+
+// Testable examples for the public API surface: NewModel, Fit/Evaluate, and
+// the SaveModel/LoadModel bundle round-trip. They run under go test (CI's
+// "examples" step), so the documented workflow cannot rot. Outputs are
+// structural facts and comfortable inequalities rather than exact floats —
+// seeded runs are deterministic per platform, but Go's FMA fusing may vary
+// the last bits across architectures.
+
+import (
+	"bytes"
+	"fmt"
+
+	"streambrain"
+)
+
+func ExampleNewModel() {
+	// Geometry mirrors the §V encoding: 28 features × 10 quantile bins,
+	// 2 classes (signal vs background).
+	model, err := streambrain.NewModel(streambrain.Config{
+		Backend: "naive",
+		Params:  streambrain.DefaultParams(),
+	}, 28, 10, 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("hidden units:", model.Network().Hidden.Units())
+	fmt.Println("train time so far:", model.TrainSeconds() == 0)
+	// Output:
+	// hidden units: 300
+	// train time so far: true
+}
+
+func ExampleModel_Fit() {
+	train, test, _, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 6000,
+		Seed:   42,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	params := streambrain.DefaultParams()
+	params.MCUs = 100
+	params.ReceptiveField = 0.40
+	params.Taupdt = 0.03
+	params.Seed = 42
+	model, err := streambrain.NewModel(streambrain.Config{Params: params},
+		train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	model.Fit(train)
+	acc, auc := model.Evaluate(test)
+	fmt.Println("accuracy above chance:", acc > 0.55)
+	fmt.Println("AUC above chance:", auc > 0.55)
+	// Output:
+	// accuracy above chance: true
+	// AUC above chance: true
+}
+
+func ExampleSaveModel() {
+	train, _, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 2000,
+		Seed:   7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	params := streambrain.DefaultParams()
+	params.MCUs = 20
+	params.UnsupervisedEpochs = 1
+	params.SupervisedEpochs = 1
+	params.Seed = 7
+	model, err := streambrain.NewModel(streambrain.Config{Params: params},
+		train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	model.Fit(train)
+
+	// Model and fitted encoder travel together as one bundle: the unit of
+	// deployment for the serving process.
+	var bundle bytes.Buffer
+	if err := streambrain.SaveModel(&bundle, model, enc); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("bundle written:", bundle.Len() > 0)
+	// Output:
+	// bundle written: true
+}
+
+func ExampleLoadModel() {
+	train, test, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
+		Events: 2000,
+		Seed:   7,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	params := streambrain.DefaultParams()
+	params.MCUs = 20
+	params.UnsupervisedEpochs = 1
+	params.SupervisedEpochs = 1
+	params.Seed = 7
+	model, err := streambrain.NewModel(streambrain.Config{Params: params},
+		train.Hypercolumns, train.UnitsPerHC, train.Classes)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	model.Fit(train)
+	var bundle bytes.Buffer
+	if err := streambrain.SaveModel(&bundle, model, enc); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	// A fresh process reconstructs model + encoder from the bundle; the
+	// backend is an execution choice, not model state.
+	loaded, loadedEnc, err := streambrain.LoadModel(&bundle, streambrain.Config{Backend: "naive"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	origPred, _ := model.Predict(test)
+	loadPred, _ := loaded.Predict(test)
+	same := len(origPred) == len(loadPred)
+	for i := range origPred {
+		if origPred[i] != loadPred[i] {
+			same = false
+			break
+		}
+	}
+	fmt.Println("encoder features:", loadedEnc.Features())
+	fmt.Println("predictions match the original:", same)
+	// Output:
+	// encoder features: 28
+	// predictions match the original: true
+}

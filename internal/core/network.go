@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sort"
 	"time"
 
 	"streambrain/internal/backend"
@@ -42,6 +41,10 @@ type Network struct {
 	// TrainTime accumulates wall-clock training duration; the Fig. 3/4
 	// harnesses report it alongside accuracy.
 	TrainTime time.Duration
+
+	// partialAct is scratch reused across PartialFit micro-batches so the
+	// streaming ingest loop stays allocation-free at steady state.
+	partialAct *tensor.Matrix
 }
 
 // NewNetwork builds a network for one-hot input of fi hypercolumns × mi
@@ -139,43 +142,7 @@ func (n *Network) CalibrateThreshold(train *data.Encoded) {
 		sample = train.Subset(rows)
 	}
 	_, scores := n.Predict(sample)
-	type sl struct {
-		s float64
-		y int
-	}
-	pairs := make([]sl, len(scores))
-	pos := 0
-	for i, s := range scores {
-		pairs[i] = sl{s, sample.Y[i]}
-		pos += sample.Y[i]
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
-	// Sweep cut points: predicting 1 for scores >= cut. Start with the cut
-	// below the minimum (everything predicted 1).
-	correct := pos
-	best := correct
-	bestThreshold := pairs[0].s - 1e-12
-	for i := 0; i < len(pairs); i++ {
-		// Move the cut just above pairs[i]: sample i flips to predicted 0.
-		if pairs[i].y == 0 {
-			correct++
-		} else {
-			correct--
-		}
-		// Only place cuts between distinct scores.
-		if i+1 < len(pairs) && pairs[i+1].s == pairs[i].s {
-			continue
-		}
-		if correct > best {
-			best = correct
-			if i+1 < len(pairs) {
-				bestThreshold = (pairs[i].s + pairs[i+1].s) / 2
-			} else {
-				bestThreshold = pairs[i].s + 1e-12
-			}
-		}
-	}
-	n.threshold = bestThreshold
+	n.threshold = metrics.BestAccuracyThreshold(scores, sample.Y)
 }
 
 // Threshold returns the current binary decision threshold.

@@ -1,0 +1,123 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streambrain/internal/metrics"
+)
+
+// Streaming counterparts of the batch preprocessing: the continual-learning
+// pipeline (internal/stream, DESIGN.md §7) never holds a full Dataset, so the
+// encoder must fit from raw rows, refit from a reservoir sample without
+// stopping ingest, and transform label-paired micro-batches directly.
+
+// FitEncoderRows computes per-feature quantile boundaries from raw rows —
+// the row-slice counterpart of FitEncoder. All rows must have the same width.
+func FitEncoderRows(rows [][]float64, bins int) *Encoder {
+	if bins < 2 {
+		panic("data: FitEncoderRows needs bins >= 2")
+	}
+	if len(rows) == 0 {
+		panic("data: FitEncoderRows needs at least one row")
+	}
+	nf := len(rows[0])
+	enc := &Encoder{Bins: bins, Cuts: make([][]float64, nf)}
+	col := make([]float64, len(rows))
+	for f := 0; f < nf; f++ {
+		for r, row := range rows {
+			col[r] = row[f]
+		}
+		enc.Cuts[f] = metrics.Quantiles(col, bins)
+	}
+	return enc
+}
+
+// Refit recomputes the quantile boundaries in place from a fresh sample
+// (typically a Reservoir snapshot), keeping the bin count and feature width.
+// The network consuming the encoding keeps its traces: after a refit the
+// input distribution over bins shifts and the BCPNN trace EMA adapts over the
+// following micro-batches, which is what lets the stream pipeline track
+// covariate drift without stopping ingest.
+func (enc *Encoder) Refit(rows [][]float64) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("data: refit with no rows")
+	}
+	if len(rows[0]) != len(enc.Cuts) {
+		return fmt.Errorf("data: encoder fitted on %d features, refit rows have %d",
+			len(enc.Cuts), len(rows[0]))
+	}
+	enc.Cuts = FitEncoderRows(rows, enc.Bins).Cuts
+	return nil
+}
+
+// TransformBatch encodes raw rows paired with labels into an Encoded
+// micro-batch — the streaming counterpart of Transform.
+func (enc *Encoder) TransformBatch(rows [][]float64, labels []int, classes int) (*Encoded, error) {
+	if len(rows) != len(labels) {
+		return nil, fmt.Errorf("data: %d rows with %d labels", len(rows), len(labels))
+	}
+	out := &Encoded{
+		Idx:          make([][]int32, len(rows)),
+		Y:            append([]int(nil), labels...),
+		Classes:      classes,
+		Hypercolumns: enc.Features(),
+		UnitsPerHC:   enc.Bins,
+	}
+	for s, row := range rows {
+		idx, err := enc.TransformRow(make([]int32, 0, len(row)), row)
+		if err != nil {
+			return nil, fmt.Errorf("data: row %d: %w", s, err)
+		}
+		out.Idx[s] = idx
+	}
+	return out, nil
+}
+
+// Reservoir maintains a fixed-capacity uniform random sample over an
+// unbounded stream of feature rows (Vitter's Algorithm R). The stream
+// pipeline feeds every ingested event through it and refits the quantile
+// encoder from Rows(), so the boundaries always reflect an unbiased sample
+// of everything seen so far.
+type Reservoir struct {
+	rows [][]float64
+	cap  int
+	seen int64
+	rng  *rand.Rand
+}
+
+// NewReservoir builds an empty reservoir holding at most capacity rows.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		panic("data: NewReservoir needs capacity >= 1")
+	}
+	return &Reservoir{
+		rows: make([][]float64, 0, capacity),
+		cap:  capacity,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add offers one row to the sample; the row is copied, so callers may reuse
+// the backing slice.
+func (r *Reservoir) Add(row []float64) {
+	r.seen++
+	if len(r.rows) < r.cap {
+		r.rows = append(r.rows, append([]float64(nil), row...))
+		return
+	}
+	// Keep each seen row with probability cap/seen.
+	if k := r.rng.Int63n(r.seen); k < int64(r.cap) {
+		r.rows[k] = append(r.rows[k][:0], row...)
+	}
+}
+
+// Rows returns the current sample. The slice is shared with the reservoir;
+// callers must not retain it across further Add calls.
+func (r *Reservoir) Rows() [][]float64 { return r.rows }
+
+// Len returns the number of rows currently sampled.
+func (r *Reservoir) Len() int { return len(r.rows) }
+
+// Seen returns the total number of rows offered.
+func (r *Reservoir) Seen() int64 { return r.seen }

@@ -1,0 +1,153 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/tensor"
+)
+
+func TestFitEncoderRowsMatchesDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, nf = 500, 3
+	ds := &Dataset{X: tensor.NewMatrix(n, nf), Y: make([]int, n), Classes: 2}
+	rows := make([][]float64, n)
+	for r := 0; r < n; r++ {
+		for f := 0; f < nf; f++ {
+			ds.X.Set(r, f, rng.NormFloat64())
+		}
+		rows[r] = ds.X.Row(r)
+	}
+	a := FitEncoder(ds, 10)
+	b := FitEncoderRows(rows, 10)
+	for f := 0; f < nf; f++ {
+		for k := range a.Cuts[f] {
+			if a.Cuts[f][k] != b.Cuts[f][k] {
+				t.Fatalf("feature %d cut %d: dataset %v vs rows %v",
+					f, k, a.Cuts[f][k], b.Cuts[f][k])
+			}
+		}
+	}
+}
+
+func TestEncoderRefitTracksShift(t *testing.T) {
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{float64(i) / 200}
+	}
+	enc := FitEncoderRows(rows, 4)
+	// All initial boundaries sit inside [0, 1).
+	for _, c := range enc.Cuts[0] {
+		if c < 0 || c >= 1 {
+			t.Fatalf("initial cut %v outside [0,1)", c)
+		}
+	}
+	// The distribution shifts by +10; after a refit every boundary must
+	// follow it.
+	shifted := make([][]float64, 200)
+	for i := range shifted {
+		shifted[i] = []float64{10 + float64(i)/200}
+	}
+	if err := enc.Refit(shifted); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range enc.Cuts[0] {
+		if c < 10 || c >= 11 {
+			t.Fatalf("refitted cut %v did not follow the +10 shift", c)
+		}
+	}
+	// Width mismatches are rejected.
+	if err := enc.Refit([][]float64{{1, 2}}); err == nil {
+		t.Fatal("refit accepted rows of the wrong width")
+	}
+	if err := enc.Refit(nil); err == nil {
+		t.Fatal("refit accepted an empty sample")
+	}
+}
+
+func TestTransformBatchMatchesTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, nf = 128, 4
+	ds := &Dataset{X: tensor.NewMatrix(n, nf), Y: make([]int, n), Classes: 2}
+	rows := make([][]float64, n)
+	labels := make([]int, n)
+	for r := 0; r < n; r++ {
+		for f := 0; f < nf; f++ {
+			ds.X.Set(r, f, rng.NormFloat64())
+		}
+		rows[r] = ds.X.Row(r)
+		labels[r] = r % 2
+		ds.Y[r] = labels[r]
+	}
+	enc := FitEncoder(ds, 10)
+	want := enc.Transform(ds)
+	got, err := enc.TransformBatch(rows, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hypercolumns != want.Hypercolumns || got.UnitsPerHC != want.UnitsPerHC {
+		t.Fatalf("geometry %dx%d, want %dx%d",
+			got.Hypercolumns, got.UnitsPerHC, want.Hypercolumns, want.UnitsPerHC)
+	}
+	for s := range want.Idx {
+		for f := range want.Idx[s] {
+			if got.Idx[s][f] != want.Idx[s][f] {
+				t.Fatalf("sample %d hc %d: %d vs %d", s, f, got.Idx[s][f], want.Idx[s][f])
+			}
+		}
+		if got.Y[s] != want.Y[s] {
+			t.Fatalf("sample %d label %d vs %d", s, got.Y[s], want.Y[s])
+		}
+	}
+	if _, err := enc.TransformBatch(rows[:3], labels[:2], 2); err == nil {
+		t.Fatal("accepted mismatched rows/labels")
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Fill below capacity: everything is kept, in order.
+	r := NewReservoir(8, 1)
+	for i := 0; i < 5; i++ {
+		r.Add([]float64{float64(i)})
+	}
+	if r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("len=%d seen=%d, want 5/5", r.Len(), r.Seen())
+	}
+	// Rows are copies: mutating the caller's slice must not leak in.
+	row := []float64{42}
+	r.Add(row)
+	row[0] = -1
+	found := false
+	for _, kept := range r.Rows() {
+		if kept[0] == 42 {
+			found = true
+		}
+		if kept[0] == -1 {
+			t.Fatal("reservoir aliases the caller's slice")
+		}
+	}
+	if !found {
+		t.Fatal("added row not present below capacity")
+	}
+
+	// Statistical check of Algorithm R: each of 1000 streamed values should
+	// survive in a 100-slot reservoir with probability 1/10. The mean of
+	// the kept values then estimates the stream mean.
+	r2 := NewReservoir(100, 7)
+	for i := 0; i < 1000; i++ {
+		r2.Add([]float64{float64(i)})
+	}
+	if r2.Len() != 100 || r2.Seen() != 1000 {
+		t.Fatalf("len=%d seen=%d, want 100/1000", r2.Len(), r2.Seen())
+	}
+	var mean float64
+	for _, kept := range r2.Rows() {
+		mean += kept[0]
+	}
+	mean /= 100
+	// Stream mean is 499.5, std of the sample mean ≈ 29; allow 4 sigma.
+	if math.Abs(mean-499.5) > 120 {
+		t.Fatalf("reservoir sample mean %v too far from stream mean 499.5", mean)
+	}
+}

@@ -261,6 +261,58 @@ func BestAMS(score []float64, label []int, weight []float64) (best, threshold fl
 	return best, threshold
 }
 
+// BestAccuracyThreshold returns the cut maximizing the accuracy of the
+// binary rule "predict 1 when score >= threshold" against label. Samples
+// with equal scores move together, and winning cuts are placed midway
+// between distinct scores (or just outside the observed range). Both the
+// batch trainer's threshold calibration (core.CalibrateThreshold) and the
+// streaming window's online recalibration use this sweep. Panics on length
+// mismatch or empty input.
+func BestAccuracyThreshold(score []float64, label []int) float64 {
+	if len(score) != len(label) {
+		panic("metrics: BestAccuracyThreshold length mismatch")
+	}
+	if len(score) == 0 {
+		panic("metrics: BestAccuracyThreshold of empty data")
+	}
+	type sl struct {
+		s float64
+		y int
+	}
+	pairs := make([]sl, len(score))
+	pos := 0
+	for i := range score {
+		pairs[i] = sl{score[i], label[i]}
+		pos += label[i]
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].s < pairs[j].s })
+	// Start with the cut below the minimum (everything predicted 1), then
+	// move it just above pairs[i], flipping sample i to predicted 0.
+	correct := pos
+	best := correct
+	threshold := pairs[0].s - 1e-12
+	for i := 0; i < len(pairs); i++ {
+		if pairs[i].y == 0 {
+			correct++
+		} else {
+			correct--
+		}
+		// Only place cuts between distinct scores.
+		if i+1 < len(pairs) && pairs[i+1].s == pairs[i].s {
+			continue
+		}
+		if correct > best {
+			best = correct
+			if i+1 < len(pairs) {
+				threshold = (pairs[i].s + pairs[i+1].s) / 2
+			} else {
+				threshold = pairs[i].s + 1e-12
+			}
+		}
+	}
+	return threshold
+}
+
 // Mean returns the arithmetic mean of xs (0 for empty input).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

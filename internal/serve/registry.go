@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
 )
 
 // BackendFactory builds a fresh backend instance for one model replica.
@@ -26,11 +28,13 @@ type activeSet struct {
 	bundles  []*Bundle
 	source   string
 	loadedAt time.Time
+	gen      uint64
 }
 
 // BundleInfo describes the active generation for health/stats reporting.
 type BundleInfo struct {
 	Source       string    `json:"source"`
+	Generation   uint64    `json:"generation"`
 	LoadedAt     time.Time `json:"loaded_at"`
 	Features     int       `json:"features"`
 	Classes      int       `json:"classes"`
@@ -49,6 +53,7 @@ type Registry struct {
 	factory  BackendFactory
 
 	mu     sync.Mutex // serializes swaps, not reads
+	gen    uint64     // generations swapped in so far (guarded by mu)
 	active atomic.Pointer[activeSet]
 }
 
@@ -92,8 +97,23 @@ func (r *Registry) LoadBytes(raw []byte, source string, loadedAt time.Time) erro
 			return err
 		}
 	}
-	r.active.Store(&activeSet{bundles: bundles, source: source, loadedAt: loadedAt})
+	r.gen++
+	r.active.Store(&activeSet{bundles: bundles, source: source, loadedAt: loadedAt, gen: r.gen})
 	return nil
+}
+
+// PublishBundle snapshots a live network+encoder pair and swaps it in — the
+// in-process analogue of POST /v1/reload, used by a trainer co-located with
+// the server (internal/stream's RegistryPublisher). The pair is serialized
+// to bundle bytes first and the registry decodes its replicas from those
+// bytes, so the published generation is a deep copy: the trainer keeps
+// mutating its network while the snapshot serves.
+func (r *Registry) PublishBundle(net *core.Network, enc *data.Encoder, source string) error {
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, net, enc); err != nil {
+		return err
+	}
+	return r.LoadBytes(buf.Bytes(), source, time.Now())
 }
 
 // LoadFile reads a bundle file and atomically swaps it in. The old
@@ -126,6 +146,7 @@ func (r *Registry) Info() *BundleInfo {
 	b := set.bundles[0]
 	return &BundleInfo{
 		Source:       set.source,
+		Generation:   set.gen,
 		LoadedAt:     set.loadedAt,
 		Features:     b.Features,
 		Classes:      b.Classes,

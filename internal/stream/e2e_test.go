@@ -1,0 +1,229 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/serve"
+	"streambrain/internal/stream"
+)
+
+// synthEvents emits n trivially separable events into ch: every feature
+// carries the label as shifted Gaussians with independent noise. flip
+// inverts the label↔feature relation, simulating abrupt concept drift.
+func synthEvents(ch chan<- stream.Event, n int, seed int64, flip bool) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		label := i % 2
+		carrier := float64(label)
+		if flip {
+			carrier = float64(1 - label)
+		}
+		features := make([]float64, 4)
+		for f := range features {
+			features[f] = carrier + 0.25*rng.NormFloat64()
+		}
+		ch <- stream.Event{Features: features, Label: label}
+	}
+}
+
+func testParams() core.Params {
+	p := core.DefaultParams()
+	p.MCUs = 8
+	// Four synthetic features only: let the single HCU see all of them
+	// (RF 0.30 would gate it to one), and speed the trace EMA up — the
+	// test stream is a few thousand events, not a few million.
+	p.ReceptiveField = 1.0
+	p.Taupdt = 0.05
+	p.BatchSize = 32
+	p.UnsupervisedEpochs = 2
+	p.SupervisedEpochs = 2
+	p.Seed = 5
+	return p
+}
+
+// TestPipelineEndToEnd closes the train→serve loop: ingest synthetic events,
+// let the pipeline publish snapshots into a serve.Registry, and prove the
+// HTTP service answers /v1/predict from a generation trained after startup.
+func TestPipelineEndToEnd(t *testing.T) {
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 1))
+	p, err := stream.New(stream.Config{
+		Backend:         "parallel",
+		Workers:         1,
+		Params:          testParams(),
+		Bins:            4,
+		Warmup:          256,
+		Window:          256,
+		PublishEvery:    256,
+		StructuralEvery: 512,
+		ReservoirSize:   512,
+	}, &stream.RegistryPublisher{Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch := make(chan stream.Event, 64)
+	go func() {
+		synthEvents(ch, 1024, 7, false)
+		close(ch)
+	}()
+	if err := p.Run(context.Background(), stream.ChanSource(ch)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if !st.Warmed {
+		t.Fatal("pipeline never warmed")
+	}
+	if st.Events != 1024 {
+		t.Fatalf("ingested %d events, want 1024", st.Events)
+	}
+	// Bootstrap snapshot + one periodic snapshot per 256 steady events.
+	if st.Publishes != 4 {
+		t.Fatalf("published %d snapshots, want 4", st.Publishes)
+	}
+	if st.WindowAccuracy < 0.8 {
+		t.Fatalf("window accuracy %.3f, want > 0.8 on separable data", st.WindowAccuracy)
+	}
+	if st.WindowAUC < 0.9 {
+		t.Fatalf("window AUC %.3f, want > 0.9 on separable data", st.WindowAUC)
+	}
+
+	info := reg.Info()
+	if info == nil {
+		t.Fatal("registry has no active bundle")
+	}
+	if info.Generation != 4 {
+		t.Fatalf("registry generation %d, want 4", info.Generation)
+	}
+	// The active snapshot must postdate startup: it is the 4th publish, not
+	// the warmup bootstrap.
+	if want := "stream#4"; info.Source != want {
+		t.Fatalf("active source %q, want %q", info.Source, want)
+	}
+
+	// Serve the final generation over real HTTP and score one clear event
+	// per class.
+	srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, tc := range []struct {
+		features []float64
+		want     int
+	}{
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{0, 0, 0, 0}, 0},
+	} {
+		body, _ := json.Marshal(serve.PredictRequest{Events: [][]float64{tc.features}})
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict status %d, want 200", resp.StatusCode)
+		}
+		var pr serve.PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(pr.Predictions) != 1 {
+			t.Fatalf("got %d predictions, want 1", len(pr.Predictions))
+		}
+		if pr.Predictions[0].Class != tc.want {
+			t.Fatalf("event %v predicted class %d, want %d (score %.3f)",
+				tc.features, pr.Predictions[0].Class, tc.want, pr.Predictions[0].SignalScore)
+		}
+	}
+}
+
+// TestPipelineDriftSignal flips the label↔feature relation mid-stream and
+// checks the windowed-accuracy regression detector fires and triggers the
+// encoder-refit response.
+func TestPipelineDriftSignal(t *testing.T) {
+	p, err := stream.New(stream.Config{
+		Backend:     "parallel",
+		Workers:     1,
+		Params:      testParams(),
+		Bins:        4,
+		Warmup:      256,
+		Window:      128,
+		DriftDrop:   0.20,
+		DriftMinObs: 2,
+		// Periodic publishing off; this test is about the drift path.
+		PublishEvery:  -1,
+		ReservoirSize: 512,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch := make(chan stream.Event, 64)
+	go func() {
+		synthEvents(ch, 768, 11, false)
+		synthEvents(ch, 512, 12, true) // abrupt concept drift
+		close(ch)
+	}()
+	if err := p.Run(context.Background(), stream.ChanSource(ch)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if st.Drifts < 1 {
+		t.Fatalf("drift detector never fired across a label flip (stats %+v)", st)
+	}
+	if st.Refits < 1 {
+		t.Fatalf("drift fired but no encoder refit ran (stats %+v)", st)
+	}
+}
+
+// TestPipelineSourceEndsEarly covers the degenerate stream: fewer events
+// than the warmup target still bootstraps and publishes one snapshot, and an
+// empty stream errors.
+func TestPipelineSourceEndsEarly(t *testing.T) {
+	var published int
+	pub := stream.PublisherFunc(func(_ *core.Network, _ *data.Encoder, _ int) error {
+		published++
+		return nil
+	})
+	p, err := stream.New(stream.Config{
+		Backend: "parallel", Workers: 1, Params: testParams(),
+		Bins: 4, Warmup: 512, Window: 64,
+	}, pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan stream.Event, 64)
+	go func() {
+		synthEvents(ch, 100, 3, false) // less than Warmup
+		close(ch)
+	}()
+	if err := p.Run(context.Background(), stream.ChanSource(ch)); err != nil {
+		t.Fatal(err)
+	}
+	if published != 1 {
+		t.Fatalf("short stream published %d snapshots, want 1", published)
+	}
+	st := p.Stats()
+	if !st.Warmed || st.Events != 100 {
+		t.Fatalf("short stream stats %+v, want warmed with 100 events", st)
+	}
+
+	empty := make(chan stream.Event)
+	close(empty)
+	p2, err := stream.New(stream.Config{Backend: "parallel", Workers: 1, Params: testParams()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Run(context.Background(), stream.ChanSource(empty)); err == nil {
+		t.Fatal("empty stream did not error")
+	}
+}

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"fmt"
+
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/serve"
+)
+
+// Publisher receives periodic model snapshots from the pipeline. seq counts
+// publishes from 1 (the post-warmup model). Implementations must not retain
+// net or enc past the call — the pipeline keeps training them — so they
+// serialize (RegistryPublisher, FilePublisher) or deep-copy before returning.
+type Publisher interface {
+	Publish(net *core.Network, enc *data.Encoder, seq int) error
+}
+
+// PublisherFunc adapts a function to the Publisher interface.
+type PublisherFunc func(net *core.Network, enc *data.Encoder, seq int) error
+
+// Publish implements Publisher.
+func (f PublisherFunc) Publish(net *core.Network, enc *data.Encoder, seq int) error {
+	return f(net, enc, seq)
+}
+
+// RegistryPublisher hot-swaps every snapshot into an in-process
+// serve.Registry — the co-located train→serve loop: the registry decodes
+// independent replicas from the serialized snapshot, so serving continues on
+// deep copies while the pipeline keeps training (DESIGN.md §7).
+type RegistryPublisher struct {
+	Reg *serve.Registry
+	// Name prefixes the registry source label ("stream" when empty); the
+	// label surfaces in /healthz and /stats as e.g. "stream#3".
+	Name string
+}
+
+// Publish implements Publisher.
+func (p *RegistryPublisher) Publish(net *core.Network, enc *data.Encoder, seq int) error {
+	name := p.Name
+	if name == "" {
+		name = "stream"
+	}
+	return p.Reg.PublishBundle(net, enc, fmt.Sprintf("%s#%d", name, seq))
+}
+
+// FilePublisher atomically rewrites one bundle file per snapshot — the
+// hand-off for a prediction service in another process, whose POST
+// /v1/reload picks the file up.
+type FilePublisher struct {
+	Path string
+}
+
+// Publish implements Publisher.
+func (p FilePublisher) Publish(net *core.Network, enc *data.Encoder, _ int) error {
+	return serve.SaveBundleFile(p.Path, net, enc)
+}
+
+// MultiPublisher fans each snapshot out to every publisher in order,
+// stopping at the first error.
+type MultiPublisher []Publisher
+
+// Publish implements Publisher.
+func (m MultiPublisher) Publish(net *core.Network, enc *data.Encoder, seq int) error {
+	for _, p := range m {
+		if err := p.Publish(net, enc, seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package stream is the online continual-learning subsystem: it turns the
+// batch reproduction into the continuously-learning system the paper's title
+// promises. A Pipeline ingests raw labeled events from a Source, fits the
+// quantile encoder on a warmup buffer (and refits it later from a reservoir
+// sample without stopping ingest), trains the BCPNN incrementally in
+// micro-batches against any registered backend, tracks sliding-window
+// accuracy/AUC with a drift signal, and periodically publishes a fresh model
+// bundle snapshot to the serving registry — closing the train→serve loop so
+// one process learns and serves concurrently (DESIGN.md §7).
+//
+// BCPNN is unusually well suited to this: its trace update is already an
+// exponential moving average over mini-batches, so continual learning is the
+// batch rule applied to micro-batches as they arrive — no replay buffer, no
+// gradient surgery (paper §VII: BCPNN's local gradient-free updates make it
+// "well suited for online and incremental learning").
+package stream
+
+import (
+	"time"
+
+	"streambrain/internal/data"
+)
+
+// Event is one labeled raw observation from the stream: the feature vector
+// exactly as the upstream detector/ETL produces it, plus its class label
+// (the label arrives with the event in the prequential setting; pipelines
+// fed by delayed labels buffer upstream of the Source).
+type Event struct {
+	Features []float64
+	Label    int
+}
+
+// Source yields events in stream order. Next blocks until an event is
+// available and reports ok=false when the stream is exhausted.
+type Source interface {
+	Next() (ev Event, ok bool)
+}
+
+// ChanSource adapts a channel of events; closing the channel ends the
+// stream. This is the natural source for live feeds (network readers,
+// in-process producers).
+type ChanSource <-chan Event
+
+// Next implements Source.
+func (c ChanSource) Next() (Event, bool) {
+	ev, ok := <-c
+	return ev, ok
+}
+
+// DatasetSource replays an in-memory dataset as a stream, optionally rate
+// limited and looping — the replay harness behind cmd/streambrain-stream's
+// file mode and the benchmarks.
+type DatasetSource struct {
+	ds    *data.Dataset
+	pos   int
+	sent  int
+	limit int
+	start time.Time
+	rate  float64
+}
+
+// NewDatasetSource replays ds row by row. limit > 0 caps the total emitted
+// events, looping over the dataset as needed; limit = 0 emits exactly one
+// pass. rate > 0 paces emission to about rate events per second (absolute
+// schedule, so pacing does not drift under consumer jitter).
+func NewDatasetSource(ds *data.Dataset, limit int, rate float64) *DatasetSource {
+	if limit <= 0 {
+		limit = ds.Len()
+	}
+	return &DatasetSource{ds: ds, limit: limit, rate: rate}
+}
+
+// Next implements Source.
+func (s *DatasetSource) Next() (Event, bool) {
+	if s.sent >= s.limit || s.ds.Len() == 0 {
+		return Event{}, false
+	}
+	if s.rate > 0 {
+		if s.start.IsZero() {
+			s.start = time.Now()
+		}
+		due := s.start.Add(time.Duration(float64(s.sent) / s.rate * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if s.pos >= s.ds.Len() {
+		s.pos = 0
+	}
+	ev := Event{Features: s.ds.X.Row(s.pos), Label: s.ds.Y[s.pos]}
+	s.pos++
+	s.sent++
+	return ev, true
+}

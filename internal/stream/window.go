@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"math"
+
+	"streambrain/internal/metrics"
+)
+
+// Window is a fixed-capacity ring of prequential results (predict-then-train
+// on each arriving event) over the most recent events. Accuracy is O(1) via
+// a running correct count; AUC is computed on demand from the windowed
+// scores. This is the stream analogue of the held-out test set: every
+// prediction it aggregates was made before the model trained on the event.
+type Window struct {
+	pred  []int
+	label []int
+	score []float64
+
+	cap     int
+	n       int
+	head    int // next insert position == oldest element when full
+	correct int
+}
+
+// NewWindow builds an empty window over the last capacity events.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("stream: NewWindow needs capacity >= 1")
+	}
+	return &Window{
+		pred:  make([]int, capacity),
+		label: make([]int, capacity),
+		score: make([]float64, capacity),
+		cap:   capacity,
+	}
+}
+
+// Add records one prequential result, evicting the oldest when full.
+func (w *Window) Add(pred, label int, score float64) {
+	if w.n == w.cap {
+		if w.pred[w.head] == w.label[w.head] {
+			w.correct--
+		}
+	} else {
+		w.n++
+	}
+	w.pred[w.head] = pred
+	w.label[w.head] = label
+	w.score[w.head] = score
+	if pred == label {
+		w.correct++
+	}
+	w.head = (w.head + 1) % w.cap
+}
+
+// Len returns the number of results currently windowed.
+func (w *Window) Len() int { return w.n }
+
+// Full reports whether the window has reached capacity.
+func (w *Window) Full() bool { return w.n == w.cap }
+
+// Accuracy returns the windowed accuracy (0 for an empty window).
+func (w *Window) Accuracy() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.correct) / float64(w.n)
+}
+
+// snapshot copies the windowed scores and labels in no particular order
+// (AUC and threshold sweeps are order-free).
+func (w *Window) snapshot() (score []float64, label []int) {
+	return append([]float64(nil), w.score[:w.n]...),
+		append([]int(nil), w.label[:w.n]...)
+}
+
+// AUC returns the windowed ROC area (0.5 for degenerate windows, matching
+// metrics.AUC's convention).
+func (w *Window) AUC() float64 {
+	if w.n == 0 {
+		return 0.5
+	}
+	score, label := w.snapshot()
+	return metrics.AUC(score, label)
+}
+
+// BestThreshold sweeps the class-1 score cut maximizing windowed accuracy —
+// the online counterpart of core's CalibrateThreshold, run on the sliding
+// window before each publish. Degenerate windows (empty, single class) keep
+// the neutral 0.5.
+func (w *Window) BestThreshold() float64 {
+	if w.n == 0 {
+		return 0.5
+	}
+	score, label := w.snapshot()
+	pos := 0
+	for _, y := range label {
+		pos += y
+	}
+	if pos == 0 || pos == len(label) {
+		return 0.5
+	}
+	return metrics.BestAccuracyThreshold(score, label)
+}
+
+// DriftDetector flags regression of a windowed metric against the best level
+// it has seen: once armed (MinObs observations), an observation more than
+// Drop below the best-so-far signals drift. This windowed-metric regression
+// test is a deliberately simple member of the DDM family — the pipeline uses
+// it to trigger encoder refits and threshold recalibration, and Reset
+// re-baselines after the response so one regime change fires once.
+type DriftDetector struct {
+	// Drop is the absolute metric decrease that signals drift.
+	Drop float64
+	// MinObs is the number of observations before the detector arms.
+	MinObs int
+
+	best float64
+	obs  int
+}
+
+// NewDriftDetector builds a detector flagging drops larger than drop after
+// minObs observations.
+func NewDriftDetector(drop float64, minObs int) *DriftDetector {
+	return &DriftDetector{Drop: drop, MinObs: minObs, best: math.Inf(-1)}
+}
+
+// Observe feeds one metric value and reports whether drift is signaled.
+func (d *DriftDetector) Observe(metric float64) bool {
+	d.obs++
+	if metric > d.best {
+		d.best = metric
+	}
+	if d.obs < d.MinObs {
+		return false
+	}
+	return metric < d.best-d.Drop
+}
+
+// Best returns the highest metric observed since the last Reset.
+func (d *DriftDetector) Best() float64 { return d.best }
+
+// Reset re-baselines the detector (called after a drift response so the
+// recovered metric level becomes the new reference).
+func (d *DriftDetector) Reset() {
+	d.best = math.Inf(-1)
+	d.obs = 0
+}

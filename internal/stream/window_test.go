@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"streambrain/internal/metrics"
+)
+
+// TestWindowAccuracyKnownAnswer checks the running correct-count against
+// hand-computed values, including ring-buffer eviction.
+func TestWindowAccuracyKnownAnswer(t *testing.T) {
+	w := NewWindow(4)
+	if got := w.Accuracy(); got != 0 {
+		t.Fatalf("empty window accuracy = %v, want 0", got)
+	}
+	// Results: correct, wrong, correct, correct → 3/4.
+	w.Add(1, 1, 0.9)
+	w.Add(0, 1, 0.2)
+	w.Add(0, 0, 0.1)
+	w.Add(1, 1, 0.8)
+	if got, want := w.Accuracy(), 0.75; got != want {
+		t.Fatalf("accuracy = %v, want %v", got, want)
+	}
+	if !w.Full() || w.Len() != 4 {
+		t.Fatalf("window should be full at 4: len=%d", w.Len())
+	}
+	// Fifth result evicts the oldest (a correct one) and adds a wrong one:
+	// window is now [wrong, correct, correct, wrong] → 2/4.
+	w.Add(0, 1, 0.3)
+	if got, want := w.Accuracy(), 0.5; got != want {
+		t.Fatalf("post-eviction accuracy = %v, want %v", got, want)
+	}
+	// Two more evictions drop the remaining wrong and one correct:
+	// [correct, wrong, correct, correct] → 3/4.
+	w.Add(1, 1, 0.9)
+	w.Add(1, 1, 0.7)
+	if got, want := w.Accuracy(), 0.75; got != want {
+		t.Fatalf("wrapped accuracy = %v, want %v", got, want)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("len after wrap = %d, want 4", w.Len())
+	}
+}
+
+// TestWindowAUCMatchesMetrics checks the windowed AUC against metrics.AUC
+// over exactly the samples the window retains.
+func TestWindowAUCMatchesMetrics(t *testing.T) {
+	w := NewWindow(8)
+	if got := w.AUC(); got != 0.5 {
+		t.Fatalf("empty window AUC = %v, want 0.5", got)
+	}
+	// 12 results into a window of 8: the first 4 must be forgotten.
+	scores := []float64{0.9, 0.8, 0.1, 0.2, 0.7, 0.3, 0.6, 0.4, 0.55, 0.45, 0.65, 0.35}
+	labels := []int{1, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	for i := range scores {
+		pred := 0
+		if scores[i] >= 0.5 {
+			pred = 1
+		}
+		w.Add(pred, labels[i], scores[i])
+	}
+	want := metrics.AUC(scores[4:], labels[4:])
+	if got := w.AUC(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("windowed AUC = %v, want %v (metrics.AUC over last 8)", got, want)
+	}
+	// This window separates perfectly: every retained positive outscores
+	// every retained negative.
+	if want != 1.0 {
+		t.Fatalf("test vector broken: expected separable tail, AUC %v", want)
+	}
+}
+
+// TestWindowBestThreshold checks the accuracy-maximizing cut on a window
+// whose optimum is away from 0.5 — the miscalibrated-score case the online
+// recalibration exists for.
+func TestWindowBestThreshold(t *testing.T) {
+	w := NewWindow(8)
+	// Scores are systematically deflated: positives score 0.30–0.45,
+	// negatives 0.05–0.20. Any cut in (0.20, 0.30) classifies perfectly;
+	// a 0.5 cut would collapse everything to class 0.
+	pos := []float64{0.30, 0.35, 0.40, 0.45}
+	neg := []float64{0.05, 0.10, 0.15, 0.20}
+	for _, s := range pos {
+		w.Add(0, 1, s)
+	}
+	for _, s := range neg {
+		w.Add(0, 0, s)
+	}
+	got := w.BestThreshold()
+	if got <= 0.20 || got >= 0.30 {
+		t.Fatalf("best threshold = %v, want in (0.20, 0.30)", got)
+	}
+	// Degenerate windows keep the neutral cut.
+	one := NewWindow(4)
+	one.Add(1, 1, 0.9)
+	one.Add(1, 1, 0.8)
+	if got := one.BestThreshold(); got != 0.5 {
+		t.Fatalf("single-class best threshold = %v, want 0.5", got)
+	}
+}
+
+// TestDriftDetectorKnownAnswer checks arming, the exact trigger boundary,
+// and re-baselining after Reset.
+func TestDriftDetectorKnownAnswer(t *testing.T) {
+	d := NewDriftDetector(0.10, 3)
+	// Not armed yet: even a terrible value cannot fire.
+	if d.Observe(0.90) || d.Observe(0.10) {
+		t.Fatal("detector fired before MinObs observations")
+	}
+	// Third observation arms it. Best so far is 0.90; 0.81 is within the
+	// 0.10 tolerance, 0.79 is outside.
+	if d.Observe(0.81) {
+		t.Fatal("fired at drop 0.09 with tolerance 0.10")
+	}
+	if !d.Observe(0.79) {
+		t.Fatal("did not fire at drop 0.11 with tolerance 0.10")
+	}
+	if best := d.Best(); best != 0.90 {
+		t.Fatalf("best = %v, want 0.90", best)
+	}
+	// Reset re-baselines: the recovered (lower) level is the new normal.
+	d.Reset()
+	if d.Observe(0.70) || d.Observe(0.70) {
+		t.Fatal("fired while re-arming after Reset")
+	}
+	if d.Observe(0.65) {
+		t.Fatal("fired at drop 0.05 from new baseline")
+	}
+	if !d.Observe(0.55) {
+		t.Fatal("did not fire at drop 0.15 from new baseline")
+	}
+}

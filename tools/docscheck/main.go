@@ -1,0 +1,153 @@
+// Command docscheck enforces docs consistency: every "DESIGN.md §N[.M]" or
+// "DESIGN.md AN" reference in a Go source file must resolve to a section (or
+// ablation id) that actually appears in a DESIGN.md heading. Comments wrap
+// across lines, so the checker joins comment continuations before matching.
+//
+//	go run ./tools/docscheck          # checks the repository root
+//	go run ./tools/docscheck -root .. # or any tree
+//
+// Exit status 1 lists every dangling reference with file:line. CI runs this
+// so a renumbered DESIGN.md cannot silently orphan code comments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// headingToken finds section ids (§5 or §5.1) and ablation ids (A3)
+	// inside DESIGN.md heading lines.
+	headingToken = regexp.MustCompile(`§[0-9]+(?:\.[0-9]+)*|\bA[0-9]+\b`)
+	// commentJoin collapses a line-wrapped Go comment ("...(DESIGN.md\n//
+	// §1)...") into one logical line before reference matching.
+	commentJoin = regexp.MustCompile(`\n\s*//\s?`)
+	// reference matches "DESIGN.md" optionally followed by one section or
+	// ablation token. Bare references ("see DESIGN.md") are always valid.
+	reference = regexp.MustCompile(`DESIGN\.md(?:[\s,:]*(§[0-9]+(?:\.[0-9]+)*|A[0-9]+))?`)
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	sections, err := designSections(filepath.Join(*root, "DESIGN.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	var problems []string
+	err = filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and nested module caches.
+			if name := d.Name(); name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, checkFile(path, string(raw), sections)...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d dangling DESIGN.md reference(s); sections present: %s\n",
+			len(problems), strings.Join(sorted(sections), " "))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: all DESIGN.md references resolve")
+}
+
+// designSections collects the set of valid section and ablation tokens from
+// DESIGN.md headings.
+func designSections(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read %s (code comments cite it): %w", path, err)
+	}
+	sections := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, tok := range headingToken.FindAllString(line, -1) {
+			sections[tok] = true
+		}
+	}
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("%s has no §-numbered headings", path)
+	}
+	return sections, nil
+}
+
+// checkFile returns one problem line per dangling reference in src.
+func checkFile(path, src string, sections map[string]bool) []string {
+	joined := commentJoin.ReplaceAllString(src, " ")
+	var problems []string
+	for _, m := range reference.FindAllStringSubmatchIndex(joined, -1) {
+		if m[2] < 0 {
+			continue // bare "DESIGN.md", no section claimed
+		}
+		tok := joined[m[2]:m[3]]
+		if sections[tok] {
+			continue
+		}
+		line := 1 + strings.Count(src[:sourceOffset(src, joined, m[0])], "\n")
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: references DESIGN.md %s, which has no such heading", path, line, tok))
+	}
+	return problems
+}
+
+// sourceOffset maps an offset in the comment-joined text back to the
+// original source, by counting how many joins happened before it.
+func sourceOffset(src, joined string, off int) int {
+	// Each join replaced a `\n\s*//\s?` run with one space; walk both
+	// strings in lockstep.
+	i, j := 0, 0
+	for j < off && i < len(src) {
+		if loc := commentJoin.FindStringIndex(src[i:]); loc != nil && loc[0] == 0 {
+			i += loc[1]
+			j++ // the single space the join left behind
+			continue
+		}
+		i++
+		j++
+	}
+	return i
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	// Stable enough for an error message without importing sort for a
+	// custom §-aware order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
