@@ -69,6 +69,8 @@ func BenchmarkFig3Capacity(b *testing.B) {
 				p.UnsupervisedEpochs = cfg.UnsupEpochs
 				p.SupervisedEpochs = cfg.SupEpochs
 				var last experiments.TrialResult
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					p.Seed = int64(i + 1)
 					last = experiments.RunTrial(cfg, splits, p, false)
@@ -94,6 +96,8 @@ func BenchmarkFig4ReceptiveField(b *testing.B) {
 			p.UnsupervisedEpochs = cfg.UnsupEpochs
 			p.SupervisedEpochs = cfg.SupEpochs
 			var last experiments.TrialResult
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p.Seed = int64(i + 1)
 				last = experiments.RunTrial(cfg, splits, p, false)
@@ -109,6 +113,8 @@ func BenchmarkFig4ReceptiveField(b *testing.B) {
 func BenchmarkFig5MaskEvolution(b *testing.B) {
 	cfg := benchConfig()
 	splits := benchSplits(b)
+	b.ReportAllocs()
+	b.ResetTimer() // benchSplits may generate the shared split on first call
 	for i := 0; i < b.N; i++ {
 		p := core.DefaultParams()
 		p.HCUs = 1
@@ -129,6 +135,8 @@ func BenchmarkFig5MaskEvolution(b *testing.B) {
 func BenchmarkFig1MNISTFields(b *testing.B) {
 	cfg := benchConfig()
 	cfg.UnsupEpochs = 6
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
 		if _, err := experiments.RunFig1(cfg, 1000, 3, 20, 0.06); err != nil {
@@ -160,6 +168,7 @@ func BenchmarkFig2InSitu(b *testing.B) {
 		b.Fatal(err)
 	}
 	adaptors := viz.Multi{vti, png}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := adaptors.CoProcess(i, fields); err != nil {
@@ -183,6 +192,8 @@ func BenchmarkBaselines(b *testing.B) {
 		p.UnsupervisedEpochs = cfg.UnsupEpochs
 		p.SupervisedEpochs = cfg.SupEpochs
 		var last experiments.TrialResult
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Seed = int64(i + 1)
 			last = experiments.RunTrial(cfg, splits, p, false)
@@ -196,6 +207,8 @@ func BenchmarkBaselines(b *testing.B) {
 		p.UnsupervisedEpochs = cfg.UnsupEpochs
 		p.SupervisedEpochs = cfg.SupEpochs
 		var last experiments.TrialResult
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Seed = int64(i + 1)
 			last = experiments.RunTrial(cfg, splits, p, true)
@@ -204,6 +217,7 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 	b.Run("MLP", func(b *testing.B) {
 		var auc float64
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mcfg := mlp.DefaultConfig()
 			mcfg.Epochs = 8
@@ -217,6 +231,7 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 	b.Run("BDT", func(b *testing.B) {
 		var auc float64
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			gcfg := gbt.DefaultConfig()
 			gcfg.Trees = 80
@@ -251,6 +266,7 @@ func BenchmarkGEMM(b *testing.B) {
 			be := backend.MustNew(name, 0)
 			b.Run(fmt.Sprintf("backend=%s/n=%d", name, n), func(b *testing.B) {
 				b.SetBytes(int64(8 * n * n))
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					be.MatMul(dst, a, c)
 				}
@@ -275,6 +291,7 @@ func BenchmarkGEMMBlocking(b *testing.B) {
 	}
 	for _, block := range []int{8, 32, 64, 128, 256} {
 		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tensor.MatMulBlocked(dst, a, c, block)
 			}
@@ -302,11 +319,13 @@ func BenchmarkOneHotVsDense(b *testing.B) {
 	}
 	dst := tensor.NewMatrix(batch, units)
 	b.Run("onehot", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.OneHotMatMulParallel(dst, idx, w, 0)
 		}
 	})
 	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			tensor.MatMulParallel(dst, dense, w, 0, 0)
 		}
@@ -332,6 +351,7 @@ func BenchmarkTraceUpdate(b *testing.B) {
 	for _, name := range []string{"naive", "parallel"} {
 		be := backend.MustNew(name, 0)
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				be.OneHotOuterLerp(cij, idx, act, 0.01)
 			}
@@ -353,6 +373,7 @@ func BenchmarkTrainStep(b *testing.B) {
 				splits.Train.Hypercolumns, splits.Train.UnitsPerHC, p, rng)
 			layer.InitTracesFromData(splits.Train.Idx[:1024])
 			batch := splits.Train.Idx[:128]
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				layer.TrainBatch(batch)
@@ -382,6 +403,7 @@ func BenchmarkOffload(b *testing.B) {
 			}
 			g.ResetStats()
 			batch := splits.Train.Idx[:128]
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				layer.TrainBatch(batch)
@@ -401,6 +423,7 @@ func BenchmarkMPIScaling(b *testing.B) {
 	for _, ranks := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
 			w := mpi.NewWorld(ranks)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				w.Run(func(c *mpi.Comm) {
@@ -428,6 +451,7 @@ func BenchmarkStructuralPlasticity(b *testing.B) {
 		splits.Train.Hypercolumns, splits.Train.UnitsPerHC, p, rng)
 	layer.InitTracesFromData(splits.Train.Idx[:1024])
 	layer.TrainBatch(splits.Train.Idx[:128])
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		layer.StructuralUpdate()
@@ -452,6 +476,7 @@ func BenchmarkFPGAPrecision(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			var acc, auc float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := core.DefaultParams()
 				p.MCUs = 300
@@ -502,6 +527,8 @@ func BenchmarkServePredict(b *testing.B) {
 
 	b.Run("batch=1", func(b *testing.B) {
 		one := make([][]float64, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			one[0] = events[i%len(events)]
 			if _, _, err := bundle.Predict(one); err != nil {
@@ -517,6 +544,7 @@ func BenchmarkServePredict(b *testing.B) {
 		defer batcher.Close()
 		ctx := context.Background()
 		b.SetParallelism(64) // many in-flight requests per core, like live traffic
+		b.ReportAllocs()
 		b.ResetTimer()
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
@@ -569,6 +597,7 @@ func BenchmarkStreamIngest(b *testing.B) {
 	// The next send is only consumed once bootstrap training has finished,
 	// so everything after it is steady state.
 	emit(warm)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		emit(warm + 1 + i)
@@ -589,6 +618,7 @@ func BenchmarkQuantileEncode(b *testing.B) {
 	ds := higgs.Generate(8000, 0.5, 1)
 	for _, bins := range []int{4, 10, 32} {
 		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				enc := data.FitEncoder(ds, bins)
 				_ = enc.Transform(ds)
@@ -600,6 +630,7 @@ func BenchmarkQuantileEncode(b *testing.B) {
 // BenchmarkHiggsGenerate times the synthetic event generator (events/sec
 // matters for the large sweeps).
 func BenchmarkHiggsGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		higgs.Generate(2000, 0.5, int64(i))
 	}
@@ -609,6 +640,8 @@ func BenchmarkHiggsGenerate(b *testing.B) {
 // BenchmarkMNISTRender times the procedural digit renderer.
 func BenchmarkMNISTRender(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mnistgen.RenderDigit(i%10, rng)
 	}

@@ -1,0 +1,88 @@
+// Command streambrain-loadtest runs a named perf suite (DESIGN.md §8) and
+// writes the machine-readable BENCH_<suite>.json report that
+// tools/benchgate diffs against perf/baseline.json.
+//
+//	streambrain-loadtest -suite smoke                 # writes BENCH_smoke.json
+//	streambrain-loadtest -suite full -out /tmp/b.json # measurement scale
+//	streambrain-loadtest -list                        # available suites
+//
+// Scenarios run pinned iteration counts (never wall-clock budgets), so two
+// runs on the same machine do identical work and their reports diff
+// meaningfully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"streambrain/internal/perf"
+)
+
+func main() {
+	suite := flag.String("suite", "smoke", "perf suite to run")
+	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
+	runs := flag.Int("runs", 1, "suite repetitions merged by per-scenario median (use 3 when re-baselining)")
+	list := flag.Bool("list", false, "list available suites and their scenarios, then exit")
+	quiet := flag.Bool("q", false, "suppress per-scenario progress on stderr")
+	flag.Parse()
+
+	if *list {
+		for _, name := range perf.Suites() {
+			scs, err := perf.SuiteByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "streambrain-loadtest: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s (%d scenarios)\n", name, len(scs))
+			for _, sc := range scs {
+				fmt.Printf("  %-24s %s\n", sc.Name, sc.Kind)
+			}
+		}
+		return
+	}
+
+	r := &perf.Runner{}
+	if !*quiet {
+		r.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "streambrain-loadtest: "+format+"\n", args...)
+		}
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+	reports := make([]perf.Report, 0, *runs)
+	for i := 0; i < *runs; i++ {
+		rep, err := r.RunSuite(*suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambrain-loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+	}
+	rep, err := perf.MergeMedian(reports)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streambrain-loadtest: %v\n", err)
+		os.Exit(1)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *suite + ".json"
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "streambrain-loadtest: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("suite %s on %s/%s %s (%d cpu)\n", rep.Suite, rep.GOOS, rep.GOARCH, rep.Go, rep.CPUs)
+	fmt.Printf("%-24s %-12s %12s %10s %10s %10s %12s\n",
+		"scenario", "kind", "throughput", "p50 ms", "p95 ms", "p99 ms", "allocs/op")
+	fmt.Println(strings.Repeat("-", 96))
+	for _, res := range rep.Results {
+		fmt.Printf("%-24s %-12s %12.1f %10.3f %10.3f %10.3f %12.1f\n",
+			res.Scenario, res.Kind, res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms, res.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

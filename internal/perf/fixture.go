@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/serve"
+)
+
+// fixtureEvents is how many synthetic Higgs events fixtures train on and
+// load generators replay. Small on purpose: the fixture's job is to make
+// the serving path do representative work, not to reach paper accuracy.
+const fixtureEvents = 2000
+
+// fixtureParams sizes a quick-to-train model for serve/stream scenarios.
+func fixtureParams(mcus int) core.Params {
+	p := core.DefaultParams()
+	if mcus <= 0 {
+		mcus = 100
+	}
+	p.MCUs = mcus
+	p.ReceptiveField = 0.40
+	p.UnsupervisedEpochs = 2
+	p.SupervisedEpochs = 2
+	p.Seed = 1
+	return p
+}
+
+// trainFixtureBundle trains a small model and returns its serialized bundle
+// bytes plus the raw feature vectors the load generator replays.
+func trainFixtureBundle(mcus int) (raw []byte, events [][]float64, err error) {
+	ds := higgs.Generate(fixtureEvents, 0.5, 1)
+	enc := data.FitEncoder(ds, 10)
+	encoded := enc.Transform(ds)
+	p := fixtureParams(mcus)
+	net := core.NewNetwork(backend.MustNew("parallel", 0),
+		encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p)
+	net.Train(encoded)
+	var buf bytes.Buffer
+	if err := serve.SaveBundle(&buf, net, enc); err != nil {
+		return nil, nil, fmt.Errorf("perf: fixture bundle: %w", err)
+	}
+	events = make([][]float64, ds.Len())
+	for i := range events {
+		events[i] = ds.X.Row(i)
+	}
+	return buf.Bytes(), events, nil
+}
+
+// serveFixture is a live HTTP prediction service wrapped around a fixture
+// model, plus the events to throw at it.
+type serveFixture struct {
+	url    string
+	events [][]float64
+	close  func()
+}
+
+// newServeFixture trains the fixture model and starts serve.Server on a
+// loopback httptest listener — the real HTTP stack, JSON codec, batcher,
+// and registry, exactly what production requests traverse.
+func newServeFixture(mcus int) (*serveFixture, error) {
+	raw, events, err := trainFixtureBundle(mcus)
+	if err != nil {
+		return nil, err
+	}
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 0))
+	if err := reg.LoadBytes(raw, "perf-fixture", time.Now()); err != nil {
+		return nil, fmt.Errorf("perf: fixture load: %w", err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+	ts := httptest.NewServer(srv.Handler())
+	return &serveFixture{
+		url:    ts.URL,
+		events: events,
+		close: func() {
+			ts.Close()
+			srv.Close()
+		},
+	}, nil
+}

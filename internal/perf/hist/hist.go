@@ -1,0 +1,170 @@
+// Package hist provides a fixed-footprint HDR-style latency histogram.
+//
+// The histogram buckets int64 nanosecond values logarithmically: bucket 0
+// holds values 0..63 at 1ns resolution, and every higher bucket doubles the
+// value range while keeping 32 linear sub-buckets, so the worst-case
+// relative quantization error is bounded (~1.6% at bucket midpoints)
+// across the whole range — the trade HdrHistogram makes, in miniature.
+// Recording is a single atomic increment, so one histogram can absorb
+// observations from many goroutines with no lock and no per-observation
+// allocation; quantiles are computed on demand by walking the counters.
+//
+// Both sides of the perf story share this structure: internal/serve records
+// request latencies into it for /stats (DESIGN.md §8), and internal/perf's
+// load generator records per-operation latencies into it for BENCH_*.json.
+// The zero value is ready to use.
+package hist
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBucketBits sets the linear resolution: bucket 0 covers
+	// [0, 2^subBucketBits) exactly; higher buckets keep the top
+	// subBucketBits-1 bits, i.e. 2^(subBucketBits-1) sub-buckets each.
+	subBucketBits  = 6
+	subBucketCount = 1 << subBucketBits // 64
+	halfCount      = subBucketCount / 2 // 32 sub-buckets per scaled bucket
+
+	// maxExp caps the scaled buckets: the top bucket ends at
+	// subBucketCount << maxExp ns ≈ 19.5h. Larger values clamp into it —
+	// far beyond any latency this repo measures.
+	maxExp      = 40
+	numCounters = subBucketCount + maxExp*halfCount
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero value
+// is an empty, usable histogram.
+type Histogram struct {
+	counts [numCounters]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Int64
+}
+
+// New returns an empty histogram (equivalent to &Histogram{}).
+func New() *Histogram { return &Histogram{} }
+
+// index maps a non-negative value to its counter slot.
+func index(v int64) int {
+	if v < subBucketCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - subBucketBits // >= 1
+	if exp > maxExp {
+		return numCounters - 1
+	}
+	sub := int(v>>uint(exp)) - halfCount // in [0, halfCount)
+	return subBucketCount + (exp-1)*halfCount + sub
+}
+
+// valueAt returns the representative (midpoint) value of a counter slot.
+func valueAt(i int) int64 {
+	if i < subBucketCount {
+		return int64(i)
+	}
+	exp := uint((i-subBucketCount)/halfCount) + 1
+	sub := int64((i - subBucketCount) % halfCount)
+	lo := (int64(halfCount) + sub) << exp
+	return lo + int64(1)<<(exp-1)
+}
+
+// Record adds one duration observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw nanosecond observation.
+func (h *Histogram) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[index(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Max returns the largest recorded observation (exact, not quantized).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of all observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest rank over the
+// bucketed counts. The result is a bucket midpoint, never above the exact
+// recorded maximum. Concurrent Record calls give an approximately
+// consistent answer, which is what an operator polling /stats wants.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i := 0; i < numCounters; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= rank {
+			v := valueAt(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max() // racing counters; fall back to the recorded max
+}
+
+// Merge folds o's observations into h. o is unchanged; neither histogram
+// may be recorded into concurrently with the merge if an exact result is
+// required.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < numCounters; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	om := o.max.Load()
+	for {
+		old := h.max.Load()
+		if om <= old || h.max.CompareAndSwap(old, om) {
+			return
+		}
+	}
+}

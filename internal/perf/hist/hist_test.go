@@ -1,0 +1,178 @@
+package hist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the nearest-rank quantile over the raw samples — the
+// ground truth the bucketed histogram approximates.
+func exactQuantile(sorted []int64, q float64) int64 {
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileKnownAnswer checks histogram percentiles against exact sorted
+// quantiles on a log-uniform latency distribution spanning 1µs..1s — the
+// range serve/stream latencies actually inhabit.
+func TestQuantileKnownAnswer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	samples := make([]int64, n)
+	h := New()
+	for i := range samples {
+		// log-uniform in [1e3, 1e9) ns
+		v := int64(math.Exp(rng.Float64()*math.Log(1e6)) * 1e3)
+		samples[i] = v
+		h.RecordValue(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	if h.Count() != n {
+		t.Fatalf("Count() = %d, want %d", h.Count(), n)
+	}
+	if got, want := int64(h.Max()), samples[n-1]; got != want {
+		t.Fatalf("Max() = %d, want exact max %d", got, want)
+	}
+	for _, q := range []float64{0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0} {
+		got := float64(h.Quantile(q))
+		want := float64(exactQuantile(samples, q))
+		relErr := math.Abs(got-want) / want
+		// Bucket midpoints bound quantization error at ~1.6%; allow 2%.
+		if relErr > 0.02 {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.3f", q, got, want, relErr)
+		}
+	}
+}
+
+// TestQuantileSmallCounts pins the degenerate cases: empty, one sample, and
+// the exact small values bucket 0 stores losslessly.
+func TestQuantileSmallCounts(t *testing.T) {
+	var h Histogram // zero value must be usable
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.RecordValue(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := int64(h.Quantile(q)); got != 42 {
+			t.Fatalf("Quantile(%v) = %d with one sample 42", q, got)
+		}
+	}
+	// Values below subBucketCount are stored exactly.
+	h2 := New()
+	for v := int64(0); v < 64; v++ {
+		h2.RecordValue(v)
+	}
+	if got := int64(h2.Quantile(0.5)); got != 31 {
+		t.Fatalf("median of 0..63 = %d, want 31", got)
+	}
+	if h2.Mean() != time.Duration(63*64/2/64) {
+		t.Fatalf("Mean() = %v", h2.Mean())
+	}
+}
+
+// TestNegativeClamps ensures negative durations count as zero instead of
+// corrupting an index.
+func TestNegativeClamps(t *testing.T) {
+	h := New()
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Fatalf("negative record: count %d q1 %v", h.Count(), h.Quantile(1))
+	}
+}
+
+// TestMerge verifies that merging two disjoint halves equals recording the
+// whole stream into one histogram, quantile for quantile.
+func TestMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b, all := New(), New(), New()
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1e8))
+		all.RecordValue(v)
+		if i%2 == 0 {
+			a.RecordValue(v)
+		} else {
+			b.RecordValue(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	if a.Max() != all.Max() {
+		t.Fatalf("merged max %v, want %v", a.Max(), all.Max())
+	}
+	if a.Mean() != all.Mean() {
+		t.Fatalf("merged mean %v, want %v", a.Mean(), all.Mean())
+	}
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if ga, gall := a.Quantile(q), all.Quantile(q); ga != gall {
+			t.Fatalf("Quantile(%v): merged %v, direct %v", q, ga, gall)
+		}
+	}
+	a.Merge(nil) // no-op, must not panic
+}
+
+// TestConcurrentRecord exercises the lock-free path under the race
+// detector: total count must be exact regardless of interleaving.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.RecordValue(int64(rng.Intn(1e7)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count() = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Quantile(0.5) <= 0 {
+		t.Fatalf("median %v after concurrent load", h.Quantile(0.5))
+	}
+}
+
+// TestIndexRoundTrip checks that every representative value maps back to
+// its own slot and that quantization error stays within the design bound.
+func TestIndexRoundTrip(t *testing.T) {
+	for i := 0; i < numCounters; i++ {
+		v := valueAt(i)
+		if got := index(v); got != i {
+			t.Fatalf("index(valueAt(%d)) = %d", i, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100000; trial++ {
+		v := int64(rng.Intn(1 << 46))
+		rep := valueAt(index(v))
+		relErr := math.Abs(float64(rep-v)) / math.Max(float64(v), 1)
+		if relErr > 1.0/halfCount {
+			t.Fatalf("value %d quantized to %d, rel err %.4f", v, rep, relErr)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.RecordValue(int64(i%1e6) * 1000)
+	}
+}

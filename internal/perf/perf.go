@@ -1,0 +1,162 @@
+// Package perf is the load-generation and perf-baseline subsystem
+// (DESIGN.md §8): a declarative suite of perf scenarios — backend kernel
+// sweeps, closed- and open-loop HTTP load against the serve subsystem, and
+// stream-pipeline steady-state ingest — executed by a Runner that turns
+// each scenario into one machine-readable Result (throughput, latency
+// percentiles from the shared hist.Histogram, allocations per operation).
+//
+// cmd/streambrain-loadtest runs a named suite and writes BENCH_<suite>.json;
+// tools/benchgate diffs such a run against the committed perf/baseline.json
+// and fails CI when a hot path regresses. Together they turn the repo's
+// performance claims into checked-in, diffable numbers.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Result is one scenario's measurement — the unit both the baseline file
+// and fresh BENCH_*.json runs are made of.
+type Result struct {
+	// Scenario is the unique scenario name; Kind echoes the scenario kind.
+	Scenario string `json:"scenario"`
+	Kind     string `json:"kind"`
+	// Ops counts completed operations (kernel calls, HTTP requests, or
+	// ingested events); Errors counts failed ones.
+	Ops    uint64 `json:"ops"`
+	Errors uint64 `json:"errors,omitempty"`
+	// WallSeconds is the measured span; Throughput is the headline
+	// rate — events/s for serve and stream scenarios, ops/s for kernels.
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput"`
+	// Latency percentiles of one operation, in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// AllocsPerOp and BytesPerOp are heap deltas over the run divided by
+	// Ops (runtime.MemStats, so concurrent scenarios include generator
+	// overhead — comparable run-to-run, not benchmark-precise).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_<suite>.json envelope: the suite's results plus the
+// environment they were measured in, so a gate can surface
+// apples-to-oranges comparisons (benchgate warns when the stamps differ).
+type Report struct {
+	Suite   string   `json:"suite"`
+	Created string   `json:"created,omitempty"` // RFC3339
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	CPUs    int      `json:"cpus"`
+	Results []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the current environment.
+func NewReport(suite string) Report {
+	return Report{
+		Suite:   suite,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+	}
+}
+
+// Find returns the result for a scenario name, or nil.
+func (r *Report) Find(scenario string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Scenario == scenario {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r Report) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: encode report: %w", err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return nil
+}
+
+// MergeMedian folds several runs of the same suite into one report with
+// per-scenario, per-metric medians. Baselines should be generated this way
+// (streambrain-loadtest -runs 3): a median baseline is neither a lucky fast
+// run (which would fail honest future runs) nor an unlucky slow one (which
+// would let real regressions through). Scenario sets must match; Errors
+// take the worst run.
+func MergeMedian(reports []Report) (Report, error) {
+	if len(reports) == 0 {
+		return Report{}, fmt.Errorf("perf: nothing to merge")
+	}
+	if len(reports) == 1 {
+		return reports[0], nil
+	}
+	merged := reports[0]
+	merged.Results = append([]Result(nil), reports[0].Results...)
+	for i := range merged.Results {
+		name := merged.Results[i].Scenario
+		runs := make([]Result, 0, len(reports))
+		for r := range reports {
+			res := reports[r].Find(name)
+			if res == nil {
+				return Report{}, fmt.Errorf("perf: run %d is missing scenario %s", r, name)
+			}
+			runs = append(runs, *res)
+		}
+		pick := func(metric func(Result) float64) float64 {
+			vals := make([]float64, len(runs))
+			for j, res := range runs {
+				vals[j] = metric(res)
+			}
+			sort.Float64s(vals)
+			return vals[len(vals)/2]
+		}
+		m := &merged.Results[i]
+		m.WallSeconds = pick(func(r Result) float64 { return r.WallSeconds })
+		m.Throughput = pick(func(r Result) float64 { return r.Throughput })
+		m.P50Ms = pick(func(r Result) float64 { return r.P50Ms })
+		m.P95Ms = pick(func(r Result) float64 { return r.P95Ms })
+		m.P99Ms = pick(func(r Result) float64 { return r.P99Ms })
+		m.MaxMs = pick(func(r Result) float64 { return r.MaxMs })
+		m.AllocsPerOp = pick(func(r Result) float64 { return r.AllocsPerOp })
+		m.BytesPerOp = pick(func(r Result) float64 { return r.BytesPerOp })
+		for _, res := range runs {
+			if res.Errors > m.Errors {
+				m.Errors = res.Errors
+			}
+		}
+	}
+	return merged, nil
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("perf: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: decode %s: %w", path, err)
+	}
+	if len(r.Results) == 0 {
+		return Report{}, fmt.Errorf("perf: %s has no results", path)
+	}
+	return r, nil
+}

@@ -1,0 +1,169 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind names a scenario's execution shape.
+type Kind string
+
+const (
+	// KindKernel times a single backend kernel or training step, one
+	// serial call per operation.
+	KindKernel Kind = "kernel"
+	// KindServeClosed drives serve.Server over HTTP closed-loop: a fixed
+	// set of workers each keeps exactly one request in flight.
+	KindServeClosed Kind = "serve-closed"
+	// KindServeOpen drives serve.Server over HTTP open-loop: requests are
+	// dispatched on a fixed schedule at TargetRPS regardless of
+	// completions, so queueing delay shows up in the percentiles.
+	KindServeOpen Kind = "serve-open"
+	// KindStream measures the stream pipeline's steady-state ingest rate
+	// after warmup/bootstrap, one event per operation.
+	KindStream Kind = "stream"
+)
+
+// Scenario is one declarative perf measurement. Which fields matter depends
+// on Kind; Validate enforces the combination. Iteration counts are pinned
+// (never time-based) so a suite does identical work on every machine and
+// CI run — the property that makes BENCH_*.json files diffable.
+type Scenario struct {
+	// Name uniquely identifies the scenario inside its suite; benchgate
+	// matches baseline and current results by it.
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+
+	// Kernel scenarios: Op is "gemm" (MatMul at Size×Size), "trace" (the
+	// fused OneHotOuterLerp batch trace update), or "trainstep" (one full
+	// unsupervised BCPNN batch step). Backend names the compute backend;
+	// Iters is the pinned operation count.
+	Op      string `json:"op,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	Size    int    `json:"size,omitempty"`
+	Iters   int    `json:"iters,omitempty"`
+
+	// Serve scenarios: Concurrency workers (closed loop), Requests total
+	// HTTP requests, BatchSize events per request, TargetRPS the open-loop
+	// dispatch rate.
+	Concurrency int     `json:"concurrency,omitempty"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+	Requests    int     `json:"requests,omitempty"`
+	TargetRPS   float64 `json:"target_rps,omitempty"`
+
+	// Stream scenarios: Warmup events buffered for bootstrap, then Events
+	// steady-state events measured.
+	Events int `json:"events,omitempty"`
+	Warmup int `json:"warmup,omitempty"`
+
+	// MCUs sizes the model for trainstep/serve/stream scenarios
+	// (default 100). Small models keep smoke suites inside CI budgets.
+	MCUs int `json:"mcus,omitempty"`
+}
+
+// Validate reports the first malformed field for the scenario's kind.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("perf: scenario with empty name")
+	}
+	switch s.Kind {
+	case KindKernel:
+		switch s.Op {
+		case "gemm":
+			if s.Size <= 0 {
+				return fmt.Errorf("perf: %s: gemm needs Size > 0", s.Name)
+			}
+		case "trace", "trainstep":
+		default:
+			return fmt.Errorf("perf: %s: unknown kernel op %q", s.Name, s.Op)
+		}
+		if s.Backend == "" {
+			return fmt.Errorf("perf: %s: kernel needs a backend", s.Name)
+		}
+		if s.Iters <= 0 {
+			return fmt.Errorf("perf: %s: kernel needs Iters > 0", s.Name)
+		}
+	case KindServeClosed:
+		if s.Concurrency <= 0 || s.Requests <= 0 {
+			return fmt.Errorf("perf: %s: closed loop needs Concurrency and Requests > 0", s.Name)
+		}
+	case KindServeOpen:
+		if s.TargetRPS <= 0 || s.Requests <= 0 {
+			return fmt.Errorf("perf: %s: open loop needs TargetRPS and Requests > 0", s.Name)
+		}
+	case KindStream:
+		if s.Events <= 0 {
+			return fmt.Errorf("perf: %s: stream needs Events > 0", s.Name)
+		}
+	default:
+		return fmt.Errorf("perf: %s: unknown kind %q", s.Name, s.Kind)
+	}
+	return nil
+}
+
+// interval returns the open-loop dispatch period.
+func (s Scenario) interval() time.Duration {
+	return time.Duration(float64(time.Second) / s.TargetRPS)
+}
+
+// Suites returns the sorted names of the built-in suites.
+func Suites() []string {
+	names := make([]string, 0, len(suites))
+	for n := range suites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SuiteByName resolves a built-in suite and validates every scenario in it.
+func SuiteByName(name string) ([]Scenario, error) {
+	scs, ok := suites[name]
+	if !ok {
+		return nil, fmt.Errorf("perf: unknown suite %q (have %v)", name, Suites())
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("perf: suite %s: duplicate scenario %q", name, sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	return scs, nil
+}
+
+// suites are the built-in suites. "smoke" is sized for a CI gate (<3 min on
+// one runner core, pinned iteration counts); "full" is the same coverage at
+// measurement scale for local baselining of real optimization work.
+var suites = map[string][]Scenario{
+	"smoke": {
+		{Name: "gemm/naive/128", Kind: KindKernel, Op: "gemm", Backend: "naive", Size: 128, Iters: 30},
+		{Name: "gemm/parallel/256", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 256, Iters: 30},
+		{Name: "gemm/gpusim/256", Kind: KindKernel, Op: "gemm", Backend: "gpusim", Size: 256, Iters: 30},
+		{Name: "trace/naive", Kind: KindKernel, Op: "trace", Backend: "naive", Iters: 40},
+		{Name: "trace/parallel", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40},
+		{Name: "trainstep/parallel", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 40, MCUs: 200},
+		{Name: "serve/closed/c8b4", Kind: KindServeClosed, Concurrency: 8, BatchSize: 4, Requests: 400, MCUs: 50},
+		{Name: "serve/open/200rps", Kind: KindServeOpen, TargetRPS: 200, BatchSize: 1, Requests: 400, MCUs: 50},
+		// Events sized so one measurement pass spans a few hundred ms:
+		// a span a single GC cycle or scheduler preemption cannot move
+		// by the gate's 15% threshold.
+		{Name: "stream/steady", Kind: KindStream, Warmup: 512, Events: 24576, MCUs: 50},
+	},
+	"full": {
+		{Name: "gemm/naive/128", Kind: KindKernel, Op: "gemm", Backend: "naive", Size: 128, Iters: 30},
+		{Name: "gemm/parallel/512", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 512, Iters: 20},
+		{Name: "gemm/gpusim/512", Kind: KindKernel, Op: "gemm", Backend: "gpusim", Size: 512, Iters: 20},
+		{Name: "trace/naive", Kind: KindKernel, Op: "trace", Backend: "naive", Iters: 50},
+		{Name: "trace/parallel", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 50},
+		{Name: "trainstep/parallel", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 1000},
+		{Name: "trainstep/gpusim", Kind: KindKernel, Op: "trainstep", Backend: "gpusim", Iters: 30, MCUs: 1000},
+		{Name: "serve/closed/c32b8", Kind: KindServeClosed, Concurrency: 32, BatchSize: 8, Requests: 4000, MCUs: 300},
+		{Name: "serve/open/1000rps", Kind: KindServeOpen, TargetRPS: 1000, BatchSize: 1, Requests: 5000, MCUs: 300},
+		{Name: "stream/steady", Kind: KindStream, Warmup: 2048, Events: 8192, MCUs: 300},
+	},
+}

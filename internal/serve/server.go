@@ -67,7 +67,7 @@ type reloadRequest struct {
 type Server struct {
 	reg     *Registry
 	batcher *Batcher
-	lat     *latencyRing
+	lat     *latencyTracker
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -84,7 +84,7 @@ func NewServer(reg *Registry, cfg ServerConfig, reloadPath string) *Server {
 	}
 	s := &Server{
 		reg:        reg,
-		lat:        &latencyRing{},
+		lat:        &latencyTracker{},
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		reloadPath: reloadPath,

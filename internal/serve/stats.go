@@ -1,43 +1,54 @@
 package serve
 
 import (
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"streambrain/internal/perf/hist"
 )
 
-// latencyRing is the per-endpoint latency tracker: monotone counters plus a
-// fixed ring of recent request latencies from which percentiles are computed
-// on demand. A bounded ring keeps the tracker O(1) per request and biases
-// percentiles toward current behavior — the right trade-off for an /stats
-// endpoint that operators poll.
-const latencyRingSize = 4096
+// latencyWindowObs is the rotation size of the percentile window: /stats
+// percentiles cover the last one-to-two windows of requests, so a
+// long-resolved slow burst ages out instead of haunting the numbers for
+// the life of the process.
+const latencyWindowObs = 8192
 
-type latencyRing struct {
-	mu     sync.Mutex
-	count  uint64
-	errors uint64
-	ring   [latencyRingSize]time.Duration
-	next   int
-	filled int
+// latencyTracker is the per-endpoint latency tracker: lifetime monotone
+// counters plus recent-window percentiles from the shared HDR-style
+// histogram (hist.Histogram, DESIGN.md §8) that the perf load generator
+// also records into. Recency comes from interval rotation — observations
+// land in cur, which swaps to prev every latencyWindowObs requests, and a
+// snapshot merges the two — keeping the predecessor ring's
+// "biased toward current behavior" property (the right trade-off for an
+// /stats endpoint operators poll) without its sort-on-snapshot cost.
+type latencyTracker struct {
+	errors atomic.Uint64
+	total  atomic.Uint64
+
+	mu   sync.Mutex
+	cur  *hist.Histogram
+	prev *hist.Histogram
 }
 
-func (l *latencyRing) observe(d time.Duration, failed bool) {
-	l.mu.Lock()
-	l.count++
+func (l *latencyTracker) observe(d time.Duration, failed bool) {
 	if failed {
-		l.errors++
+		l.errors.Add(1)
 	}
-	l.ring[l.next] = d
-	l.next = (l.next + 1) % latencyRingSize
-	if l.filled < latencyRingSize {
-		l.filled++
+	l.total.Add(1)
+	l.mu.Lock()
+	if l.cur == nil {
+		l.cur = hist.New()
+	}
+	l.cur.Record(d)
+	if l.cur.Count() >= latencyWindowObs {
+		l.prev, l.cur = l.cur, hist.New()
 	}
 	l.mu.Unlock()
 }
 
 // LatencySummary reports request-latency percentiles in milliseconds over
-// the recent window.
+// the recent window. Count and Errors are lifetime totals.
 type LatencySummary struct {
 	Count  uint64  `json:"count"`
 	Errors uint64  `json:"errors"`
@@ -47,35 +58,19 @@ type LatencySummary struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-func (l *latencyRing) snapshot() LatencySummary {
+func (l *latencyTracker) snapshot() LatencySummary {
+	w := hist.New()
 	l.mu.Lock()
-	s := LatencySummary{Count: l.count, Errors: l.errors}
-	window := make([]time.Duration, l.filled)
-	copy(window, l.ring[:l.filled])
+	w.Merge(l.prev)
+	w.Merge(l.cur)
 	l.mu.Unlock()
-	if len(window) == 0 {
-		return s
-	}
-	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	s.P50Ms = ms(percentile(window, 0.50))
-	s.P90Ms = ms(percentile(window, 0.90))
-	s.P99Ms = ms(percentile(window, 0.99))
-	s.MaxMs = ms(window[len(window)-1])
-	return s
-}
-
-// percentile returns the nearest-rank percentile of a sorted window.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
+	return LatencySummary{
+		Count:  l.total.Load(),
+		Errors: l.errors.Load(),
+		P50Ms:  ms(w.Quantile(0.50)),
+		P90Ms:  ms(w.Quantile(0.90)),
+		P99Ms:  ms(w.Quantile(0.99)),
+		MaxMs:  ms(w.Max()),
 	}
-	i := int(p*float64(len(sorted))+0.5) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streambrain/internal/perf"
+)
+
+// Thresholds are the per-scenario regression limits, expressed as
+// fractional changes against the baseline. A scenario fails when its
+// throughput drops by strictly more than MaxThroughputDrop, or its p99
+// latency grows by strictly more than MaxP99Growth.
+type Thresholds struct {
+	MaxThroughputDrop float64 // default 0.15
+	MaxP99Growth      float64 // default 0.25
+	// P99FloorMs is the noise floor: when the baseline p99 sits below it,
+	// the p99 check is skipped for that scenario. Sub-tenth-millisecond
+	// percentiles are dominated by timer resolution and scheduler jitter,
+	// and a 25% relative gate on microseconds fails on noise, not
+	// regressions. Throughput is still gated.
+	P99FloorMs float64 // default 0.1
+	// MaxErrorRise is how much the per-scenario error rate (Errors/Ops)
+	// may exceed the baseline's before failing. Not zero-tolerance: one
+	// transient connection blip among hundreds of real HTTP requests is
+	// noise, a broken path erroring on every request is not — and a broken
+	// path can look "fast" (failures return quickly), so throughput alone
+	// would pass it.
+	MaxErrorRise float64 // default 0.01
+}
+
+// DefaultThresholds are the gate limits DESIGN.md §8 documents.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxThroughputDrop: 0.15, MaxP99Growth: 0.25, P99FloorMs: 0.1,
+		MaxErrorRise: 0.01}
+}
+
+// Verdict status values.
+const (
+	StatusOK         = "ok"         // within thresholds
+	StatusRegression = "regression" // beyond a threshold — fails the gate
+	StatusMissing    = "missing"    // in baseline, absent from current — fails
+	StatusNew        = "new"        // in current only — reported, never fails
+)
+
+// Verdict is one scenario's comparison outcome.
+type Verdict struct {
+	Scenario string
+	Status   string
+	// ThroughputDelta and P99Delta are fractional changes vs the baseline
+	// (+ = faster / slower respectively); zero when not comparable.
+	ThroughputDelta float64
+	P99Delta        float64
+	Detail          string
+}
+
+// Failed reports whether this verdict alone fails the gate.
+func (v Verdict) Failed() bool {
+	return v.Status == StatusRegression || v.Status == StatusMissing
+}
+
+// Evaluate compares a fresh run against the baseline, scenario by scenario
+// (matched by name). Baseline order is preserved; current-only scenarios
+// are appended as informational "new" verdicts.
+func Evaluate(baseline, current []perf.Result, th Thresholds) (verdicts []Verdict, failed bool) {
+	cur := make(map[string]perf.Result, len(current))
+	for _, res := range current {
+		cur[res.Scenario] = res
+	}
+	for _, base := range baseline {
+		now, ok := cur[base.Scenario]
+		delete(cur, base.Scenario)
+		if !ok {
+			verdicts = append(verdicts, Verdict{
+				Scenario: base.Scenario,
+				Status:   StatusMissing,
+				Detail:   "scenario present in baseline but absent from the current run",
+			})
+			failed = true
+			continue
+		}
+		v := compare(base, now, th)
+		if v.Failed() {
+			failed = true
+		}
+		verdicts = append(verdicts, v)
+	}
+	extra := make([]string, 0, len(cur))
+	for name := range cur {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		verdicts = append(verdicts, Verdict{
+			Scenario: name,
+			Status:   StatusNew,
+			Detail:   "scenario not in baseline; re-baseline to start gating it",
+		})
+	}
+	return verdicts, failed
+}
+
+// compare applies the thresholds to one baseline/current pair.
+func compare(base, now perf.Result, th Thresholds) Verdict {
+	v := Verdict{Scenario: base.Scenario, Status: StatusOK}
+	var problems []string
+	// Errors gate first: see Thresholds.MaxErrorRise.
+	if now.Ops > 0 {
+		rate := float64(now.Errors) / float64(now.Ops)
+		baseRate := 0.0
+		if base.Ops > 0 {
+			baseRate = float64(base.Errors) / float64(base.Ops)
+		}
+		if rate > baseRate+th.MaxErrorRise {
+			problems = append(problems, fmt.Sprintf(
+				"error rate %.1f%% → %.1f%% (%d of %d ops, limit +%.0f%%)",
+				100*baseRate, 100*rate, now.Errors, now.Ops, 100*th.MaxErrorRise))
+		}
+	}
+	if base.Throughput > 0 {
+		v.ThroughputDelta = (now.Throughput - base.Throughput) / base.Throughput
+		if -v.ThroughputDelta > th.MaxThroughputDrop {
+			problems = append(problems, fmt.Sprintf(
+				"throughput %.1f → %.1f (%+.1f%%, limit -%.0f%%)",
+				base.Throughput, now.Throughput, 100*v.ThroughputDelta, 100*th.MaxThroughputDrop))
+		}
+	}
+	if base.P99Ms > 0 {
+		v.P99Delta = (now.P99Ms - base.P99Ms) / base.P99Ms
+		if base.P99Ms >= th.P99FloorMs && v.P99Delta > th.MaxP99Growth {
+			problems = append(problems, fmt.Sprintf(
+				"p99 %.3fms → %.3fms (%+.1f%%, limit +%.0f%%)",
+				base.P99Ms, now.P99Ms, 100*v.P99Delta, 100*th.MaxP99Growth))
+		}
+	}
+	if len(problems) > 0 {
+		v.Status = StatusRegression
+		v.Detail = strings.Join(problems, "; ")
+	}
+	return v
+}
+
+// FormatReport renders the per-scenario verdict table plus a one-line
+// summary — the readable half of the gate's contract. enforcing reports
+// whether a failure actually fails the run, so the verdict line can never
+// contradict the exit code.
+func FormatReport(verdicts []Verdict, failed, enforcing bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-12s %12s %10s  %s\n",
+		"scenario", "status", "throughput", "p99", "detail")
+	fmt.Fprintln(&b, strings.Repeat("-", 88))
+	for _, v := range verdicts {
+		thr, p99 := "-", "-"
+		if v.Status == StatusOK || v.Status == StatusRegression {
+			thr = fmt.Sprintf("%+.1f%%", 100*v.ThroughputDelta)
+			p99 = fmt.Sprintf("%+.1f%%", 100*v.P99Delta)
+		}
+		fmt.Fprintf(&b, "%-24s %-12s %12s %10s  %s\n", v.Scenario, v.Status, thr, p99, v.Detail)
+	}
+	switch {
+	case failed && enforcing:
+		fmt.Fprintln(&b, "benchgate: FAIL — regression against perf baseline")
+	case failed:
+		fmt.Fprintln(&b, "benchgate: FAIL (not enforced) — regression reported, gate not armed on this environment")
+	default:
+		fmt.Fprintln(&b, "benchgate: PASS")
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"streambrain/internal/perf"
+)
+
+func res(name string, throughput, p99 float64) perf.Result {
+	return perf.Result{Scenario: name, Kind: "kernel", Ops: 10,
+		Throughput: throughput, P99Ms: p99}
+}
+
+func verdictFor(t *testing.T, verdicts []Verdict, name string) Verdict {
+	t.Helper()
+	for _, v := range verdicts {
+		if v.Scenario == name {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %q in %+v", name, verdicts)
+	return Verdict{}
+}
+
+func TestEvaluatePass(t *testing.T) {
+	base := []perf.Result{res("a", 1000, 10), res("b", 50, 2)}
+	// Improvements and small wobbles inside the thresholds all pass.
+	cur := []perf.Result{res("a", 1200, 8), res("b", 45, 2.3)}
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if failed {
+		t.Fatalf("unexpected failure: %+v", verdicts)
+	}
+	for _, v := range verdicts {
+		if v.Status != StatusOK {
+			t.Fatalf("verdict %+v, want ok", v)
+		}
+	}
+}
+
+func TestEvaluateThroughputRegression(t *testing.T) {
+	base := []perf.Result{res("fast", 1000, 10), res("slowed", 1000, 10)}
+	// "slowed" is the deliberately slowed scenario: 40% throughput drop.
+	cur := []perf.Result{res("fast", 1000, 10), res("slowed", 600, 10)}
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if !failed {
+		t.Fatal("40% throughput drop must fail the gate")
+	}
+	v := verdictFor(t, verdicts, "slowed")
+	if v.Status != StatusRegression || !v.Failed() {
+		t.Fatalf("verdict %+v, want regression", v)
+	}
+	if v.ThroughputDelta > -0.39 || v.ThroughputDelta < -0.41 {
+		t.Fatalf("ThroughputDelta = %v, want ~-0.40", v.ThroughputDelta)
+	}
+	if verdictFor(t, verdicts, "fast").Status != StatusOK {
+		t.Fatal("unregressed scenario must stay ok")
+	}
+	// The per-scenario report names the offender with both numbers.
+	report := FormatReport(verdicts, failed, true)
+	for _, want := range []string{"slowed", "regression", "1000.0 → 600.0", "FAIL"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	// A non-enforcing run must say so in the verdict line, so the log can
+	// never read as a hard failure when the exit code is 0.
+	if got := FormatReport(verdicts, failed, false); !strings.Contains(got, "FAIL (not enforced)") {
+		t.Fatalf("non-enforcing report missing the qualifier:\n%s", got)
+	}
+	if got := FormatReport(nil, false, true); !strings.Contains(got, "PASS") {
+		t.Fatalf("clean report missing PASS:\n%s", got)
+	}
+}
+
+func TestEvaluateP99Regression(t *testing.T) {
+	base := []perf.Result{res("svc", 1000, 10)}
+	cur := []perf.Result{res("svc", 1000, 13)} // +30% p99, throughput flat
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if !failed {
+		t.Fatal("30% p99 growth must fail the gate")
+	}
+	v := verdictFor(t, verdicts, "svc")
+	if v.Status != StatusRegression || !strings.Contains(v.Detail, "p99") {
+		t.Fatalf("verdict %+v, want p99 regression detail", v)
+	}
+}
+
+func TestEvaluateBoundary(t *testing.T) {
+	th := DefaultThresholds()
+	// Exactly at the limits: a 15.0% drop and a 25.0% p99 growth pass; the
+	// gate fails only strictly beyond them.
+	base := []perf.Result{res("edge", 1000, 100)}
+	cur := []perf.Result{res("edge", 850, 125)}
+	if _, failed := Evaluate(base, cur, th); failed {
+		t.Fatal("exactly-at-threshold must pass")
+	}
+	cur = []perf.Result{res("edge", 849, 100)}
+	if _, failed := Evaluate(base, cur, th); !failed {
+		t.Fatal("just beyond the throughput threshold must fail")
+	}
+	cur = []perf.Result{res("edge", 1000, 125.2)}
+	if _, failed := Evaluate(base, cur, th); !failed {
+		t.Fatal("just beyond the p99 threshold must fail")
+	}
+}
+
+func TestEvaluateMissingAndNew(t *testing.T) {
+	base := []perf.Result{res("kept", 100, 1), res("dropped", 100, 1)}
+	cur := []perf.Result{res("kept", 100, 1), res("added", 100, 1)}
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if !failed {
+		t.Fatal("a scenario missing from the current run must fail the gate")
+	}
+	if v := verdictFor(t, verdicts, "dropped"); v.Status != StatusMissing || !v.Failed() {
+		t.Fatalf("verdict %+v, want missing", v)
+	}
+	if v := verdictFor(t, verdicts, "added"); v.Status != StatusNew || v.Failed() {
+		t.Fatalf("verdict %+v, want new (non-failing)", v)
+	}
+}
+
+func TestEvaluateZeroBaseline(t *testing.T) {
+	// Degenerate baselines (zero throughput or p99) must not divide by
+	// zero or fail spuriously — they are simply not comparable.
+	base := []perf.Result{res("zero", 0, 0)}
+	cur := []perf.Result{res("zero", 500, 3)}
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if failed || verdicts[0].Status != StatusOK {
+		t.Fatalf("verdicts %+v, want ok", verdicts)
+	}
+}
+
+func TestEvaluateErrorsRegression(t *testing.T) {
+	// Failed requests return fast, so a broken path can look faster than
+	// the baseline; the error-rate check must fail it anyway.
+	base := []perf.Result{res("svc", 1000, 5)}
+	cur := []perf.Result{res("svc", 4000, 1)}
+	cur[0].Ops, cur[0].Errors = 400, 400 // every request failed
+	verdicts, failed := Evaluate(base, cur, DefaultThresholds())
+	if !failed {
+		t.Fatal("a fully erroring run must fail the gate even when rates improved")
+	}
+	if v := verdictFor(t, verdicts, "svc"); v.Status != StatusRegression ||
+		!strings.Contains(v.Detail, "error rate") {
+		t.Fatalf("verdict %+v, want error-rate regression detail", v)
+	}
+	// One transient blip among 400 real HTTP requests (0.25% < the 1%
+	// rise allowance) is noise, not a regression.
+	cur[0].Errors = 1
+	if _, failed := Evaluate(base, cur, DefaultThresholds()); failed {
+		t.Fatal("a single transient error must not fail the gate")
+	}
+	// An error rate matching the baseline's is not a rise.
+	base[0].Ops, base[0].Errors = 400, 40
+	cur[0].Errors = 40
+	if _, failed := Evaluate(base, cur, DefaultThresholds()); failed {
+		t.Fatal("an unchanged error rate must not fail")
+	}
+}
+
+func TestP99NoiseFloor(t *testing.T) {
+	th := DefaultThresholds()
+	// Baseline p99 of 6µs: relative p99 wobble at that scale is timer
+	// noise, so a 50% "growth" must not fail — but the same growth above
+	// the floor must.
+	base := []perf.Result{res("tiny", 100000, 0.006)}
+	cur := []perf.Result{res("tiny", 100000, 0.009)}
+	if _, failed := Evaluate(base, cur, th); failed {
+		t.Fatal("p99 below the noise floor must not be gated")
+	}
+	base = []perf.Result{res("big", 1000, 6)}
+	cur = []perf.Result{res("big", 1000, 9)}
+	if _, failed := Evaluate(base, cur, th); !failed {
+		t.Fatal("the same growth above the floor must fail")
+	}
+}
+
+func TestCustomThresholds(t *testing.T) {
+	th := Thresholds{MaxThroughputDrop: 0.01, MaxP99Growth: 0.01}
+	base := []perf.Result{res("tight", 1000, 10)}
+	cur := []perf.Result{res("tight", 950, 10)} // -5%: fails a 1% gate
+	if _, failed := Evaluate(base, cur, th); !failed {
+		t.Fatal("tightened thresholds must apply")
+	}
+}
