@@ -646,3 +646,81 @@ func BenchmarkMNISTRender(b *testing.B) {
 		mnistgen.RenderDigit(i%10, rng)
 	}
 }
+
+// BenchmarkGEMMPrecision is the E8 kernel pair (DESIGN.md §9): the same
+// pinned GEMM at float64 and float32 on the parallel backend. The f32/f64
+// GFLOP/s ratio is the measured reduced-precision speedup — with the
+// AVX2+FMA microkernels active it tracks the 2× lane-width argument; in
+// pure scalar builds it collapses to ~1×.
+func BenchmarkGEMMPrecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 256
+	b.Run("precision=f64", func(b *testing.B) {
+		a, c, dst := tensor.NewMatrix(n, n), tensor.NewMatrix(n, n), tensor.NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()
+			c.Data[i] = rng.Float64()
+		}
+		be := backend.MustNew("parallel", 0)
+		b.SetBytes(int64(8 * n * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.MatMul(dst, a, c)
+		}
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+	b.Run("precision=f32", func(b *testing.B) {
+		a, c, dst := tensor.NewMatrix32(n, n), tensor.NewMatrix32(n, n), tensor.NewMatrix32(n, n)
+		for i := range a.Data {
+			a.Data[i] = float32(rng.Float64())
+			c.Data[i] = float32(rng.Float64())
+		}
+		be := backend.MustNew32("parallel", 0)
+		b.SetBytes(int64(4 * n * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.MatMul(dst, a, c)
+		}
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+}
+
+// BenchmarkForwardPrecision times the serving-side hidden forward pass at
+// both precisions on a Higgs-shaped model (DESIGN.md §9): the float32 path
+// is what a Precision=float32 bundle runs per prediction batch.
+func BenchmarkForwardPrecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const (
+		fi, mi = 28, 10
+		units  = 300
+		batch  = 64
+	)
+	idx := make([][]int32, batch)
+	for s := range idx {
+		for f := 0; f < fi; f++ {
+			idx[s] = append(idx[s], int32(f*mi+rng.Intn(mi)))
+		}
+	}
+	p := core.DefaultParams()
+	p.MCUs = units
+	p.UnsupervisedEpochs = 0
+	p.SupervisedEpochs = 0
+	for _, prec := range []core.Precision{core.Float64, core.Float32} {
+		pv := p
+		pv.Precision = prec
+		layer := core.NewHiddenLayer(backend.MustNew("parallel", 0), fi, mi, pv,
+			rand.New(rand.NewSource(3)))
+		out := tensor.NewMatrix(batch, layer.Units())
+		b.Run("precision="+prec.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				layer.Forward(idx, out)
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -17,6 +17,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -153,8 +154,14 @@ func progress(ctx context.Context, p *stream.Pipeline, every time.Duration) {
 }
 
 func logStats(s stream.Stats, elapsed time.Duration) {
-	log.Printf("%8.1fs  %9d events  %6d batches  acc %.3f  auc %.3f  publishes %d  refits %d  drifts %d  (%.0f events/s)",
-		elapsed.Seconds(), s.Events, s.Batches, s.WindowAccuracy, s.WindowAUC,
+	// Window metrics are only meaningful once the prequential window has
+	// filled (Stats gates them; see stream.Stats.WindowReady).
+	metrics := "acc    n/a  auc    n/a"
+	if s.WindowReady {
+		metrics = fmt.Sprintf("acc %.3f  auc %.3f", s.WindowAccuracy, s.WindowAUC)
+	}
+	log.Printf("%8.1fs  %9d events  %6d batches  %s  publishes %d  refits %d  drifts %d  (%.0f events/s)",
+		elapsed.Seconds(), s.Events, s.Batches, metrics,
 		s.Publishes, s.Refits, s.Drifts, float64(s.Events)/elapsed.Seconds())
 }
 

@@ -37,6 +37,7 @@ func main() {
 		taupdt      = flag.Float64("taupdt", 0.012, "trace learning rate")
 		batch       = flag.Int("batch", 128, "mini-batch size")
 		hybrid      = flag.Bool("hybrid", false, "use the BCPNN+SGD hybrid readout")
+		precision   = flag.String("precision", "float64", "compute precision: float64 | float32 (forward passes at half width, traces stay float64)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		saveModel   = flag.String("save", "", "write the trained model state to this path")
 		saveBundle  = flag.String("save-bundle", "", "write a serving bundle (model + encoder) to this path")
@@ -53,6 +54,10 @@ func main() {
 	params.Taupdt = *taupdt
 	params.BatchSize = *batch
 	params.Seed = *seed
+	params.Precision = streambrain.Precision(*precision)
+	if err := params.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	train, test, enc, err := streambrain.LoadHiggs(streambrain.HiggsOptions{
 		CSVPath: *csvPath,

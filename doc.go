@@ -33,6 +33,12 @@
 //	// later, in the serving process:
 //	model, enc, _ := streambrain.LoadModel(f, streambrain.Config{})
 //
+// The compute stack is precision-parameterized (DESIGN.md §9): setting
+// Params.Precision = streambrain.Float32 runs forward passes on the
+// float32 kernel set (SIMD-accelerated on amd64) while the BCPNN traces
+// stay float64, reproducing the paper's reduced-precision training
+// scenario; bundles carry the precision and serve it end to end.
+//
 // Runnable Example functions for each of these entry points live in
 // example_test.go and run under go test.
 package streambrain

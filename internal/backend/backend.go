@@ -17,6 +17,13 @@
 //     launches and host/device transfer bytes under both the
 //     fully-offloaded and the chatty transfer policy
 //     (the CUDA role; see DESIGN.md §1 for the substitution).
+//
+// Every kernel set is generic over the element precision (DESIGN.md §9):
+// Backend is the float64 instantiation the trainer uses for traces and
+// accumulators, Backend32 is the float32 instantiation behind the reduced-
+// precision compute path. The two instantiations share one source — the
+// float32 set is not a fork, it is the same kernels at half the element
+// width (and, on amd64, twice the SIMD lanes).
 package backend
 
 import (
@@ -27,64 +34,78 @@ import (
 	"streambrain/internal/tensor"
 )
 
-// Backend is the kernel set the BCPNN training loop is expressed in.
-// All methods must be safe for sequential use; implementations may
-// parallelize internally but calls themselves are not concurrent.
-type Backend interface {
+// Kernels is the kernel set the BCPNN training loop is expressed in,
+// parameterized by element precision. All methods must be safe for
+// sequential use; implementations may parallelize internally but calls
+// themselves are not concurrent. Scalar hyperparameters (trace rates,
+// temperatures, eps floors) stay float64 at the interface and are converted
+// at the kernel boundary, so callers never depend on the precision.
+type Kernels[T tensor.Float] interface {
 	// Name returns the registry name of the backend.
 	Name() string
 	// Workers returns the size of the backend's worker team (1 for naive).
 	Workers() int
 
 	// MatMul computes dst = a·b.
-	MatMul(dst, a, b *tensor.Matrix)
+	MatMul(dst, a, b *tensor.Dense[T])
 	// MatMulATB computes dst = aᵀ·b without materializing aᵀ.
-	MatMulATB(dst, a, b *tensor.Matrix)
+	MatMulATB(dst, a, b *tensor.Dense[T])
 	// OneHotMatMul computes dst = X·w where sample s of X is the indicator
 	// vector of idx[s] (the quantile one-hot encoding of §V of the paper).
-	OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix)
+	OneHotMatMul(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T])
 	// AddBias adds the bias vector to every row of m.
-	AddBias(m *tensor.Matrix, bias []float64)
+	AddBias(m *tensor.Dense[T], bias []T)
 	// SoftmaxGroups applies a temperature softmax independently to each of
 	// `groups` consecutive width-`width` segments of every row — the
 	// per-hypercolumn normalization of MCU activities.
-	SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64)
+	SoftmaxGroups(m *tensor.Dense[T], groups, width int, temperature float64)
 
 	// Lerp computes dst = (1-t)·dst + t·src — the exponential trace update.
-	Lerp(dst, src []float64, t float64)
+	Lerp(dst, src []T, t float64)
 	// LerpMatrix is Lerp over matrix storage.
-	LerpMatrix(dst, src *tensor.Matrix, t float64)
+	LerpMatrix(dst, src *tensor.Dense[T], t float64)
 	// OneHotMeanLerp folds the batch mean of one-hot inputs into the Ci
 	// trace: ci = (1-t)·ci + (t/len(idx))·Σ_s indicator(idx[s]).
-	OneHotMeanLerp(ci []float64, idx [][]int32, t float64)
+	OneHotMeanLerp(ci []T, idx [][]int32, t float64)
 	// OneHotOuterLerp folds the batch outer-product mean into the joint
 	// trace: cij = (1-t)·cij + (t/len(idx))·Σ_s indicator(idx[s]) ⊗ act[s].
-	OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64)
+	OneHotOuterLerp(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T], t float64)
 	// OuterLerp is the dense variant used by the supervised layer:
 	// cij = (1-t)·cij + (t/a.Rows)·aᵀb.
-	OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64)
+	OuterLerp(cij *tensor.Dense[T], a, b *tensor.Dense[T], t float64)
 
 	// UpdateWeights recomputes the BCPNN weight matrix from the traces:
 	// w_ij = log(max(cij,eps²) / (max(ci_i,eps)·max(cj_j,eps))).
 	// If mask is non-nil it is an fi×h row-major boolean gate over
 	// (input hypercolumn, output hypercolumn) blocks of w (block shape
 	// mi×m); gated-off entries are set to 0 (silent connections).
-	UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
 		mask []bool, fi, mi, h, m int, eps float64)
 	// UpdateBias recomputes bias_j = kbi_j · log(max(cj_j, eps)).
-	UpdateBias(bias, kbi, cj []float64, eps float64)
+	UpdateBias(bias, kbi, cj []T, eps float64)
 }
+
+// Backend is the float64 kernel set — the precision of every training trace.
+type Backend = Kernels[float64]
+
+// Backend32 is the float32 kernel set behind the reduced-precision compute
+// path (forward passes and derived parameters; traces never live here).
+type Backend32 = Kernels[float32]
 
 // factory builds a backend with the requested worker count.
 type factory func(workers int) Backend
 
+// factory32 builds a float32 backend with the requested worker count.
+type factory32 func(workers int) Backend32
+
 var (
-	regMu    sync.RWMutex
-	registry = map[string]factory{}
+	regMu      sync.RWMutex
+	registry   = map[string]factory{}
+	registry32 = map[string]factory32{}
 )
 
-// Register installs a backend factory under name. It is called from package
-// init functions; duplicate names panic.
+// Register installs a float64 backend factory under name. It is called from
+// package init functions; duplicate names panic.
 func Register(name string, f factory) {
 	regMu.Lock()
 	defer regMu.Unlock()
@@ -94,7 +115,19 @@ func Register(name string, f factory) {
 	registry[name] = f
 }
 
-// New returns the named backend with the given worker-team size.
+// Register32 installs a float32 backend factory under name. Backends without
+// a float32 kernel set (fpgasim, whose numerics are posit-defined) simply do
+// not register here, and New32 reports them as unavailable.
+func Register32(name string, f factory32) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry32[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate float32 registration %q", name))
+	}
+	registry32[name] = f
+}
+
+// New returns the named float64 backend with the given worker-team size.
 // workers <= 0 selects a backend-specific default.
 func New(name string, workers int) (Backend, error) {
 	regMu.RLock()
@@ -102,6 +135,18 @@ func New(name string, workers int) (Backend, error) {
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, Names())
+	}
+	return f(workers), nil
+}
+
+// New32 returns the named backend's float32 kernel set.
+func New32(name string, workers int) (Backend32, error) {
+	regMu.RLock()
+	f, ok := registry32[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: backend %q has no float32 kernel set (have %v)",
+			name, Names32())
 	}
 	return f(workers), nil
 }
@@ -115,12 +160,33 @@ func MustNew(name string, workers int) Backend {
 	return b
 }
 
+// MustNew32 is New32 that panics on error, for tests and examples.
+func MustNew32(name string, workers int) Backend32 {
+	b, err := New32(name, workers)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 // Names returns the sorted list of registered backend names.
 func Names() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
 	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Names32 returns the sorted list of backends with a float32 kernel set.
+func Names32() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry32))
+	for n := range registry32 {
 		names = append(names, n)
 	}
 	sort.Strings(names)

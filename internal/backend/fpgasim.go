@@ -25,7 +25,7 @@ func init() {
 // in the storage format diverges. Quantizing only the derived parameters
 // mirrors that design split.
 type FPGASim struct {
-	dev    *Parallel
+	dev    *Parallel[float64]
 	format posit.Format
 }
 

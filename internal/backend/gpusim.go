@@ -3,12 +3,16 @@ package backend
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"streambrain/internal/tensor"
 )
 
 func init() {
 	Register("gpusim", func(workers int) Backend { return NewGPUSim(workers, PolicyOffloaded) })
+	Register32("gpusim", func(workers int) Backend32 {
+		return NewGPUSimOf[float32](workers, PolicyOffloaded)
+	})
 }
 
 // TransferPolicy selects how the GPU simulator accounts host↔device traffic.
@@ -44,60 +48,103 @@ type TransferStats struct {
 	BytesD2H       int64 // device → host
 }
 
+// gpuLedger is the device model shared by a simulator and its other-
+// precision companion (see Kernels32): one policy, one transfer ledger, so
+// a mixed-precision model (float64 training state, float32 forward path)
+// reports all of its traffic through the simulator the caller holds.
+type gpuLedger struct {
+	mu     sync.Mutex
+	policy TransferPolicy
+	stats  TransferStats
+}
+
 // GPUSim simulates a fully-offloaded accelerator backend. Compute is executed
 // by the Parallel kernels (a dedicated "device" worker team); what makes it a
 // GPU model is the buffer-residency ledger: the simulator tracks which
 // buffers live on the device and charges H2D/D2H transfer bytes according to
 // the active TransferPolicy. Benchmarks read the ledger to reproduce the
 // paper's offload-vs-chatty argument quantitatively.
-type GPUSim struct {
-	dev    *Parallel
-	policy TransferPolicy
+//
+// Transfer bytes are charged at sizeof(T) per element — the float32
+// instantiation moves exactly half the bytes of the float64 one for the same
+// kernel sequence, which is the memory-bandwidth half of the paper's
+// reduced-precision argument (one-hot index uploads stay 4 bytes/index at
+// every precision; see idxBytes).
+type GPUSim[T tensor.Float] struct {
+	dev *Parallel[T]
+	led *gpuLedger
 
-	mu       sync.Mutex
-	resident map[*float64]bool
-	stats    TransferStats
+	// resident is this precision's buffer set; it shares the ledger mutex
+	// so companion simulators account atomically against one device model.
+	resident map[*T]bool
 }
 
-// NewGPUSim returns a GPU simulator with the given device worker-team size.
-func NewGPUSim(workers int, policy TransferPolicy) *GPUSim {
-	return &GPUSim{
-		dev:      NewParallel(workers),
-		policy:   policy,
-		resident: make(map[*float64]bool),
+// elemSize is the modeled per-element transfer cost: sizeof(T).
+func elemSize[T tensor.Float]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// NewGPUSim returns a float64 GPU simulator with the given device
+// worker-team size.
+func NewGPUSim(workers int, policy TransferPolicy) *GPUSim[float64] {
+	return NewGPUSimOf[float64](workers, policy)
+}
+
+// NewGPUSimOf returns a GPU simulator of the given precision.
+func NewGPUSimOf[T tensor.Float](workers int, policy TransferPolicy) *GPUSim[T] {
+	return &GPUSim[T]{
+		dev:      NewParallelOf[T](workers),
+		led:      &gpuLedger{policy: policy},
+		resident: make(map[*T]bool),
 	}
 }
 
-// Name implements Backend.
-func (g *GPUSim) Name() string { return "gpusim" }
+// Name implements Kernels.
+func (g *GPUSim[T]) Name() string { return "gpusim" }
 
-// Workers implements Backend.
-func (g *GPUSim) Workers() int { return g.dev.Workers() }
+// Workers implements Kernels.
+func (g *GPUSim[T]) Workers() int { return g.dev.Workers() }
 
-// SetPolicy switches the transfer-accounting policy.
-func (g *GPUSim) SetPolicy(p TransferPolicy) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.policy = p
+// Kernels32 returns a float32 simulator on the same modeled device: same
+// worker team, same policy, same transfer ledger (its traffic shows up in
+// this simulator's Stats). The reduced-precision core path (DESIGN.md §9)
+// discovers it through this method, so a Precision=Float32 model on gpusim
+// keeps its forward traffic visible to whoever holds the float64 handle.
+func (g *GPUSim[T]) Kernels32() Backend32 {
+	return &GPUSim[float32]{
+		dev:      NewParallelOf[float32](g.dev.Workers()),
+		led:      g.led,
+		resident: make(map[*float32]bool),
+	}
 }
 
-// Stats returns a snapshot of the transfer ledger.
-func (g *GPUSim) Stats() TransferStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.stats
+// SetPolicy switches the transfer-accounting policy (shared with
+// companions).
+func (g *GPUSim[T]) SetPolicy(p TransferPolicy) {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	g.led.policy = p
+}
+
+// Stats returns a snapshot of the transfer ledger (companion traffic
+// included).
+func (g *GPUSim[T]) Stats() TransferStats {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	return g.led.stats
 }
 
 // ResetStats clears the ledger (buffer residency is preserved).
-func (g *GPUSim) ResetStats() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats = TransferStats{}
+func (g *GPUSim[T]) ResetStats() {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	g.led.stats = TransferStats{}
 }
 
 // key identifies a buffer by the address of its first element; an empty
 // buffer has no identity and is never charged.
-func key(s []float64) *float64 {
+func key[T tensor.Float](s []T) *T {
 	if len(s) == 0 {
 		return nil
 	}
@@ -108,16 +155,30 @@ func key(s []float64) *float64 {
 // now) and never again under PolicyOffloaded. The BCPNN trainer pins its
 // weights, biases and traces at layer construction, mirroring cudaMalloc'd
 // state in StreamBrain's CUDA backend.
-func (g *GPUSim) MakeResident(bufs ...[]float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+func (g *GPUSim[T]) MakeResident(bufs ...[]T) {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
 	for _, b := range bufs {
 		k := key(b)
 		if k == nil || g.resident[k] {
 			continue
 		}
 		g.resident[k] = true
-		g.stats.BytesH2D += int64(8 * len(b))
+		g.led.stats.BytesH2D += elemSize[T]() * int64(len(b))
+	}
+}
+
+// ChargeUpload charges an H2D transfer for buffers that were rewritten on
+// the host while staying device-resident — the mixed-precision parameter
+// refresh (core's sync32 recasts float64 W into the pinned float32 image on
+// the host, then re-uploads it). Residency is unchanged: the buffers remain
+// pinned, only the re-upload cost is recorded.
+func (g *GPUSim[T]) ChargeUpload(bufs ...[]T) {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	es := elemSize[T]()
+	for _, b := range bufs {
+		g.led.stats.BytesH2D += es * int64(len(b))
 	}
 }
 
@@ -125,105 +186,108 @@ func (g *GPUSim) MakeResident(bufs ...[]float64) {
 // ins are read by the kernel (H2D if not resident), outs are written (D2H if
 // not resident). Under PolicyChatty residency is ignored and everything
 // moves every call.
-func (g *GPUSim) launch(ins [][]float64, outs [][]float64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stats.KernelLaunches++
+func (g *GPUSim[T]) launch(ins [][]T, outs [][]T) {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	g.led.stats.KernelLaunches++
+	es := elemSize[T]()
 	for _, b := range ins {
-		if g.policy == PolicyChatty || !g.resident[key(b)] {
-			g.stats.BytesH2D += int64(8 * len(b))
+		if g.led.policy == PolicyChatty || !g.resident[key(b)] {
+			g.led.stats.BytesH2D += es * int64(len(b))
 		}
 	}
 	for _, b := range outs {
-		if g.policy == PolicyChatty || !g.resident[key(b)] {
-			g.stats.BytesD2H += int64(8 * len(b))
+		if g.led.policy == PolicyChatty || !g.resident[key(b)] {
+			g.led.stats.BytesD2H += es * int64(len(b))
 		}
 	}
 }
 
-// idxBytes models the upload cost of a one-hot index batch (4 bytes/index).
-func (g *GPUSim) idxBytes(idx [][]int32) {
+// idxBytes models the upload cost of a one-hot index batch. Indices are
+// int32 positions, not matrix elements, so they cost 4 bytes each at every
+// precision — reduced precision halves float traffic only.
+func (g *GPUSim[T]) idxBytes(idx [][]int32) {
 	var n int64
 	for _, a := range idx {
 		n += int64(4 * len(a))
 	}
-	g.mu.Lock()
-	g.stats.BytesH2D += n
-	g.mu.Unlock()
+	g.led.mu.Lock()
+	g.led.stats.BytesH2D += n
+	g.led.mu.Unlock()
 }
 
-// MatMul implements Backend.
-func (g *GPUSim) MatMul(dst, a, b *tensor.Matrix) {
-	g.launch([][]float64{a.Data, b.Data}, [][]float64{dst.Data})
+// MatMul implements Kernels.
+func (g *GPUSim[T]) MatMul(dst, a, b *tensor.Dense[T]) {
+	g.launch([][]T{a.Data, b.Data}, [][]T{dst.Data})
 	g.dev.MatMul(dst, a, b)
 }
 
-// MatMulATB implements Backend.
-func (g *GPUSim) MatMulATB(dst, a, b *tensor.Matrix) {
-	g.launch([][]float64{a.Data, b.Data}, [][]float64{dst.Data})
+// MatMulATB implements Kernels.
+func (g *GPUSim[T]) MatMulATB(dst, a, b *tensor.Dense[T]) {
+	g.launch([][]T{a.Data, b.Data}, [][]T{dst.Data})
 	g.dev.MatMulATB(dst, a, b)
 }
 
-// OneHotMatMul implements Backend.
-func (g *GPUSim) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+// OneHotMatMul implements Kernels.
+func (g *GPUSim[T]) OneHotMatMul(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T]) {
 	g.idxBytes(idx)
-	g.launch([][]float64{w.Data}, [][]float64{dst.Data})
+	g.launch([][]T{w.Data}, [][]T{dst.Data})
 	g.dev.OneHotMatMul(dst, idx, w)
 }
 
-// AddBias implements Backend.
-func (g *GPUSim) AddBias(m *tensor.Matrix, bias []float64) {
-	g.launch([][]float64{bias}, [][]float64{m.Data})
+// AddBias implements Kernels.
+func (g *GPUSim[T]) AddBias(m *tensor.Dense[T], bias []T) {
+	g.launch([][]T{bias}, [][]T{m.Data})
 	g.dev.AddBias(m, bias)
 }
 
-// SoftmaxGroups implements Backend.
-func (g *GPUSim) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
-	g.launch(nil, [][]float64{m.Data})
+// SoftmaxGroups implements Kernels.
+func (g *GPUSim[T]) SoftmaxGroups(m *tensor.Dense[T], groups, width int, temperature float64) {
+	g.launch(nil, [][]T{m.Data})
 	g.dev.SoftmaxGroups(m, groups, width, temperature)
 }
 
-// Lerp implements Backend.
-func (g *GPUSim) Lerp(dst, src []float64, t float64) {
-	g.launch([][]float64{src}, [][]float64{dst})
+// Lerp implements Kernels.
+func (g *GPUSim[T]) Lerp(dst, src []T, t float64) {
+	g.launch([][]T{src}, [][]T{dst})
 	g.dev.Lerp(dst, src, t)
 }
 
-// LerpMatrix implements Backend.
-func (g *GPUSim) LerpMatrix(dst, src *tensor.Matrix, t float64) {
-	g.launch([][]float64{src.Data}, [][]float64{dst.Data})
+// LerpMatrix implements Kernels.
+func (g *GPUSim[T]) LerpMatrix(dst, src *tensor.Dense[T], t float64) {
+	g.launch([][]T{src.Data}, [][]T{dst.Data})
 	g.dev.LerpMatrix(dst, src, t)
 }
 
-// OneHotMeanLerp implements Backend.
-func (g *GPUSim) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+// OneHotMeanLerp implements Kernels.
+func (g *GPUSim[T]) OneHotMeanLerp(ci []T, idx [][]int32, t float64) {
 	g.idxBytes(idx)
-	g.launch(nil, [][]float64{ci})
+	g.launch(nil, [][]T{ci})
 	g.dev.OneHotMeanLerp(ci, idx, t)
 }
 
-// OneHotOuterLerp implements Backend.
-func (g *GPUSim) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+// OneHotOuterLerp implements Kernels.
+func (g *GPUSim[T]) OneHotOuterLerp(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T], t float64) {
 	g.idxBytes(idx)
-	g.launch([][]float64{act.Data}, [][]float64{cij.Data})
+	g.launch([][]T{act.Data}, [][]T{cij.Data})
 	g.dev.OneHotOuterLerp(cij, idx, act, t)
 }
 
-// OuterLerp implements Backend.
-func (g *GPUSim) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
-	g.launch([][]float64{a.Data, b.Data}, [][]float64{cij.Data})
+// OuterLerp implements Kernels.
+func (g *GPUSim[T]) OuterLerp(cij *tensor.Dense[T], a, b *tensor.Dense[T], t float64) {
+	g.launch([][]T{a.Data, b.Data}, [][]T{cij.Data})
 	g.dev.OuterLerp(cij, a, b, t)
 }
 
-// UpdateWeights implements Backend.
-func (g *GPUSim) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+// UpdateWeights implements Kernels.
+func (g *GPUSim[T]) UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
 	mask []bool, fi, mi, h, m int, eps float64) {
-	g.launch([][]float64{ci, cj, cij.Data}, [][]float64{w.Data})
+	g.launch([][]T{ci, cj, cij.Data}, [][]T{w.Data})
 	g.dev.UpdateWeights(w, ci, cj, cij, mask, fi, mi, h, m, eps)
 }
 
-// UpdateBias implements Backend.
-func (g *GPUSim) UpdateBias(bias, kbi, cj []float64, eps float64) {
-	g.launch([][]float64{kbi, cj}, [][]float64{bias})
+// UpdateBias implements Kernels.
+func (g *GPUSim[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
+	g.launch([][]T{kbi, cj}, [][]T{bias})
 	g.dev.UpdateBias(bias, kbi, cj, eps)
 }

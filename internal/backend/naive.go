@@ -2,40 +2,42 @@ package backend
 
 import (
 	"math"
+	"unsafe"
 
 	"streambrain/internal/tensor"
 )
 
 func init() {
-	Register("naive", func(int) Backend { return &Naive{} })
+	Register("naive", func(int) Backend { return &Naive[float64]{} })
+	Register32("naive", func(int) Backend32 { return &Naive[float32]{} })
 }
 
 // Naive is the single-threaded reference backend. Every other backend is
 // cross-checked against it by the conformance tests, mirroring the role the
 // NumPy implementation plays for StreamBrain's hand-coded kernels.
-type Naive struct{}
+type Naive[T tensor.Float] struct{}
 
-// Name implements Backend.
-func (*Naive) Name() string { return "naive" }
+// Name implements Kernels.
+func (*Naive[T]) Name() string { return "naive" }
 
-// Workers implements Backend.
-func (*Naive) Workers() int { return 1 }
+// Workers implements Kernels.
+func (*Naive[T]) Workers() int { return 1 }
 
-// MatMul implements Backend.
-func (*Naive) MatMul(dst, a, b *tensor.Matrix) { tensor.MatMulNaive(dst, a, b) }
+// MatMul implements Kernels.
+func (*Naive[T]) MatMul(dst, a, b *tensor.Dense[T]) { tensor.MatMulNaive(dst, a, b) }
 
-// MatMulATB implements Backend.
-func (*Naive) MatMulATB(dst, a, b *tensor.Matrix) { tensor.MatMulATB(dst, a, b) }
+// MatMulATB implements Kernels.
+func (*Naive[T]) MatMulATB(dst, a, b *tensor.Dense[T]) { tensor.MatMulATB(dst, a, b) }
 
-// OneHotMatMul implements Backend.
-func (*Naive) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+// OneHotMatMul implements Kernels.
+func (*Naive[T]) OneHotMatMul(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T]) {
 	tensor.OneHotMatMul(dst, idx, w)
 }
 
-// AddBias implements Backend.
-func (*Naive) AddBias(m *tensor.Matrix, bias []float64) { addBiasRange(m, bias, 0, m.Rows) }
+// AddBias implements Kernels.
+func (*Naive[T]) AddBias(m *tensor.Dense[T], bias []T) { addBiasRange(m, bias, 0, m.Rows) }
 
-func addBiasRange(m *tensor.Matrix, bias []float64, r0, r1 int) {
+func addBiasRange[T tensor.Float](m *tensor.Dense[T], bias []T, r0, r1 int) {
 	if len(bias) != m.Cols {
 		panic("backend: AddBias length mismatch")
 	}
@@ -47,33 +49,33 @@ func addBiasRange(m *tensor.Matrix, bias []float64, r0, r1 int) {
 	}
 }
 
-// SoftmaxGroups implements Backend.
-func (*Naive) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+// SoftmaxGroups implements Kernels.
+func (*Naive[T]) SoftmaxGroups(m *tensor.Dense[T], groups, width int, temperature float64) {
 	tensor.SoftmaxGroups(m, groups, width, temperature)
 }
 
-// Lerp implements Backend.
-func (*Naive) Lerp(dst, src []float64, t float64) { tensor.Lerp(dst, src, t) }
+// Lerp implements Kernels.
+func (*Naive[T]) Lerp(dst, src []T, t float64) { tensor.Lerp(dst, src, T(t)) }
 
-// LerpMatrix implements Backend.
-func (*Naive) LerpMatrix(dst, src *tensor.Matrix, t float64) {
+// LerpMatrix implements Kernels.
+func (*Naive[T]) LerpMatrix(dst, src *tensor.Dense[T], t float64) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("backend: LerpMatrix shape mismatch")
 	}
-	tensor.Lerp(dst.Data, src.Data, t)
+	tensor.Lerp(dst.Data, src.Data, T(t))
 }
 
-// OneHotMeanLerp implements Backend.
-func (*Naive) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+// OneHotMeanLerp implements Kernels.
+func (*Naive[T]) OneHotMeanLerp(ci []T, idx [][]int32, t float64) {
 	oneHotMeanLerp(ci, idx, t)
 }
 
-func oneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+func oneHotMeanLerp[T tensor.Float](ci []T, idx [][]int32, t float64) {
 	if len(idx) == 0 {
 		return
 	}
-	tensor.Scale(1-t, ci)
-	inc := t / float64(len(idx))
+	tensor.Scale(1-T(t), ci)
+	inc := T(t) / T(len(idx))
 	for _, active := range idx {
 		for _, i := range active {
 			ci[i] += inc
@@ -81,14 +83,14 @@ func oneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
 	}
 }
 
-// OneHotOuterLerp implements Backend.
-func (*Naive) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+// OneHotOuterLerp implements Kernels.
+func (*Naive[T]) OneHotOuterLerp(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T], t float64) {
 	oneHotOuterLerpRange(cij, idx, act, t, 0, cij.Rows)
 }
 
 // oneHotOuterLerpRange applies the decay+accumulate to cij rows [r0,r1).
 // Restricting to a row band lets the parallel backend shard without locks.
-func oneHotOuterLerpRange(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64, r0, r1 int) {
+func oneHotOuterLerpRange[T tensor.Float](cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T], t float64, r0, r1 int) {
 	if len(idx) != act.Rows {
 		panic("backend: OneHotOuterLerp batch mismatch")
 	}
@@ -98,8 +100,8 @@ func oneHotOuterLerpRange(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix,
 	if len(idx) == 0 {
 		return
 	}
-	tensor.Scale(1-t, cij.Data[r0*cij.Cols:r1*cij.Cols])
-	inc := t / float64(len(idx))
+	tensor.Scale(1-T(t), cij.Data[r0*cij.Cols:r1*cij.Cols])
+	inc := T(t) / T(len(idx))
 	for s, active := range idx {
 		arow := act.Row(s)
 		for _, i := range active {
@@ -112,25 +114,39 @@ func oneHotOuterLerpRange(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix,
 	}
 }
 
-// OuterLerp implements Backend.
-func (*Naive) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
-	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Matrix) { tensor.MatMulATB(dst, x, y) })
+// OuterLerp implements Kernels.
+func (*Naive[T]) OuterLerp(cij *tensor.Dense[T], a, b *tensor.Dense[T], t float64) {
+	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Dense[T]) { tensor.MatMulATB(dst, x, y) })
 }
 
 // outerLerp implements cij = (1-t)cij + (t/rows)·aᵀb given an ATB kernel.
-func outerLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64,
-	atb func(dst, x, y *tensor.Matrix)) {
+func outerLerp[T tensor.Float](cij *tensor.Dense[T], a, b *tensor.Dense[T], t float64,
+	atb func(dst, x, y *tensor.Dense[T])) {
 	if a.Rows == 0 {
 		return
 	}
-	tmp := tensor.NewMatrix(a.Cols, b.Cols)
+	tmp := tensor.NewDense[T](a.Cols, b.Cols)
 	atb(tmp, a, b)
-	tensor.Scale(1/float64(a.Rows), tmp.Data)
-	tensor.Lerp(cij.Data, tmp.Data, t)
+	tensor.Scale(1/T(a.Rows), tmp.Data)
+	tensor.Lerp(cij.Data, tmp.Data, T(t))
 }
 
-// UpdateWeights implements Backend.
-func (*Naive) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+// logT is the precision-matched natural log: float64 goes through math.Log,
+// float32 through the reduced-precision tensor.Log32 — the transcendental
+// substitution that makes the float32 UpdateWeights kernel cheap
+// (DESIGN.md §9). The unsafe.Sizeof branch is a per-instantiation compile-
+// time constant, so each stenciled shape keeps only its own log and the
+// dispatch costs nothing per element (an any-based type switch here costs
+// more than the log itself).
+func logT[T tensor.Float](x T) T {
+	if unsafe.Sizeof(x) == 4 {
+		return T(tensor.Log32(float32(x)))
+	}
+	return T(math.Log(float64(x)))
+}
+
+// UpdateWeights implements Kernels.
+func (*Naive[T]) UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
 	mask []bool, fi, mi, h, m int, eps float64) {
 	updateWeightsRange(w, ci, cj, cij, mask, fi, mi, h, m, eps, 0, w.Rows)
 }
@@ -140,7 +156,7 @@ func (*Naive) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matr
 // Row i of w corresponds to input unit i, living in input hypercolumn
 // i/mi. Column j corresponds to hidden unit j in hypercolumn j/m. The mask,
 // when present, gates (input hypercolumn × hidden hypercolumn) blocks.
-func updateWeightsRange(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+func updateWeightsRange[T tensor.Float](w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
 	mask []bool, fi, mi, h, m int, eps float64, r0, r1 int) {
 	if w.Rows != cij.Rows || w.Cols != cij.Cols {
 		panic("backend: UpdateWeights shape mismatch")
@@ -151,14 +167,15 @@ func updateWeightsRange(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
 	if mask != nil && (len(mask) != fi*h || fi*mi != w.Rows || h*m != w.Cols) {
 		panic("backend: UpdateWeights mask geometry mismatch")
 	}
-	eps2 := eps * eps
+	epsT := T(eps)
+	eps2 := epsT * epsT
 	// Precompute log(max(cj,eps)) once per column; it is shared by all rows.
-	logcj := make([]float64, len(cj))
+	logcj := make([]T, len(cj))
 	for j, v := range cj {
-		logcj[j] = math.Log(math.Max(v, eps))
+		logcj[j] = logT(max(v, epsT))
 	}
 	for i := r0; i < r1; i++ {
-		logci := math.Log(math.Max(ci[i], eps))
+		logci := logT(max(ci[i], epsT))
 		crow := cij.Row(i)
 		wrow := w.Row(i)
 		var maskRow []bool
@@ -170,21 +187,22 @@ func updateWeightsRange(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
 				wrow[j] = 0
 				continue
 			}
-			wrow[j] = math.Log(math.Max(crow[j], eps2)) - logci - logcj[j]
+			wrow[j] = logT(max(crow[j], eps2)) - logci - logcj[j]
 		}
 	}
 }
 
-// UpdateBias implements Backend.
-func (*Naive) UpdateBias(bias, kbi, cj []float64, eps float64) {
+// UpdateBias implements Kernels.
+func (*Naive[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	updateBias(bias, kbi, cj, eps)
 }
 
-func updateBias(bias, kbi, cj []float64, eps float64) {
+func updateBias[T tensor.Float](bias, kbi, cj []T, eps float64) {
 	if len(bias) != len(cj) || len(kbi) != len(cj) {
 		panic("backend: UpdateBias length mismatch")
 	}
+	epsT := T(eps)
 	for j := range bias {
-		bias[j] = kbi[j] * math.Log(math.Max(cj[j], eps))
+		bias[j] = kbi[j] * logT(max(cj[j], epsT))
 	}
 }

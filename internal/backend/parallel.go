@@ -9,37 +9,42 @@ import (
 
 func init() {
 	Register("parallel", func(workers int) Backend { return NewParallel(workers) })
+	Register32("parallel", func(workers int) Backend32 { return NewParallelOf[float32](workers) })
 }
 
 // Parallel is the goroutine worker-team backend — the Go analogue of
 // StreamBrain's OpenMP+SIMD CPU backend. Kernels are cache-blocked and
 // sharded across a fixed worker count; inner loops are unit-stride and
-// unrolled so the compiler can vectorize them.
-type Parallel struct {
+// dispatch to the AVX2+FMA microkernels where available, so the float32
+// instantiation processes twice the lanes per instruction.
+type Parallel[T tensor.Float] struct {
 	workers int
 	block   int
 }
 
-// NewParallel returns a Parallel backend with the given team size.
+// NewParallel returns the float64 Parallel backend with the given team size.
 // workers <= 0 selects GOMAXPROCS.
-func NewParallel(workers int) *Parallel {
+func NewParallel(workers int) *Parallel[float64] { return NewParallelOf[float64](workers) }
+
+// NewParallelOf returns a Parallel backend of the given precision.
+func NewParallelOf[T tensor.Float](workers int) *Parallel[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Parallel{workers: workers, block: tensor.DefaultBlock}
+	return &Parallel[T]{workers: workers, block: tensor.DefaultBlock}
 }
 
 // SetBlock overrides the GEMM cache-block edge (for the blocking ablation).
-func (p *Parallel) SetBlock(block int) { p.block = block }
+func (p *Parallel[T]) SetBlock(block int) { p.block = block }
 
-// Name implements Backend.
-func (p *Parallel) Name() string { return "parallel" }
+// Name implements Kernels.
+func (p *Parallel[T]) Name() string { return "parallel" }
 
-// Workers implements Backend.
-func (p *Parallel) Workers() int { return p.workers }
+// Workers implements Kernels.
+func (p *Parallel[T]) Workers() int { return p.workers }
 
 // parallelFor runs fn over [0,n) split into contiguous chunks, one per worker.
-func (p *Parallel) parallelFor(n int, fn func(lo, hi int)) {
+func (p *Parallel[T]) parallelFor(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -71,54 +76,54 @@ func (p *Parallel) parallelFor(n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MatMul implements Backend.
-func (p *Parallel) MatMul(dst, a, b *tensor.Matrix) {
+// MatMul implements Kernels.
+func (p *Parallel[T]) MatMul(dst, a, b *tensor.Dense[T]) {
 	tensor.MatMulParallel(dst, a, b, p.block, p.workers)
 }
 
-// MatMulATB implements Backend.
-func (p *Parallel) MatMulATB(dst, a, b *tensor.Matrix) {
+// MatMulATB implements Kernels.
+func (p *Parallel[T]) MatMulATB(dst, a, b *tensor.Dense[T]) {
 	tensor.MatMulATBParallel(dst, a, b, p.workers)
 }
 
-// OneHotMatMul implements Backend.
-func (p *Parallel) OneHotMatMul(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix) {
+// OneHotMatMul implements Kernels.
+func (p *Parallel[T]) OneHotMatMul(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T]) {
 	tensor.OneHotMatMulParallel(dst, idx, w, p.workers)
 }
 
-// AddBias implements Backend.
-func (p *Parallel) AddBias(m *tensor.Matrix, bias []float64) {
+// AddBias implements Kernels.
+func (p *Parallel[T]) AddBias(m *tensor.Dense[T], bias []T) {
 	p.parallelFor(m.Rows, func(lo, hi int) { addBiasRange(m, bias, lo, hi) })
 }
 
-// SoftmaxGroups implements Backend.
-func (p *Parallel) SoftmaxGroups(m *tensor.Matrix, groups, width int, temperature float64) {
+// SoftmaxGroups implements Kernels.
+func (p *Parallel[T]) SoftmaxGroups(m *tensor.Dense[T], groups, width int, temperature float64) {
 	tensor.SoftmaxGroupsParallel(m, groups, width, temperature, p.workers)
 }
 
-// Lerp implements Backend.
-func (p *Parallel) Lerp(dst, src []float64, t float64) {
-	tensor.LerpParallel(dst, src, t, p.workers)
+// Lerp implements Kernels.
+func (p *Parallel[T]) Lerp(dst, src []T, t float64) {
+	tensor.LerpParallel(dst, src, T(t), p.workers)
 }
 
-// LerpMatrix implements Backend.
-func (p *Parallel) LerpMatrix(dst, src *tensor.Matrix, t float64) {
+// LerpMatrix implements Kernels.
+func (p *Parallel[T]) LerpMatrix(dst, src *tensor.Dense[T], t float64) {
 	if dst.Rows != src.Rows || dst.Cols != src.Cols {
 		panic("backend: LerpMatrix shape mismatch")
 	}
-	tensor.LerpParallel(dst.Data, src.Data, t, p.workers)
+	tensor.LerpParallel(dst.Data, src.Data, T(t), p.workers)
 }
 
-// OneHotMeanLerp implements Backend. The Ci trace is short (total input
+// OneHotMeanLerp implements Kernels. The Ci trace is short (total input
 // units); sharding it would cost more than it saves, so it stays serial.
-func (p *Parallel) OneHotMeanLerp(ci []float64, idx [][]int32, t float64) {
+func (p *Parallel[T]) OneHotMeanLerp(ci []T, idx [][]int32, t float64) {
 	oneHotMeanLerp(ci, idx, t)
 }
 
-// OneHotOuterLerp implements Backend. The Cij trace is the largest state in
+// OneHotOuterLerp implements Kernels. The Cij trace is the largest state in
 // the model (inputs × hidden units); it is sharded by trace row band so each
 // worker owns a disjoint slice and no locking is needed.
-func (p *Parallel) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tensor.Matrix, t float64) {
+func (p *Parallel[T]) OneHotOuterLerp(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T], t float64) {
 	if len(idx) == 0 {
 		return
 	}
@@ -127,22 +132,22 @@ func (p *Parallel) OneHotOuterLerp(cij *tensor.Matrix, idx [][]int32, act *tenso
 	})
 }
 
-// OuterLerp implements Backend.
-func (p *Parallel) OuterLerp(cij *tensor.Matrix, a, b *tensor.Matrix, t float64) {
-	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Matrix) {
+// OuterLerp implements Kernels.
+func (p *Parallel[T]) OuterLerp(cij *tensor.Dense[T], a, b *tensor.Dense[T], t float64) {
+	outerLerp(cij, a, b, t, func(dst, x, y *tensor.Dense[T]) {
 		tensor.MatMulATBParallel(dst, x, y, p.workers)
 	})
 }
 
-// UpdateWeights implements Backend.
-func (p *Parallel) UpdateWeights(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+// UpdateWeights implements Kernels.
+func (p *Parallel[T]) UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
 	mask []bool, fi, mi, h, m int, eps float64) {
 	p.parallelFor(w.Rows, func(lo, hi int) {
 		updateWeightsRange(w, ci, cj, cij, mask, fi, mi, h, m, eps, lo, hi)
 	})
 }
 
-// UpdateBias implements Backend.
-func (p *Parallel) UpdateBias(bias, kbi, cj []float64, eps float64) {
+// UpdateBias implements Kernels.
+func (p *Parallel[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	updateBias(bias, kbi, cj, eps)
 }

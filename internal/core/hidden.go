@@ -17,6 +17,11 @@ import (
 type HiddenLayer struct {
 	be backend.Backend
 
+	// be32 is the float32 kernel set, non-nil only when Params.Precision
+	// selects the reduced-precision compute path (DESIGN.md §9). Forward
+	// passes then run at half width while every trace below stays float64.
+	be32 backend.Backend32
+
 	// Input geometry: Fi input hypercolumns of Mi units each.
 	Fi, Mi int
 	// Hidden geometry: H HCUs of M MCUs each.
@@ -26,6 +31,13 @@ type HiddenLayer struct {
 	W    *tensor.Matrix // (Fi·Mi)×(H·M) log-odds weights, mask applied
 	Bias []float64      // H·M
 	Kbi  []float64      // homeostatic bias gain per unit
+
+	// w32/bias32 are the float32 images of W and Bias, rebuilt lazily (see
+	// sync32) after any trace update marks them stale. They exist only on
+	// the float32 path.
+	w32      *tensor.Matrix32
+	bias32   []float32
+	w32stale bool
 
 	// Probability traces. Cij is kept dense — silent connections keep
 	// learning statistics even while gated out of the support, which is what
@@ -52,6 +64,7 @@ type HiddenLayer struct {
 
 	// scratch reused across batches to keep the hot loop allocation-free.
 	pool    *tensor.Pool
+	pool32  *tensor.PoolOf[float32]
 	meanAct []float64
 }
 
@@ -78,6 +91,30 @@ func NewHiddenLayer(be backend.Backend, fi, mi int, p Params, rng *rand.Rand) *H
 		rng:     rng,
 		pool:    tensor.NewPool(),
 		meanAct: make([]float64, units),
+	}
+	if p.Precision.Is32() {
+		// A backend that models shared device state (gpusim) hands out its
+		// own float32 companion so both precisions account against one
+		// ledger; everything else resolves through the registry.
+		if prov, ok := be.(interface{ Kernels32() backend.Backend32 }); ok {
+			l.be32 = prov.Kernels32()
+		} else {
+			be32, err := backend.New32(be.Name(), be.Workers())
+			if err != nil {
+				panic(fmt.Sprintf("core: Precision %q: %v", p.Precision, err))
+			}
+			l.be32 = be32
+		}
+		l.w32 = tensor.NewMatrix32(in, units)
+		l.bias32 = make([]float32, units)
+		l.pool32 = tensor.NewPoolOf[float32]()
+		l.w32stale = true
+		// The float32 parameter images are long-lived model state: pin them
+		// on offload simulators, mirroring the float64 bench convention of
+		// device-resident derived parameters.
+		if pin, ok := l.be32.(interface{ MakeResident(...[]float32) }); ok {
+			pin.MakeResident(l.w32.Data, l.bias32)
+		}
 	}
 	// Priors: uniform within each hypercolumn. The joint trace gets a small
 	// multiplicative jitter so MCUs inside an HCU break symmetry; without it
@@ -172,28 +209,92 @@ func (l *HiddenLayer) Units() int { return l.H * l.M }
 func (l *HiddenLayer) Inputs() int { return l.Fi * l.Mi }
 
 // refreshParameters recomputes W and Bias from the traces; called after
-// every trace update and after every mask change.
+// every trace update and after every mask change. On the float32 path the
+// down-cast images go stale and are rebuilt lazily by sync32.
 func (l *HiddenLayer) refreshParameters() {
 	l.be.UpdateWeights(l.W, l.Ci, l.Cj, l.Cij, l.Mask, l.Fi, l.Mi, l.H, l.M, l.p.Eps)
 	l.be.UpdateBias(l.Bias, l.Kbi, l.Cj, l.p.Eps)
+	l.w32stale = true
+}
+
+// Precision32 reports whether this layer runs forward passes on the float32
+// kernel set.
+func (l *HiddenLayer) Precision32() bool { return l.be32 != nil }
+
+// sync32 refreshes the float32 parameter images if a trace update made them
+// stale. Single-goroutine like every training-path method. The recast
+// happens on the host, so offload simulators are told to charge the
+// re-upload of the (still pinned) device images.
+func (l *HiddenLayer) sync32() {
+	if !l.w32stale {
+		return
+	}
+	tensor.CastInto(l.w32, l.W)
+	tensor.CastSlice(l.bias32, l.Bias)
+	l.w32stale = false
+	if ch, ok := l.be32.(interface{ ChargeUpload(...[]float32) }); ok {
+		ch.ChargeUpload(l.w32.Data, l.bias32)
+	}
 }
 
 // Forward computes the hidden activation of a one-hot batch into out
 // (batch × H·M): masked support plus bias, then per-HCU softmax. Forward is
 // deterministic; the training-only support noise lives in forwardNoisy.
+// On the float32 path the support, bias add and softmax run on the float32
+// kernel set and only the finished activations are up-cast.
 func (l *HiddenLayer) Forward(idx [][]int32, out *tensor.Matrix) {
 	if out.Rows != len(idx) || out.Cols != l.Units() {
 		panic("core: Forward output shape mismatch")
+	}
+	if l.be32 != nil {
+		act32 := l.pool32.Get(len(idx), l.Units())
+		l.Forward32(idx, act32)
+		tensor.CastInto(out, act32)
+		l.pool32.Put(act32)
+		return
 	}
 	l.be.OneHotMatMul(out, idx, l.W)
 	l.be.AddBias(out, l.Bias)
 	l.be.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
 }
 
+// Forward32 is the reduced-precision forward pass, writing float32
+// activations directly (no up-cast). It panics unless the layer was built
+// with Params.Precision = Float32.
+func (l *HiddenLayer) Forward32(idx [][]int32, out *tensor.Matrix32) {
+	if l.be32 == nil {
+		panic("core: Forward32 on a float64-precision layer")
+	}
+	if out.Rows != len(idx) || out.Cols != l.Units() {
+		panic("core: Forward32 output shape mismatch")
+	}
+	l.sync32()
+	l.be32.OneHotMatMul(out, idx, l.w32)
+	l.be32.AddBias(out, l.bias32)
+	l.be32.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
+}
+
 // forwardNoisy is Forward plus the annealed symmetry-breaking support noise.
+// The float32 path injects the noise at float32 before its softmax, keeping
+// the whole support computation at reduced precision.
 func (l *HiddenLayer) forwardNoisy(idx [][]int32, out *tensor.Matrix) {
 	if out.Rows != len(idx) || out.Cols != l.Units() {
 		panic("core: forwardNoisy output shape mismatch")
+	}
+	if l.be32 != nil {
+		act32 := l.pool32.Get(len(idx), l.Units())
+		l.sync32()
+		l.be32.OneHotMatMul(act32, idx, l.w32)
+		l.be32.AddBias(act32, l.bias32)
+		if l.noiseStd > 0 {
+			for i := range act32.Data {
+				act32.Data[i] += float32(l.noiseStd * l.rng.NormFloat64())
+			}
+		}
+		l.be32.SoftmaxGroups(act32, l.H, l.M, l.p.Temperature)
+		tensor.CastInto(out, act32)
+		l.pool32.Put(act32)
+		return
 	}
 	l.be.OneHotMatMul(out, idx, l.W)
 	l.be.AddBias(out, l.Bias)

@@ -25,6 +25,40 @@ package core
 
 import "fmt"
 
+// Precision selects the element width of the compute path (DESIGN.md §9).
+// Traces — the learning accumulators — always stay float64, exactly as
+// StreamBrain's reduced-precision explorations keep accumulation wide; the
+// precision choice governs forward passes and the derived parameters
+// (weights, biases) they read.
+type Precision string
+
+const (
+	// Float64 is the default full-precision path.
+	Float64 Precision = "float64"
+	// Float32 runs forward passes on the float32 kernel set: weights and
+	// biases are down-cast after every trace update and supports, softmax
+	// and scores are computed at half width (and, on amd64, twice the SIMD
+	// lanes). It reproduces the paper's reduced-precision training scenario
+	// (bfloat16/posit, Svedin et al. 2021) in CI-runnable form.
+	Float32 Precision = "float32"
+)
+
+// Valid reports whether p names a supported precision ("" = Float64).
+func (p Precision) Valid() bool {
+	return p == "" || p == Float64 || p == Float32
+}
+
+// Is32 reports whether the reduced-precision compute path is selected.
+func (p Precision) Is32() bool { return p == Float32 }
+
+// String implements fmt.Stringer, normalizing "" to "float64".
+func (p Precision) String() string {
+	if p == "" {
+		return string(Float64)
+	}
+	return string(p)
+}
+
 // Params collects every BCPNN hyperparameter. The paper stresses (§IV) that
 // BCPNN exposes more use-case-dependent hyperparameters than backprop
 // networks; the hypersearch package exists to tune these.
@@ -72,6 +106,9 @@ type Params struct {
 	SupervisedEpochs   int
 	// Seed drives every random choice (init, shuffling, mask layout).
 	Seed int64
+	// Precision selects the forward-compute element width ("" = float64).
+	// See the Precision type for what moves to float32 and what stays wide.
+	Precision Precision
 }
 
 // DefaultParams returns the hyperparameter set used as the starting point of
@@ -119,6 +156,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: BatchSize = %d, need >= 1", p.BatchSize)
 	case p.UnsupervisedEpochs < 0 || p.SupervisedEpochs < 0:
 		return fmt.Errorf("core: negative epoch count")
+	case !p.Precision.Valid():
+		return fmt.Errorf("core: Precision = %q, need %q or %q", p.Precision, Float64, Float32)
 	}
 	return nil
 }

@@ -106,6 +106,14 @@ func Load(r io.Reader, be backend.Backend) (*Network, error) {
 	if err := st.Params.Validate(); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
+	if st.Params.Precision.Is32() {
+		// The model wants the reduced-precision forward path; fail with a
+		// useful error here rather than letting NewNetwork panic on a
+		// backend (e.g. fpgasim) that has no float32 kernel set.
+		if _, err := backend.New32(be.Name(), be.Workers()); err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+	}
 	in := st.Fi * st.Mi
 	units := st.Params.HCUs * st.Params.MCUs
 	if len(st.HiddenCi) != in || len(st.HiddenCj) != units ||

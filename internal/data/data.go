@@ -134,10 +134,53 @@ func shuffleInts(xs []int, rng *rand.Rand) {
 // hypercolumn per feature — the representation the BCPNN layer consumes.
 type Encoder struct {
 	Bins int
-	Cuts [][]float64 // per-feature ascending bin boundaries, len Bins-1 each
+	// Cuts holds per-feature strictly increasing bin boundaries, at most
+	// Bins-1 each. Duplicate quantiles (constant or near-constant features)
+	// are deduplicated at fit time, so a feature may use fewer than Bins
+	// bins; a fully constant feature has no cuts and maps everything to
+	// bin 0 deterministically.
+	Cuts [][]float64
 }
 
-// FitEncoder computes per-feature quantile boundaries from d.
+// dedupeCuts collapses degenerate quantile boundaries to a strictly
+// increasing sequence of cuts that each separate at least one pair of
+// values. Raw quantiles of a constant (or near-constant) feature repeat the
+// same value, which previously wasted every bin below the duplicate run on
+// dead units — and let a streaming Refit from a collapsed reservoir silently
+// kill a whole hypercolumn. Rules:
+//
+//   - cuts at or below the column minimum are dropped (no value can fall
+//     below them, so they would only orphan low bins; a fully constant
+//     feature keeps zero cuts and deterministically maps to bin 0);
+//   - duplicates are collapsed to their first occurrence;
+//   - NaN boundaries (possible when a refit sample contains NaNs) are
+//     dropped because a NaN cut makes binary search behavior undefined.
+func dedupeCuts(cuts []float64, min float64) []float64 {
+	out := cuts[:0]
+	for _, c := range cuts {
+		if math.IsNaN(c) || c <= min {
+			continue
+		}
+		if len(out) == 0 || c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// colMin returns the smallest non-NaN value of xs (+Inf when none exists).
+func colMin(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, v := range xs {
+		if !math.IsNaN(v) && v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// FitEncoder computes per-feature quantile boundaries from d, deduplicating
+// boundaries so every retained cut separates at least one pair of values.
 func FitEncoder(d *Dataset, bins int) *Encoder {
 	if bins < 2 {
 		panic("data: FitEncoder needs bins >= 2")
@@ -148,7 +191,7 @@ func FitEncoder(d *Dataset, bins int) *Encoder {
 		for r := 0; r < d.Len(); r++ {
 			col[r] = d.X.At(r, f)
 		}
-		enc.Cuts[f] = metrics.Quantiles(col, bins)
+		enc.Cuts[f] = dedupeCuts(metrics.Quantiles(col, bins), colMin(col))
 	}
 	return enc
 }

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -298,5 +299,129 @@ func TestLabelsOneHot(t *testing.T) {
 	want := tensor.FromSlice(3, 3, []float64{0, 1, 0, 1, 0, 0, 0, 0, 1})
 	if !m.Equal(want, 0) {
 		t.Fatalf("one-hot mismatch: %v", m)
+	}
+}
+
+// TestFitEncoderDedupesConstantColumn is the regression test for degenerate
+// quantile encoding: a constant feature used to yield Bins-1 identical cuts,
+// mapping every value past the duplicate run (bin Bins-1) and leaving the
+// rest of the hypercolumn permanently dead. Deduped fits give the constant
+// feature zero cuts and a deterministic single bin 0.
+func TestFitEncoderDedupesConstantColumn(t *testing.T) {
+	const n = 200
+	x := make([]float64, 2*n)
+	for r := 0; r < n; r++ {
+		x[2*r] = 3.5               // constant feature
+		x[2*r+1] = float64(r % 17) // normal feature
+	}
+	d := &Dataset{X: tensor.FromSlice(n, 2, x), Y: make([]int, n), Classes: 2}
+	for i := range d.Y {
+		d.Y[i] = i % 2
+	}
+	enc := FitEncoder(d, 10)
+	if len(enc.Cuts[0]) != 0 {
+		t.Fatalf("constant feature kept %d cuts, want 0", len(enc.Cuts[0]))
+	}
+	for f, cuts := range enc.Cuts {
+		for k := 1; k < len(cuts); k++ {
+			if cuts[k] <= cuts[k-1] {
+				t.Fatalf("feature %d cuts not strictly increasing: %v", f, cuts)
+			}
+		}
+	}
+	e := enc.Transform(d)
+	for s := range e.Idx {
+		if e.Idx[s][0] != 0 {
+			t.Fatalf("constant feature mapped sample %d to unit %d, want hypercolumn-local bin 0",
+				s, e.Idx[s][0])
+		}
+		if b := int(e.Idx[s][1]) - enc.Bins; b < 0 || b >= enc.Bins {
+			t.Fatalf("normal feature bin %d out of range", b)
+		}
+	}
+}
+
+// TestNearConstantColumnKeepsDistinctCuts: a 99%-one-value feature must not
+// waste bins on duplicate boundaries — the distinct tail values stay
+// distinguishable from the mass point.
+func TestNearConstantColumnKeepsDistinctCuts(t *testing.T) {
+	const n = 300
+	x := make([]float64, n)
+	for r := 0; r < n; r++ {
+		if r%100 == 0 {
+			x[r] = float64(1 + r/100) // a few distinct outliers
+		}
+	}
+	d := &Dataset{X: tensor.FromSlice(n, 1, x), Y: make([]int, n), Classes: 2}
+	for i := range d.Y {
+		d.Y[i] = i % 2
+	}
+	enc := FitEncoder(d, 10)
+	cuts := enc.Cuts[0]
+	for k := 1; k < len(cuts); k++ {
+		if cuts[k] <= cuts[k-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	e := enc.Transform(d)
+	// The mass point must map to bin 0, outliers to higher bins.
+	if e.Idx[0][0] != 0 {
+		t.Fatalf("mass value mapped to bin %d, want 0", e.Idx[0][0])
+	}
+}
+
+// TestRefitFromConstantReservoir: a streaming Refit whose reservoir
+// collapsed to one value must produce a usable (single-bin) encoder rather
+// than a duplicate-cut one, and keep TransformRow bins in range.
+func TestRefitFromConstantReservoir(t *testing.T) {
+	rows := [][]float64{{1.0, 2.0}, {1.5, 2.0}, {0.5, 2.0}, {2.5, 2.0}}
+	enc := FitEncoderRows(rows, 4)
+	constant := make([][]float64, 32)
+	for i := range constant {
+		constant[i] = []float64{7.0, 7.0}
+	}
+	if err := enc.Refit(constant); err != nil {
+		t.Fatalf("refit: %v", err)
+	}
+	for f, cuts := range enc.Cuts {
+		if len(cuts) != 0 {
+			t.Fatalf("feature %d kept %d duplicate cuts after constant refit", f, len(cuts))
+		}
+	}
+	out, err := enc.TransformRow(nil, []float64{7.0, 3.0})
+	if err != nil {
+		t.Fatalf("transform after refit: %v", err)
+	}
+	for f, u := range out {
+		if b := int(u) - f*enc.Bins; b < 0 || b >= enc.Bins {
+			t.Fatalf("bin %d out of range after refit", b)
+		}
+	}
+}
+
+// TestDedupedEncoderRoundTrips: save/load must preserve deduped (short or
+// empty) cut lists exactly.
+func TestDedupedEncoderRoundTrips(t *testing.T) {
+	const n = 50
+	x := make([]float64, 2*n)
+	for r := 0; r < n; r++ {
+		x[2*r] = 1 // constant
+		x[2*r+1] = float64(r)
+	}
+	d := &Dataset{X: tensor.FromSlice(n, 2, x), Y: make([]int, n), Classes: 2}
+	for i := range d.Y {
+		d.Y[i] = i % 2
+	}
+	enc := FitEncoder(d, 6)
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadEncoder(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(loaded.Cuts[0]) != 0 || len(loaded.Cuts[1]) != len(enc.Cuts[1]) {
+		t.Fatalf("cuts changed across round trip: %v vs %v", loaded.Cuts, enc.Cuts)
 	}
 }

@@ -49,9 +49,24 @@ func LoadEncoder(r io.Reader) (*Encoder, error) {
 		return nil, fmt.Errorf("data: load encoder: empty or degenerate state")
 	}
 	for f, cuts := range st.Cuts {
-		if len(cuts) != st.Bins-1 {
-			return nil, fmt.Errorf("data: load encoder: feature %d has %d cuts, want %d",
-				f, len(cuts), st.Bins-1)
+		// Deduplicated fits store at most Bins-1 cuts (possibly zero for a
+		// constant feature); pre-dedupe states stored exactly Bins-1 and may
+		// contain duplicates — both load verbatim so a model keeps the exact
+		// binning it was trained behind. Boundaries must be ascending.
+		if len(cuts) > st.Bins-1 {
+			return nil, fmt.Errorf("data: load encoder: feature %d has %d cuts for %d bins",
+				f, len(cuts), st.Bins)
+		}
+		for k := 0; k < len(cuts); k++ {
+			// NaN cuts make BinIndex's binary search undefined, and NaN
+			// compares false with everything, so test it explicitly — an
+			// ascending-only check would wave NaN-bearing states through.
+			if cuts[k] != cuts[k] {
+				return nil, fmt.Errorf("data: load encoder: feature %d has a NaN cut", f)
+			}
+			if k > 0 && cuts[k] < cuts[k-1] {
+				return nil, fmt.Errorf("data: load encoder: feature %d cuts not ascending", f)
+			}
 		}
 	}
 	return &Encoder{Bins: st.Bins, Cuts: st.Cuts}, nil

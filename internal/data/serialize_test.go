@@ -2,6 +2,7 @@ package data
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -105,5 +106,19 @@ func TestLoadPreprocRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadStandardizer(bytes.NewBufferString("junk")); err == nil {
 		t.Fatal("garbage standardizer accepted")
+	}
+}
+
+// TestLoadEncoderRejectsNaNCuts: NaN boundaries make binary search
+// undefined, and NaN defeats an ascending-only check (every comparison is
+// false), so the loader must reject them explicitly.
+func TestLoadEncoderRejectsNaNCuts(t *testing.T) {
+	enc := &Encoder{Bins: 4, Cuts: [][]float64{{0.1, math.NaN(), 0.9}}}
+	var buf bytes.Buffer
+	if err := enc.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := LoadEncoder(&buf); err == nil {
+		t.Fatal("encoder with NaN cut loaded without error")
 	}
 }

@@ -13,7 +13,10 @@ import (
 // stopping ingest, and transform label-paired micro-batches directly.
 
 // FitEncoderRows computes per-feature quantile boundaries from raw rows —
-// the row-slice counterpart of FitEncoder. All rows must have the same width.
+// the row-slice counterpart of FitEncoder. All rows must have the same
+// width. Boundaries are deduplicated exactly as in FitEncoder, which is what
+// keeps a Refit from a low-diversity reservoir (e.g. after an input stuck at
+// one value) from collapsing a hypercolumn to duplicate cuts.
 func FitEncoderRows(rows [][]float64, bins int) *Encoder {
 	if bins < 2 {
 		panic("data: FitEncoderRows needs bins >= 2")
@@ -28,7 +31,7 @@ func FitEncoderRows(rows [][]float64, bins int) *Encoder {
 		for r, row := range rows {
 			col[r] = row[f]
 		}
-		enc.Cuts[f] = metrics.Quantiles(col, bins)
+		enc.Cuts[f] = dedupeCuts(metrics.Quantiles(col, bins), colMin(col))
 	}
 	return enc
 }

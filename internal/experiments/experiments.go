@@ -112,6 +112,13 @@ func RunTrial(cfg Config, splits *HiggsSplits, p core.Params, hybrid bool) Trial
 		net.SetReadout(sgd.NewSoftmax(net.Hidden.Units(), splits.Train.Classes,
 			sgd.DefaultConfig(), rng))
 	}
+	return measureNetwork(cfg, splits, net)
+}
+
+// measureNetwork runs both training phases plus threshold calibration on an
+// already-constructed network and evaluates it — shared by RunTrial and the
+// harnesses (E8 precision) that need a custom backend instance.
+func measureNetwork(cfg Config, splits *HiggsSplits, net *core.Network) TrialResult {
 	start := time.Now()
 	net.TrainUnsupervised(splits.Train, cfg.UnsupEpochs)
 	net.TrainSupervised(splits.Train, cfg.SupEpochs)

@@ -262,3 +262,28 @@ func TestRunLabelEfficiencyShape(t *testing.T) {
 		t.Fatal("missing header")
 	}
 }
+
+// TestPrecisionAblationTolerance is the acceptance check for the paper's
+// reduced-precision claim at test scale: the float32 compute path must land
+// within 0.005 AUC of the float64 reference on the same splits and seeds,
+// and posit16 storage quantization must stay close as well (posit8 is
+// reported but unchecked — the paper's own aggressive low end).
+func TestPrecisionAblationTolerance(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Events = 12000
+	cfg.UnsupEpochs = 3
+	cfg.SupEpochs = 3
+	res := RunPrecision(cfg, 100)
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 precision rows, got %d", len(res.Rows))
+	}
+	if ref := res.Rows[0].AUC.Mean; ref < 0.55 {
+		t.Fatalf("float64 reference failed to learn: AUC %.3f", ref)
+	}
+	if d := res.DeltaAUC("float32"); d < -0.005 || d > 0.005 {
+		t.Fatalf("float32 AUC delta %.4f outside ±0.005", d)
+	}
+	if d := res.DeltaAUC("posit16"); d < -0.02 || d > 0.02 {
+		t.Fatalf("posit16 AUC delta %.4f outside ±0.02", d)
+	}
+}

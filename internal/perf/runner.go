@@ -145,35 +145,34 @@ const (
 
 // buildKernelOp materializes the scenario's inputs and returns the
 // operation closure; setup cost stays outside the measured loop.
+//
+// An empty Precision keeps the legacy float64 behaviors (core-driven
+// trainstep included) so pre-existing baseline scenarios measure exactly
+// what they always measured. An explicit "f64"/"f32" runs the backend-level
+// kernel sequence from buildKernelOpAt, giving the two precisions of a
+// sweep pair identical work.
 func buildKernelOp(sc Scenario) (func(), error) {
+	switch sc.Precision {
+	case "f32":
+		be, err := backend.New32(sc.Backend, 0)
+		if err != nil {
+			return nil, err
+		}
+		return buildKernelOpAt[float32](sc, be)
+	case "f64":
+		be, err := backend.New(sc.Backend, 0)
+		if err != nil {
+			return nil, err
+		}
+		return buildKernelOpAt[float64](sc, be)
+	}
 	be, err := backend.New(sc.Backend, 0)
 	if err != nil {
 		return nil, err
 	}
 	switch sc.Op {
-	case "gemm":
-		n := sc.Size
-		rng := rand.New(rand.NewSource(1))
-		a, b, dst := tensor.NewMatrix(n, n), tensor.NewMatrix(n, n), tensor.NewMatrix(n, n)
-		for i := range a.Data {
-			a.Data[i] = rng.Float64()
-			b.Data[i] = rng.Float64()
-		}
-		return func() { be.MatMul(dst, a, b) }, nil
-	case "trace":
-		rng := rand.New(rand.NewSource(2))
-		cij := tensor.NewMatrix(traceGroups*traceWidth, traceUnits)
-		act := tensor.NewMatrix(traceBatch, traceUnits)
-		for i := range act.Data {
-			act.Data[i] = rng.Float64()
-		}
-		idx := make([][]int32, traceBatch)
-		for s := range idx {
-			for g := 0; g < traceGroups; g++ {
-				idx[s] = append(idx[s], int32(g*traceWidth+rng.Intn(traceWidth)))
-			}
-		}
-		return func() { be.OneHotOuterLerp(cij, idx, act, 0.01) }, nil
+	case "gemm", "trace":
+		return buildKernelOpAt[float64](sc, be)
 	case "trainstep":
 		ds := higgs.Generate(1600, 0.5, 1)
 		enc := data.FitEncoder(ds, 10)
@@ -185,6 +184,94 @@ func buildKernelOp(sc Scenario) (func(), error) {
 		layer.InitTracesFromData(encoded.Idx[:1024])
 		batch := encoded.Idx[:128]
 		return func() { layer.TrainBatch(batch) }, nil
+	}
+	return nil, fmt.Errorf("perf: unknown kernel op %q", sc.Op)
+}
+
+// trainstepGeometry pins the synthetic trainstep's input side to the Higgs
+// encoding shape (28 features × 10 quantile bins, batch 128).
+const (
+	trainstepFi    = 28
+	trainstepMi    = 10
+	trainstepBatch = 128
+)
+
+// buildKernelOpAt builds the precision-parameterized kernel closures. The
+// "trainstep" op is the full unsupervised BCPNN batch sequence expressed
+// directly in backend kernels — forward pass, the three trace updates, and
+// the parameter refresh — identical work at either element width, which is
+// what makes the f32/f64 scenario pairs a controlled precision experiment.
+func buildKernelOpAt[T tensor.Float](sc Scenario, be backend.Kernels[T]) (func(), error) {
+	switch sc.Op {
+	case "gemm":
+		n := sc.Size
+		rng := rand.New(rand.NewSource(1))
+		a, b, dst := tensor.NewDense[T](n, n), tensor.NewDense[T](n, n), tensor.NewDense[T](n, n)
+		for i := range a.Data {
+			a.Data[i] = T(rng.Float64())
+			b.Data[i] = T(rng.Float64())
+		}
+		return func() { be.MatMul(dst, a, b) }, nil
+	case "trace":
+		rng := rand.New(rand.NewSource(2))
+		cij := tensor.NewDense[T](traceGroups*traceWidth, traceUnits)
+		act := tensor.NewDense[T](traceBatch, traceUnits)
+		for i := range act.Data {
+			act.Data[i] = T(rng.Float64())
+		}
+		idx := make([][]int32, traceBatch)
+		for s := range idx {
+			for g := 0; g < traceGroups; g++ {
+				idx[s] = append(idx[s], int32(g*traceWidth+rng.Intn(traceWidth)))
+			}
+		}
+		return func() { be.OneHotOuterLerp(cij, idx, act, 0.01) }, nil
+	case "trainstep":
+		rng := rand.New(rand.NewSource(3))
+		mcus := sc.MCUs
+		if mcus <= 0 {
+			mcus = 100
+		}
+		in, units := trainstepFi*trainstepMi, mcus
+		w := tensor.NewDense[T](in, units)
+		cij := tensor.NewDense[T](in, units)
+		ci := make([]T, in)
+		cj := make([]T, units)
+		bias := make([]T, units)
+		kbi := make([]T, units)
+		meanAct := make([]T, units)
+		for i := range ci {
+			ci[i] = T(rng.Float64()*0.05 + 0.01)
+		}
+		for j := range cj {
+			cj[j] = T(rng.Float64()*0.05 + 0.01)
+			kbi[j] = 1
+		}
+		for i := range cij.Data {
+			cij.Data[i] = T(rng.Float64()*0.01 + 1e-4)
+		}
+		idx := make([][]int32, trainstepBatch)
+		for s := range idx {
+			for f := 0; f < trainstepFi; f++ {
+				idx[s] = append(idx[s], int32(f*trainstepMi+rng.Intn(trainstepMi)))
+			}
+		}
+		act := tensor.NewDense[T](trainstepBatch, units)
+		const t = 0.012
+		return func() {
+			// Forward: support, bias, per-HCU softmax (single hypercolumn).
+			be.OneHotMatMul(act, idx, w)
+			be.AddBias(act, bias)
+			be.SoftmaxGroups(act, 1, units, 1)
+			// Trace updates.
+			be.OneHotMeanLerp(ci, idx, t)
+			tensor.ColMeans(meanAct, act)
+			be.Lerp(cj, meanAct, t)
+			be.OneHotOuterLerp(cij, idx, act, t)
+			// Parameter refresh.
+			be.UpdateWeights(w, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+			be.UpdateBias(bias, kbi, cj, 1e-9)
+		}, nil
 	}
 	return nil, fmt.Errorf("perf: unknown kernel op %q", sc.Op)
 }

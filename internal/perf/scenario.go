@@ -44,6 +44,15 @@ type Scenario struct {
 	Size    int    `json:"size,omitempty"`
 	Iters   int    `json:"iters,omitempty"`
 
+	// Precision selects the kernel element width for kernel scenarios:
+	// "" or "f64" runs the float64 kernel set, "f32" the float32 one.
+	// An explicit value ("f64"/"f32") runs the backend-level synthetic
+	// kernel sequence for gemm/trace/trainstep, so the two precisions of a
+	// scenario pair do identical work and their throughput ratio isolates
+	// the element width — the paper's reduced-precision claim as a number.
+	// ("" keeps the legacy core-driven trainstep for baseline continuity.)
+	Precision string `json:"precision,omitempty"`
+
 	// Serve scenarios: Concurrency workers (closed loop), Requests total
 	// HTTP requests, BatchSize events per request, TargetRPS the open-loop
 	// dispatch rate.
@@ -83,6 +92,11 @@ func (s Scenario) Validate() error {
 		}
 		if s.Iters <= 0 {
 			return fmt.Errorf("perf: %s: kernel needs Iters > 0", s.Name)
+		}
+		switch s.Precision {
+		case "", "f64", "f32":
+		default:
+			return fmt.Errorf("perf: %s: unknown precision %q (want f64 or f32)", s.Name, s.Precision)
 		}
 	case KindServeClosed:
 		if s.Concurrency <= 0 || s.Requests <= 0 {
@@ -147,6 +161,10 @@ var suites = map[string][]Scenario{
 		{Name: "trace/naive", Kind: KindKernel, Op: "trace", Backend: "naive", Iters: 40},
 		{Name: "trace/parallel", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40},
 		{Name: "trainstep/parallel", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 40, MCUs: 200},
+		// Reduced-precision twins of the hot kernels, so the CI gate
+		// (tools/benchgate) protects the float32 path too.
+		{Name: "gemm/parallel/256/f32", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 256, Iters: 30, Precision: "f32"},
+		{Name: "trainstep/parallel/f32", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 40, MCUs: 200, Precision: "f32"},
 		{Name: "serve/closed/c8b4", Kind: KindServeClosed, Concurrency: 8, BatchSize: 4, Requests: 400, MCUs: 50},
 		{Name: "serve/open/200rps", Kind: KindServeOpen, TargetRPS: 200, BatchSize: 1, Requests: 400, MCUs: 50},
 		// Events sized so one measurement pass spans a few hundred ms:
@@ -165,5 +183,23 @@ var suites = map[string][]Scenario{
 		{Name: "serve/closed/c32b8", Kind: KindServeClosed, Concurrency: 32, BatchSize: 8, Requests: 4000, MCUs: 300},
 		{Name: "serve/open/1000rps", Kind: KindServeOpen, TargetRPS: 1000, BatchSize: 1, Requests: 5000, MCUs: 300},
 		{Name: "stream/steady", Kind: KindStream, Warmup: 2048, Events: 8192, MCUs: 300},
+	},
+	// "kernels" is the precision sweep behind BENCH_kernels.json: every hot
+	// kernel at f64 and f32 with identical pinned work, per backend. The
+	// f32/f64 throughput ratio of a pair is the measured reduced-precision
+	// speedup (the paper's bfloat16/posit argument in CI-runnable form).
+	"kernels": {
+		{Name: "gemm/naive/256/f64", Kind: KindKernel, Op: "gemm", Backend: "naive", Size: 256, Iters: 20, Precision: "f64"},
+		{Name: "gemm/naive/256/f32", Kind: KindKernel, Op: "gemm", Backend: "naive", Size: 256, Iters: 20, Precision: "f32"},
+		{Name: "gemm/parallel/256/f64", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 256, Iters: 30, Precision: "f64"},
+		{Name: "gemm/parallel/256/f32", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 256, Iters: 30, Precision: "f32"},
+		{Name: "gemm/parallel/512/f64", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 512, Iters: 10, Precision: "f64"},
+		{Name: "gemm/parallel/512/f32", Kind: KindKernel, Op: "gemm", Backend: "parallel", Size: 512, Iters: 10, Precision: "f32"},
+		{Name: "gemm/gpusim/256/f64", Kind: KindKernel, Op: "gemm", Backend: "gpusim", Size: 256, Iters: 20, Precision: "f64"},
+		{Name: "gemm/gpusim/256/f32", Kind: KindKernel, Op: "gemm", Backend: "gpusim", Size: 256, Iters: 20, Precision: "f32"},
+		{Name: "trace/parallel/f64", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40, Precision: "f64"},
+		{Name: "trace/parallel/f32", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40, Precision: "f32"},
+		{Name: "trainstep/parallel/f64", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64"},
+		{Name: "trainstep/parallel/f32", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32"},
 	},
 }

@@ -226,3 +226,47 @@ func TestBatcherManyWorkersThroughput(t *testing.T) {
 		t.Log("no coalescing occurred under load (legal but unexpected)")
 	}
 }
+
+// TestBatcherCloseRacesPredict hammers Close against a storm of concurrent
+// Predict calls (run under -race in CI): every accepted request must get a
+// real response or ErrClosed — never a hang, never a lost reply. The
+// PredictFunc sleeps briefly so Close always lands while batches are in
+// flight and the queue holds pending requests.
+func TestBatcherCloseRacesPredict(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		fn := func(w int, events [][]float64) ([]int, []float64, error) {
+			time.Sleep(200 * time.Microsecond)
+			return echoPredict(w, events)
+		}
+		b := NewBatcher(fn, BatcherConfig{
+			MaxBatch: 4, MaxWait: 100 * time.Microsecond, Workers: 2, Queue: 8,
+		})
+
+		const callers = 32
+		results := make(chan error, callers)
+		var started sync.WaitGroup
+		started.Add(callers)
+		for c := 0; c < callers; c++ {
+			go func(c int) {
+				started.Done()
+				_, _, err := b.Predict(context.Background(), []float64{float64(c)})
+				results <- err
+			}(c)
+		}
+		started.Wait()
+		// Close while callers are mid-submit and batches are mid-flight.
+		time.Sleep(time.Duration(round*150) * time.Microsecond)
+		b.Close()
+
+		for c := 0; c < callers; c++ {
+			select {
+			case err := <-results:
+				if err != nil && !errors.Is(err, ErrClosed) {
+					t.Fatalf("round %d: unexpected error %v", round, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("round %d: Predict hung across Close", round)
+			}
+		}
+	}
+}

@@ -25,9 +25,16 @@ import (
 
 // bundleMagic guards against feeding a bare network snapshot (or arbitrary
 // gob) to the bundle loader; version gates format evolution.
+//
+// Version history:
+//
+//	1 — initial envelope (backend hint, geometry, encoder+network blobs).
+//	2 — adds Precision, the compute-path element width the model was
+//	    trained for; v1 bundles load as float64.
 const (
-	bundleMagic   = "streambrain-bundle"
-	bundleVersion = 1
+	bundleMagic      = "streambrain-bundle"
+	bundleVersion    = 2
+	bundleMinVersion = 1
 )
 
 // bundleFile is the on-disk envelope: the encoder and network snapshots ride
@@ -40,6 +47,11 @@ type bundleFile struct {
 	Classes  int
 	Encoder  []byte
 	Network  []byte
+
+	// Precision (v2+) records the compute path: "" or "float64" for full
+	// precision, "float32" for the reduced-precision inference path. The
+	// serving backend must offer a matching kernel set at load time.
+	Precision string
 }
 
 // Bundle is a loaded model bundle: everything needed to score a raw event.
@@ -53,6 +65,9 @@ type Bundle struct {
 
 	// SavedBackend records the backend the bundle was saved from.
 	SavedBackend string
+
+	// Precision is the compute path the bundled model runs on.
+	Precision core.Precision
 }
 
 // SaveBundle writes the network and encoder as one self-contained bundle.
@@ -74,13 +89,14 @@ func SaveBundle(w io.Writer, net *core.Network, enc *data.Encoder) error {
 		return fmt.Errorf("serve: %w", err)
 	}
 	bf := bundleFile{
-		Magic:    bundleMagic,
-		Version:  bundleVersion,
-		Backend:  net.Backend().Name(),
-		Features: enc.Features(),
-		Classes:  net.Out.Classes(),
-		Encoder:  encBlob.Bytes(),
-		Network:  netBlob.Bytes(),
+		Magic:     bundleMagic,
+		Version:   bundleVersion,
+		Backend:   net.Backend().Name(),
+		Features:  enc.Features(),
+		Classes:   net.Out.Classes(),
+		Encoder:   encBlob.Bytes(),
+		Network:   netBlob.Bytes(),
+		Precision: net.Params().Precision.String(),
 	}
 	if err := gob.NewEncoder(w).Encode(&bf); err != nil {
 		return fmt.Errorf("serve: save bundle: %w", err)
@@ -120,8 +136,12 @@ func LoadBundle(r io.Reader, be backend.Backend) (*Bundle, error) {
 	if bf.Magic != bundleMagic {
 		return nil, fmt.Errorf("serve: load bundle: not a streambrain bundle")
 	}
-	if bf.Version != bundleVersion {
-		return nil, fmt.Errorf("serve: load bundle: version %d, want %d", bf.Version, bundleVersion)
+	if bf.Version < bundleMinVersion || bf.Version > bundleVersion {
+		return nil, fmt.Errorf("serve: load bundle: version %d, want %d..%d",
+			bf.Version, bundleMinVersion, bundleVersion)
+	}
+	if !core.Precision(bf.Precision).Valid() {
+		return nil, fmt.Errorf("serve: load bundle: unknown precision %q", bf.Precision)
 	}
 	enc, err := data.LoadEncoder(bytes.NewReader(bf.Encoder))
 	if err != nil {
@@ -130,6 +150,10 @@ func LoadBundle(r io.Reader, be backend.Backend) (*Bundle, error) {
 	net, err := core.Load(bytes.NewReader(bf.Network), be)
 	if err != nil {
 		return nil, fmt.Errorf("serve: load bundle: %w", err)
+	}
+	if got, want := net.Params().Precision.String(), core.Precision(bf.Precision).String(); got != want {
+		return nil, fmt.Errorf("serve: load bundle: envelope precision %q disagrees with model %q",
+			want, got)
 	}
 	if enc.Features() != net.Hidden.Fi || enc.Bins != net.Hidden.Mi {
 		return nil, fmt.Errorf("serve: load bundle: encoder %dx%d does not match network input %dx%d",
@@ -144,6 +168,7 @@ func LoadBundle(r io.Reader, be backend.Backend) (*Bundle, error) {
 		Features:     enc.Features(),
 		Classes:      net.Out.Classes(),
 		SavedBackend: bf.Backend,
+		Precision:    net.Params().Precision,
 	}, nil
 }
 

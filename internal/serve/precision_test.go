@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+)
+
+// trainPrecisionBundle trains a small float32-precision model end-to-end and
+// returns the network, its encoder, and raw events to score.
+func trainPrecisionBundle(t *testing.T) (*core.Network, *data.Encoder, [][]float64) {
+	t.Helper()
+	ds := higgs.Generate(1200, 0.5, 9)
+	enc := data.FitEncoder(ds, 10)
+	encoded := enc.Transform(ds)
+	p := core.DefaultParams()
+	p.MCUs = 40
+	p.UnsupervisedEpochs = 2
+	p.SupervisedEpochs = 2
+	p.Precision = core.Float32
+	net := core.NewNetwork(backend.MustNew("parallel", 2),
+		encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p)
+	net.Train(encoded)
+	events := make([][]float64, 64)
+	rng := rand.New(rand.NewSource(4))
+	for i := range events {
+		events[i] = ds.X.Row(rng.Intn(ds.Len()))
+	}
+	return net, enc, events
+}
+
+// TestFloat32BundleRoundTrip is the satellite regression test: a
+// reduced-precision model must survive bundle save/load with its compute
+// path and its scores intact.
+func TestFloat32BundleRoundTrip(t *testing.T) {
+	net, enc, events := trainPrecisionBundle(t)
+
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, net, enc); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	b, err := LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("parallel", 2))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if b.Precision != core.Float32 {
+		t.Fatalf("loaded bundle precision %q, want %q", b.Precision, core.Float32)
+	}
+	if !b.Net.Hidden.Precision32() {
+		t.Fatal("loaded bundle lost the float32 compute path")
+	}
+
+	wantPred, wantScore, err := (&Bundle{
+		Net: net, Enc: enc, Features: enc.Features(), Classes: 2,
+	}).Predict(events)
+	if err != nil {
+		t.Fatalf("predict (original): %v", err)
+	}
+	gotPred, gotScore, err := b.Predict(events)
+	if err != nil {
+		t.Fatalf("predict (loaded): %v", err)
+	}
+	for i := range wantPred {
+		if wantPred[i] != gotPred[i] {
+			t.Fatalf("prediction %d changed across bundle round trip", i)
+		}
+		if math.Abs(wantScore[i]-gotScore[i]) > 1e-9 {
+			t.Fatalf("score %d changed across bundle round trip", i)
+		}
+	}
+}
+
+// TestFloat32BundleRejectsBackendWithoutKernels checks the load error path:
+// a float32 bundle cannot be served from a backend with no float32 kernel
+// set.
+func TestFloat32BundleRejectsBackendWithoutKernels(t *testing.T) {
+	net, enc, _ := trainPrecisionBundle(t)
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, net, enc); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("fpgasim", 1)); err == nil {
+		t.Fatal("loading a float32 bundle onto fpgasim should fail")
+	}
+}
+
+// TestRegistryCarriesPrecision checks replica loads surface the bundle's
+// precision in the health/stats info.
+func TestRegistryCarriesPrecision(t *testing.T) {
+	net, enc, _ := trainPrecisionBundle(t)
+	var buf bytes.Buffer
+	if err := SaveBundle(&buf, net, enc); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Registry-level replica loads must also carry precision through.
+	reg := NewRegistry(2, NamedBackendFactory("parallel", 1))
+	if err := reg.LoadBytes(buf.Bytes(), "test", time.Now()); err != nil {
+		t.Fatalf("registry load: %v", err)
+	}
+	info := reg.Info()
+	if info == nil || info.Precision != "float32" {
+		t.Fatalf("registry info precision = %+v, want float32", info)
+	}
+}

@@ -39,6 +39,7 @@ type BundleInfo struct {
 	Features     int       `json:"features"`
 	Classes      int       `json:"classes"`
 	SavedBackend string    `json:"saved_backend"`
+	Precision    string    `json:"precision"`
 	Replicas     int       `json:"replicas"`
 }
 
@@ -151,6 +152,7 @@ func (r *Registry) Info() *BundleInfo {
 		Features:     b.Features,
 		Classes:      b.Classes,
 		SavedBackend: b.SavedBackend,
+		Precision:    b.Precision.String(),
 		Replicas:     len(set.bundles),
 	}
 }

@@ -115,6 +115,13 @@ type Stats struct {
 	StructuralRounds int64
 	// Warmed reports that the first model exists (warmup buffer trained).
 	Warmed bool
+	// WindowReady reports that the sliding window has filled at least once
+	// since warmup, i.e. WindowAccuracy and WindowAUC are measured on a full
+	// window. Until then both stay 0 — consumers (dashboards, drift alarms
+	// built on Stats) must treat them as "not yet measured", not as a
+	// regression to zero. The pipeline's own DriftDetector is gated the same
+	// way and never sees pre-warmup values.
+	WindowReady bool
 	// WindowLen, WindowAccuracy and WindowAUC describe the sliding
 	// prequential window; Threshold is the current calibrated decision cut.
 	WindowLen      int
@@ -163,6 +170,14 @@ func New(cfg Config, pub Publisher) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Params.Precision.Is32() {
+		// Fail at construction, not deep into ingest when bootstrap builds
+		// the network: the reduced-precision path needs a float32 kernel
+		// set on the chosen backend.
+		if _, err := backend.New32(cfg.Backend, cfg.Workers); err != nil {
+			return nil, fmt.Errorf("stream: Precision %q: %w", cfg.Params.Precision, err)
+		}
+	}
 	return &Pipeline{
 		cfg:   cfg,
 		pub:   pub,
@@ -174,14 +189,20 @@ func New(cfg Config, pub Publisher) (*Pipeline, error) {
 	}, nil
 }
 
-// Stats returns a snapshot of pipeline progress.
+// Stats returns a snapshot of pipeline progress. Window metrics are
+// published only once the window holds data (and flagged measured-on-a-full-
+// window via WindowReady); before that they are 0 with WindowReady false,
+// never NaN, so snapshots stay JSON-safe.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.stats
 	s.WindowLen = p.win.Len()
-	s.WindowAccuracy = p.win.Accuracy()
-	s.WindowAUC = p.win.AUC()
+	s.WindowReady = s.Warmed && p.win.Full()
+	if p.win.Len() > 0 {
+		s.WindowAccuracy = p.win.Accuracy()
+		s.WindowAUC = p.win.AUC()
+	}
 	return s
 }
 

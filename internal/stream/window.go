@@ -59,10 +59,14 @@ func (w *Window) Len() int { return w.n }
 // Full reports whether the window has reached capacity.
 func (w *Window) Full() bool { return w.n == w.cap }
 
-// Accuracy returns the windowed accuracy (0 for an empty window).
+// Accuracy returns the windowed accuracy. An empty window returns NaN —
+// the unified degenerate-window convention (AUC matches): "no data" must be
+// distinguishable from "0% correct", otherwise a consumer comparing
+// pre-warmup stats against a baseline sees a phantom total regression.
+// Callers gate on Len or Full before treating the value as a metric.
 func (w *Window) Accuracy() float64 {
 	if w.n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(w.correct) / float64(w.n)
 }
@@ -74,11 +78,15 @@ func (w *Window) snapshot() (score []float64, label []int) {
 		append([]int(nil), w.label[:w.n]...)
 }
 
-// AUC returns the windowed ROC area (0.5 for degenerate windows, matching
-// metrics.AUC's convention).
+// AUC returns the windowed ROC area. An empty window returns NaN, matching
+// Accuracy's degenerate-window convention (it used to return chance level
+// 0.5 while Accuracy returned 0 — two different "no data" encodings, one of
+// which looked like a catastrophic regression). A non-empty single-class
+// window still reports 0.5 per metrics.AUC's convention: there chance level
+// is a statement about the data, not an absence of it.
 func (w *Window) AUC() float64 {
 	if w.n == 0 {
-		return 0.5
+		return math.NaN()
 	}
 	score, label := w.snapshot()
 	return metrics.AUC(score, label)
@@ -126,6 +134,10 @@ func NewDriftDetector(drop float64, minObs int) *DriftDetector {
 }
 
 // Observe feeds one metric value and reports whether drift is signaled.
+// NaN observations (the degenerate-window convention of Accuracy/AUC) never
+// signal and never move the baseline: every comparison against NaN is false.
+// Callers should still gate on Window.Full — a NaN keeps the detector safe,
+// but it also burns one MinObs arming observation.
 func (d *DriftDetector) Observe(metric float64) bool {
 	d.obs++
 	if metric > d.best {

@@ -1,9 +1,12 @@
 package stream
 
 import (
+	"context"
 	"math"
+	"math/rand"
 	"testing"
 
+	"streambrain/internal/core"
 	"streambrain/internal/metrics"
 )
 
@@ -11,8 +14,8 @@ import (
 // hand-computed values, including ring-buffer eviction.
 func TestWindowAccuracyKnownAnswer(t *testing.T) {
 	w := NewWindow(4)
-	if got := w.Accuracy(); got != 0 {
-		t.Fatalf("empty window accuracy = %v, want 0", got)
+	if got := w.Accuracy(); !math.IsNaN(got) {
+		t.Fatalf("empty window accuracy = %v, want NaN (degenerate-window convention)", got)
 	}
 	// Results: correct, wrong, correct, correct → 3/4.
 	w.Add(1, 1, 0.9)
@@ -47,8 +50,8 @@ func TestWindowAccuracyKnownAnswer(t *testing.T) {
 // over exactly the samples the window retains.
 func TestWindowAUCMatchesMetrics(t *testing.T) {
 	w := NewWindow(8)
-	if got := w.AUC(); got != 0.5 {
-		t.Fatalf("empty window AUC = %v, want 0.5", got)
+	if got := w.AUC(); !math.IsNaN(got) {
+		t.Fatalf("empty window AUC = %v, want NaN (degenerate-window convention)", got)
 	}
 	// 12 results into a window of 8: the first 4 must be forgotten.
 	scores := []float64{0.9, 0.8, 0.1, 0.2, 0.7, 0.3, 0.6, 0.4, 0.55, 0.45, 0.65, 0.35}
@@ -129,5 +132,105 @@ func TestDriftDetectorKnownAnswer(t *testing.T) {
 	}
 	if !d.Observe(0.55) {
 		t.Fatal("did not fire at drop 0.15 from new baseline")
+	}
+}
+
+// TestDegenerateWindowConventionUnified: empty windows report NaN from both
+// metrics (previously Accuracy said 0 — indistinguishable from total
+// collapse — while AUC said chance 0.5), and feeding those NaNs to a
+// DriftDetector must neither signal drift nor poison its baseline.
+func TestDegenerateWindowConventionUnified(t *testing.T) {
+	w := NewWindow(4)
+	if !math.IsNaN(w.Accuracy()) || !math.IsNaN(w.AUC()) {
+		t.Fatalf("empty window: Accuracy=%v AUC=%v, want NaN/NaN", w.Accuracy(), w.AUC())
+	}
+	if got := w.BestThreshold(); got != 0.5 {
+		t.Fatalf("empty window BestThreshold = %v, want neutral 0.5", got)
+	}
+
+	d := NewDriftDetector(0.1, 2)
+	for i := 0; i < 5; i++ {
+		if d.Observe(w.Accuracy()) {
+			t.Fatal("NaN observation signaled drift")
+		}
+	}
+	// A real baseline arriving after the NaNs must behave normally.
+	if d.Observe(0.9) {
+		t.Fatal("baseline observation signaled drift")
+	}
+	if d.Observe(0.85) {
+		t.Fatal("within-tolerance observation signaled drift")
+	}
+	if !d.Observe(0.7) {
+		t.Fatal("0.2 drop below best did not signal drift")
+	}
+}
+
+// TestStatsGatedUntilWarmup: pipeline snapshots must not publish window
+// metrics that look like a regression before the window has data, and must
+// flag full-window measurements via WindowReady.
+func TestStatsGatedUntilWarmup(t *testing.T) {
+	params := core.DefaultParams()
+	params.MCUs = 8
+	params.ReceptiveField = 1.0
+	params.Taupdt = 0.05
+	params.BatchSize = 32
+	params.UnsupervisedEpochs = 1
+	params.SupervisedEpochs = 1
+	cfg := Config{
+		Backend: "parallel", Workers: 1, Params: params, Bins: 4,
+		Warmup: 128, Window: 64, PublishEvery: -1, StructuralEvery: 4096,
+	}
+	p, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Warmed || st.WindowReady {
+		t.Fatalf("idle pipeline claims Warmed=%v WindowReady=%v", st.Warmed, st.WindowReady)
+	}
+	if st.WindowAccuracy != 0 || st.WindowAUC != 0 {
+		t.Fatalf("idle pipeline published metrics %v/%v", st.WindowAccuracy, st.WindowAUC)
+	}
+	if math.IsNaN(st.WindowAccuracy) || math.IsNaN(st.WindowAUC) {
+		t.Fatal("Stats leaked NaN (not JSON-safe)")
+	}
+
+	// Stream separable labeled events through Run to warm up and fill the
+	// window, then the gate must open.
+	rng := rand.New(rand.NewSource(6))
+	ch := make(chan Event, 1024)
+	for i := 0; i < 1024; i++ {
+		label := i % 2
+		features := make([]float64, 4)
+		for f := range features {
+			features[f] = float64(label) + 0.25*rng.NormFloat64()
+		}
+		ch <- Event{Features: features, Label: label}
+	}
+	close(ch)
+	if err := p.Run(context.Background(), ChanSource(ch)); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if !st.Warmed || !st.WindowReady {
+		t.Fatalf("after full stream: Warmed=%v WindowReady=%v", st.Warmed, st.WindowReady)
+	}
+	if st.WindowAccuracy <= 0 || math.IsNaN(st.WindowAccuracy) {
+		t.Fatalf("ready window accuracy %v", st.WindowAccuracy)
+	}
+}
+
+// TestNewRejectsFloat32WithoutKernels: a reduced-precision config on a
+// backend with no float32 kernel set must fail at construction, not panic
+// mid-ingest when bootstrap builds the network.
+func TestNewRejectsFloat32WithoutKernels(t *testing.T) {
+	params := core.DefaultParams()
+	params.Precision = core.Float32
+	if _, err := New(Config{Backend: "fpgasim", Params: params}, nil); err == nil {
+		t.Fatal("stream.New accepted Precision=float32 on fpgasim")
+	}
+	if _, err := New(Config{Backend: "parallel", Params: params}, nil); err != nil {
+		t.Fatalf("stream.New rejected a valid float32 config: %v", err)
 	}
 }

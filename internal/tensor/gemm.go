@@ -6,11 +6,13 @@ import (
 )
 
 // DefaultBlock is the cache-block edge used by the blocked GEMM kernels.
-// 64×64 float64 tiles are 32 KiB — sized for a typical L1d cache. The block
-// size is a parameter so the blocking ablation bench can sweep it.
+// 64×64 float64 tiles are 32 KiB — sized for a typical L1d cache (float32
+// tiles are half that, which only helps). The block size is a parameter so
+// the blocking ablation bench can sweep it; it is a multiple of both SIMD
+// lane widths so blocked panels stay lane-aligned.
 const DefaultBlock = 64
 
-func checkGEMM(dst, a, b *Matrix) {
+func checkGEMM[T Float](dst, a, b *Dense[T]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: GEMM shape mismatch dst %dx%d = a %dx%d * b %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
@@ -23,7 +25,7 @@ func checkGEMM(dst, a, b *Matrix) {
 // MatMulNaive computes dst = a·b with the textbook triple loop (ikj order so
 // the inner loop is unit-stride). It is the reference every other kernel is
 // cross-checked against.
-func MatMulNaive(dst, a, b *Matrix) {
+func MatMulNaive[T Float](dst, a, b *Dense[T]) {
 	checkGEMM(dst, a, b)
 	dst.Zero()
 	n := b.Cols
@@ -45,7 +47,7 @@ func MatMulNaive(dst, a, b *Matrix) {
 // MatMulBlocked computes dst = a·b using cache blocking with the given block
 // edge. block <= 0 selects DefaultBlock. The kernel accumulates into dst
 // tiles that stay resident in L1 while streaming panels of a and b.
-func MatMulBlocked(dst, a, b *Matrix, block int) {
+func MatMulBlocked[T Float](dst, a, b *Dense[T], block int) {
 	checkGEMM(dst, a, b)
 	if block <= 0 {
 		block = DefaultBlock
@@ -55,10 +57,12 @@ func MatMulBlocked(dst, a, b *Matrix, block int) {
 }
 
 // matMulBlockedRange runs the blocked kernel over dst rows [r0, r1).
-// It is the unit of work handed to GEMM workers.
-func matMulBlockedRange(dst, a, b *Matrix, block, r0, r1 int) {
-	m, k, n := a.Rows, a.Cols, b.Cols
-	_ = m
+// It is the unit of work handed to GEMM workers. The innermost j sweep is
+// the fused two-row axpy2 microkernel, which dispatches to AVX2+FMA when
+// available — there float32 processes twice the lanes per instruction,
+// which is the entire hardware case for the reduced-precision path.
+func matMulBlockedRange[T Float](dst, a, b *Dense[T], block, r0, r1 int) {
+	k, n := a.Cols, b.Cols
 	for ii := r0; ii < r1; ii += block {
 		iMax := min(ii+block, r1)
 		for kk := 0; kk < k; kk += block {
@@ -67,7 +71,7 @@ func matMulBlockedRange(dst, a, b *Matrix, block, r0, r1 int) {
 				jMax := min(jj+block, n)
 				for i := ii; i < iMax; i++ {
 					arow := a.Data[i*k : i*k+k]
-					drow := dst.Data[i*n : i*n+n]
+					drow := dst.Data[i*n+jj : i*n+jMax]
 					// 2-way unroll over the reduction dimension keeps two
 					// independent FMA chains in flight.
 					kkk := kk
@@ -77,21 +81,17 @@ func matMulBlockedRange(dst, a, b *Matrix, block, r0, r1 int) {
 						if av0 == 0 && av1 == 0 {
 							continue
 						}
-						b0 := b.Data[kkk*n : kkk*n+n]
-						b1 := b.Data[(kkk+1)*n : (kkk+1)*n+n]
-						for j := jj; j < jMax; j++ {
-							drow[j] += av0*b0[j] + av1*b1[j]
-						}
+						b0 := b.Data[kkk*n+jj : kkk*n+jMax]
+						b1 := b.Data[(kkk+1)*n+jj : (kkk+1)*n+jMax]
+						axpy2(av0, av1, b0, b1, drow)
 					}
 					for ; kkk < kMax; kkk++ {
 						av := arow[kkk]
 						if av == 0 {
 							continue
 						}
-						brow := b.Data[kkk*n : kkk*n+n]
-						for j := jj; j < jMax; j++ {
-							drow[j] += av * brow[j]
-						}
+						brow := b.Data[kkk*n+jj : kkk*n+jMax]
+						axpyDispatch(av, brow, drow)
 					}
 				}
 			}
@@ -102,7 +102,7 @@ func matMulBlockedRange(dst, a, b *Matrix, block, r0, r1 int) {
 // MatMulParallel computes dst = a·b by splitting dst rows across `workers`
 // goroutines, each running the blocked kernel over its row band. workers <= 1
 // degrades to the serial blocked kernel.
-func MatMulParallel(dst, a, b *Matrix, block, workers int) {
+func MatMulParallel[T Float](dst, a, b *Dense[T], block, workers int) {
 	checkGEMM(dst, a, b)
 	if block <= 0 {
 		block = DefaultBlock
@@ -134,7 +134,7 @@ func MatMulParallel(dst, a, b *Matrix, block, workers int) {
 // MatMulATB computes dst = aᵀ·b without materializing the transpose.
 // a is m×r, b is m×n, dst is r×n. This is the shape of the BCPNN joint-trace
 // update E[x πᵀ] where a holds a batch of inputs and b a batch of activations.
-func MatMulATB(dst, a, b *Matrix) {
+func MatMulATB[T Float](dst, a, b *Dense[T]) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch dst %dx%d = aT %dx%d * b %dx%d",
 			dst.Rows, dst.Cols, a.Cols, a.Rows, b.Rows, b.Cols))
@@ -148,10 +148,7 @@ func MatMulATB(dst, a, b *Matrix) {
 			if av == 0 {
 				continue
 			}
-			drow := dst.Data[i*n : i*n+n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyDispatch(av, brow, dst.Data[i*n:i*n+n])
 		}
 	}
 }
@@ -159,7 +156,7 @@ func MatMulATB(dst, a, b *Matrix) {
 // MatMulATBParallel is MatMulATB with the accumulation parallelized over dst
 // rows. Each worker owns a band of dst rows (a band of a's columns), so no
 // synchronization on dst is needed; a and b are read-only.
-func MatMulATBParallel(dst, a, b *Matrix, workers int) {
+func MatMulATBParallel[T Float](dst, a, b *Dense[T], workers int) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MatMulATBParallel shape mismatch")
 	}
@@ -189,10 +186,7 @@ func MatMulATBParallel(dst, a, b *Matrix, workers int) {
 					if av == 0 {
 						continue
 					}
-					drow := dst.Data[i*n : i*n+n]
-					for j, bv := range brow {
-						drow[j] += av * bv
-					}
+					axpyDispatch(av, brow, dst.Data[i*n:i*n+n])
 				}
 			}
 		}(c0, c1)
@@ -206,7 +200,7 @@ func MatMulATBParallel(dst, a, b *Matrix, workers int) {
 // W is in×out, dst is batch×out. Exploiting the one-hot structure turns the
 // input GEMM into len(idx[s]) row gathers per sample, the optimization the
 // StreamBrain paper attributes to the quantile one-hot encoding (§V).
-func OneHotMatMul(dst *Matrix, idx [][]int32, w *Matrix) {
+func OneHotMatMul[T Float](dst *Dense[T], idx [][]int32, w *Dense[T]) {
 	if dst.Rows != len(idx) || dst.Cols != w.Cols {
 		panic(fmt.Sprintf("tensor: OneHotMatMul shape mismatch dst %dx%d, idx %d, w %dx%d",
 			dst.Rows, dst.Cols, len(idx), w.Rows, w.Cols))
@@ -218,23 +212,13 @@ func OneHotMatMul(dst *Matrix, idx [][]int32, w *Matrix) {
 			drow[i] = 0
 		}
 		for _, in := range active {
-			wrow := w.Data[int(in)*n : int(in)*n+n]
-			j := 0
-			for ; j+3 < n; j += 4 {
-				drow[j] += wrow[j]
-				drow[j+1] += wrow[j+1]
-				drow[j+2] += wrow[j+2]
-				drow[j+3] += wrow[j+3]
-			}
-			for ; j < n; j++ {
-				drow[j] += wrow[j]
-			}
+			addDispatch(drow, w.Data[int(in)*n:int(in)*n+n])
 		}
 	}
 }
 
 // OneHotMatMulParallel parallelizes OneHotMatMul over the batch dimension.
-func OneHotMatMulParallel(dst *Matrix, idx [][]int32, w *Matrix, workers int) {
+func OneHotMatMulParallel[T Float](dst *Dense[T], idx [][]int32, w *Dense[T], workers int) {
 	if workers <= 1 || len(idx) < 4 {
 		OneHotMatMul(dst, idx, w)
 		return
@@ -254,7 +238,7 @@ func OneHotMatMulParallel(dst *Matrix, idx [][]int32, w *Matrix, workers int) {
 		wg.Add(1)
 		go func(r0, r1 int) {
 			defer wg.Done()
-			sub := &Matrix{Rows: r1 - r0, Cols: dst.Cols,
+			sub := &Dense[T]{Rows: r1 - r0, Cols: dst.Cols,
 				Data: dst.Data[r0*dst.Cols : r1*dst.Cols]}
 			OneHotMatMul(sub, idx[r0:r1], w)
 		}(r0, r1)

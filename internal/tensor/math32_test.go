@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relErr32 returns the relative error of got against the float64 reference.
+func relErr32(got float32, want float64) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got)-want) / math.Abs(want)
+}
+
+func TestLog32MatchesMathLog(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Sweep the magnitudes BCPNN actually feeds Log32: probabilities and
+	// eps floors from 1e-12 up through order-one trace values.
+	for i := 0; i < 200000; i++ {
+		exp := rng.Float64()*24 - 12 // 1e-12 .. 1e12
+		x := float32(math.Pow(10, exp))
+		got := Log32(x)
+		want := math.Log(float64(x))
+		if re := relErr32(got, want); re > 5e-6 {
+			t.Fatalf("Log32(%g) = %g, want %g (rel err %g)", x, got, want, re)
+		}
+	}
+}
+
+func TestLog32EdgeCases(t *testing.T) {
+	if v := Log32(0); !math.IsInf(float64(v), -1) {
+		t.Fatalf("Log32(0) = %v, want -Inf", v)
+	}
+	if v := Log32(-1); !math.IsNaN(float64(v)) {
+		t.Fatalf("Log32(-1) = %v, want NaN", v)
+	}
+	if v := Log32(float32(math.Inf(1))); !math.IsInf(float64(v), 1) {
+		t.Fatalf("Log32(+Inf) = %v, want +Inf", v)
+	}
+	if v := Log32(float32(math.NaN())); !math.IsNaN(float64(v)) {
+		t.Fatalf("Log32(NaN) = %v, want NaN", v)
+	}
+	if v := Log32(1); v != 0 {
+		t.Fatalf("Log32(1) = %v, want 0", v)
+	}
+	// Subnormal input still gives a finite, accurate log.
+	sub := math.Float32frombits(1 << 10)
+	if re := relErr32(Log32(sub), math.Log(float64(sub))); re > 5e-6 {
+		t.Fatalf("Log32(subnormal) rel err %g", re)
+	}
+}
+
+func TestExp32MatchesMathExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200000; i++ {
+		x := float32(rng.Float64()*160 - 80) // well inside the clamp range
+		got := Exp32(x)
+		want := math.Exp(float64(x))
+		if re := relErr32(got, want); re > 5e-6 {
+			t.Fatalf("Exp32(%g) = %g, want %g (rel err %g)", x, got, want, re)
+		}
+	}
+}
+
+func TestExp32EdgeCases(t *testing.T) {
+	if v := Exp32(0); v != 1 {
+		t.Fatalf("Exp32(0) = %v, want 1", v)
+	}
+	if v := Exp32(1000); !math.IsInf(float64(v), 1) {
+		t.Fatalf("Exp32(1000) = %v, want +Inf", v)
+	}
+	if v := Exp32(-1000); v != 0 {
+		t.Fatalf("Exp32(-1000) = %v, want 0", v)
+	}
+	if v := Exp32(float32(math.NaN())); !math.IsNaN(float64(v)) {
+		t.Fatalf("Exp32(NaN) = %v, want NaN", v)
+	}
+	// Near the underflow boundary the result may be subnormal but must not
+	// jump to zero early.
+	if v := Exp32(-87); v == 0 {
+		t.Fatal("Exp32(-87) flushed to zero")
+	}
+}

@@ -2,28 +2,34 @@ package tensor
 
 import "sync"
 
-// Pool recycles Matrix buffers between training steps. BCPNN training
-// allocates several batch-sized temporaries per step (supports, activations,
-// batch means, the joint outer product); recycling them keeps the hot loop
-// allocation-free, which is the Go analogue of StreamBrain's preallocated
-// device buffers.
+// PoolOf recycles Dense buffers of one precision between training steps.
+// BCPNN training allocates several batch-sized temporaries per step
+// (supports, activations, batch means, the joint outer product); recycling
+// them keeps the hot loop allocation-free, which is the Go analogue of
+// StreamBrain's preallocated device buffers.
 //
-// A Pool is safe for concurrent use.
-type Pool struct {
+// A PoolOf is safe for concurrent use.
+type PoolOf[T Float] struct {
 	mu    sync.Mutex
-	free  map[int][]*Matrix
+	free  map[int][]*Dense[T]
 	hits  int64
 	total int64
 }
 
-// NewPool returns an empty pool.
-func NewPool() *Pool {
-	return &Pool{free: make(map[int][]*Matrix)}
+// Pool is the float64 pool used by the training path.
+type Pool = PoolOf[float64]
+
+// NewPool returns an empty float64 pool.
+func NewPool() *Pool { return NewPoolOf[float64]() }
+
+// NewPoolOf returns an empty pool of the given precision.
+func NewPoolOf[T Float]() *PoolOf[T] {
+	return &PoolOf[T]{free: make(map[int][]*Dense[T])}
 }
 
 // Get returns a zeroed rows×cols matrix, reusing a previously released buffer
 // of the same element count when available.
-func (p *Pool) Get(rows, cols int) *Matrix {
+func (p *PoolOf[T]) Get(rows, cols int) *Dense[T] {
 	n := rows * cols
 	p.mu.Lock()
 	p.total++
@@ -38,11 +44,11 @@ func (p *Pool) Get(rows, cols int) *Matrix {
 		return m
 	}
 	p.mu.Unlock()
-	return NewMatrix(rows, cols)
+	return NewDense[T](rows, cols)
 }
 
 // Put releases m back to the pool. m must not be used afterwards.
-func (p *Pool) Put(m *Matrix) {
+func (p *PoolOf[T]) Put(m *Dense[T]) {
 	if m == nil || len(m.Data) == 0 {
 		return
 	}
@@ -54,7 +60,7 @@ func (p *Pool) Put(m *Matrix) {
 
 // Stats reports (reuse hits, total Gets) since creation, for tests and the
 // allocation ablation bench.
-func (p *Pool) Stats() (hits, total int64) {
+func (p *PoolOf[T]) Stats() (hits, total int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.total

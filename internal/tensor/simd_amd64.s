@@ -1,0 +1,240 @@
+// AVX2+FMA microkernels for the float32 and float64 hot loops. Pure
+// vector-body loops: every function requires len(dst) to be a multiple of
+// the lane count (8 for float32, 4 for float64) and every operand slice to
+// be at least len(dst) long — the Go dispatch wrappers in simd.go truncate
+// and handle the scalar tail. Only reached when simdEnabled is true
+// (AVX2+FMA+OS-XSAVE verified at init), so the instructions below are safe.
+//
+//go:build !purego
+
+#include "textflag.h"
+
+// func axpy2F32AVX(a0, a1 float32, b0, b1, dst []float32)
+// dst[j] += a0*b0[j] + a1*b1[j] — the GEMM inner kernel.
+TEXT ·axpy2F32AVX(SB), NOSPLIT, $0-80
+	VBROADCASTSS a0+0(FP), Y0
+	VBROADCASTSS a1+4(FP), Y1
+	MOVQ b0_base+8(FP), SI
+	MOVQ b1_base+32(FP), DX
+	MOVQ dst_base+56(FP), DI
+	MOVQ dst_len+64(FP), CX
+	XORQ AX, AX
+axpy2f32loop:
+	CMPQ AX, CX
+	JGE  axpy2f32done
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS (DX)(AX*4), Y3
+	VMOVUPS (DI)(AX*4), Y4
+	VFMADD231PS Y2, Y0, Y4
+	VFMADD231PS Y3, Y1, Y4
+	VMOVUPS Y4, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  axpy2f32loop
+axpy2f32done:
+	VZEROUPPER
+	RET
+
+// func axpy2F64AVX(a0, a1 float64, b0, b1, dst []float64)
+TEXT ·axpy2F64AVX(SB), NOSPLIT, $0-88
+	VBROADCASTSD a0+0(FP), Y0
+	VBROADCASTSD a1+8(FP), Y1
+	MOVQ b0_base+16(FP), SI
+	MOVQ b1_base+40(FP), DX
+	MOVQ dst_base+64(FP), DI
+	MOVQ dst_len+72(FP), CX
+	XORQ AX, AX
+axpy2f64loop:
+	CMPQ AX, CX
+	JGE  axpy2f64done
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (DX)(AX*8), Y3
+	VMOVUPD (DI)(AX*8), Y4
+	VFMADD231PD Y2, Y0, Y4
+	VFMADD231PD Y3, Y1, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy2f64loop
+axpy2f64done:
+	VZEROUPPER
+	RET
+
+// func axpyF32AVX(a float32, x, y []float32)
+// y[j] += a*x[j]
+TEXT ·axpyF32AVX(SB), NOSPLIT, $0-56
+	VBROADCASTSS a+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+	XORQ AX, AX
+axpyf32loop:
+	CMPQ AX, CX
+	JGE  axpyf32done
+	VMOVUPS (SI)(AX*4), Y2
+	VMOVUPS (DI)(AX*4), Y3
+	VFMADD231PS Y2, Y0, Y3
+	VMOVUPS Y3, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  axpyf32loop
+axpyf32done:
+	VZEROUPPER
+	RET
+
+// func axpyF64AVX(a float64, x, y []float64)
+TEXT ·axpyF64AVX(SB), NOSPLIT, $0-56
+	VBROADCASTSD a+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ y_len+40(FP), CX
+	XORQ AX, AX
+axpyf64loop:
+	CMPQ AX, CX
+	JGE  axpyf64done
+	VMOVUPD (SI)(AX*8), Y2
+	VMOVUPD (DI)(AX*8), Y3
+	VFMADD231PD Y2, Y0, Y3
+	VMOVUPD Y3, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  axpyf64loop
+axpyf64done:
+	VZEROUPPER
+	RET
+
+// func lerpF32AVX(dst, src []float32, omt, t float32)
+// dst[j] = omt*dst[j] + t*src[j] — the exponential trace update.
+TEXT ·lerpF32AVX(SB), NOSPLIT, $0-56
+	VBROADCASTSS omt+48(FP), Y0
+	VBROADCASTSS t+52(FP), Y1
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+lerpf32loop:
+	CMPQ AX, CX
+	JGE  lerpf32done
+	VMOVUPS (DI)(AX*4), Y2
+	VMOVUPS (SI)(AX*4), Y3
+	VMULPS Y0, Y2, Y2
+	VFMADD231PS Y3, Y1, Y2
+	VMOVUPS Y2, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  lerpf32loop
+lerpf32done:
+	VZEROUPPER
+	RET
+
+// func lerpF64AVX(dst, src []float64, omt, t float64)
+TEXT ·lerpF64AVX(SB), NOSPLIT, $0-64
+	VBROADCASTSD omt+48(FP), Y0
+	VBROADCASTSD t+56(FP), Y1
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+lerpf64loop:
+	CMPQ AX, CX
+	JGE  lerpf64done
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y3
+	VMULPD Y0, Y2, Y2
+	VFMADD231PD Y3, Y1, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  lerpf64loop
+lerpf64done:
+	VZEROUPPER
+	RET
+
+// func scaleF32AVX(a float32, x []float32)
+// x[j] *= a — the trace decay pass.
+TEXT ·scaleF32AVX(SB), NOSPLIT, $0-32
+	VBROADCASTSS a+0(FP), Y0
+	MOVQ x_base+8(FP), DI
+	MOVQ x_len+16(FP), CX
+	XORQ AX, AX
+scalef32loop:
+	CMPQ AX, CX
+	JGE  scalef32done
+	VMOVUPS (DI)(AX*4), Y2
+	VMULPS Y0, Y2, Y2
+	VMOVUPS Y2, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  scalef32loop
+scalef32done:
+	VZEROUPPER
+	RET
+
+// func scaleF64AVX(a float64, x []float64)
+TEXT ·scaleF64AVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD a+0(FP), Y0
+	MOVQ x_base+8(FP), DI
+	MOVQ x_len+16(FP), CX
+	XORQ AX, AX
+scalef64loop:
+	CMPQ AX, CX
+	JGE  scalef64done
+	VMOVUPD (DI)(AX*8), Y2
+	VMULPD Y0, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  scalef64loop
+scalef64done:
+	VZEROUPPER
+	RET
+
+// func addF32AVX(dst, src []float32)
+// dst[j] += src[j] — the one-hot weight-row gather.
+TEXT ·addF32AVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+addf32loop:
+	CMPQ AX, CX
+	JGE  addf32done
+	VMOVUPS (DI)(AX*4), Y2
+	VMOVUPS (SI)(AX*4), Y3
+	VADDPS Y3, Y2, Y2
+	VMOVUPS Y2, (DI)(AX*4)
+	ADDQ $8, AX
+	JMP  addf32loop
+addf32done:
+	VZEROUPPER
+	RET
+
+// func addF64AVX(dst, src []float64)
+TEXT ·addF64AVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ src_base+24(FP), SI
+	XORQ AX, AX
+addf64loop:
+	CMPQ AX, CX
+	JGE  addf64done
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD (SI)(AX*8), Y3
+	VADDPD Y3, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  addf64loop
+addf64done:
+	VZEROUPPER
+	RET
+
+// func cpuidLow(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLow(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -6,28 +6,19 @@ import (
 )
 
 // Axpy computes y += alpha*x element-wise. Slices must have equal length.
-func Axpy(alpha float64, x, y []float64) {
+func Axpy[T Float](alpha T, x, y []T) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	i := 0
-	for ; i+3 < len(x); i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < len(x); i++ {
-		y[i] += alpha * x[i]
-	}
+	axpyDispatch(alpha, x, y)
 }
 
 // Dot returns the inner product of x and y.
-func Dot(x, y []float64) float64 {
+func Dot[T Float](x, y []T) T {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s0, s1, s2, s3 float64
+	var s0, s1, s2, s3 T
 	i := 0
 	for ; i+3 < len(x); i += 4 {
 		s0 += x[i] * y[i]
@@ -43,15 +34,13 @@ func Dot(x, y []float64) float64 {
 }
 
 // Scale multiplies every element of x by alpha in place.
-func Scale(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
+func Scale[T Float](alpha T, x []T) {
+	scaleDispatch(alpha, x)
 }
 
 // Sum returns the sum of the elements of x.
-func Sum(x []float64) float64 {
-	var s float64
+func Sum[T Float](x []T) T {
+	var s T
 	for _, v := range x {
 		s += v
 	}
@@ -60,26 +49,16 @@ func Sum(x []float64) float64 {
 
 // Lerp computes dst = (1-t)*dst + t*src element-wise — the exponential moving
 // average that underlies every BCPNN trace update.
-func Lerp(dst, src []float64, t float64) {
+func Lerp[T Float](dst, src []T, t T) {
 	if len(dst) != len(src) {
 		panic("tensor: Lerp length mismatch")
 	}
-	omt := 1 - t
-	i := 0
-	for ; i+3 < len(dst); i += 4 {
-		dst[i] = omt*dst[i] + t*src[i]
-		dst[i+1] = omt*dst[i+1] + t*src[i+1]
-		dst[i+2] = omt*dst[i+2] + t*src[i+2]
-		dst[i+3] = omt*dst[i+3] + t*src[i+3]
-	}
-	for ; i < len(dst); i++ {
-		dst[i] = omt*dst[i] + t*src[i]
-	}
+	lerpDispatch(dst, src, 1-t, t)
 }
 
 // LerpParallel is Lerp split across `workers` goroutines; used by the
 // parallel backend for the large Cij trace (inputs × units).
-func LerpParallel(dst, src []float64, t float64, workers int) {
+func LerpParallel[T Float](dst, src []T, t T, workers int) {
 	if workers <= 1 || len(dst) < 1<<14 {
 		Lerp(dst, src, t)
 		return
@@ -107,7 +86,10 @@ func LerpParallel(dst, src []float64, t float64, workers int) {
 
 // SoftmaxRow computes, in place, the softmax of x with temperature T.
 // It is max-subtracted for numerical stability; T <= 0 selects T = 1.
-func SoftmaxRow(x []float64, temperature float64) {
+// The float32 instantiation exponentiates with the reduced-precision Exp32
+// (see math32.go); accumulation stays exact enough because the max-subtracted
+// exponentials are bounded by 1.
+func SoftmaxRow[T Float](x []T, temperature float64) {
 	if len(x) == 0 {
 		return
 	}
@@ -120,16 +102,29 @@ func SoftmaxRow(x []float64, temperature float64) {
 			maxv = v
 		}
 	}
-	var sum float64
-	for i, v := range x {
-		e := math.Exp((v - maxv) / temperature)
-		x[i] = e
-		sum += e
+	var sum T
+	if xs, ok := any(x).([]float32); ok {
+		m, invT := float32(maxv), 1/float32(temperature)
+		var s float32
+		for i, v := range xs {
+			e := Exp32((v - m) * invT)
+			xs[i] = e
+			s += e
+		}
+		sum = T(s)
+	} else {
+		var s float64
+		for i, v := range x {
+			e := math.Exp((float64(v) - float64(maxv)) / temperature)
+			x[i] = T(e)
+			s += e
+		}
+		sum = T(s)
 	}
 	if sum == 0 {
 		// All supports were -Inf; fall back to uniform so downstream traces
 		// stay valid probability masses.
-		u := 1 / float64(len(x))
+		u := 1 / T(len(x))
 		for i := range x {
 			x[i] = u
 		}
@@ -144,7 +139,7 @@ func SoftmaxRow(x []float64, temperature float64) {
 // SoftmaxGroups applies SoftmaxRow independently to each of `groups`
 // consecutive segments of length `width` in every row of m. This is the
 // per-hypercolumn softmax: each HCU's MCU activities form a probability mass.
-func SoftmaxGroups(m *Matrix, groups, width int, temperature float64) {
+func SoftmaxGroups[T Float](m *Dense[T], groups, width int, temperature float64) {
 	if groups*width != m.Cols {
 		panic("tensor: SoftmaxGroups groups*width != cols")
 	}
@@ -157,7 +152,7 @@ func SoftmaxGroups(m *Matrix, groups, width int, temperature float64) {
 }
 
 // SoftmaxGroupsParallel parallelizes SoftmaxGroups over rows.
-func SoftmaxGroupsParallel(m *Matrix, groups, width int, temperature float64, workers int) {
+func SoftmaxGroupsParallel[T Float](m *Dense[T], groups, width int, temperature float64, workers int) {
 	if workers <= 1 || m.Rows < 4 {
 		SoftmaxGroups(m, groups, width, temperature)
 		return
@@ -189,7 +184,7 @@ func SoftmaxGroupsParallel(m *Matrix, groups, width int, temperature float64, wo
 
 // ColMeans computes the per-column mean of m into dst (length m.Cols).
 // It is the batch expectation E[x] used by the trace updates.
-func ColMeans(dst []float64, m *Matrix) {
+func ColMeans[T Float](dst []T, m *Dense[T]) {
 	if len(dst) != m.Cols {
 		panic("tensor: ColMeans length mismatch")
 	}
@@ -197,23 +192,20 @@ func ColMeans(dst []float64, m *Matrix) {
 		dst[i] = 0
 	}
 	for r := 0; r < m.Rows; r++ {
-		row := m.Row(r)
-		for c, v := range row {
-			dst[c] += v
-		}
+		addDispatch(dst, m.Row(r))
 	}
 	if m.Rows > 0 {
-		Scale(1/float64(m.Rows), dst)
+		Scale(1/T(m.Rows), dst)
 	}
 }
 
 // ArgMaxRow returns the index of the maximum element of x (first on ties).
-func ArgMaxRow(x []float64) int {
+func ArgMaxRow[T Float](x []T) int {
 	best := 0
 	bv := math.Inf(-1)
 	for i, v := range x {
-		if v > bv {
-			bv = v
+		if float64(v) > bv {
+			bv = float64(v)
 			best = i
 		}
 	}
@@ -221,7 +213,7 @@ func ArgMaxRow(x []float64) int {
 }
 
 // Clip bounds every element of x into [lo, hi] in place.
-func Clip(x []float64, lo, hi float64) {
+func Clip[T Float](x []T, lo, hi T) {
 	for i, v := range x {
 		if v < lo {
 			x[i] = lo

@@ -16,6 +16,17 @@ import (
 // Params re-exports the BCPNN hyperparameter set.
 type Params = core.Params
 
+// Precision re-exports the compute-precision selector (Params.Precision):
+// Float64 is the full-precision default, Float32 runs forward passes on the
+// float32 kernel set while traces stay float64 (DESIGN.md §9).
+type Precision = core.Precision
+
+// Re-exported precision values.
+const (
+	Float64 = core.Float64
+	Float32 = core.Float32
+)
+
 // EpochHook re-exports the per-epoch observation callback used by the
 // in-situ visualization adaptors.
 type EpochHook = core.EpochHook
@@ -61,6 +72,11 @@ func NewModel(cfg Config, hypercolumns, unitsPerHC, classes int) (*Model, error)
 	be, err := backend.New(cfg.Backend, cfg.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Params.Precision.Is32() {
+		if _, err := backend.New32(cfg.Backend, cfg.Workers); err != nil {
+			return nil, fmt.Errorf("streambrain: Precision %q: %w", cfg.Params.Precision, err)
+		}
 	}
 	if hypercolumns < 1 || unitsPerHC < 1 || classes < 2 {
 		return nil, fmt.Errorf("streambrain: bad geometry %dx%d classes=%d",
