@@ -417,25 +417,42 @@ func BenchmarkOffload(b *testing.B) {
 }
 
 // BenchmarkMPIScaling is ablation A3: the per-epoch trace allreduce across
-// rank counts at headline trace size.
+// rank counts and transports at headline trace size. The committed
+// BENCH_scaling.json (perf suite "scaling", DESIGN.md §10) carries the
+// pinned-work version of this sweep.
 func BenchmarkMPIScaling(b *testing.B) {
 	const traceLen = 280 * 1000
-	for _, ranks := range []int{2, 4, 8} {
-		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
-			w := mpi.NewWorld(ranks)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				w.Run(func(c *mpi.Comm) {
-					buf := make([]float64, traceLen)
-					for j := range buf {
-						buf[j] = float64(c.Rank())
+	for _, transport := range []string{"chan", "tcp"} {
+		for _, ranks := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", transport, ranks), func(b *testing.B) {
+				var w *mpi.World
+				if transport == "tcp" {
+					var err error
+					w, err = mpi.NewTCPWorld(ranks, mpi.TCPOptions{})
+					if err != nil {
+						b.Fatal(err)
 					}
-					c.AllreduceMean(buf)
-				})
-			}
-			b.SetBytes(int64(8 * traceLen))
-		})
+					defer w.Close()
+				} else {
+					w = mpi.NewWorld(ranks)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := w.Run(func(c *mpi.Comm) error {
+						buf := make([]float64, traceLen)
+						for j := range buf {
+							buf[j] = float64(c.Rank())
+						}
+						return c.AllreduceMean(buf)
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(8 * traceLen))
+			})
+		}
 	}
 }
 

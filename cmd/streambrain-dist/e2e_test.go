@@ -1,0 +1,87 @@
+package main
+
+// The end-to-end contract of the distributed path, as a test: build the
+// launcher, train 2 real OS-process TCP ranks on a tiny budget, load the
+// bundle rank 0 merged, and answer a /v1/predict request from it — the
+// whole cluster story (DESIGN.md §10) in one subprocess round-trip.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"streambrain/internal/higgs"
+	"streambrain/internal/serve"
+)
+
+func TestDistTrainBundleServeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs rank subprocesses")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "streambrain-dist")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	bundle := filepath.Join(dir, "model.bundle")
+	run := exec.Command(bin,
+		"-ranks", "2", "-transport", "tcp",
+		"-events", "2000", "-mcus", "20", "-epochs", "1", "-batch", "64",
+		"-backend", "naive", "-workers", "1",
+		"-save-bundle", bundle)
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("streambrain-dist: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "world up: 2 tcp ranks") {
+		t.Fatalf("launcher output missing world banner:\n%s", out)
+	}
+
+	// The bundle must load through the serving registry — the exact path
+	// streambrain-serve -bundle takes.
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("naive", 1))
+	if err := reg.LoadFile(bundle); err != nil {
+		t.Fatalf("bundle from distributed training does not load: %v", err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ds := higgs.Generate(4, 0.5, 3)
+	body, _ := json.Marshal(map[string]any{
+		"events": [][]float64{ds.X.Row(0), ds.X.Row(1)},
+	})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/predict status %d", resp.StatusCode)
+	}
+	var got struct {
+		Predictions []struct {
+			Class       int     `json:"class"`
+			SignalScore float64 `json:"signal_score"`
+		} `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Predictions) != 2 {
+		t.Fatalf("expected 2 predictions, got %d", len(got.Predictions))
+	}
+	for i, p := range got.Predictions {
+		if p.Class < 0 || p.Class > 1 || p.SignalScore < 0 || p.SignalScore > 1 {
+			t.Fatalf("prediction %d implausible: %+v", i, p)
+		}
+	}
+}

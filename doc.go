@@ -17,7 +17,8 @@
 //
 // Heavy lifting lives in internal packages: internal/core (the BCPNN
 // model), internal/backend (naive / parallel / GPU-simulator kernels),
-// internal/mpi (message passing), internal/higgs and internal/mnistgen
+// internal/mpi (pluggable message-passing fabric: in-process channel ranks
+// or TCP ranks as separate OS processes), internal/higgs and internal/mnistgen
 // (dataset substrates), internal/viz (in-situ visualization), internal/serve
 // (model bundles, the request micro-batcher, and the HTTP prediction
 // service behind cmd/streambrain-serve), internal/stream (the online
@@ -32,6 +33,13 @@
 //	_ = streambrain.SaveModel(f, model, enc)
 //	// later, in the serving process:
 //	model, enc, _ := streambrain.LoadModel(f, streambrain.Config{})
+//
+// The distributed entry point is cmd/streambrain-dist, the repository's
+// mpirun (DESIGN.md §10): it forks N rank processes that train
+// data-parallel BCPNN over the TCP fabric (core.DistributedTrainer /
+// core.TrainRank over internal/mpi), shards the Higgs events by rank, and
+// has rank 0 save the merged model as a bundle cmd/streambrain-serve loads
+// unchanged.
 //
 // The compute stack is precision-parameterized (DESIGN.md §9): setting
 // Params.Precision = streambrain.Float32 runs forward passes on the

@@ -1,7 +1,14 @@
-// Distributed: BCPNN data-parallel training over the MPI-like fabric —
-// the §II-B argument made runnable. Because learning is local, ranks train
-// on disjoint shards and only the probability traces are allreduce-merged;
-// accuracy is invariant in the rank count while per-rank work shrinks.
+// Distributed: BCPNN data-parallel training over the pluggable MPI-like
+// fabric — the §II-B argument made runnable. Because learning is local,
+// ranks train on disjoint shards and only the probability traces are
+// allreduce-merged; accuracy is invariant in the rank count while per-rank
+// work shrinks.
+//
+// The rank sweep runs twice: over the in-process chan fabric and over real
+// loopback TCP sockets (rendezvous, binary frames — the cluster transport,
+// DESIGN.md §10). For ranks as separate OS processes, use the launcher:
+//
+//	streambrain-dist -ranks 4 -transport tcp -epochs 5
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 
 	"streambrain"
 	"streambrain/internal/core"
+	"streambrain/internal/mpi"
 )
 
 func main() {
@@ -28,14 +36,26 @@ func main() {
 	params.ReceptiveField = 0.40
 	params.Seed = 5
 
-	fmt.Printf("%-6s %-10s %-10s %s\n", "ranks", "accuracy", "AUC", "wall time")
-	for _, ranks := range []int{1, 2, 4, 8} {
-		dt := core.NewDistributedTrainer(ranks, "parallel", 2,
-			train.Hypercolumns, train.UnitsPerHC, train.Classes, params, train)
-		start := time.Now()
-		net := dt.Train(5, 5)
-		elapsed := time.Since(start)
-		acc, auc := net.Evaluate(test)
-		fmt.Printf("%-6d %-10.4f %-10.4f %.2fs\n", ranks, acc, auc, elapsed.Seconds())
+	fmt.Printf("%-6s %-10s %-10s %-10s %s\n", "ranks", "transport", "accuracy", "AUC", "wall time")
+	for _, transport := range []string{"chan", "tcp"} {
+		for _, ranks := range []int{1, 2, 4, 8} {
+			dt := core.NewDistributedTrainer(ranks, "parallel", 2,
+				train.Hypercolumns, train.UnitsPerHC, train.Classes, params, train)
+			w, err := mpi.NewWorldFor(transport, ranks, mpi.TCPOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dt.World = w
+			start := time.Now()
+			net, err := dt.Train(5, 5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			elapsed := time.Since(start)
+			acc, auc := net.Evaluate(test)
+			fmt.Printf("%-6d %-10s %-10.4f %-10.4f %.2fs\n",
+				ranks, transport, acc, auc, elapsed.Seconds())
+			w.Close()
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"streambrain/internal/backend"
 	"streambrain/internal/data"
 	"streambrain/internal/mpi"
@@ -15,7 +17,16 @@ import (
 // bit-identical; after every trace allreduce the structural-plasticity
 // update is a deterministic function of identical traces, which keeps the
 // masks synchronized without any extra communication.
+//
+// The trainer owns all replicas inside one process and drives them over an
+// in-process mpi.World (chan by default; assign a NewTCPWorld to exercise
+// the real wire). For worlds where each rank is its own OS process, the
+// per-rank body is exported as TrainRank and driven by cmd/streambrain-dist
+// (DESIGN.md §10).
 type DistributedTrainer struct {
+	// World is the fabric the ranks communicate over. NewDistributedTrainer
+	// installs the chan fabric; replace it (same rank count) before Train to
+	// run the same replicas over loopback TCP.
 	World *mpi.World
 	// MergeEvery is the number of local batches between hidden-trace
 	// allreduces. 1 (the default) keeps replicas bit-identical at every
@@ -31,129 +42,182 @@ type DistributedTrainer struct {
 	shards []*data.Encoded
 }
 
-// NewDistributedTrainer builds R identically-seeded network replicas and
-// shards the training set round-robin across them (round-robin keeps shard
-// class balance close to the global balance).
-//
-// The trace rate is rescaled to τ_R = 1−(1−τ)^R: with R ranks each global
-// step merges R rank-local batches, so an epoch contains 1/R as many trace
-// updates as the single-rank run; compounding the rate keeps the per-epoch
-// trace convergence — and therefore the learned weight magnitudes and the
-// classifier's calibration — invariant in the rank count.
-func NewDistributedTrainer(ranks int, backendName string, workersPerRank int,
-	fi, mi, classes int, p Params, train *data.Encoded) *DistributedTrainer {
+// DistributedParams rescales the trace rate for an R-rank world:
+// τ_R = 1−(1−τ)^R. With R ranks each global step merges R rank-local
+// batches, so an epoch contains 1/R as many trace updates as the
+// single-rank run; compounding the rate keeps the per-epoch trace
+// convergence — and therefore the learned weight magnitudes and the
+// classifier's calibration — invariant in the rank count (E9 measures
+// exactly this). Every rank of a world must train with the same rescaled
+// Params; cmd/streambrain-dist applies it in each rank process.
+func DistributedParams(p Params, ranks int) Params {
 	scaled := 1.0
 	for r := 0; r < ranks; r++ {
 		scaled *= 1 - p.Taupdt
 	}
 	p.Taupdt = 1 - scaled
+	return p
+}
+
+// ShardRows returns rank r's row indices under the round-robin sharding
+// every fabric uses (round-robin keeps shard class balance close to the
+// global balance). Rank processes call this so their local shard matches
+// what the in-process trainer would have assigned.
+func ShardRows(totalRows, ranks, rank int) []int {
+	rows := make([]int, 0, (totalRows+ranks-1)/ranks)
+	for i := rank; i < totalRows; i += ranks {
+		rows = append(rows, i)
+	}
+	return rows
+}
+
+// NewDistributedTrainer builds R identically-seeded network replicas over
+// the in-process chan fabric and shards the training set round-robin across
+// them. The trace rate is rescaled via DistributedParams.
+func NewDistributedTrainer(ranks int, backendName string, workersPerRank int,
+	fi, mi, classes int, p Params, train *data.Encoded) *DistributedTrainer {
+	p = DistributedParams(p, ranks)
 	t := &DistributedTrainer{
 		World:      mpi.NewWorld(ranks),
 		MergeEvery: 1,
 		nets:       make([]*Network, ranks),
 		shards:     make([]*data.Encoded, ranks),
 	}
-	rows := make([][]int, ranks)
-	for i := 0; i < train.Len(); i++ {
-		r := i % ranks
-		rows[r] = append(rows[r], i)
-	}
 	for r := 0; r < ranks; r++ {
 		t.nets[r] = NewNetwork(backend.MustNew(backendName, workersPerRank), fi, mi, classes, p)
-		t.shards[r] = train.Subset(rows[r])
+		t.shards[r] = train.Subset(ShardRows(train.Len(), ranks, r))
 	}
 	return t
 }
 
 // allreduceTraces averages a hidden layer's traces across ranks in place.
-func allreduceTraces(c *mpi.Comm, l *HiddenLayer) {
-	c.AllreduceMean(l.Ci)
-	c.AllreduceMean(l.Cj)
-	c.AllreduceMean(l.Cij.Data)
-	c.AllreduceMean(l.Kbi)
+func allreduceTraces(c *mpi.Comm, l *HiddenLayer) error {
+	for _, buf := range [][]float64{l.Ci, l.Cj, l.Cij.Data, l.Kbi} {
+		if err := c.AllreduceMean(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // allreduceClassifier averages a BCPNN readout's traces across ranks.
-func allreduceClassifier(c *mpi.Comm, cl *Classifier) {
-	c.AllreduceMean(cl.Ci)
-	c.AllreduceMean(cl.Cj)
-	c.AllreduceMean(cl.Cij.Data)
-}
-
-// Train runs both phases. Each unsupervised epoch: every rank runs the same
-// number of local batches (the global minimum, so collectives always match
-// up), allreduce-merging the hidden traces every MergeEvery batches, then
-// the (deterministic, replica-identical) structural update. The supervised
-// phase merges the classifier traces once per epoch. Returns rank 0's
-// network, which after the final allreduce is representative of all
-// replicas.
-func (t *DistributedTrainer) Train(unsupEpochs, supEpochs int) *Network {
-	merge := t.MergeEvery
-	if merge < 1 {
-		merge = 1
-	}
-	// Matched batch count: every rank must issue the same collective
-	// sequence or the world deadlocks. Remainder batches are dropped.
-	nBatches := -1
-	for _, shard := range t.shards {
-		b := shard.Len() / t.nets[0].p.BatchSize
-		if nBatches < 0 || b < nBatches {
-			nBatches = b
+func allreduceClassifier(c *mpi.Comm, cl *Classifier) error {
+	for _, buf := range [][]float64{cl.Ci, cl.Cj, cl.Cij.Data} {
+		if err := c.AllreduceMean(buf); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// TrainRank runs one rank's side of distributed training over any fabric —
+// the SPMD body shared by the in-process trainer and the per-process ranks
+// cmd/streambrain-dist forks. n must have been built from DistributedParams
+// with this world's rank count, and shard must be this rank's ShardRows
+// subset; every rank must call with the same epoch counts and mergeEvery
+// (the collective sequence must match or the world stalls into its
+// deadline).
+//
+// Each unsupervised epoch runs the same number of local batches on every
+// rank (the global minimum, agreed via an allreduce-min, so collectives
+// always pair up; remainder batches are dropped), allreduce-merging the
+// hidden traces every mergeEvery batches, then the (deterministic,
+// replica-identical) structural update. The supervised phase merges the
+// classifier traces once per epoch. Threshold calibration is a local
+// decision and stays with the caller (rank 0 calibrates on its shard).
+func TrainRank(c *mpi.Comm, n *Network, shard *data.Encoded,
+	unsupEpochs, supEpochs, mergeEvery int) error {
+	if mergeEvery < 1 {
+		mergeEvery = 1
+	}
+	// Matched batch count: every rank must issue the same collective
+	// sequence. The minimum over shards is itself a collective, so a rank
+	// process never needs its peers' shard sizes up front.
+	count := []float64{float64(shard.Len() / n.p.BatchSize)}
+	if err := c.Allreduce(count, mpi.OpMin); err != nil {
+		return fmt.Errorf("core: matching batch counts: %w", err)
+	}
+	nBatches := int(count[0])
 	if nBatches < 1 {
 		nBatches = 1
 	}
-	t.World.Run(func(c *mpi.Comm) {
-		n := t.nets[c.Rank()]
-		shard := t.shards[c.Rank()]
-		if unsupEpochs > 0 {
-			// Seed input marginals from the local shard, then average so
-			// every replica starts from the global empirical marginals.
-			n.Hidden.InitTracesFromData(shard.Idx)
-			allreduceTraces(c, n.Hidden)
-			n.Hidden.refreshParameters()
-			n.tracesSeeded = true
+	if unsupEpochs > 0 {
+		// Seed input marginals from the local shard, then average so every
+		// replica starts from the global empirical marginals.
+		n.Hidden.InitTracesFromData(shard.Idx)
+		if err := allreduceTraces(c, n.Hidden); err != nil {
+			return err
 		}
-		for e := 0; e < unsupEpochs; e++ {
-			// Same annealed symmetry-breaking noise schedule as the
-			// single-rank trainer; identical seeds keep draws replica-equal.
-			anneal := 0.0
-			if unsupEpochs > 1 {
-				anneal = 1 - float64(e)/float64(unsupEpochs-1)
-			}
-			n.Hidden.SetNoise(n.p.SupportNoise * anneal)
-			// Materialize this epoch's shuffled batches so we can cut off at
-			// the matched count.
-			var batches [][][]int32
-			shard.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, _ []int) {
-				batches = append(batches, append([][]int32(nil), idx...))
-			})
-			for b := 0; b < nBatches && b < len(batches); b++ {
+		n.Hidden.refreshParameters()
+		n.tracesSeeded = true
+	}
+	for e := 0; e < unsupEpochs; e++ {
+		// Same annealed symmetry-breaking noise schedule as the single-rank
+		// trainer; identical seeds keep draws replica-equal.
+		anneal := 0.0
+		if unsupEpochs > 1 {
+			anneal = 1 - float64(e)/float64(unsupEpochs-1)
+		}
+		n.Hidden.SetNoise(n.p.SupportNoise * anneal)
+		// Materialize this epoch's shuffled batches so we can cut off at the
+		// matched count.
+		var batches [][][]int32
+		shard.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, _ []int) {
+			batches = append(batches, append([][]int32(nil), idx...))
+		})
+		// The merge schedule is driven by the agreed nBatches alone, never
+		// by len(batches): a rank whose shard ran short (degenerate worlds
+		// with fewer rows than ranks) still joins every collective with its
+		// current traces, so the world's collective sequences stay matched
+		// instead of deadlocking.
+		for b := 0; b < nBatches; b++ {
+			if b < len(batches) {
 				n.Hidden.TrainBatch(batches[b])
-				if (b+1)%merge == 0 {
-					allreduceTraces(c, n.Hidden)
-					n.Hidden.refreshParameters()
+			}
+			if (b+1)%mergeEvery == 0 {
+				if err := allreduceTraces(c, n.Hidden); err != nil {
+					return err
 				}
+				n.Hidden.refreshParameters()
 			}
-			allreduceTraces(c, n.Hidden)
-			n.Hidden.refreshParameters()
-			n.Hidden.StructuralUpdate()
 		}
-		cl, isBCPNN := n.Out.(*Classifier)
-		for e := 0; e < supEpochs; e++ {
-			n.TrainSupervised(shard, 1)
-			if isBCPNN {
-				allreduceClassifier(c, cl)
-				cl.refresh()
+		if err := allreduceTraces(c, n.Hidden); err != nil {
+			return err
+		}
+		n.Hidden.refreshParameters()
+		n.Hidden.StructuralUpdate()
+	}
+	cl, isBCPNN := n.Out.(*Classifier)
+	for e := 0; e < supEpochs; e++ {
+		n.TrainSupervised(shard, 1)
+		if isBCPNN {
+			if err := allreduceClassifier(c, cl); err != nil {
+				return err
 			}
-			c.Barrier()
+			cl.refresh()
 		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Train runs both phases across all ranks of the World and returns rank 0's
+// network, which after the final allreduce is representative of all
+// replicas. Any rank's communication failure aborts the run with its error.
+func (t *DistributedTrainer) Train(unsupEpochs, supEpochs int) (*Network, error) {
+	err := t.World.Run(func(c *mpi.Comm) error {
+		return TrainRank(c, t.nets[c.Rank()], t.shards[c.Rank()],
+			unsupEpochs, supEpochs, t.MergeEvery)
 	})
+	if err != nil {
+		return nil, err
+	}
 	if supEpochs > 0 {
 		t.nets[0].CalibrateThreshold(t.shards[0])
 	}
-	return t.nets[0]
+	return t.nets[0], nil
 }
 
 // Networks exposes the per-rank replicas (tests verify replica agreement).

@@ -3,6 +3,9 @@ package core
 import (
 	"math/rand"
 	"testing"
+	"time"
+
+	"streambrain/internal/mpi"
 )
 
 func TestDistributedTrainerLearns(t *testing.T) {
@@ -14,7 +17,10 @@ func TestDistributedTrainerLearns(t *testing.T) {
 	train := synthEncoded(rng, 1600, 8, 4, []int{1, 5}, 0.1)
 	test := synthEncoded(rng, 400, 8, 4, []int{1, 5}, 0.1)
 	dt := NewDistributedTrainer(4, "naive", 1, 8, 4, 2, p, train)
-	net := dt.Train(4, 4)
+	net, err := dt.Train(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	acc, _ := net.Evaluate(test)
 	if acc < 0.75 {
 		t.Fatalf("distributed accuracy %.3f", acc)
@@ -30,7 +36,9 @@ func TestDistributedReplicasStayInSync(t *testing.T) {
 	p.Taupdt = 0.05
 	train := synthEncoded(rng, 800, 8, 4, []int{2}, 0.1)
 	dt := NewDistributedTrainer(3, "naive", 1, 8, 4, 2, p, train)
-	dt.Train(3, 2)
+	if _, err := dt.Train(3, 2); err != nil {
+		t.Fatal(err)
+	}
 	nets := dt.Networks()
 	ref := nets[0].Hidden
 	for r := 1; r < len(nets); r++ {
@@ -81,7 +89,10 @@ func TestDistributedMatchesSingleRankShape(t *testing.T) {
 	test := synthEncoded(rng, 400, 8, 4, []int{1, 5}, 0.1)
 	accFor := func(ranks int) float64 {
 		dt := NewDistributedTrainer(ranks, "naive", 1, 8, 4, 2, p, train)
-		net := dt.Train(4, 4)
+		net, err := dt.Train(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		acc, _ := net.Evaluate(test)
 		return acc
 	}
@@ -89,5 +100,69 @@ func TestDistributedMatchesSingleRankShape(t *testing.T) {
 	a4 := accFor(4)
 	if a4 < a1-0.10 {
 		t.Fatalf("4-rank accuracy %.3f collapsed vs 1-rank %.3f", a4, a1)
+	}
+}
+
+// TestDistributedEmptyShardDoesNotDeadlock: a degenerate world with fewer
+// rows than ranks leaves some shards empty; the merge schedule is driven by
+// the agreed batch count, so empty-shard ranks must still join every
+// collective instead of desynchronizing the sequence (which deadlocked the
+// chan fabric and timed out the tcp one).
+func TestDistributedEmptyShardDoesNotDeadlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p := smallParams()
+	train := synthEncoded(rng, 2, 8, 4, []int{1}, 0.1) // 2 rows, 3 ranks
+	dt := NewDistributedTrainer(3, "naive", 1, 8, 4, 2, p, train)
+	done := make(chan error, 1)
+	go func() {
+		_, err := dt.Train(2, 1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("degenerate world errored: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("degenerate world deadlocked")
+	}
+}
+
+// TestDistributedTCPMatchesChanBitExact: the same replicas trained over the
+// TCP loopback fabric must land on bit-identical traces as over the chan
+// fabric — the wire format round-trips float64 exactly, and the collective
+// trees are transport-independent. This is the known-answer test that the
+// transport refactor changed plumbing, not math.
+func TestDistributedTCPMatchesChanBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	p := smallParams()
+	p.Taupdt = 0.05
+	train := synthEncoded(rng, 800, 8, 4, []int{1, 5}, 0.1)
+	const ranks = 3
+	trainOn := func(useTCP bool) *Network {
+		dt := NewDistributedTrainer(ranks, "naive", 1, 8, 4, 2, p, train)
+		if useTCP {
+			w, err := mpi.NewTCPWorld(ranks, mpi.TCPOptions{Timeout: time.Minute})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { w.Close() })
+			dt.World = w
+		}
+		net, err := dt.Train(2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	chanNet := trainOn(false)
+	tcpNet := trainOn(true)
+	if d := tcpNet.Hidden.Cij.MaxAbsDiff(chanNet.Hidden.Cij); d != 0 {
+		t.Fatalf("tcp Cij differs from chan by %g (want bit-exact)", d)
+	}
+	for j := range chanNet.Hidden.Cj {
+		if tcpNet.Hidden.Cj[j] != chanNet.Hidden.Cj[j] {
+			t.Fatalf("tcp Cj diverged at %d", j)
+		}
 	}
 }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"time"
+
+	"streambrain/internal/core"
+	"streambrain/internal/mpi"
+)
+
+// E9 — distributed rank-count invariance (DESIGN.md §4, §10). The
+// StreamBrain framework paper's headline capability is MPI data-parallel
+// scaling, and the §II-B argument for it is that BCPNN's local learning
+// makes the result invariant in the rank count: shards train independently
+// and only the probability traces are allreduce-merged. This harness makes
+// that claim a measured number on the synthetic Higgs pipeline, and — by
+// running the 2- and 4-rank configurations over the TCP fabric — asserts
+// the invariance survives the process boundary: every trace crosses the
+// wire as length-prefixed binary frames (bit-exact float64), so AUC must
+// not move when the fabric becomes transport-real.
+//
+// One trial per configuration: with a fixed seed the comparison is
+// deterministic, so a repeat average would only blur the quantity under
+// test (the rank-count delta, not seed noise).
+
+// DistributedRow is one fabric configuration's summary.
+type DistributedRow struct {
+	Ranks     int
+	Transport string
+	Acc, AUC  float64
+	// DeltaAUC is AUC − the 1-rank reference AUC; the invariance claim is
+	// |DeltaAUC| ≤ 0.005 (the same tolerance the precision ablation E8
+	// uses for the paper's reduced-precision claim).
+	DeltaAUC float64
+	Secs     float64
+}
+
+// DistributedResult is the full E9 output.
+type DistributedResult struct {
+	Rows []DistributedRow
+}
+
+// Row returns the row for a configuration, or nil.
+func (r *DistributedResult) Row(ranks int, transport string) *DistributedRow {
+	for i := range r.Rows {
+		if r.Rows[i].Ranks == ranks && r.Rows[i].Transport == transport {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// RunDistributed executes E9 and prints one row per fabric configuration.
+func RunDistributed(cfg Config, mcuCap int) (*DistributedResult, error) {
+	splits := PrepareHiggs(cfg)
+	p := core.DefaultParams()
+	p.MCUs = 300
+	if mcuCap > 0 && p.MCUs > mcuCap {
+		p.MCUs = mcuCap
+	}
+	p.UnsupervisedEpochs = cfg.UnsupEpochs
+	p.SupervisedEpochs = cfg.SupEpochs
+	p.Seed = cfg.Seed
+
+	configs := []struct {
+		ranks     int
+		transport string
+	}{
+		{1, "chan"},
+		{2, "chan"},
+		{4, "chan"},
+		{2, "tcp"},
+		{4, "tcp"},
+	}
+	res := &DistributedResult{}
+	cfg.printf("E9: distributed rank-count invariance — %d events, MCUs=%d, epochs %d+%d\n",
+		cfg.Events, p.MCUs, cfg.UnsupEpochs, cfg.SupEpochs)
+	cfg.printf("%-6s %-10s %-10s %-10s %10s %9s\n",
+		"ranks", "transport", "accuracy", "AUC", "ΔAUC", "train s")
+	var refAUC float64
+	for i, c := range configs {
+		dt := core.NewDistributedTrainer(c.ranks, cfg.Backend, cfg.Workers,
+			splits.Train.Hypercolumns, splits.Train.UnitsPerHC, splits.Train.Classes,
+			p, splits.Train)
+		w, err := mpi.NewWorldFor(c.transport, c.ranks, mpi.TCPOptions{})
+		if err != nil {
+			return res, err
+		}
+		dt.World = w
+		start := time.Now()
+		net, err := dt.Train(cfg.UnsupEpochs, cfg.SupEpochs)
+		w.Close()
+		if err != nil {
+			return res, err
+		}
+		secs := time.Since(start).Seconds()
+		acc, auc := net.Evaluate(splits.Test)
+		if i == 0 {
+			refAUC = auc
+		}
+		row := DistributedRow{
+			Ranks: c.ranks, Transport: c.transport,
+			Acc: acc, AUC: auc, DeltaAUC: auc - refAUC, Secs: secs,
+		}
+		res.Rows = append(res.Rows, row)
+		cfg.printf("%-6d %-10s %-10.4f %-10.4f %+10.4f %9.2f\n",
+			row.Ranks, row.Transport, row.Acc, row.AUC, row.DeltaAUC, row.Secs)
+	}
+	return res, nil
+}

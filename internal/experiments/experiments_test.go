@@ -287,3 +287,45 @@ func TestPrecisionAblationTolerance(t *testing.T) {
 		t.Fatalf("posit16 AUC delta %.4f outside ±0.02", d)
 	}
 }
+
+// TestDistributedInvarianceTolerance is the acceptance check for the
+// paper's data-parallel claim at test scale (E9): training on 4 ranks over
+// the real TCP fabric must land within 0.005 AUC of the 1-rank run — the
+// rank-count invariance §II-B argues for, surviving the process boundary.
+// The tcp rows must further match their chan twins exactly: the wire format
+// round-trips float64 bit-exactly, so the transport cannot move the math.
+func TestDistributedInvarianceTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale distributed trials")
+	}
+	cfg := tinyConfig(t)
+	cfg.Events = 24000
+	cfg.UnsupEpochs = 4
+	cfg.SupEpochs = 4
+	cfg.Workers = 0
+	res, err := RunDistributed(cfg, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(res.Rows))
+	}
+	ref := res.Row(1, "chan")
+	if ref == nil || ref.AUC < 0.6 {
+		t.Fatalf("1-rank reference failed to learn: %+v", ref)
+	}
+	tcp4 := res.Row(4, "tcp")
+	if tcp4 == nil {
+		t.Fatal("missing 4-rank tcp row")
+	}
+	if d := tcp4.DeltaAUC; d < -0.005 || d > 0.005 {
+		t.Fatalf("4-rank tcp AUC delta %.4f outside ±0.005", d)
+	}
+	for _, ranks := range []int{2, 4} {
+		ch, tc := res.Row(ranks, "chan"), res.Row(ranks, "tcp")
+		if ch.AUC != tc.AUC || ch.Acc != tc.Acc {
+			t.Fatalf("%d-rank tcp (%.6f/%.6f) diverged from chan (%.6f/%.6f): "+
+				"the transport moved the math", ranks, tc.Acc, tc.AUC, ch.Acc, ch.AUC)
+		}
+	}
+}

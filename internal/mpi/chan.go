@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one typed envelope between a rank pair. Data is always a copy;
+// ranks never share backing arrays, just as MPI processes never share memory.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// chanFabric is the in-process backend: a buffered FIFO Go channel per
+// directed rank pair. Collectives rely on FIFO order per pair, which Go
+// channels guarantee (MPI's non-overtaking rule). The fabric is poisonable:
+// the first failure (any rank closing its endpoint) unblocks every pending
+// send and receive with an error, mirroring how a dead TCP peer unwinds its
+// world — one process either runs all its goroutine ranks or none.
+type chanFabric struct {
+	size  int
+	links [][]chan message // links[src][dst]
+
+	once sync.Once
+	down chan struct{}
+	err  error
+}
+
+func newChanFabric(size int) *chanFabric {
+	links := make([][]chan message, size)
+	for s := range links {
+		links[s] = make([]chan message, size)
+		for d := range links[s] {
+			links[s][d] = make(chan message, 8)
+		}
+	}
+	return &chanFabric{size: size, links: links, down: make(chan struct{})}
+}
+
+// fail poisons the whole fabric with the first error.
+func (f *chanFabric) fail(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.down)
+	})
+}
+
+// chanTransport is one rank's endpoint on a chanFabric.
+type chanTransport struct {
+	rank int
+	f    *chanFabric
+}
+
+func (t *chanTransport) Rank() int { return t.rank }
+func (t *chanTransport) Size() int { return t.f.size }
+
+func (t *chanTransport) Send(dst, tag int, data []float64) error {
+	if err := checkRank("send to", dst, t.f.size); err != nil {
+		return err
+	}
+	if dst == t.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", t.rank)
+	}
+	cp := append([]float64(nil), data...)
+	select {
+	case t.f.links[t.rank][dst] <- message{tag: tag, data: cp}:
+		return nil
+	case <-t.f.down:
+		return fmt.Errorf("mpi: rank %d send tag %d to %d: %w", t.rank, tag, dst, t.f.err)
+	}
+}
+
+// Recv pops the next message from src and asserts the expected tag. The chan
+// fabric keeps the strict per-pair FIFO discipline, so a tag mismatch is a
+// protocol bug in the calling program and is reported as ErrTagMismatch —
+// the debugging-friendly behavior the in-process fabric exists for.
+func (t *chanTransport) Recv(src, tag int) ([]float64, error) {
+	if err := checkRank("recv from", src, t.f.size); err != nil {
+		return nil, err
+	}
+	if src == t.rank {
+		return nil, fmt.Errorf("mpi: rank %d receiving from itself", t.rank)
+	}
+	select {
+	case m := <-t.f.links[src][t.rank]:
+		if m.tag != tag {
+			return nil, fmt.Errorf("rank %d expected tag %d from %d, got %d: %w",
+				t.rank, tag, src, m.tag, ErrTagMismatch)
+		}
+		return m.data, nil
+	case <-t.f.down:
+		return nil, fmt.Errorf("mpi: rank %d recv tag %d from %d: %w", t.rank, tag, src, t.f.err)
+	}
+}
+
+// Close poisons the whole fabric: goroutine ranks share one process, so one
+// endpoint going away means the world is being torn down, and every peer
+// blocked in a collective must unwind rather than hang.
+func (t *chanTransport) Close() error {
+	t.f.fail(fmt.Errorf("rank %d closed: %w", t.rank, ErrClosed))
+	return nil
+}

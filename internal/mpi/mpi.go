@@ -1,143 +1,251 @@
-// Package mpi is an in-process message-passing library modeled on the MPI
-// subset StreamBrain's distributed backend uses: SPMD ranks, point-to-point
+// Package mpi is a message-passing library modeled on the MPI subset
+// StreamBrain's distributed backend uses: SPMD ranks, point-to-point
 // send/receive, and the collectives BCPNN data-parallel training needs
 // (Barrier, Broadcast, Reduce, Allreduce, Allgather).
 //
-// Ranks are goroutines inside one process and links are Go channels, so the
-// semantics (SPMD program structure, deterministic collective trees, value
-// copies across rank boundaries) match a real MPI job while latency constants
-// obviously do not — see DESIGN.md §1 for the substitution rationale. The
-// collectives are implemented with the textbook HPC algorithms (binomial
+// The fabric is pluggable (DESIGN.md §10). A Comm runs the collectives over
+// any Transport:
+//
+//   - chan — ranks are goroutines inside one process and links are Go
+//     channels. Semantics (SPMD structure, deterministic collective trees,
+//     value copies across rank boundaries) match a real MPI job while latency
+//     constants obviously do not; it is also the strictest fabric, flagging
+//     tag-discipline bugs as ErrTagMismatch.
+//   - tcp — each rank is its own OS process connected through a rank-0
+//     rendezvous listener (Rendezvous / JoinTCP), with length-prefixed binary
+//     frames, per-tag demultiplexing, and deadline/error propagation instead
+//     of panics at the process boundary. cmd/streambrain-dist is the mpirun
+//     of this backend.
+//
+// The collectives are implemented with the textbook HPC algorithms (binomial
 // trees, dissemination barrier) rather than a shared-memory shortcut, so
 // message counts scale exactly as they would on a cluster: O(log P) rounds.
+//
+// All operations return errors rather than panicking: over a real transport
+// the peer may be gone, slow, or misconfigured, and that failure belongs to
+// the caller. See Example functions for the Allreduce workflow on both
+// transports.
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
 
-// message is one typed envelope between a rank pair. Data is always a copy;
-// ranks never share backing arrays, just as MPI processes never share memory.
-type message struct {
-	tag  int
-	data []float64
-}
-
-// World owns the communication fabric for a fixed number of ranks.
+// World is an in-process set of ranks over one fabric — the unit tests,
+// benchmarks, and single-machine trainers run on. NewWorld builds the chan
+// fabric; NewTCPWorld builds goroutine ranks over real loopback TCP sockets
+// (frame codec and demux included, only the OS-process boundary is absent —
+// for that, use cmd/streambrain-dist or the Rendezvous/JoinTCP pair).
 type World struct {
-	size  int
-	links [][]chan message // links[src][dst]
+	comms []*Comm
 }
 
-// NewWorld creates a fabric for size ranks. Each directed pair gets a
-// buffered FIFO link; collectives rely on FIFO order per pair, which Go
-// channels guarantee (MPI's non-overtaking rule).
+// NewWorld creates an in-process world of size ranks over the chan fabric.
 func NewWorld(size int) *World {
 	if size < 1 {
 		panic("mpi: world size must be >= 1")
 	}
-	links := make([][]chan message, size)
-	for s := range links {
-		links[s] = make([]chan message, size)
-		for d := range links[s] {
-			links[s][d] = make(chan message, 8)
+	f := newChanFabric(size)
+	w := &World{comms: make([]*Comm, size)}
+	for r := 0; r < size; r++ {
+		w.comms[r] = NewComm(&chanTransport{rank: r, f: f})
+	}
+	return w
+}
+
+// NewTCPWorld creates an in-process world of size ranks over loopback TCP:
+// the full rendezvous bootstrap, frame codec, and tag demux of the process
+// fabric, with ranks as goroutines. This is what the scaling perf suite and
+// the transport-parameterized tests run on.
+func NewTCPWorld(size int, opt TCPOptions) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: world size must be >= 1")
+	}
+	rv, err := NewRendezvous("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	w := &World{comms: make([]*Comm, size)}
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	wg.Add(size - 1)
+	for r := 1; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			w.comms[r], errs[r] = JoinTCP(rv.Addr(), r, size, opt)
+		}(r)
+	}
+	w.comms[0], errs[0] = rv.Accept(size, opt)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			w.Close()
+			return nil, err
 		}
 	}
-	return &World{size: size, links: links}
+	return w, nil
+}
+
+// NewWorldFor builds an in-process world on the named fabric — the one
+// place the transport-name switch lives, so the perf suite, experiments,
+// examples, and tests cannot drift when a transport is added.
+func NewWorldFor(transport string, size int, opt TCPOptions) (*World, error) {
+	switch transport {
+	case "chan":
+		return NewWorld(size), nil
+	case "tcp":
+		return NewTCPWorld(size, opt)
+	}
+	return nil, fmt.Errorf("mpi: unknown transport %q (want chan or tcp)", transport)
 }
 
 // Size returns the number of ranks.
-func (w *World) Size() int { return w.size }
+func (w *World) Size() int { return len(w.comms) }
 
 // Run executes fn once per rank, each in its own goroutine, and blocks until
-// every rank returns. It is the mpirun of this package.
-func (w *World) Run(fn func(c *Comm)) {
+// every rank returns. It is the mpirun of the in-process fabrics. A rank
+// whose fn returns an error has its transport closed immediately, which
+// poisons the links its peers are blocked on — they unwind with link errors
+// instead of deadlocking mid-collective, exactly as a crashed rank process
+// unwinds a TCP world. Run returns the root-cause error: the first (by rank
+// order) that is not a secondary ErrClosed teardown echo.
+func (w *World) Run(fn func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	for r := 0; r < w.size; r++ {
+	errs := make([]error, len(w.comms))
+	for r := range w.comms {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			fn(&Comm{rank: rank, world: w})
+			if err := fn(w.comms[rank]); err != nil {
+				errs[rank] = err
+				w.comms[rank].Close()
+			}
 		}(r)
 	}
 	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	return first
 }
 
-// Comm is one rank's handle on the world.
-type Comm struct {
-	rank  int
-	world *World
+// Comm returns rank r's communicator (nil outside [0, Size)).
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= len(w.comms) {
+		return nil
+	}
+	return w.comms[r]
 }
+
+// Close tears down every rank's transport (a no-op on the chan fabric).
+func (w *World) Close() error {
+	var first error
+	for _, c := range w.comms {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Comm is one rank's handle on the world: the collectives, layered on a
+// Transport.
+type Comm struct {
+	t Transport
+}
+
+// NewComm wraps a transport endpoint in a communicator.
+func NewComm(t Transport) *Comm { return &Comm{t: t} }
 
 // Rank returns this rank's id in [0, Size).
-func (c *Comm) Rank() int { return c.rank }
+func (c *Comm) Rank() int { return c.t.Rank() }
 
 // Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+func (c *Comm) Size() int { return c.t.Size() }
+
+// Close tears down this rank's transport endpoint.
+func (c *Comm) Close() error { return c.t.Close() }
 
 // Send delivers a copy of data to rank dst with the given tag. It blocks
-// only when the link buffer is full (rendezvous beyond the eager limit, in
-// MPI terms).
-func (c *Comm) Send(dst, tag int, data []float64) {
-	if dst < 0 || dst >= c.world.size {
-		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
-	}
-	cp := append([]float64(nil), data...)
-	c.world.links[c.rank][dst] <- message{tag: tag, data: cp}
+// only when the link cannot absorb the message (rendezvous beyond the eager
+// limit, in MPI terms) and fails with the transport's deadline error when
+// the peer does not drain it in time.
+func (c *Comm) Send(dst, tag int, data []float64) error {
+	return c.t.Send(dst, tag, data)
 }
 
-// Recv blocks until the next message from src arrives and returns its
-// payload. The expected tag is asserted: a mismatch is a protocol bug in the
-// calling program, so it panics (the moral equivalent of an MPI error of
-// class MPI_ERR_TAG).
-func (c *Comm) Recv(src, tag int) []float64 {
-	if src < 0 || src >= c.world.size {
-		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
-	}
-	m := <-c.world.links[src][c.rank]
-	if m.tag != tag {
-		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d",
-			c.rank, tag, src, m.tag))
-	}
-	return m.data
+// Recv blocks until the next message from src with the given tag arrives and
+// returns its payload. On the chan fabric a mismatched tag is reported as
+// ErrTagMismatch (strict non-overtaking FIFO); on tcp the frames are
+// demultiplexed by tag and an absent message surfaces as ErrTimeout.
+func (c *Comm) Recv(src, tag int) ([]float64, error) {
+	return c.t.Recv(src, tag)
 }
 
 // Internal collective tags live in a reserved negative space so they can
-// never collide with user point-to-point tags.
+// never collide with user point-to-point tags — or with each other: the
+// barrier burns one tag per dissemination round (tagBarrierBase-dist, dist
+// a power of two), so it gets its own range well below the fixed tags.
 const (
-	tagBarrier = -1000 - iota
-	tagBcast
+	tagBcast = -1000 - iota
 	tagReduce
 	tagGather
+
+	tagBarrierBase = -2000
 )
 
 // Barrier blocks until every rank has entered it. Dissemination algorithm:
 // ⌈log2 P⌉ rounds, in round k rank r signals (r+2^k) mod P and waits for
 // (r-2^k) mod P.
-func (c *Comm) Barrier() {
-	p := c.world.size
+func (c *Comm) Barrier() error {
+	p := c.Size()
 	for dist := 1; dist < p; dist *= 2 {
-		to := (c.rank + dist) % p
-		from := (c.rank - dist + p) % p
-		c.Send(to, tagBarrier-dist, nil)
-		c.Recv(from, tagBarrier-dist)
+		to := (c.Rank() + dist) % p
+		from := (c.Rank() - dist + p) % p
+		if err := c.Send(to, tagBarrierBase-dist, nil); err != nil {
+			return err
+		}
+		if _, err := c.Recv(from, tagBarrierBase-dist); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Broadcast copies root's data to every rank, in place, via a binomial tree
 // rooted at root. All ranks must pass slices of equal length.
-func (c *Comm) Broadcast(root int, data []float64) {
-	p := c.world.size
+func (c *Comm) Broadcast(root int, data []float64) error {
+	p := c.Size()
+	if err := checkRank("broadcast root", root, p); err != nil {
+		return err
+	}
 	// Work in the rotated space where the root is rank 0.
-	vrank := (c.rank - root + p) % p
+	vrank := (c.Rank() - root + p) % p
 	// Receive from parent (except the root).
 	if vrank != 0 {
 		// The parent clears the lowest set bit of vrank.
 		parent := (vrank&(vrank-1) + root) % p
-		got := c.Recv(parent, tagBcast)
+		got, err := c.Recv(parent, tagBcast)
+		if err != nil {
+			return err
+		}
 		if len(got) != len(data) {
-			panic("mpi: Broadcast length mismatch across ranks")
+			return fmt.Errorf("mpi: Broadcast length mismatch across ranks: %d vs %d",
+				len(got), len(data))
 		}
 		copy(data, got)
 	}
@@ -148,9 +256,12 @@ func (c *Comm) Broadcast(root int, data []float64) {
 		}
 		child := vrank | bit
 		if child < p {
-			c.Send((child+root)%p, tagBcast, data)
+			if err := c.Send((child+root)%p, tagBcast, data); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // ReduceOp combines two values element-wise during reductions.
@@ -174,11 +285,25 @@ var (
 )
 
 // Reduce combines data from all ranks with op; the result lands in root's
-// data slice (other ranks' slices hold partial reductions afterwards and
-// should be treated as scratch). Binomial tree, ⌈log2 P⌉ rounds.
-func (c *Comm) Reduce(root int, data []float64, op ReduceOp) {
-	p := c.world.size
-	vrank := (c.rank - root + p) % p
+// data slice. Non-root ranks' slices are left untouched — partial reductions
+// accumulate in an internal copy, never in the caller's buffer (MPI_Reduce's
+// sendbuf contract). Binomial tree, ⌈log2 P⌉ rounds.
+func (c *Comm) Reduce(root int, data []float64, op ReduceOp) error {
+	p := c.Size()
+	if err := checkRank("reduce root", root, p); err != nil {
+		return err
+	}
+	vrank := (c.Rank() - root + p) % p
+	// Accumulation buffer. The root owns the output, so it accumulates in
+	// data directly; odd vranks are leaves that forward their buffer without
+	// ever mutating it (Send copies); only internal tree nodes need a
+	// scratch copy to keep the caller's buffer unscathed (the
+	// scratch-clobbering of the original implementation was a contract bug:
+	// callers reasonably reuse their send buffers).
+	acc := data
+	if vrank != 0 && vrank&1 == 0 {
+		acc = append([]float64(nil), data...)
+	}
 	for bit := 1; bit < p; bit *= 2 {
 		if vrank&(bit-1) != 0 {
 			continue
@@ -186,61 +311,83 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) {
 		if vrank&bit != 0 {
 			// Sender: deliver partial result to parent and exit the tree.
 			parent := (vrank ^ bit + root) % p
-			c.Send(parent, tagReduce, data)
-			return
+			return c.Send(parent, tagReduce, acc)
 		}
 		child := vrank | bit
 		if child < p {
-			got := c.Recv((child+root)%p, tagReduce)
-			if len(got) != len(data) {
-				panic("mpi: Reduce length mismatch across ranks")
+			got, err := c.Recv((child+root)%p, tagReduce)
+			if err != nil {
+				return err
 			}
-			for i := range data {
-				data[i] = op(data[i], got[i])
+			if len(got) != len(acc) {
+				return fmt.Errorf("mpi: Reduce length mismatch across ranks: %d vs %d",
+					len(got), len(acc))
+			}
+			for i := range acc {
+				acc[i] = op(acc[i], got[i])
 			}
 		}
 	}
+	// Only the root falls out of the loop (every other rank returned from
+	// the sender branch), and the root's acc is data itself — the final
+	// reduction is already in place.
+	return nil
 }
 
 // Allreduce combines data across all ranks with op and leaves the full
 // result on every rank: Reduce to rank 0 followed by Broadcast, the classic
 // tree implementation.
-func (c *Comm) Allreduce(data []float64, op ReduceOp) {
-	c.Reduce(0, data, op)
-	c.Broadcast(0, data)
+func (c *Comm) Allreduce(data []float64, op ReduceOp) error {
+	if err := c.Reduce(0, data, op); err != nil {
+		return err
+	}
+	return c.Broadcast(0, data)
 }
 
 // AllreduceMean averages data element-wise across ranks — the collective
 // BCPNN data-parallel training uses to merge trace estimates (DESIGN.md A3).
-func (c *Comm) AllreduceMean(data []float64) {
-	c.Allreduce(data, OpSum)
-	inv := 1 / float64(c.world.size)
+func (c *Comm) AllreduceMean(data []float64) error {
+	if err := c.Allreduce(data, OpSum); err != nil {
+		return err
+	}
+	inv := 1 / float64(c.Size())
 	for i := range data {
 		data[i] *= inv
 	}
+	return nil
 }
 
 // Allgather concatenates every rank's send buffer in rank order and returns
 // the result on all ranks. Gather-to-root + broadcast.
-func (c *Comm) Allgather(send []float64) []float64 {
-	p := c.world.size
+func (c *Comm) Allgather(send []float64) ([]float64, error) {
+	p := c.Size()
 	n := len(send)
 	// Every rank must contribute the same length; assert via a max reduce.
 	lenCheck := []float64{float64(n)}
-	c.Allreduce(lenCheck, OpMax)
+	if err := c.Allreduce(lenCheck, OpMax); err != nil {
+		return nil, err
+	}
 	if int(lenCheck[0]) != n {
-		panic("mpi: Allgather length mismatch across ranks")
+		return nil, fmt.Errorf("mpi: Allgather length mismatch across ranks: %d vs max %d",
+			n, int(lenCheck[0]))
 	}
 	all := make([]float64, p*n)
-	copy(all[c.rank*n:], send)
-	if c.rank == 0 {
+	copy(all[c.Rank()*n:], send)
+	if c.Rank() == 0 {
 		for r := 1; r < p; r++ {
-			got := c.Recv(r, tagGather)
+			got, err := c.Recv(r, tagGather)
+			if err != nil {
+				return nil, err
+			}
 			copy(all[r*n:], got)
 		}
 	} else {
-		c.Send(0, tagGather, send)
+		if err := c.Send(0, tagGather, send); err != nil {
+			return nil, err
+		}
 	}
-	c.Broadcast(0, all)
-	return all
+	if err := c.Broadcast(0, all); err != nil {
+		return nil, err
+	}
+	return all, nil
 }

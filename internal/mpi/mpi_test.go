@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -9,6 +10,33 @@ import (
 
 // worldSizes covers 1 rank, powers of two, and awkward non-powers.
 var worldSizes = []int{1, 2, 3, 4, 5, 7, 8}
+
+// transports enumerates the fabrics every known-answer collective test runs
+// on. The chan fabric is free to build; the tcp fabric pays a loopback
+// rendezvous per world, so tests reuse worlds where the semantics allow.
+var transports = []struct {
+	name string
+	make func(t *testing.T, size int) *World
+}{
+	{"chan", func(t *testing.T, size int) *World { return NewWorld(size) }},
+	{"tcp", func(t *testing.T, size int) *World {
+		t.Helper()
+		w, err := NewTCPWorld(size, TCPOptions{Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("NewTCPWorld(%d): %v", size, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		return w
+	}},
+}
+
+// run fails the test on any rank error.
+func run(t *testing.T, w *World, fn func(c *Comm) error) {
+	t.Helper()
+	if err := w.Run(fn); err != nil {
+		t.Fatalf("world run: %v", err)
+	}
+}
 
 func TestNewWorldInvalidSizePanics(t *testing.T) {
 	defer func() {
@@ -20,106 +48,235 @@ func TestNewWorldInvalidSizePanics(t *testing.T) {
 }
 
 func TestSendRecvPair(t *testing.T) {
-	w := NewWorld(2)
-	w.Run(func(c *Comm) {
-		if c.Rank() == 0 {
-			c.Send(1, 7, []float64{1, 2, 3})
-		} else {
-			got := c.Recv(0, 7)
-			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
-				t.Errorf("bad payload %v", got)
-			}
-		}
-	})
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			w := tr.make(t, 2)
+			run(t, w, func(c *Comm) error {
+				if c.Rank() == 0 {
+					return c.Send(1, 7, []float64{1, 2, 3})
+				}
+				got, err := c.Recv(0, 7)
+				if err != nil {
+					return err
+				}
+				if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+					t.Errorf("bad payload %v", got)
+				}
+				return nil
+			})
+		})
+	}
 }
 
 func TestSendCopiesData(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			w := tr.make(t, 2)
+			run(t, w, func(c *Comm) error {
+				if c.Rank() == 0 {
+					buf := []float64{42}
+					if err := c.Send(1, 0, buf); err != nil {
+						return err
+					}
+					buf[0] = 0 // mutate after send; receiver must still see 42
+					return nil
+				}
+				got, err := c.Recv(0, 0)
+				if err != nil {
+					return err
+				}
+				if got[0] != 42 {
+					t.Errorf("send aliased caller buffer: %v", got)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestChanRecvTagMismatch: the chan fabric enforces the strict FIFO tag
+// discipline and reports violations as ErrTagMismatch.
+func TestChanRecvTagMismatch(t *testing.T) {
 	w := NewWorld(2)
-	w.Run(func(c *Comm) {
+	errc := make(chan error, 1)
+	w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			buf := []float64{42}
-			c.Send(1, 0, buf)
-			buf[0] = 0 // mutate after send; receiver must still see 42
-		} else {
-			if got := c.Recv(0, 0); got[0] != 42 {
-				t.Errorf("send aliased caller buffer: %v", got)
-			}
+			return c.Send(1, 1, nil)
 		}
+		_, err := c.Recv(0, 2)
+		errc <- err
+		return nil
+	})
+	if err := <-errc; !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("want ErrTagMismatch, got %v", err)
+	}
+}
+
+// TestTCPRecvByTagOutOfOrder: the tcp fabric demultiplexes by tag, so a
+// receiver can take messages in a different order than they were sent —
+// MPI's matching rule.
+func TestTCPRecvByTagOutOfOrder(t *testing.T) {
+	w, err := NewTCPWorld(2, TCPOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	run(t, w, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []float64{10}); err != nil {
+				return err
+			}
+			return c.Send(1, 2, []float64{20})
+		}
+		second, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		first, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if second[0] != 20 || first[0] != 10 {
+			t.Errorf("demux broke payloads: tag1=%v tag2=%v", first, second)
+		}
+		return nil
 	})
 }
 
-func TestRecvTagMismatchPanics(t *testing.T) {
-	w := NewWorld(2)
-	panicked := make(chan bool, 1)
-	w.Run(func(c *Comm) {
-		if c.Rank() == 0 {
-			c.Send(1, 1, nil)
-		} else {
-			defer func() { panicked <- recover() != nil }()
-			c.Recv(0, 2)
-		}
-	})
-	if !<-panicked {
-		t.Fatal("expected tag mismatch panic")
+func TestSendRecvInvalidRank(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			w := tr.make(t, 2)
+			run(t, w, func(c *Comm) error {
+				if err := c.Send(5, 0, nil); err == nil {
+					t.Error("Send to rank 5 of 2 succeeded")
+				}
+				if _, err := c.Recv(-1, 0); err == nil {
+					t.Error("Recv from rank -1 succeeded")
+				}
+				if err := c.Send(c.Rank(), 0, nil); err == nil {
+					t.Error("self-send succeeded")
+				}
+				return nil
+			})
+		})
 	}
 }
 
 func TestBarrierSynchronizes(t *testing.T) {
-	for _, p := range worldSizes {
-		var before, after int64
-		w := NewWorld(p)
-		w.Run(func(c *Comm) {
-			atomic.AddInt64(&before, 1)
-			if c.Rank() == 0 {
-				// Give the others a head start at the barrier; they must
-				// not pass until rank 0 arrives.
-				time.Sleep(5 * time.Millisecond)
-				if n := atomic.LoadInt64(&after); n != 0 {
-					t.Errorf("p=%d: %d ranks passed barrier early", p, n)
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				var before, after int64
+				w := tr.make(t, p)
+				run(t, w, func(c *Comm) error {
+					atomic.AddInt64(&before, 1)
+					if c.Rank() == 0 {
+						// Give the others a head start at the barrier; they
+						// must not pass until rank 0 arrives.
+						time.Sleep(5 * time.Millisecond)
+						if n := atomic.LoadInt64(&after); n != 0 {
+							t.Errorf("p=%d: %d ranks passed barrier early", p, n)
+						}
+					}
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					atomic.AddInt64(&after, 1)
+					return nil
+				})
+				if before != int64(p) || after != int64(p) {
+					t.Fatalf("p=%d: before=%d after=%d", p, before, after)
 				}
 			}
-			c.Barrier()
-			atomic.AddInt64(&after, 1)
 		})
-		if before != int64(p) || after != int64(p) {
-			t.Fatalf("p=%d: before=%d after=%d", p, before, after)
-		}
 	}
 }
 
 func TestBroadcastAllRootsAllSizes(t *testing.T) {
-	for _, p := range worldSizes {
-		for root := 0; root < p; root++ {
-			w := NewWorld(p)
-			w.Run(func(c *Comm) {
-				data := make([]float64, 4)
-				if c.Rank() == root {
-					for i := range data {
-						data[i] = float64(root*10 + i)
-					}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				for root := 0; root < p; root++ {
+					root := root
+					run(t, w, func(c *Comm) error {
+						data := make([]float64, 4)
+						if c.Rank() == root {
+							for i := range data {
+								data[i] = float64(root*10 + i)
+							}
+						}
+						if err := c.Broadcast(root, data); err != nil {
+							return err
+						}
+						for i := range data {
+							if data[i] != float64(root*10+i) {
+								t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), data)
+								return nil
+							}
+						}
+						return nil
+					})
 				}
-				c.Broadcast(root, data)
-				for i := range data {
-					if data[i] != float64(root*10+i) {
-						t.Errorf("p=%d root=%d rank=%d got %v", p, root, c.Rank(), data)
-						return
-					}
-				}
-			})
-		}
+			}
+		})
 	}
 }
 
 func TestReduceSum(t *testing.T) {
-	for _, p := range worldSizes {
-		w := NewWorld(p)
-		w.Run(func(c *Comm) {
-			data := []float64{float64(c.Rank() + 1), 1}
-			c.Reduce(0, data, OpSum)
-			if c.Rank() == 0 {
-				wantFirst := float64(p*(p+1)) / 2
-				if math.Abs(data[0]-wantFirst) > 1e-12 || data[1] != float64(p) {
-					t.Errorf("p=%d: reduce got %v, want [%v %d]", p, data, wantFirst, p)
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				run(t, w, func(c *Comm) error {
+					data := []float64{float64(c.Rank() + 1), 1}
+					if err := c.Reduce(0, data, OpSum); err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						wantFirst := float64(p*(p+1)) / 2
+						if math.Abs(data[0]-wantFirst) > 1e-12 || data[1] != float64(p) {
+							t.Errorf("p=%d: reduce got %v, want [%v %d]", p, data, wantFirst, p)
+						}
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// TestReduceLeavesNonRootBuffersIntact is the regression test for the
+// scratch-clobbering bug: Reduce used non-root ranks' buffers as partial-
+// reduction scratch, so a caller reusing its send buffer read garbage.
+// The collective's contract is MPI_Reduce's — only root's buffer changes.
+func TestReduceLeavesNonRootBuffersIntact(t *testing.T) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				for root := 0; root < p; root++ {
+					root := root
+					run(t, w, func(c *Comm) error {
+						data := []float64{float64(c.Rank()), float64(c.Rank() * 3)}
+						want := append([]float64(nil), data...)
+						if err := c.Reduce(root, data, OpSum); err != nil {
+							return err
+						}
+						if c.Rank() == root {
+							wantSum := float64(p*(p-1)) / 2
+							if data[0] != wantSum || data[1] != 3*wantSum {
+								t.Errorf("p=%d root=%d: wrong reduction %v", p, root, data)
+							}
+							return nil
+						}
+						if data[0] != want[0] || data[1] != want[1] {
+							t.Errorf("p=%d root=%d rank=%d: buffer clobbered: %v, want %v",
+								p, root, c.Rank(), data, want)
+						}
+						return nil
+					})
 				}
 			}
 		})
@@ -127,57 +284,116 @@ func TestReduceSum(t *testing.T) {
 }
 
 func TestAllreduceSumMaxMin(t *testing.T) {
-	for _, p := range worldSizes {
-		w := NewWorld(p)
-		w.Run(func(c *Comm) {
-			r := float64(c.Rank())
-			sum := []float64{r}
-			c.Allreduce(sum, OpSum)
-			if want := float64(p*(p-1)) / 2; sum[0] != want {
-				t.Errorf("p=%d rank=%d: sum=%v want %v", p, c.Rank(), sum[0], want)
-			}
-			max := []float64{r}
-			c.Allreduce(max, OpMax)
-			if max[0] != float64(p-1) {
-				t.Errorf("p=%d: max=%v", p, max[0])
-			}
-			min := []float64{r}
-			c.Allreduce(min, OpMin)
-			if min[0] != 0 {
-				t.Errorf("p=%d: min=%v", p, min[0])
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				run(t, w, func(c *Comm) error {
+					r := float64(c.Rank())
+					sum := []float64{r}
+					if err := c.Allreduce(sum, OpSum); err != nil {
+						return err
+					}
+					if want := float64(p*(p-1)) / 2; sum[0] != want {
+						t.Errorf("p=%d rank=%d: sum=%v want %v", p, c.Rank(), sum[0], want)
+					}
+					max := []float64{r}
+					if err := c.Allreduce(max, OpMax); err != nil {
+						return err
+					}
+					if max[0] != float64(p-1) {
+						t.Errorf("p=%d: max=%v", p, max[0])
+					}
+					min := []float64{r}
+					if err := c.Allreduce(min, OpMin); err != nil {
+						return err
+					}
+					if min[0] != 0 {
+						t.Errorf("p=%d: min=%v", p, min[0])
+					}
+					return nil
+				})
 			}
 		})
 	}
 }
 
 func TestAllreduceMean(t *testing.T) {
-	for _, p := range worldSizes {
-		w := NewWorld(p)
-		w.Run(func(c *Comm) {
-			data := []float64{float64(c.Rank()), 10}
-			c.AllreduceMean(data)
-			wantMean := float64(p-1) / 2
-			if math.Abs(data[0]-wantMean) > 1e-12 || math.Abs(data[1]-10) > 1e-12 {
-				t.Errorf("p=%d: mean=%v want [%v 10]", p, data, wantMean)
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				run(t, w, func(c *Comm) error {
+					data := []float64{float64(c.Rank()), 10}
+					if err := c.AllreduceMean(data); err != nil {
+						return err
+					}
+					wantMean := float64(p-1) / 2
+					if math.Abs(data[0]-wantMean) > 1e-12 || math.Abs(data[1]-10) > 1e-12 {
+						t.Errorf("p=%d: mean=%v want [%v 10]", p, data, wantMean)
+					}
+					return nil
+				})
 			}
 		})
 	}
 }
 
 func TestAllgather(t *testing.T) {
-	for _, p := range worldSizes {
-		w := NewWorld(p)
-		w.Run(func(c *Comm) {
-			all := c.Allgather([]float64{float64(c.Rank()), float64(c.Rank() * 2)})
-			if len(all) != 2*p {
-				t.Errorf("p=%d: len=%d", p, len(all))
-				return
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			for _, p := range worldSizes {
+				w := tr.make(t, p)
+				run(t, w, func(c *Comm) error {
+					all, err := c.Allgather([]float64{float64(c.Rank()), float64(c.Rank() * 2)})
+					if err != nil {
+						return err
+					}
+					if len(all) != 2*p {
+						t.Errorf("p=%d: len=%d", p, len(all))
+						return nil
+					}
+					for r := 0; r < p; r++ {
+						if all[2*r] != float64(r) || all[2*r+1] != float64(2*r) {
+							t.Errorf("p=%d rank=%d: bad gather %v", p, c.Rank(), all)
+							return nil
+						}
+					}
+					return nil
+				})
 			}
-			for r := 0; r < p; r++ {
-				if all[2*r] != float64(r) || all[2*r+1] != float64(2*r) {
-					t.Errorf("p=%d rank=%d: bad gather %v", p, c.Rank(), all)
-					return
+		})
+	}
+}
+
+// TestRunUnblocksPeersOnRankError: a rank failing out of Run must not leave
+// its peers hanging in a collective — Run closes the failed rank's
+// transport, which poisons the links peers are blocked on, and reports the
+// root cause rather than a secondary teardown error. Checked on both
+// fabrics: the chan fabric poisons globally, the tcp fabric through its
+// dead readers.
+func TestRunUnblocksPeersOnRankError(t *testing.T) {
+	rootCause := errors.New("rank 0 gave up")
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			w := tr.make(t, 3)
+			done := make(chan error, 1)
+			go func() {
+				done <- w.Run(func(c *Comm) error {
+					if c.Rank() == 0 {
+						return rootCause // never enters the collective
+					}
+					data := []float64{1}
+					return c.Allreduce(data, OpSum) // blocks on rank 0
+				})
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, rootCause) {
+					t.Fatalf("want the root cause, got %v", err)
 				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("peers stayed blocked after a rank error")
 			}
 		})
 	}
@@ -186,28 +402,25 @@ func TestAllgather(t *testing.T) {
 func TestCollectivesRepeatable(t *testing.T) {
 	// Reusing the same world for consecutive collectives must not deadlock
 	// or cross-talk (tag discipline between rounds).
-	w := NewWorld(4)
-	w.Run(func(c *Comm) {
-		for iter := 0; iter < 20; iter++ {
-			data := []float64{1}
-			c.Allreduce(data, OpSum)
-			if data[0] != 4 {
-				t.Errorf("iter %d: %v", iter, data[0])
-				return
-			}
-			c.Barrier()
-		}
-	})
-}
-
-func TestSendInvalidRankPanics(t *testing.T) {
-	w := NewWorld(1)
-	w.Run(func(c *Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
-		c.Send(5, 0, nil)
-	})
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			w := tr.make(t, 4)
+			run(t, w, func(c *Comm) error {
+				for iter := 0; iter < 20; iter++ {
+					data := []float64{1}
+					if err := c.Allreduce(data, OpSum); err != nil {
+						return err
+					}
+					if data[0] != 4 {
+						t.Errorf("iter %d: %v", iter, data[0])
+						return nil
+					}
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
 }

@@ -1,0 +1,629 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// The tcp transport makes the fabric transport-real: each rank is its own OS
+// process (or, for tests and perf runs, a goroutine holding real loopback
+// sockets) and every rank pair is one TCP connection carrying length-prefixed
+// binary frames. Bootstrap is a rank-0 rendezvous (DESIGN.md §10): every
+// rank dials rank 0's listener and announces its own data listener; rank 0
+// gathers the address table, sends it back to everyone, and the non-zero
+// ranks complete the mesh directly (lower rank dials higher). The conns to
+// rank 0 made during rendezvous are reused as the rank-0 data links, so a
+// world of P ranks settles at exactly P(P−1)/2 connections.
+
+// TCPOptions tunes the tcp transport's deadlines. The zero value uses the
+// defaults below.
+type TCPOptions struct {
+	// RendezvousTimeout bounds the whole bootstrap: rank 0 waiting for
+	// joiners, joiners dialing rank 0 and each other. Default 30s.
+	RendezvousTimeout time.Duration
+	// Timeout bounds each Send's socket write and each Recv's wait for a
+	// matching frame. Collectives inherit it per message hop. 0 uses the
+	// default (2 minutes — a rank legitimately blocks in Recv while its
+	// peers finish a local training epoch); negative disables deadlines.
+	Timeout time.Duration
+}
+
+const (
+	defaultRendezvousTimeout = 30 * time.Second
+	defaultIOTimeout         = 2 * time.Minute
+
+	// helloMagic opens every bootstrap exchange; a port scanner or a
+	// mismatched binary fails fast instead of corrupting the mesh.
+	helloMagic = 0x53425231 // "SBR1"
+
+	// maxFrameFloats caps one frame's payload (1 GiB of float64s). A length
+	// prefix beyond it means a corrupt or hostile stream, not a real
+	// collective.
+	maxFrameFloats = 1 << 27
+)
+
+func (o TCPOptions) rendezvousTimeout() time.Duration {
+	if o.RendezvousTimeout <= 0 {
+		return defaultRendezvousTimeout
+	}
+	return o.RendezvousTimeout
+}
+
+func (o TCPOptions) ioTimeout() time.Duration {
+	switch {
+	case o.Timeout == 0:
+		return defaultIOTimeout
+	case o.Timeout < 0:
+		return 0 // disabled
+	}
+	return o.Timeout
+}
+
+// ---------------------------------------------------------------- wire format
+
+// Data frames are length-prefixed binary (DESIGN.md §10):
+//
+//	uint32  n        payload length in float64s (big endian)
+//	int32   tag      message tag
+//	n × u64 payload  IEEE-754 bits, big endian
+//
+// float64 bits round-trip exactly, so a value crosses the process boundary
+// bit-identical — the property the rank-count-invariance experiment (E9)
+// leans on.
+
+// frameChunkFloats is how many payload floats the codec moves per
+// bufio call: big enough that per-call overhead vanishes against a
+// trace-merge frame, small enough to live on the stack.
+const frameChunkFloats = 512
+
+// writeFrame encodes one frame into w, staging the payload through a stack
+// chunk so large collectives cost O(len/chunk) writer calls, not O(len).
+func writeFrame(w *bufio.Writer, tag int, data []float64) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(data)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(tag)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var chunk [frameChunkFloats * 8]byte
+	for off := 0; off < len(data); off += frameChunkFloats {
+		part := data[off:min(off+frameChunkFloats, len(data))]
+		for i, v := range part {
+			binary.BigEndian.PutUint64(chunk[i*8:], math.Float64bits(v))
+		}
+		if _, err := w.Write(chunk[:len(part)*8]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readFrame decodes one frame from r, chunked like writeFrame.
+func readFrame(r *bufio.Reader) (tag int, data []float64, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	tag = int(int32(binary.BigEndian.Uint32(hdr[4:])))
+	if n > maxFrameFloats {
+		return 0, nil, fmt.Errorf("mpi: frame claims %d floats (corrupt stream?)", n)
+	}
+	data = make([]float64, n)
+	var chunk [frameChunkFloats * 8]byte
+	for off := 0; off < len(data); off += frameChunkFloats {
+		part := data[off:min(off+frameChunkFloats, len(data))]
+		if _, err := io.ReadFull(r, chunk[:len(part)*8]); err != nil {
+			return 0, nil, err
+		}
+		for i := range part {
+			part[i] = math.Float64frombits(binary.BigEndian.Uint64(chunk[i*8:]))
+		}
+	}
+	return tag, data, nil
+}
+
+// hello is the bootstrap announcement: magic, rank, world size, and the
+// sender's data-listener address (empty on mesh conns, where only identity
+// matters).
+func writeHello(w io.Writer, rank, size int, addr string) error {
+	buf := make([]byte, 14+len(addr))
+	binary.BigEndian.PutUint32(buf[0:], helloMagic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(rank))
+	binary.BigEndian.PutUint32(buf[8:], uint32(size))
+	binary.BigEndian.PutUint16(buf[12:], uint16(len(addr)))
+	copy(buf[14:], addr)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readHello(r io.Reader) (rank, size int, addr string, err error) {
+	var buf [14]byte
+	if _, err = io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, "", err
+	}
+	if m := binary.BigEndian.Uint32(buf[0:]); m != helloMagic {
+		return 0, 0, "", fmt.Errorf("mpi: bad hello magic %#x (not a streambrain rank?)", m)
+	}
+	rank = int(binary.BigEndian.Uint32(buf[4:]))
+	size = int(binary.BigEndian.Uint32(buf[8:]))
+	alen := int(binary.BigEndian.Uint16(buf[12:]))
+	ab := make([]byte, alen)
+	if _, err = io.ReadFull(r, ab); err != nil {
+		return 0, 0, "", err
+	}
+	return rank, size, string(ab), nil
+}
+
+// writeTable / readTable carry the gathered rank→address table from rank 0
+// to every joiner over the rendezvous conn.
+func writeTable(w io.Writer, addrs []string) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(addrs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, a := range addrs {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(a)))
+		if _, err := w.Write(l[:]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTable(r io.Reader) ([]string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 1<<16 {
+		return nil, fmt.Errorf("mpi: address table claims %d ranks", n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		var l [2]byte
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return nil, err
+		}
+		b := make([]byte, binary.BigEndian.Uint16(l[:]))
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		addrs[i] = string(b)
+	}
+	return addrs, nil
+}
+
+// ---------------------------------------------------------------- demux inbox
+
+// inbox holds the frames one peer has sent us, demultiplexed by tag — real
+// MPI's matching rule: a Recv(src, tag) takes the oldest message from src
+// with exactly that tag, regardless of what else src has posted. Per-tag
+// order is arrival order, so the per-pair non-overtaking guarantee survives.
+type inbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[int][][]float64
+	err  error // terminal: reader failed or transport closed
+}
+
+func newInbox() *inbox {
+	ib := &inbox{q: make(map[int][][]float64)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(tag int, data []float64) {
+	ib.mu.Lock()
+	ib.q[tag] = append(ib.q[tag], data)
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// fail marks the inbox dead; waiting and future recvs return err.
+func (ib *inbox) fail(err error) {
+	ib.mu.Lock()
+	if ib.err == nil {
+		ib.err = err
+	}
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// recv waits up to timeout (0 = forever) for a message with the tag.
+func (ib *inbox) recv(tag int, timeout time.Duration) ([]float64, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	expired := false
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			ib.mu.Lock()
+			expired = true
+			ib.cond.Broadcast()
+			ib.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	for {
+		if q := ib.q[tag]; len(q) > 0 {
+			data := q[0]
+			if len(q) == 1 {
+				delete(ib.q, tag) // keep the map from accreting one-shot tags
+			} else {
+				ib.q[tag] = q[1:]
+			}
+			return data, nil
+		}
+		if ib.err != nil {
+			return nil, ib.err
+		}
+		if expired {
+			return nil, fmt.Errorf("no frame with tag %d within %v: %w", tag, timeout, ErrTimeout)
+		}
+		ib.cond.Wait()
+	}
+}
+
+// ---------------------------------------------------------------- transport
+
+// tcpTransport is one rank's endpoint on the TCP mesh.
+type tcpTransport struct {
+	rank, size int
+	opt        TCPOptions
+
+	conns   []net.Conn   // conns[r] is the link to rank r (nil for self)
+	writeMu []sync.Mutex // serializes frame writes per conn
+	writers []*bufio.Writer
+	inboxes []*inbox // inboxes[r] holds frames from rank r
+
+	closeOnce sync.Once
+	listener  net.Listener // this rank's data listener (may be nil)
+}
+
+// newTCPTransport wires reader goroutines onto an established mesh.
+func newTCPTransport(rank int, conns []net.Conn, ln net.Listener, opt TCPOptions) *tcpTransport {
+	t := &tcpTransport{
+		rank: rank, size: len(conns), opt: opt,
+		conns:    conns,
+		writeMu:  make([]sync.Mutex, len(conns)),
+		writers:  make([]*bufio.Writer, len(conns)),
+		inboxes:  make([]*inbox, len(conns)),
+		listener: ln,
+	}
+	for r, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		t.writers[r] = bufio.NewWriterSize(conn, 1<<16)
+		ib := newInbox()
+		t.inboxes[r] = ib
+		go func(conn net.Conn, ib *inbox, r int) {
+			br := bufio.NewReaderSize(conn, 1<<16)
+			for {
+				tag, data, err := readFrame(br)
+				if err != nil {
+					ib.fail(fmt.Errorf("mpi: rank %d link to %d down: %w", rank, r, wrapNetErr(err)))
+					return
+				}
+				ib.push(tag, data)
+			}
+		}(conn, ib, r)
+	}
+	return t
+}
+
+// wrapNetErr maps socket-level failures onto the package sentinels so
+// callers can errors.Is without knowing the backend — and so World.Run can
+// tell a root-cause failure from the teardown echoes it triggers on peers
+// (resets and closed-socket errors are teardown, not causes).
+func wrapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("%v: %w", err, ErrTimeout)
+	}
+	if err == io.EOF || err == io.ErrUnexpectedEOF ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("peer closed (%v): %w", err, ErrClosed)
+	}
+	return err
+}
+
+func (t *tcpTransport) Rank() int { return t.rank }
+func (t *tcpTransport) Size() int { return t.size }
+
+func (t *tcpTransport) Send(dst, tag int, data []float64) error {
+	if err := checkRank("send to", dst, t.size); err != nil {
+		return err
+	}
+	if dst == t.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", t.rank)
+	}
+	t.writeMu[dst].Lock()
+	defer t.writeMu[dst].Unlock()
+	conn, w := t.conns[dst], t.writers[dst]
+	if conn == nil {
+		return fmt.Errorf("mpi: rank %d link to %d: %w", t.rank, dst, ErrClosed)
+	}
+	if d := t.opt.ioTimeout(); d > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := writeFrame(w, tag, data); err != nil {
+		return fmt.Errorf("mpi: rank %d send tag %d to %d: %w", t.rank, tag, dst, wrapNetErr(err))
+	}
+	return nil
+}
+
+func (t *tcpTransport) Recv(src, tag int) ([]float64, error) {
+	if err := checkRank("recv from", src, t.size); err != nil {
+		return nil, err
+	}
+	if src == t.rank {
+		return nil, fmt.Errorf("mpi: rank %d receiving from itself", t.rank)
+	}
+	data, err := t.inboxes[src].recv(tag, t.opt.ioTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d recv tag %d from %d: %w", t.rank, tag, src, err)
+	}
+	return data, nil
+}
+
+func (t *tcpTransport) Close() error {
+	t.closeOnce.Do(func() {
+		// Close the sockets first, without the write locks: a Send blocked
+		// mid-frame holds its writeMu, and net.Conn.Close is the documented
+		// way to unblock it. Then nil the slots under the same locks Send
+		// reads them with, so in-flight and future Sends see a coherent
+		// closed state.
+		for _, conn := range t.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		for r := range t.conns {
+			t.writeMu[r].Lock()
+			t.conns[r] = nil
+			t.writeMu[r].Unlock()
+		}
+		if t.listener != nil {
+			t.listener.Close()
+		}
+		for _, ib := range t.inboxes {
+			if ib != nil {
+				ib.fail(ErrClosed)
+			}
+		}
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------- rendezvous
+
+// Rendezvous is rank 0's bootstrap listener — the streambrain-dist launcher's
+// substitute for mpirun's process-manager wire-up. Rank 0 creates one
+// (NewRendezvous), publishes Addr() to the other ranks (the launcher passes
+// it via flag), and calls Accept to complete the world; every other rank
+// calls JoinTCP with the same address.
+type Rendezvous struct {
+	ln net.Listener
+}
+
+// NewRendezvous binds the rank-0 listener. addr may use port 0 to let the
+// kernel pick (Addr reports the concrete address to advertise).
+func NewRendezvous(addr string) (*Rendezvous, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rendezvous listen %s: %w", addr, err)
+	}
+	return &Rendezvous{ln: ln}, nil
+}
+
+// Addr returns the concrete listen address other ranks must JoinTCP.
+func (rv *Rendezvous) Addr() string { return rv.ln.Addr().String() }
+
+// Close releases the listener without completing a world (error paths).
+func (rv *Rendezvous) Close() error { return rv.ln.Close() }
+
+// Accept completes the rendezvous for a world of the given size and returns
+// rank 0's Comm. It blocks until all size−1 peers have joined or the
+// rendezvous timeout expires. The joiners' bootstrap conns become rank 0's
+// data links, and the gathered address table is sent back so the non-zero
+// ranks can finish the mesh among themselves.
+func (rv *Rendezvous) Accept(size int, opt TCPOptions) (*Comm, error) {
+	if size < 1 {
+		rv.ln.Close()
+		return nil, fmt.Errorf("mpi: world size %d < 1", size)
+	}
+	deadline := time.Now().Add(opt.rendezvousTimeout())
+	conns := make([]net.Conn, size)
+	addrs := make([]string, size)
+	addrs[0] = rv.Addr()
+	fail := func(err error) (*Comm, error) {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		rv.ln.Close()
+		return nil, err
+	}
+	for joined := 0; joined < size-1; joined++ {
+		if tl, ok := rv.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("mpi: rendezvous: %d of %d ranks joined: %w",
+				joined+1, size, wrapNetErr(err)))
+		}
+		conn.SetDeadline(deadline)
+		rank, peerSize, addr, err := readHello(conn)
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: rendezvous hello: %w", wrapNetErr(err)))
+		}
+		if peerSize != size {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: rank %d joined with world size %d, rendezvous expects %d",
+				rank, peerSize, size))
+		}
+		if rank < 1 || rank >= size {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: joiner announced invalid rank %d for world of %d", rank, size))
+		}
+		if conns[rank] != nil {
+			conn.Close()
+			return fail(fmt.Errorf("mpi: two joiners announced rank %d", rank))
+		}
+		conns[rank] = conn
+		addrs[rank] = addr
+	}
+	for r := 1; r < size; r++ {
+		if err := writeTable(conns[r], addrs); err != nil {
+			return fail(fmt.Errorf("mpi: sending address table to rank %d: %w", r, wrapNetErr(err)))
+		}
+		conns[r].SetDeadline(time.Time{})
+	}
+	// The rendezvous listener keeps serving as rank 0's data listener slot
+	// (nothing dials it after bootstrap, but closing it here would race the
+	// last joiner's table read on some stacks; Close tears it down).
+	return NewComm(newTCPTransport(0, conns, rv.ln, opt)), nil
+}
+
+// JoinTCP connects rank (>0) of a size-rank world to rank 0's rendezvous
+// address and completes this rank's side of the mesh: announce our own data
+// listener, receive the address table, dial every higher rank, accept from
+// every lower one. It returns the rank's Comm.
+func JoinTCP(addr string, rank, size int, opt TCPOptions) (*Comm, error) {
+	if rank < 1 || rank >= size {
+		return nil, fmt.Errorf("mpi: JoinTCP rank %d outside (0, %d)", rank, size)
+	}
+	deadline := time.Now().Add(opt.rendezvousTimeout())
+	// The data listener other ranks dial; bound before we announce it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d data listener: %w", rank, err)
+	}
+	if host, _, err := net.SplitHostPort(addr); err == nil && !isLoopback(host) {
+		// Multi-host worlds must advertise a routable address: rebind on the
+		// wildcard and advertise the rendezvous-facing interface.
+		ln.Close()
+		ln, err = net.Listen("tcp", ":0")
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d data listener: %w", rank, err)
+		}
+	}
+	fail := func(err error) (*Comm, error) { ln.Close(); return nil, err }
+
+	conn, err := net.DialTimeout("tcp", addr, opt.rendezvousTimeout())
+	if err != nil {
+		return fail(fmt.Errorf("mpi: rank %d dialing rendezvous %s: %w", rank, addr, wrapNetErr(err)))
+	}
+	conn.SetDeadline(deadline)
+	myAddr := advertisedAddr(ln, conn)
+	if err := writeHello(conn, rank, size, myAddr); err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("mpi: rank %d hello: %w", rank, wrapNetErr(err)))
+	}
+	addrs, err := readTable(conn)
+	if err != nil {
+		conn.Close()
+		return fail(fmt.Errorf("mpi: rank %d reading address table: %w", rank, wrapNetErr(err)))
+	}
+	if len(addrs) != size {
+		conn.Close()
+		return fail(fmt.Errorf("mpi: address table has %d ranks, want %d", len(addrs), size))
+	}
+	conn.SetDeadline(time.Time{})
+
+	conns := make([]net.Conn, size)
+	conns[0] = conn
+	// Mesh rule: the lower rank dials the higher one, so every non-zero pair
+	// is wired exactly once.
+	for peer := rank + 1; peer < size; peer++ {
+		pc, err := net.DialTimeout("tcp", addrs[peer], opt.rendezvousTimeout())
+		if err != nil {
+			closeConns(conns)
+			return fail(fmt.Errorf("mpi: rank %d dialing rank %d at %s: %w",
+				rank, peer, addrs[peer], wrapNetErr(err)))
+		}
+		pc.SetDeadline(deadline)
+		if err := writeHello(pc, rank, size, ""); err != nil {
+			pc.Close()
+			closeConns(conns)
+			return fail(fmt.Errorf("mpi: rank %d mesh hello to %d: %w", rank, peer, wrapNetErr(err)))
+		}
+		pc.SetDeadline(time.Time{})
+		conns[peer] = pc
+	}
+	for accepted := 0; accepted < rank-1; accepted++ {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		pc, err := ln.Accept()
+		if err != nil {
+			closeConns(conns)
+			return fail(fmt.Errorf("mpi: rank %d waiting for mesh peers (%d of %d): %w",
+				rank, accepted, rank-1, wrapNetErr(err)))
+		}
+		pc.SetDeadline(deadline)
+		peer, peerSize, _, err := readHello(pc)
+		if err != nil || peerSize != size || peer < 1 || peer >= rank || conns[peer] != nil {
+			if err == nil {
+				err = fmt.Errorf("unexpected mesh hello from rank %d (world %d)", peer, peerSize)
+			}
+			pc.Close()
+			closeConns(conns)
+			return fail(fmt.Errorf("mpi: rank %d mesh accept: %w", rank, wrapNetErr(err)))
+		}
+		pc.SetDeadline(time.Time{})
+		conns[peer] = pc
+	}
+	return NewComm(newTCPTransport(rank, conns, ln, opt)), nil
+}
+
+func closeConns(conns []net.Conn) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func isLoopback(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// advertisedAddr picks the address other ranks should dial for ln: the
+// listener port on the interface this rank reaches rank 0 from.
+func advertisedAddr(ln net.Listener, rendezvous net.Conn) string {
+	_, port, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		return ln.Addr().String()
+	}
+	host, _, err := net.SplitHostPort(rendezvous.LocalAddr().String())
+	if err != nil {
+		return ln.Addr().String()
+	}
+	return net.JoinHostPort(host, port)
+}

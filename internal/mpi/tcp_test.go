@@ -1,0 +1,233 @@
+package mpi
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFrameRoundTrip: the wire format must round-trip float64 payloads
+// bit-exactly (including NaN payloads and negative tags) — the property the
+// rank-count-invariance experiment E9 leans on.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]float64{
+		nil,
+		{},
+		{0, 1, -1, math.Pi},
+		{math.Inf(1), math.Inf(-1), math.NaN(), math.SmallestNonzeroFloat64, -0.0},
+	}
+	for _, tag := range []int{0, 7, -1042} {
+		for _, want := range payloads {
+			var buf bytes.Buffer
+			w := bufio.NewWriter(&buf)
+			if err := writeFrame(w, tag, want); err != nil {
+				t.Fatal(err)
+			}
+			gotTag, got, err := readFrame(bufio.NewReader(&buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotTag != tag || len(got) != len(want) {
+				t.Fatalf("tag=%d len=%d, want tag=%d len=%d", gotTag, len(got), tag, len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("payload[%d] = %x, want %x (not bit-exact)",
+						i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestReadFrameRejectsHugeLength: a corrupt length prefix must fail fast,
+// not allocate gigabytes.
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw))); err == nil {
+		t.Fatal("frame with 2^32-1 floats accepted")
+	}
+}
+
+// TestTCPRecvDeadline: a Recv with no matching frame must return ErrTimeout
+// after the configured deadline instead of blocking forever.
+func TestTCPRecvDeadline(t *testing.T) {
+	w, err := NewTCPWorld(2, TCPOptions{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	start := time.Now()
+	_, err = w.Comm(1).Recv(0, 99)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v", elapsed)
+	}
+}
+
+// TestTCPPeerTeardownPropagates: when a peer closes its transport, a blocked
+// Recv on the other side must fail with a link error, not hang.
+func TestTCPPeerTeardownPropagates(t *testing.T) {
+	w, err := NewTCPWorld(2, TCPOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		_, recvErr = w.Comm(1).Recv(0, 5)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the Recv block
+	w.Comm(0).Close()
+	wg.Wait()
+	if recvErr == nil {
+		t.Fatal("Recv survived peer teardown")
+	}
+	if !errors.Is(recvErr, ErrClosed) && !errors.Is(recvErr, ErrTimeout) {
+		t.Fatalf("want a link-down error, got %v", recvErr)
+	}
+}
+
+// TestTCPSendAfterCloseFails: operations on a closed transport error out.
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	w, err := NewTCPWorld(2, TCPOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Comm(0)
+	w.Close()
+	if err := c.Send(1, 0, []float64{1}); err == nil {
+		t.Fatal("Send on closed transport succeeded")
+	}
+}
+
+// TestJoinSizeMismatchRejected: a rank launched with the wrong -ranks value
+// must be rejected at rendezvous, poisoning the whole bootstrap — a
+// misconfigured world must never train.
+func TestJoinSizeMismatchRejected(t *testing.T) {
+	rv, err := NewRendezvous("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := TCPOptions{RendezvousTimeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var joinErr error
+	go func() {
+		defer wg.Done()
+		var c *Comm
+		c, joinErr = JoinTCP(rv.Addr(), 1, 3, opt) // world of 3, rendezvous expects 2
+		if c != nil {
+			c.Close()
+		}
+	}()
+	if _, err := rv.Accept(2, opt); err == nil {
+		t.Fatal("rendezvous accepted a size-mismatched joiner")
+	}
+	wg.Wait()
+	if joinErr == nil {
+		t.Fatal("mismatched joiner saw no error")
+	}
+}
+
+// TestRendezvousTimesOutWithoutJoiners: rank 0 must not wait forever for
+// ranks that never start.
+func TestRendezvousTimesOutWithoutJoiners(t *testing.T) {
+	rv, err := NewRendezvous("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = rv.Accept(2, TCPOptions{RendezvousTimeout: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Accept returned without any joiner")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rendezvous timeout took %v", elapsed)
+	}
+}
+
+// TestJoinRejectsInvalidRank: rank 0 must use Rendezvous, not JoinTCP.
+func TestJoinRejectsInvalidRank(t *testing.T) {
+	if _, err := JoinTCP("127.0.0.1:1", 0, 2, TCPOptions{}); err == nil {
+		t.Fatal("JoinTCP accepted rank 0")
+	}
+	if _, err := JoinTCP("127.0.0.1:1", 2, 2, TCPOptions{}); err == nil {
+		t.Fatal("JoinTCP accepted rank == size")
+	}
+}
+
+// TestRendezvousRejectsDuplicateRank: two joiners announcing the same rank
+// is a launcher bug and must poison the bootstrap.
+func TestRendezvousRejectsDuplicateRank(t *testing.T) {
+	rv, err := NewRendezvous("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := TCPOptions{RendezvousTimeout: 5 * time.Second}
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", rv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := rv.Accept(3, opt)
+		done <- err
+	}()
+	c1, c2 := dial(), dial()
+	defer c1.Close()
+	defer c2.Close()
+	if err := writeHello(c1, 1, 3, "127.0.0.1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHello(c2, 1, 3, "127.0.0.1:2"); err != nil { // duplicate rank 1
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("rendezvous accepted duplicate rank announcements")
+	}
+}
+
+// TestTCPWorldLargePayload pushes one allreduce well past the bufio sizes so
+// multi-frame buffering and partial reads are exercised.
+func TestTCPWorldLargePayload(t *testing.T) {
+	const n = 1 << 17 // 1 MiB of float64s
+	w, err := NewTCPWorld(3, TCPOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	run(t, w, func(c *Comm) error {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(c.Rank())
+		}
+		if err := c.AllreduceMean(data); err != nil {
+			return err
+		}
+		want := 1.0 // mean of 0,1,2
+		for i := 0; i < n; i += 4097 {
+			if data[i] != want {
+				t.Errorf("rank %d data[%d]=%v want %v", c.Rank(), i, data[i], want)
+				return nil
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,62 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport is the point-to-point fabric one rank sits on. A Comm layers the
+// collectives on top of exactly this interface, so every collective runs
+// unchanged over any backend (DESIGN.md §10):
+//
+//   - the chan transport: ranks are goroutines in one process, links are Go
+//     channels — zero-copy-distance, deterministic, the debugging fabric;
+//   - the tcp transport: each rank is its own OS process (or goroutine, for
+//     tests) and every pair is a TCP connection carrying length-prefixed
+//     binary frames — the cluster fabric.
+//
+// Send delivers a copy of data to rank dst under tag; the receiver's Recv
+// for (src=me, tag) returns it. Per-pair messages with equal tags are
+// non-overtaking (MPI's ordering rule). All methods return errors rather
+// than panicking: at a process boundary the peer may be gone, slow, or
+// misconfigured, and the caller — not the fabric — owns that failure.
+type Transport interface {
+	// Rank is this endpoint's id in [0, Size).
+	Rank() int
+	// Size is the world size.
+	Size() int
+	// Send delivers a copy of data to dst under tag. It must not retain or
+	// mutate data after returning.
+	Send(dst, tag int, data []float64) error
+	// Recv blocks until a message from src with the given tag is available
+	// (subject to the transport's deadline policy) and returns its payload.
+	Recv(src, tag int) ([]float64, error)
+	// Close tears the fabric down for this rank. Blocked and future calls
+	// return ErrClosed (possibly wrapped).
+	Close() error
+}
+
+// Sentinel errors every transport maps its failures onto, so callers can
+// errors.Is across backends.
+var (
+	// ErrClosed reports an operation on a closed transport or a link whose
+	// peer went away.
+	ErrClosed = errors.New("mpi: transport closed")
+	// ErrTimeout reports a Send or Recv that exceeded the transport's
+	// configured deadline.
+	ErrTimeout = errors.New("mpi: deadline exceeded")
+	// ErrTagMismatch reports a protocol bug: the next message on a strictly
+	// FIFO link carried a different tag than the Recv expected. Only the
+	// chan transport detects this (it enforces the strict non-overtaking
+	// discipline); the tcp transport demultiplexes by tag instead, so a
+	// mismatched Recv there surfaces as ErrTimeout.
+	ErrTagMismatch = errors.New("mpi: tag mismatch")
+)
+
+// checkRank validates a peer rank id.
+func checkRank(what string, rank, size int) error {
+	if rank < 0 || rank >= size {
+		return fmt.Errorf("mpi: %s rank %d outside world of size %d", what, rank, size)
+	}
+	return nil
+}

@@ -30,17 +30,57 @@ func TestScenarioValidate(t *testing.T) {
 	bad := []Scenario{
 		{},
 		{Name: "x", Kind: "weird"},
-		{Name: "x", Kind: KindKernel, Op: "gemm", Backend: "naive"},           // no size
-		{Name: "x", Kind: KindKernel, Op: "gemm", Size: 8, Iters: 1},          // no backend
-		{Name: "x", Kind: KindKernel, Op: "nope", Backend: "naive", Iters: 1}, // bad op
-		{Name: "x", Kind: KindServeClosed, Requests: 10},                      // no concurrency
-		{Name: "x", Kind: KindServeOpen, Requests: 10},                        // no rps
-		{Name: "x", Kind: KindStream},                                         // no events
+		{Name: "x", Kind: KindKernel, Op: "gemm", Backend: "naive"},                       // no size
+		{Name: "x", Kind: KindKernel, Op: "gemm", Size: 8, Iters: 1},                      // no backend
+		{Name: "x", Kind: KindKernel, Op: "nope", Backend: "naive", Iters: 1},             // bad op
+		{Name: "x", Kind: KindServeClosed, Requests: 10},                                  // no concurrency
+		{Name: "x", Kind: KindServeOpen, Requests: 10},                                    // no rps
+		{Name: "x", Kind: KindStream},                                                     // no events
+		{Name: "x", Kind: KindAllreduce, Transport: "chan", Floats: 8, Iters: 1},          // no ranks
+		{Name: "x", Kind: KindAllreduce, Transport: "chan", Ranks: 2, Iters: 1},           // no floats
+		{Name: "x", Kind: KindAllreduce, Transport: "udp", Ranks: 2, Floats: 8, Iters: 1}, // bad transport
+		{Name: "x", Kind: KindTrainScale, Transport: "tcp", Events: 100},                  // no ranks
+		{Name: "x", Kind: KindTrainScale, Transport: "tcp", Ranks: 2},                     // no events
+		{Name: "x", Kind: KindTrainScale, Transport: "mpi", Ranks: 2, Events: 100},        // bad transport
 	}
 	for i, sc := range bad {
 		if err := sc.Validate(); err == nil {
 			t.Errorf("case %d (%+v): expected a validation error", i, sc)
 		}
+	}
+}
+
+// TestRunAllreduceScenario runs the collective sweep's runner at tiny scale
+// on both transports: real loopback sockets for tcp, so the measured path is
+// the shipped one.
+func TestRunAllreduceScenario(t *testing.T) {
+	for _, transport := range []string{"chan", "tcp"} {
+		sc := Scenario{Name: "allreduce/" + transport + "/test", Kind: KindAllreduce,
+			Transport: transport, Ranks: 3, Floats: 256, Iters: 4}
+		res, err := (&Runner{}).RunScenario(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", transport, err)
+		}
+		if res.Ops != 4 || res.Throughput <= 0 {
+			t.Fatalf("%s: implausible result %+v", transport, res)
+		}
+	}
+}
+
+// TestRunTrainScaleScenario drives the end-to-end distributed-training
+// scenario at smoke scale over tcp (the more failure-prone fabric).
+func TestRunTrainScaleScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a distributed model")
+	}
+	sc := Scenario{Name: "train/tcp/test", Kind: KindTrainScale,
+		Transport: "tcp", Ranks: 2, Events: 512, MCUs: 20}
+	res, err := (&Runner{}).RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 || res.Ops == 0 {
+		t.Fatalf("implausible result %+v", res)
 	}
 }
 

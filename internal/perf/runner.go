@@ -67,6 +67,10 @@ func (r *Runner) RunScenario(sc Scenario) (Result, error) {
 		return r.runServe(sc)
 	case KindStream:
 		return r.runStream(sc)
+	case KindAllreduce:
+		return r.runAllreduce(sc)
+	case KindTrainScale:
+		return r.runTrainScale(sc)
 	}
 	return Result{}, fmt.Errorf("perf: unknown kind %q", sc.Kind)
 }

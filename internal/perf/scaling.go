@@ -1,0 +1,125 @@
+package perf
+
+import (
+	"time"
+
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/mpi"
+	"streambrain/internal/perf/hist"
+)
+
+// The scaling runners (DESIGN.md §10) measure the distributed fabric, not
+// the kernels: the allreduce sweep isolates the trace-merge collective's
+// cost per transport/payload/rank-count, and trainscale runs the whole
+// data-parallel trainer so serialization, scheduling, and compute overlap
+// show up in one events/s number. Both fabrics run in this process — chan
+// ranks over channels, tcp ranks over real loopback sockets with the full
+// rendezvous, frame codec, and demux — so the chan/tcp delta is exactly the
+// wire cost.
+
+// scalingTCPOptions gives measurement worlds generous deadlines: a pass is
+// pinned work, not a liveness probe.
+var scalingTCPOptions = mpi.TCPOptions{Timeout: 5 * time.Minute}
+
+func (r *Runner) runAllreduce(sc Scenario) (Result, error) {
+	w, err := mpi.NewWorldFor(sc.Transport, sc.Ranks, scalingTCPOptions)
+	if err != nil {
+		return Result{}, err
+	}
+	defer w.Close()
+	// Per-rank payloads live across passes; only the collective is timed.
+	bufs := make([][]float64, sc.Ranks)
+	for rank := range bufs {
+		bufs[rank] = make([]float64, sc.Floats)
+		for i := range bufs[rank] {
+			bufs[rank][i] = float64(rank + i)
+		}
+	}
+	// One untimed round: page in buffers, settle the TCP mesh.
+	if err := w.Run(func(c *mpi.Comm) error {
+		return c.AllreduceMean(bufs[c.Rank()])
+	}); err != nil {
+		return Result{}, err
+	}
+	passes := make([]Result, measurePasses)
+	for pass := range passes {
+		h := hist.New()
+		probe := startProbe()
+		start := time.Now()
+		err := w.Run(func(c *mpi.Comm) error {
+			buf := bufs[c.Rank()]
+			for i := 0; i < sc.Iters; i++ {
+				t0 := time.Now()
+				if err := c.AllreduceMean(buf); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					h.Record(time.Since(t0))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		wall := time.Since(start)
+		res := Result{
+			Scenario:    sc.Name,
+			Kind:        string(sc.Kind),
+			Ops:         uint64(sc.Iters),
+			WallSeconds: wall.Seconds(),
+			Throughput:  float64(sc.Iters) / wall.Seconds(),
+		}
+		res.AllocsPerOp, res.BytesPerOp = probe.perOp(res.Ops)
+		fillLatency(&res, h)
+		passes[pass] = res
+	}
+	return bestOf(passes), nil
+}
+
+func (r *Runner) runTrainScale(sc Scenario) (Result, error) {
+	// Same fixture recipe as the serve/stream scenarios: synthetic Higgs,
+	// quantile encoding, a small quick-to-train model per rank.
+	ds := higgs.Generate(sc.Events, 0.5, 1)
+	enc := data.FitEncoder(ds, 10)
+	encoded := enc.Transform(ds)
+	p := fixtureParams(sc.MCUs)
+	dt := core.NewDistributedTrainer(sc.Ranks, "parallel", 1,
+		encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p, encoded)
+	w, err := mpi.NewWorldFor(sc.Transport, sc.Ranks, scalingTCPOptions)
+	if err != nil {
+		return Result{}, err
+	}
+	dt.World = w
+	defer w.Close()
+	// Each measurement pass is one epoch of each phase over the full
+	// dataset (all ranks together touch ~Events rows per phase). Training
+	// state carries across passes, which only makes the passes more alike:
+	// identical batch counts, identical collective sequence.
+	const epochsPerPass = 2 // one unsupervised + one supervised
+	opsPerPass := uint64(encoded.Len() * epochsPerPass)
+	passes := make([]Result, measurePasses)
+	for pass := range passes {
+		h := hist.New()
+		probe := startProbe()
+		start := time.Now()
+		if _, err := dt.Train(1, 1); err != nil {
+			return Result{}, err
+		}
+		wall := time.Since(start)
+		h.Record(wall)
+		res := Result{
+			Scenario:    sc.Name,
+			Kind:        string(sc.Kind),
+			Ops:         opsPerPass,
+			WallSeconds: wall.Seconds(),
+			Throughput:  float64(opsPerPass) / wall.Seconds(),
+		}
+		res.AllocsPerOp, res.BytesPerOp = probe.perOp(res.Ops)
+		fillLatency(&res, h)
+		passes[pass] = res
+	}
+	return bestOf(passes), nil
+}

@@ -23,6 +23,16 @@ const (
 	// KindStream measures the stream pipeline's steady-state ingest rate
 	// after warmup/bootstrap, one event per operation.
 	KindStream Kind = "stream"
+	// KindAllreduce times the distributed fabric's headline collective
+	// (AllreduceMean) over an in-process world of Ranks ranks on the chosen
+	// Transport, one collective per operation — the payload/rank sweep
+	// behind BENCH_scaling.json (DESIGN.md §10).
+	KindAllreduce Kind = "allreduce"
+	// KindTrainScale measures end-to-end distributed BCPNN training
+	// throughput (events/s across all ranks, one unsupervised plus one
+	// supervised epoch per pass) over core.DistributedTrainer on the chosen
+	// Transport.
+	KindTrainScale Kind = "trainscale"
 )
 
 // Scenario is one declarative perf measurement. Which fields matter depends
@@ -69,6 +79,15 @@ type Scenario struct {
 	// MCUs sizes the model for trainstep/serve/stream scenarios
 	// (default 100). Small models keep smoke suites inside CI budgets.
 	MCUs int `json:"mcus,omitempty"`
+
+	// Scaling scenarios (allreduce, trainscale): Ranks is the world size and
+	// Transport the fabric ("chan" or "tcp" — goroutine ranks either way,
+	// but tcp pays the real loopback socket, frame codec, and demux costs).
+	// Floats is the allreduce payload length; trainscale reuses Events for
+	// the dataset size and MCUs for the model.
+	Ranks     int    `json:"ranks,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	Floats    int    `json:"floats,omitempty"`
 }
 
 // Validate reports the first malformed field for the scenario's kind.
@@ -110,10 +129,39 @@ func (s Scenario) Validate() error {
 		if s.Events <= 0 {
 			return fmt.Errorf("perf: %s: stream needs Events > 0", s.Name)
 		}
+	case KindAllreduce:
+		if s.Ranks < 1 {
+			return fmt.Errorf("perf: %s: allreduce needs Ranks >= 1", s.Name)
+		}
+		if s.Floats <= 0 || s.Iters <= 0 {
+			return fmt.Errorf("perf: %s: allreduce needs Floats and Iters > 0", s.Name)
+		}
+		if err := validTransport(s.Name, s.Transport); err != nil {
+			return err
+		}
+	case KindTrainScale:
+		if s.Ranks < 1 {
+			return fmt.Errorf("perf: %s: trainscale needs Ranks >= 1", s.Name)
+		}
+		if s.Events <= 0 {
+			return fmt.Errorf("perf: %s: trainscale needs Events > 0", s.Name)
+		}
+		if err := validTransport(s.Name, s.Transport); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("perf: %s: unknown kind %q", s.Name, s.Kind)
 	}
 	return nil
+}
+
+// validTransport rejects fabrics the scaling runners do not know.
+func validTransport(name, transport string) error {
+	switch transport {
+	case "chan", "tcp":
+		return nil
+	}
+	return fmt.Errorf("perf: %s: unknown transport %q (want chan or tcp)", name, transport)
 }
 
 // interval returns the open-loop dispatch period.
@@ -201,5 +249,33 @@ var suites = map[string][]Scenario{
 		{Name: "trace/parallel/f32", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40, Precision: "f32"},
 		{Name: "trainstep/parallel/f64", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64"},
 		{Name: "trainstep/parallel/f32", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32"},
+	},
+	// "scaling" is the distributed-fabric sweep behind BENCH_scaling.json
+	// (DESIGN.md §10): the trace-merge collective across payload sizes and
+	// rank counts on both transports, plus end-to-end data-parallel train
+	// throughput at 1/2/4/8 ranks. The chan/tcp ratio of a scenario pair is
+	// the measured cost of making the fabric transport-real; the rank sweep
+	// is the weak-scaling story of the StreamBrain paper in CI-runnable
+	// form. Payloads are sized around the headline trace merge
+	// (280 inputs × MCUs floats).
+	"scaling": {
+		{Name: "allreduce/chan/r4/4k", Kind: KindAllreduce, Transport: "chan", Ranks: 4, Floats: 4096, Iters: 200},
+		{Name: "allreduce/tcp/r4/4k", Kind: KindAllreduce, Transport: "tcp", Ranks: 4, Floats: 4096, Iters: 200},
+		{Name: "allreduce/chan/r4/64k", Kind: KindAllreduce, Transport: "chan", Ranks: 4, Floats: 65536, Iters: 60},
+		{Name: "allreduce/tcp/r4/64k", Kind: KindAllreduce, Transport: "tcp", Ranks: 4, Floats: 65536, Iters: 60},
+		{Name: "allreduce/chan/r4/512k", Kind: KindAllreduce, Transport: "chan", Ranks: 4, Floats: 524288, Iters: 15},
+		{Name: "allreduce/tcp/r4/512k", Kind: KindAllreduce, Transport: "tcp", Ranks: 4, Floats: 524288, Iters: 15},
+		{Name: "allreduce/chan/r2/64k", Kind: KindAllreduce, Transport: "chan", Ranks: 2, Floats: 65536, Iters: 60},
+		{Name: "allreduce/tcp/r2/64k", Kind: KindAllreduce, Transport: "tcp", Ranks: 2, Floats: 65536, Iters: 60},
+		{Name: "allreduce/chan/r8/64k", Kind: KindAllreduce, Transport: "chan", Ranks: 8, Floats: 65536, Iters: 60},
+		{Name: "allreduce/tcp/r8/64k", Kind: KindAllreduce, Transport: "tcp", Ranks: 8, Floats: 65536, Iters: 60},
+		{Name: "train/chan/r1", Kind: KindTrainScale, Transport: "chan", Ranks: 1, Events: 4096, MCUs: 50},
+		{Name: "train/chan/r2", Kind: KindTrainScale, Transport: "chan", Ranks: 2, Events: 4096, MCUs: 50},
+		{Name: "train/chan/r4", Kind: KindTrainScale, Transport: "chan", Ranks: 4, Events: 4096, MCUs: 50},
+		{Name: "train/chan/r8", Kind: KindTrainScale, Transport: "chan", Ranks: 8, Events: 4096, MCUs: 50},
+		{Name: "train/tcp/r1", Kind: KindTrainScale, Transport: "tcp", Ranks: 1, Events: 4096, MCUs: 50},
+		{Name: "train/tcp/r2", Kind: KindTrainScale, Transport: "tcp", Ranks: 2, Events: 4096, MCUs: 50},
+		{Name: "train/tcp/r4", Kind: KindTrainScale, Transport: "tcp", Ranks: 4, Events: 4096, MCUs: 50},
+		{Name: "train/tcp/r8", Kind: KindTrainScale, Transport: "tcp", Ranks: 8, Events: 4096, MCUs: 50},
 	},
 }

@@ -1,13 +1,23 @@
-// Command docscheck enforces docs consistency: every "DESIGN.md §N[.M]" or
-// "DESIGN.md AN" reference in a Go source file must resolve to a section (or
-// ablation id) that actually appears in a DESIGN.md heading. Comments wrap
-// across lines, so the checker joins comment continuations before matching.
+// Command docscheck enforces docs consistency:
 //
-//	go run ./tools/docscheck          # checks the repository root
-//	go run ./tools/docscheck -root .. # or any tree
+//   - every "DESIGN.md §N[.M]" or "DESIGN.md AN" reference in a Go source
+//     file must resolve to a section (or ablation id) that actually appears
+//     in a DESIGN.md heading (comments wrap across lines, so the checker
+//     joins comment continuations before matching);
+//
+//   - the README's "Cluster quickstart" section must exist, name the
+//     streambrain-dist launcher and the committed BENCH_scaling.json
+//     report, and show the launcher's core flags (-ranks, -transport,
+//     -epochs) — each of which must really be defined by
+//     cmd/streambrain-dist; every other -flag the section shows must be
+//     defined by some command under cmd/.
+//
+//     go run ./tools/docscheck          # checks the repository root
+//     go run ./tools/docscheck -root .. # or any tree
 //
 // Exit status 1 lists every dangling reference with file:line. CI runs this
-// so a renumbered DESIGN.md cannot silently orphan code comments.
+// so a renumbered DESIGN.md cannot silently orphan code comments, and a
+// renamed launcher flag cannot silently rot the cluster documentation.
 package main
 
 import (
@@ -67,15 +77,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
 		os.Exit(1)
 	}
+	problems = append(problems, checkClusterDocs(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
 		}
-		fmt.Fprintf(os.Stderr, "docscheck: %d dangling DESIGN.md reference(s); sections present: %s\n",
+		fmt.Fprintf(os.Stderr, "docscheck: %d docs-consistency problem(s); DESIGN.md sections present: %s\n",
 			len(problems), strings.Join(sorted(sections), " "))
 		os.Exit(1)
 	}
-	fmt.Println("docscheck: all DESIGN.md references resolve")
+	fmt.Println("docscheck: all DESIGN.md references resolve and the cluster docs match the binaries")
 }
 
 // designSections collects the set of valid section and ablation tokens from
@@ -135,6 +146,99 @@ func sourceOffset(src, joined string, off int) int {
 		j++
 	}
 	return i
+}
+
+var (
+	// flagDef matches a flag definition in a command's main.go:
+	// flag.Int("ranks", ...) or flag.IntVar(&o.ranks, "ranks", ...).
+	flagDef = regexp.MustCompile(`flag\.[A-Za-z]+\((?:&[\w.]+,\s*)?"([a-z][a-z0-9-]*)"`)
+	// flagUse matches a -flag token shown in README prose or code blocks.
+	flagUse = regexp.MustCompile("(?:^|[\\s`(])-([a-z][a-z0-9-]*)")
+)
+
+// clusterCoreFlags are the launcher flags the quickstart must document.
+var clusterCoreFlags = []string{"ranks", "transport", "epochs"}
+
+// checkClusterDocs enforces the distributed-operations docs: README's
+// "Cluster quickstart" section against the flags the commands actually
+// define, so the cluster story cannot drift from the binaries.
+func checkClusterDocs(root string) []string {
+	readmePath := filepath.Join(root, "README.md")
+	raw, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (cluster quickstart is checked): %v", readmePath, err)}
+	}
+	section := markdownSection(string(raw), "## Cluster quickstart")
+	if section == "" {
+		return []string{fmt.Sprintf("%s: missing a \"## Cluster quickstart\" section", readmePath)}
+	}
+	var problems []string
+	for _, must := range []string{"streambrain-dist", "BENCH_scaling.json"} {
+		if !strings.Contains(section, must) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Cluster quickstart never mentions %s", readmePath, must))
+		}
+	}
+	distFlags, err := definedFlags(filepath.Join(root, "cmd", "streambrain-dist", "main.go"))
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	allFlags := map[string]bool{}
+	cmds, _ := filepath.Glob(filepath.Join(root, "cmd", "*", "main.go"))
+	for _, path := range cmds {
+		fs, err := definedFlags(path)
+		if err != nil {
+			return append(problems, fmt.Sprintf("docscheck: %v", err))
+		}
+		for f := range fs {
+			allFlags[f] = true
+		}
+	}
+	for _, f := range clusterCoreFlags {
+		if !distFlags[f] {
+			problems = append(problems,
+				fmt.Sprintf("cmd/streambrain-dist: core flag -%s is not defined", f))
+		}
+		if !strings.Contains(section, "-"+f) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Cluster quickstart never shows -%s", readmePath, f))
+		}
+	}
+	for _, m := range flagUse.FindAllStringSubmatch(section, -1) {
+		if name := m[1]; !allFlags[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Cluster quickstart shows -%s, which no command under cmd/ defines",
+				readmePath, name))
+		}
+	}
+	return problems
+}
+
+// markdownSection returns the body of a "## " section up to the next one
+// ("" when the heading is absent).
+func markdownSection(doc, heading string) string {
+	idx := strings.Index(doc, "\n"+heading+"\n")
+	if idx < 0 {
+		return ""
+	}
+	body := doc[idx+1+len(heading):]
+	if end := strings.Index(body, "\n## "); end >= 0 {
+		body = body[:end]
+	}
+	return body
+}
+
+// definedFlags extracts the flag names a command's main.go registers.
+func definedFlags(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read %s: %w", path, err)
+	}
+	flags := map[string]bool{}
+	for _, m := range flagDef.FindAllStringSubmatch(string(raw), -1) {
+		flags[m[1]] = true
+	}
+	return flags, nil
 }
 
 func sorted(set map[string]bool) []string {
