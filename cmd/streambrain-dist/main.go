@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,6 +40,7 @@ import (
 	"streambrain/internal/core"
 	"streambrain/internal/data"
 	"streambrain/internal/mpi"
+	"streambrain/internal/obs"
 	"streambrain/internal/serve"
 )
 
@@ -61,6 +64,10 @@ type opts struct {
 	mergeEvery int
 	seed       int64
 	saveBundle string
+
+	obsAddr     string
+	profileKind string
+	profileOut  string
 }
 
 func (o opts) toArgs() []string {
@@ -82,6 +89,9 @@ func (o opts) toArgs() []string {
 		"-merge-every", strconv.Itoa(o.mergeEvery),
 		"-seed", strconv.FormatInt(o.seed, 10),
 		"-save-bundle", o.saveBundle,
+		"-obs-addr", o.obsAddr,
+		"-profile", o.profileKind,
+		"-profile-out", o.profileOut,
 	}
 }
 
@@ -121,6 +131,9 @@ func main() {
 	flag.IntVar(&o.mergeEvery, "merge-every", 1, "local batches between trace allreduces")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed (must match across ranks; the launcher forwards it)")
 	flag.StringVar(&o.saveBundle, "save-bundle", "", "rank 0 writes the merged serving bundle here")
+	flag.StringVar(&o.obsAddr, "obs-addr", "", "per-rank /metrics + pprof listen address; an explicit port is offset by the rank (tcp transport only)")
+	flag.StringVar(&o.profileKind, "profile", "", "per-rank whole-run profile written at exit: "+obs.ProfileKinds)
+	flag.StringVar(&o.profileOut, "profile-out", "", "profile output path stem (default streambrain-dist.<kind>.pprof; ranks append .rank<N>)")
 	rank := flag.Int("rank", -1, "internal: this process's rank (set by the launcher)")
 	rendezvous := flag.String("rendezvous", "", "internal: rank-0 rendezvous address to join")
 	rendezvousFile := flag.String("rendezvous-file", "", "internal: rank 0 writes its rendezvous address here")
@@ -176,6 +189,15 @@ func prepare(o opts) (train, test *data.Encoded, enc *data.Encoder, p streambrai
 // runChan trains all ranks as goroutines in this process — the in-process
 // fabric, no forking.
 func runChan(o opts) error {
+	if o.obsAddr != "" {
+		log.Printf("-obs-addr is ignored with -transport chan (goroutine ranks share one process)")
+	}
+	prof, err := obs.StartProfile(o.profileKind,
+		profilePath(o.profileOut, "streambrain-dist", o.profileKind))
+	if err != nil {
+		return err
+	}
+	defer stopProfile(prof, o.profileKind)
 	train, test, enc, p, err := prepare(o)
 	if err != nil {
 		return err
@@ -201,6 +223,14 @@ func runRank(o opts, rank int, rendezvousAddr, rendezvousFile string) error {
 	}
 	if rank >= o.ranks {
 		return fmt.Errorf("rank %d outside world of %d", rank, o.ranks)
+	}
+	if o.profileKind != "" {
+		path := profilePath(o.profileOut, "streambrain-dist", o.profileKind)
+		prof, err := obs.StartProfile(o.profileKind, path+".rank"+strconv.Itoa(rank))
+		if err != nil {
+			return err
+		}
+		defer stopProfile(prof, o.profileKind)
 	}
 	topt := mpi.TCPOptions{RendezvousTimeout: 2 * time.Minute}
 
@@ -255,6 +285,11 @@ func runRank(o opts, rank int, rendezvousAddr, rendezvousFile string) error {
 // trainRankProcess is the SPMD body every TCP rank runs once its Comm is up.
 func trainRankProcess(o opts, c *mpi.Comm, train, test *data.Encoded,
 	enc *data.Encoder, p streambrain.Params) error {
+	if o.obsAddr != "" {
+		if err := startRankObs(o.obsAddr, c); err != nil {
+			return err
+		}
+	}
 	shard := train.Subset(core.ShardRows(train.Len(), o.ranks, c.Rank()))
 	be, err := backend.New(o.backend, o.workers)
 	if err != nil {
@@ -280,6 +315,69 @@ func trainRankProcess(o opts, c *mpi.Comm, train, test *data.Encoded,
 		net.CalibrateThreshold(shard)
 	}
 	return report(o, net, test, enc, time.Since(start))
+}
+
+// startRankObs instruments the rank's communicator on a fresh telemetry
+// registry and serves it (plus pprof) on this rank's offset of -obs-addr:
+// rank r listens on port+r, so `-ranks 4 -obs-addr :9000` yields four
+// scrapable endpoints 9000..9003, one per process (DESIGN.md §11).
+func startRankObs(addr string, c *mpi.Comm) error {
+	rankAddr, err := offsetAddr(addr, c.Rank())
+	if err != nil {
+		return fmt.Errorf("-obs-addr: %w", err)
+	}
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	obs.AttachPprof(mux)
+	ln, err := net.Listen("tcp", rankAddr)
+	if err != nil {
+		return fmt.Errorf("rank %d obs listener: %w", c.Rank(), err)
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	go func() {
+		// The listener dies with the rank process; training never waits on it.
+		_ = http.Serve(ln, mux)
+	}()
+	return nil
+}
+
+// offsetAddr shifts an explicit port by rank; port 0 (kernel-assigned) is
+// left alone since distinct processes can't collide on it anyway.
+func offsetAddr(addr string, rank int) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("port %q is not numeric: %v", portStr, err)
+	}
+	if port == 0 {
+		return addr, nil
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+rank)), nil
+}
+
+// profilePath resolves -profile-out, defaulting to <cmd>.<kind>.pprof.
+func profilePath(out, cmd, kind string) string {
+	if out != "" || kind == "" {
+		return out
+	}
+	return cmd + "." + kind + ".pprof"
+}
+
+// stopProfile finishes a whole-run profile, logging where it landed.
+func stopProfile(prof *obs.Profile, kind string) {
+	if prof == nil {
+		return
+	}
+	if err := prof.Stop(); err != nil {
+		log.Printf("profile: %v", err)
+		return
+	}
+	log.Printf("wrote %s profile to %s", kind, prof.Path())
 }
 
 // report prints rank 0's held-out metrics and writes the serving bundle.

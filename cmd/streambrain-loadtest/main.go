@@ -77,12 +77,19 @@ func main() {
 	}
 
 	fmt.Printf("suite %s on %s/%s %s (%d cpu)\n", rep.Suite, rep.GOOS, rep.GOARCH, rep.Go, rep.CPUs)
-	fmt.Printf("%-24s %-12s %12s %10s %10s %10s %12s\n",
-		"scenario", "kind", "throughput", "p50 ms", "p95 ms", "p99 ms", "allocs/op")
-	fmt.Println(strings.Repeat("-", 96))
+	fmt.Printf("%-24s %-12s %12s %10s %10s %10s %12s %10s\n",
+		"scenario", "kind", "throughput", "p50 ms", "p95 ms", "p99 ms", "allocs/op", "avg batch")
+	fmt.Println(strings.Repeat("-", 107))
 	for _, res := range rep.Results {
-		fmt.Printf("%-24s %-12s %12.1f %10.3f %10.3f %10.3f %12.1f\n",
-			res.Scenario, res.Kind, res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms, res.AllocsPerOp)
+		// avg batch is the server's own /metrics-reported amortization;
+		// only serve scenarios scrape it.
+		avgBatch := "-"
+		if res.ServerAvgBatch > 0 {
+			avgBatch = fmt.Sprintf("%.1f", res.ServerAvgBatch)
+		}
+		fmt.Printf("%-24s %-12s %12.1f %10.3f %10.3f %10.3f %12.1f %10s\n",
+			res.Scenario, res.Kind, res.Throughput, res.P50Ms, res.P95Ms, res.P99Ms,
+			res.AllocsPerOp, avgBatch)
 	}
 	fmt.Printf("wrote %s\n", path)
 }

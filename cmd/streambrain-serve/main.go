@@ -9,17 +9,29 @@
 // (up to -max-batch events per call, waiting at most -max-wait for company),
 // the same batching that gives StreamBrain its training throughput.
 // GET /healthz reports liveness, GET /stats reports request counts, batch
-// amortization, and latency percentiles, and POST /v1/reload atomically
+// amortization, and latency percentiles, GET /metrics serves the same
+// counters as Prometheus text exposition, and POST /v1/reload atomically
 // hot-swaps the bundle from disk without dropping in-flight requests.
+//
+// Observability (DESIGN.md §11): sampled request traces are downloadable at
+// GET /debug/traces (load the file in chrome://tracing), -pprof mounts
+// net/http/pprof under /debug/pprof/, and -profile cpu|heap|mutex records a
+// whole-run profile written to -profile-out on SIGTERM/interrupt.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"streambrain/internal/obs"
 	"streambrain/internal/serve"
 )
 
@@ -35,10 +47,19 @@ func main() {
 		replicas    = flag.Int("replicas", defaultReplicas(), "model replicas = concurrent batch executors")
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced events per backend call")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits to be batched")
+		traceEvery  = flag.Int("trace-every", 0, "sample every Nth request into /debug/traces (0 = default rate, <0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		profileKind = flag.String("profile", "", "whole-run profile written at shutdown: "+obs.ProfileKinds)
+		profileOut  = flag.String("profile-out", "", "profile output path (default streambrain-serve.<kind>.pprof)")
 	)
 	flag.Parse()
 	if *bundlePath == "" {
 		log.Fatal("-bundle is required (train one with: streambrain -save-bundle model.bundle)")
+	}
+
+	prof, err := obs.StartProfile(*profileKind, profilePath(*profileOut, "streambrain-serve", *profileKind))
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	reg := serve.NewRegistry(*replicas, serve.NamedBackendFactory(*backendName, *workers))
@@ -50,14 +71,51 @@ func main() {
 		info.Source, info.Features, info.Classes, info.SavedBackend, info.Replicas)
 
 	srv := serve.NewServer(reg, serve.ServerConfig{
-		Batcher: serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
+		Batcher:    serve.BatcherConfig{MaxBatch: *maxBatch, MaxWait: *maxWait},
+		Obs:        obs.NewRegistry(),
+		TraceEvery: *traceEvery,
 	}, *bundlePath)
-	defer srv.Close()
 
-	log.Printf("serving on %s (max-batch %d, max-wait %s)", *addr, *maxBatch, *maxWait)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		obs.AttachPprof(mux)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("serving on %s (max-batch %d, max-wait %s)", *addr, *maxBatch, *maxWait)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	<-ctx.Done()
+
+	// Graceful teardown: stop accepting, drain in-flight requests and the
+	// batcher, then write the run profile.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	if err := prof.Stop(); err != nil {
 		log.Fatal(err)
 	}
+	if prof != nil {
+		log.Printf("wrote %s profile to %s", *profileKind, prof.Path())
+	}
+}
+
+// profilePath resolves -profile-out, defaulting to <cmd>.<kind>.pprof.
+func profilePath(out, cmd, kind string) string {
+	if out != "" || kind == "" {
+		return out
+	}
+	return cmd + "." + kind + ".pprof"
 }
 
 // defaultReplicas leaves headroom for the HTTP runtime: half the cores, and

@@ -22,10 +22,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"streambrain/internal/core"
 	"streambrain/internal/higgs"
+	"streambrain/internal/obs"
 	"streambrain/internal/serve"
 	"streambrain/internal/stream"
 )
@@ -59,8 +61,18 @@ func main() {
 		replicas   = flag.Int("replicas", 2, "serving model replicas when -addr is set")
 		saveBundle = flag.String("save-bundle", "", "also rewrite this bundle file on every snapshot")
 		statsEvery = flag.Duration("stats-every", 5*time.Second, "progress log interval")
+
+		traceEvery  = flag.Int("trace-every", 64, "sample every Nth ingest step into /debug/traces (<0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (needs -addr)")
+		profileKind = flag.String("profile", "", "whole-run profile written at shutdown: "+obs.ProfileKinds)
+		profileOut  = flag.String("profile-out", "", "profile output path (default streambrain-stream.<kind>.pprof)")
 	)
 	flag.Parse()
+
+	prof, err := obs.StartProfile(*profileKind, profilePath(*profileOut, "streambrain-stream", *profileKind))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The input: a real CSV replay or the synthetic physics generator,
 	// paced to -rate.
@@ -91,6 +103,19 @@ func main() {
 		pub = pubs
 	}
 
+	// One telemetry registry and one trace ring cover the whole process:
+	// the pipeline's ingest metrics/spans and (with -addr) the co-located
+	// prediction server's land side by side on /metrics and /debug/traces.
+	obsReg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *traceEvery >= 0 {
+		every := *traceEvery
+		if every == 0 {
+			every = 64
+		}
+		tracer = obs.NewTracer(every, 64)
+	}
+
 	params := core.DefaultParams()
 	params.MCUs = *mcus
 	params.HCUs = *hcus
@@ -108,23 +133,33 @@ func main() {
 		DriftDrop:    *driftDrop,
 		PublishEvery: *publishEvery,
 		RefitEvery:   *refitEvery,
+		Obs:          obsReg,
+		Tracer:       tracer,
 	}, pub)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	if *addr != "" {
-		srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+		srv := serve.NewServer(reg, serve.ServerConfig{Obs: obsReg, Tracer: tracer}, "")
 		defer srv.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/", srv.Handler())
+		if *pprofOn {
+			obs.AttachPprof(mux)
+			log.Printf("pprof mounted at /debug/pprof/")
+		}
 		go func() {
 			log.Printf("serving on %s while training", *addr)
-			if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+			if err := http.ListenAndServe(*addr, mux); err != nil {
 				log.Fatal(err)
 			}
 		}()
+	} else if *pprofOn {
+		log.Printf("-pprof has no effect without -addr")
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	go progress(ctx, pipe, *statsEvery)
 
@@ -133,6 +168,20 @@ func main() {
 		log.Fatal(err)
 	}
 	logStats(pipe.Stats(), time.Since(start))
+	if err := prof.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	if prof != nil {
+		log.Printf("wrote %s profile to %s", *profileKind, prof.Path())
+	}
+}
+
+// profilePath resolves -profile-out, defaulting to <cmd>.<kind>.pprof.
+func profilePath(out, cmd, kind string) string {
+	if out != "" || kind == "" {
+		return out
+	}
+	return cmd + "." + kind + ".pprof"
 }
 
 // progress logs one status line per interval until ctx ends.

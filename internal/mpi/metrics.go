@@ -1,0 +1,78 @@
+package mpi
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"streambrain/internal/obs"
+)
+
+// MPI metric families (the DESIGN.md §11 catalogue). Every series carries a
+// rank label, so a multi-rank scrape (or the per-rank /metrics endpoints
+// streambrain-dist exposes) lines up straggler analysis by rank.
+const (
+	metricSentBytes = "streambrain_mpi_sent_bytes_total"
+	metricRecvBytes = "streambrain_mpi_recv_bytes_total"
+	metricAllreduce = "streambrain_mpi_allreduce_seconds"
+	metricStraggler = "streambrain_mpi_straggler_gap_seconds"
+)
+
+// commMetrics instruments one rank's communicator.
+type commMetrics struct {
+	sent      *obs.Counter
+	recvd     *obs.Counter
+	allreduce *obs.Histogram
+	straggler *obs.Gauge
+
+	// recvWaitNs accumulates time this rank spends blocked in Recv. The
+	// delta across one allreduce is the straggler gap: how long this rank
+	// waited on peers — the rank with the smallest gap is the straggler
+	// everyone else waits for.
+	recvWaitNs atomic.Int64
+}
+
+// frameBytes is the wire size of one message on the tcp fabric: the
+// uint32-length + int32-tag header plus 8 bytes per float64 (tcp.go's frame
+// codec). The chan fabric moves no bytes, but accounting both fabrics with
+// the same formula keeps chan-world rehearsals comparable to real runs.
+func frameBytes(n int) uint64 { return 8 + 8*uint64(n) }
+
+// Instrument registers this communicator's metric series (labeled with its
+// rank) on reg and starts recording per-message byte counts, allreduce wall
+// times, and the straggler gap. Call once, before the communicator is used.
+func (c *Comm) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	rank := obs.L("rank", strconv.Itoa(c.Rank()))
+	c.m = &commMetrics{
+		sent: reg.Counter(metricSentBytes,
+			"Bytes sent by this rank (frame headers included).", rank),
+		recvd: reg.Counter(metricRecvBytes,
+			"Bytes received by this rank (frame headers included).", rank),
+		allreduce: reg.LatencyHistogram(metricAllreduce,
+			"Wall time of one Allreduce on this rank.", rank),
+		straggler: reg.Gauge(metricStraggler,
+			"Recv-blocked time inside the last Allreduce — how long this rank waited on peers.", rank),
+	}
+}
+
+// waitNs returns the accumulated Recv-blocked nanoseconds (0 when
+// uninstrumented).
+func (c *Comm) waitNs() int64 {
+	if c.m == nil {
+		return 0
+	}
+	return c.m.recvWaitNs.Load()
+}
+
+// observeAllreduce records one completed allreduce: its wall time and the
+// recv-wait accumulated during it (the straggler gap).
+func (c *Comm) observeAllreduce(start time.Time, wait0 int64) {
+	if c.m == nil {
+		return
+	}
+	c.m.allreduce.Observe(time.Since(start))
+	c.m.straggler.Set(float64(c.m.recvWaitNs.Load()-wait0) / 1e9)
+}

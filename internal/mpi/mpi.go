@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // World is an in-process set of ranks over one fabric — the unit tests,
@@ -163,9 +164,12 @@ func (w *World) Close() error {
 }
 
 // Comm is one rank's handle on the world: the collectives, layered on a
-// Transport.
+// Transport. Instrument attaches per-rank telemetry (byte counters,
+// allreduce timings, straggler gap — DESIGN.md §11); an uninstrumented Comm
+// pays one nil check per operation.
 type Comm struct {
 	t Transport
+	m *commMetrics
 }
 
 // NewComm wraps a transport endpoint in a communicator.
@@ -185,7 +189,11 @@ func (c *Comm) Close() error { return c.t.Close() }
 // limit, in MPI terms) and fails with the transport's deadline error when
 // the peer does not drain it in time.
 func (c *Comm) Send(dst, tag int, data []float64) error {
-	return c.t.Send(dst, tag, data)
+	err := c.t.Send(dst, tag, data)
+	if err == nil && c.m != nil {
+		c.m.sent.Add(frameBytes(len(data)))
+	}
+	return err
 }
 
 // Recv blocks until the next message from src with the given tag arrives and
@@ -193,7 +201,16 @@ func (c *Comm) Send(dst, tag int, data []float64) error {
 // ErrTagMismatch (strict non-overtaking FIFO); on tcp the frames are
 // demultiplexed by tag and an absent message surfaces as ErrTimeout.
 func (c *Comm) Recv(src, tag int) ([]float64, error) {
-	return c.t.Recv(src, tag)
+	if c.m == nil {
+		return c.t.Recv(src, tag)
+	}
+	start := time.Now()
+	data, err := c.t.Recv(src, tag)
+	c.m.recvWaitNs.Add(int64(time.Since(start)))
+	if err == nil {
+		c.m.recvd.Add(frameBytes(len(data)))
+	}
+	return data, err
 }
 
 // Internal collective tags live in a reserved negative space so they can
@@ -338,10 +355,15 @@ func (c *Comm) Reduce(root int, data []float64, op ReduceOp) error {
 // result on every rank: Reduce to rank 0 followed by Broadcast, the classic
 // tree implementation.
 func (c *Comm) Allreduce(data []float64, op ReduceOp) error {
+	start, wait0 := time.Now(), c.waitNs()
 	if err := c.Reduce(0, data, op); err != nil {
 		return err
 	}
-	return c.Broadcast(0, data)
+	if err := c.Broadcast(0, data); err != nil {
+		return err
+	}
+	c.observeAllreduce(start, wait0)
+	return nil
 }
 
 // AllreduceMean averages data element-wise across ranks — the collective

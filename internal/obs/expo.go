@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in Prometheus text exposition format 0.0.4:
+// families in name order, each with # HELP and # TYPE lines, series in
+// registration order, histograms as cumulative _bucket{le=...}/_sum/_count
+// triples. The whole pass runs under the Snapshot lock, so the output is one
+// consistent cut across every metric — including grouped updates made via
+// Atomically.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	bw := bufio.NewWriter(w)
+	r.Snapshot(func() {
+		for _, name := range r.names() {
+			r.mu.Lock()
+			fam := r.families[name]
+			r.mu.Unlock()
+			writeFamily(bw, fam)
+		}
+	})
+	bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, fam *family) {
+	if fam.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.typ)
+	for _, key := range fam.order {
+		s := fam.series[key]
+		switch {
+		case s.counter != nil:
+			fmt.Fprintf(w, "%s%s %d\n", fam.name, labelString(s.labels, "", 0), s.counter.Value())
+		case s.gauge != nil:
+			fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatFloat(s.gauge.Value()))
+		case s.gaugeFn != nil:
+			fmt.Fprintf(w, "%s%s %s\n", fam.name, labelString(s.labels, "", 0), formatFloat(s.gaugeFn()))
+		case s.hist != nil:
+			writeHist(w, fam.name, s)
+		}
+	}
+}
+
+func writeHist(w *bufio.Writer, name string, s *series) {
+	h := s.hist
+	counts, total := h.cumulative()
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.labels, "le", bound), counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(s.labels, "le", math.Inf(1)), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(s.labels, "", 0), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(s.labels, "", 0), total)
+}
+
+// labelString renders {k="v",...}; leKey != "" appends an le label with the
+// given bound. Returns "" for an empty label set.
+func labelString(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelKey builds the map key identifying a series within its family.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return labelString(labels, "", 0)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Sample is one parsed exposition line: a metric name (already including any
+// _bucket/_sum/_count suffix), its label set, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label's value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// Exposition is a parsed /metrics payload — the read side of WriteText,
+// shared by tools/metricscheck (format validation, counter monotonicity) and
+// internal/perf (folding server-reported queue/stage metrics into Result).
+type Exposition struct {
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+	Help    map[string]string
+	Samples []Sample
+}
+
+// ParseText parses Prometheus text exposition, returning an error (with a
+// line number) on any malformed line. Unknown families without a # TYPE are
+// allowed, matching Prometheus' untyped convention.
+func ParseText(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func (e *Exposition) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("TYPE line has invalid metric name %q", name)
+		}
+		switch typ {
+		case typeCounter, typeGauge, typeHistogram, "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE line has invalid type %q", typ)
+		}
+		if prev, ok := e.Types[name]; ok && prev != typ {
+			return fmt.Errorf("metric %s declared as both %s and %s", name, prev, typ)
+		}
+		e.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		e.Help[fields[2]] = help
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return s, fmt.Errorf("malformed sample line %q", line)
+		}
+		s.Name, rest = fields[0], " "+fields[1]
+	}
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp is legal; the value is the first field.
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", valStr, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		if !labelRE.MatchString(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := body[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value is not quoted", key)
+		}
+		val, n, err := unquoteLabel(rest)
+		if err != nil {
+			return err
+		}
+		into[key] = val
+		body = rest[n:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}
+
+// unquoteLabel consumes a quoted, possibly escaped label value, returning
+// the value and how many input bytes it spanned.
+func unquoteLabel(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// Value returns the value of the first sample matching name and every given
+// label (extra labels on the sample are ignored).
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistQuantile estimates the q-quantile of an exposed histogram family by
+// nearest-rank interpolation over its cumulative buckets, in exposed units.
+// It aggregates every series of the family (summing buckets across label
+// sets), which is what a scraper wants for "the server-side p99".
+func (e *Exposition) HistQuantile(name string, q float64) (float64, bool) {
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	perLe := map[float64]float64{}
+	for _, s := range e.Samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		le, err := parseValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		perLe[le] += s.Value
+	}
+	if len(perLe) == 0 {
+		return 0, false
+	}
+	buckets := make([]bucket, 0, len(perLe))
+	for le, c := range perLe {
+		buckets = append(buckets, bucket{le, c})
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if math.IsInf(b.le, 1) {
+				// Value beyond the last finite bound; report that bound.
+				for i := len(buckets) - 1; i >= 0; i-- {
+					if !math.IsInf(buckets[i].le, 1) {
+						return buckets[i].le, true
+					}
+				}
+				return 0, false
+			}
+			return b.le, true
+		}
+	}
+	return buckets[len(buckets)-1].le, true
+}

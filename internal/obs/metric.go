@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"streambrain/internal/perf/hist"
+)
+
+// DefTimeBuckets are the default latency bucket upper bounds in seconds,
+// spanning 100µs..10s — wide enough for a kernel forward pass and a
+// cold-start batch alike.
+var DefTimeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (which must be non-negative — counters only go up).
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64. All methods are safe for concurrent use and
+// no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta to the current value.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a Prometheus-style cumulative histogram backed by the
+// lock-free hist.Histogram. Raw observations are int64 ticks; scale is the
+// number of ticks per exposed unit (1e9 for a seconds histogram recording
+// nanoseconds, 1 for plain value histograms). All methods are safe for
+// concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	h      hist.Histogram
+	bounds []float64 // exposed-unit upper bounds, ascending
+	raw    []int64   // same bounds in raw ticks
+	scale  float64
+}
+
+func newHistogram(bounds []float64, scale float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...), scale: scale}
+	h.raw = make([]int64, len(bounds))
+	for i, b := range bounds {
+		h.raw[i] = int64(b * scale)
+	}
+	return h
+}
+
+// Observe records one duration (for histograms registered with
+// LatencyHistogram; raw ticks are nanoseconds).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.h.Record(d)
+}
+
+// ObserveValue records one raw observation in ticks (for ValueHistogram
+// instruments, ticks are the value itself).
+func (h *Histogram) ObserveValue(v int64) {
+	if h == nil {
+		return
+	}
+	h.h.RecordValue(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Count()
+}
+
+// Sum returns the sum of observations in exposed units.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.h.Sum()) / h.scale
+}
+
+// Max returns the largest raw observation in ticks.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return int64(h.h.Max())
+}
+
+// Quantile returns the q-quantile in raw ticks (nanoseconds for latency
+// histograms), quantized by the underlying buckets.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return int64(h.h.Quantile(q))
+}
+
+// cumulative returns the per-bound cumulative counts plus the walked total
+// (the +Inf bucket), delegating to hist.CumulativeCounts.
+func (h *Histogram) cumulative() (counts []uint64, total uint64) {
+	return h.h.CumulativeCounts(h.raw)
+}

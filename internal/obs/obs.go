@@ -1,0 +1,222 @@
+// Package obs is the unified telemetry subsystem (DESIGN.md §11): a
+// dependency-free concurrent metrics registry with hand-rolled Prometheus
+// text exposition, lightweight request tracing with a sampled ring exporter
+// (chrome://tracing-loadable), and runtime profiling hooks (net/http/pprof
+// wiring plus shutdown-written pprof files).
+//
+// One Registry is shared by everything a process runs — the serve batcher,
+// the stream pipeline, the mpi fabric — so GET /metrics and GET /stats are
+// two views over the same counters and can never disagree. Metric updates
+// are atomic and lock-free on the hot path; a writer that must publish
+// several related values as one consistent unit wraps them in
+// Registry.Atomically, and readers that need a torn-free cross-metric view
+// wrap their loads in Registry.Snapshot (the exposition writer does this
+// internally). That pairing is what fixes the classic snapshot-assembled-
+// from-independent-atomics bug: a reader can no longer observe "batches
+// incremented but batched events not yet".
+//
+// Every instrument method is nil-receiver-safe, so uninstrumented code paths
+// (a Batcher built without a registry, a Pipeline without a tracer) carry no
+// branches at call sites and no overhead beyond a nil check.
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+)
+
+// Label is one constant key/value pair attached to a metric series at
+// registration time (e.g. rank="3" on the mpi byte counters).
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Metric type names as they appear on # TYPE exposition lines.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one metric name: its metadata plus every labeled series
+// registered under it.
+type family struct {
+	name, help, typ string
+	order           []string // series keys in registration order
+	series          map[string]*series
+}
+
+// series is one (name, labelset) instrument. Exactly one of the value
+// fields is set, matching the family type.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// Registry is a concurrent metric registry. The zero value is not usable;
+// build one with NewRegistry. Registration is idempotent: asking twice for
+// the same (name, labels) returns the same instrument, so subsystems can be
+// constructed independently against a shared registry. Registering a name
+// under two different metric types panics — that is a programming error the
+// first test run catches.
+type Registry struct {
+	// snap is the consistency lock: grouped updates hold it shared
+	// (Atomically), consistent readers hold it exclusively (Snapshot,
+	// WriteText). Plain instrument ops skip it entirely and stay atomic.
+	snap sync.RWMutex
+
+	mu       sync.Mutex // guards the family table during registration
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Atomically runs f (a group of related instrument updates) so that no
+// Snapshot or exposition pass can observe the group half-applied. Do not
+// nest Atomically or call Snapshot from inside f.
+func (r *Registry) Atomically(f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	r.snap.RLock()
+	f()
+	r.snap.RUnlock()
+}
+
+// Snapshot runs f while all Atomically groups are excluded, so the values f
+// loads form one consistent cross-metric snapshot.
+func (r *Registry) Snapshot(f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	r.snap.Lock()
+	f()
+	r.snap.Unlock()
+}
+
+// lookup get-or-creates a family and series; newFn builds the instrument on
+// first registration.
+func (r *Registry) lookup(name, help, typ string, labels []Label, newFn func() *series) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l.Key))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, fam.typ, typ))
+	}
+	key := labelKey(labels)
+	s, ok := fam.series[key]
+	if !ok {
+		s = newFn()
+		s.labels = append([]Label(nil), labels...)
+		fam.series[key] = s
+		fam.order = append(fam.order, key)
+	}
+	return s
+}
+
+// Counter registers (or returns the existing) monotone counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeCounter, labels, func() *series {
+		return &series{counter: &Counter{}}
+	}).counter
+}
+
+// Gauge registers (or returns the existing) settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeGauge, labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	}).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at exposition time —
+// the natural shape for derived values like queue depth or a registry
+// generation. fn must be safe to call from any goroutine. Re-registering
+// the same (name, labels) keeps the first fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, typeGauge, labels, func() *series {
+		return &series{gaugeFn: fn}
+	})
+}
+
+// LatencyHistogram registers a histogram of durations exposed in seconds
+// with the default latency bucket bounds.
+func (r *Registry) LatencyHistogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeHistogram, labels, func() *series {
+		return &series{hist: newHistogram(DefTimeBuckets, 1e9)}
+	}).hist
+}
+
+// ValueHistogram registers a histogram of plain non-negative integer values
+// (batch sizes, payload lengths) with explicit ascending bucket bounds.
+func (r *Registry) ValueHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, typeHistogram, labels, func() *series {
+		return &series{hist: newHistogram(bounds, 1)}
+	}).hist
+}
+
+// names returns the sorted family names (exposition order).
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for n := range r.families {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler serves the registry as Prometheus text exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

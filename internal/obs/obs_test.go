@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sb_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("sb_test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if r.Counter("sb_test_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var (
+		r  *Registry
+		tr *Tracer
+	)
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(3)
+	g := r.Gauge("x", "")
+	g.Set(1)
+	g.Add(1)
+	h := r.LatencyHistogram("x_seconds", "")
+	h.Observe(time.Millisecond)
+	r.GaugeFunc("y", "", func() float64 { return 0 })
+	r.Atomically(func() {})
+	r.Snapshot(func() {})
+	r.WriteText(&strings.Builder{})
+
+	trace := tr.Sample("req")
+	sp := trace.Start("stage")
+	sp.End()
+	trace.Add("x", time.Now(), time.Now())
+	trace.AddDuration("y", time.Millisecond)
+	trace.Finish()
+	if trace.Spans() != nil || trace.Name() != "" {
+		t.Fatal("nil trace should be empty")
+	}
+
+	var p *Profile
+	if err := p.Stop(); err != nil {
+		t.Fatalf("nil profile Stop: %v", err)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sb_dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering sb_dual as gauge")
+		}
+	}()
+	r.Gauge("sb_dual", "")
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sb_requests_total", "requests seen", L("code", "200")).Add(7)
+	r.Counter("sb_requests_total", "requests seen", L("code", "500")).Add(1)
+	r.Gauge("sb_queue_depth", "events waiting").Set(3)
+	r.GaugeFunc("sb_generation", "bundle gen", func() float64 { return 42 })
+	h := r.LatencyHistogram("sb_latency_seconds", "request latency")
+	h.Observe(200 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(80 * time.Millisecond)
+	vh := r.ValueHistogram("sb_batch_size", "batch sizes", []float64{1, 2, 4, 8})
+	vh.ObserveValue(1)
+	vh.ObserveValue(8)
+	vh.ObserveValue(30)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+	exp, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+
+	if typ := exp.Types["sb_requests_total"]; typ != "counter" {
+		t.Fatalf("sb_requests_total type = %q", typ)
+	}
+	if v, ok := exp.Value("sb_requests_total", map[string]string{"code": "200"}); !ok || v != 7 {
+		t.Fatalf("sb_requests_total{code=200} = %v,%v", v, ok)
+	}
+	if v, ok := exp.Value("sb_generation", nil); !ok || v != 42 {
+		t.Fatalf("sb_generation = %v,%v", v, ok)
+	}
+	if v, ok := exp.Value("sb_latency_seconds_count", nil); !ok || v != 3 {
+		t.Fatalf("latency _count = %v,%v", v, ok)
+	}
+	// +Inf bucket must equal _count.
+	if v, ok := exp.Value("sb_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("latency +Inf bucket = %v,%v", v, ok)
+	}
+	// The 30-event batch lands only in +Inf.
+	if v, ok := exp.Value("sb_batch_size_bucket", map[string]string{"le": "8"}); !ok || v != 2 {
+		t.Fatalf("batch le=8 bucket = %v,%v", v, ok)
+	}
+	if v, ok := exp.Value("sb_batch_size_bucket", map[string]string{"le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("batch +Inf bucket = %v,%v", v, ok)
+	}
+	if v, ok := exp.Value("sb_batch_size_sum", nil); !ok || v != 39 {
+		t.Fatalf("batch _sum = %v,%v", v, ok)
+	}
+	if q, ok := exp.HistQuantile("sb_latency_seconds", 0.5); !ok || q < 0.002 || q > 0.01 {
+		t.Fatalf("latency p50 = %v,%v (want within (0.002,0.01])", q, ok)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("sb_cum_seconds", "")
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	exp, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	prevLe := math.Inf(-1)
+	n := 0
+	for _, s := range exp.Samples {
+		if s.Name != "sb_cum_seconds_bucket" {
+			continue
+		}
+		le, _ := parseValue(s.Label("le"))
+		if le <= prevLe {
+			t.Fatalf("le bounds not ascending: %v after %v", le, prevLe)
+		}
+		if s.Value < prev {
+			t.Fatalf("bucket counts not cumulative: %v after %v", s.Value, prev)
+		}
+		prev, prevLe = s.Value, le
+		n++
+	}
+	if n != len(DefTimeBuckets)+1 {
+		t.Fatalf("bucket count = %d, want %d", n, len(DefTimeBuckets)+1)
+	}
+}
+
+func TestSnapshotSeesAtomicGroupsWhole(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("sb_group_a_total", "")
+	b := r.Counter("sb_group_b_total", "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Atomically(func() {
+				a.Inc()
+				b.Inc()
+			})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.Snapshot(func() {
+			if av, bv := a.Value(), b.Value(); av != bv {
+				t.Errorf("torn snapshot: a=%d b=%d", av, bv)
+			}
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sb_esc_total", "with \\ and \nnewline", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	r.WriteText(&sb)
+	exp, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("escaped exposition does not parse: %v\n%s", err, sb.String())
+	}
+	v, ok := exp.Value("sb_esc_total", map[string]string{"path": `a"b\c` + "\n"})
+	if !ok || v != 1 {
+		t.Fatalf("escaped label round-trip failed: %v,%v", v, ok)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"sb_x{le=\"1\" 3",                          // unterminated label set
+		"sb_x notanumber",                          // bad value
+		"# TYPE sb_x nonsense",                     // invalid type
+		"sb_x{9bad=\"v\"} 1",                       // invalid label name
+		"0bad_name 1",                              // invalid metric name
+		"sb_x{le=\"1\"\\} 1",                       // dangling escape outside quotes
+		"# TYPE sb_x counter\n# TYPE sb_x gauge\n", // conflicting types
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText accepted malformed input %q", bad)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package obstest holds test helpers for the telemetry layer — chiefly the
+// goroutine-leak assertion that serve and stream shutdown tests use to catch
+// leaked batcher workers or trace exporters.
+package obstest
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the helpers need.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckLeaks snapshots the current goroutines and returns a function to run
+// at the end of the test (defer obstest.CheckLeaks(t)()). The returned check
+// retries for a grace period — goroutines wind down asynchronously after
+// Close — and fails the test with the offending stacks if new goroutines
+// survive it.
+func CheckLeaks(t TB) func() {
+	before := goroutineStacks()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("obstest: %d goroutine(s) leaked:\n%s", len(leaked), strings.Join(leaked, "\n"))
+	}
+}
+
+// leakedSince returns stacks of goroutines alive now that were not running
+// when before was captured and are not inherently uninteresting (runtime
+// internals, the testing harness, lazily-closing HTTP machinery).
+func leakedSince(before map[string]string) []string {
+	var leaked []string
+	for id, stack := range goroutineStacks() {
+		if _, ok := before[id]; ok || ignorable(stack) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// ignorable reports stacks that are never application leaks.
+func ignorable(stack string) bool {
+	for _, frag := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"runtime.goexit",
+		"created by runtime",
+		"runtime/pprof",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"net/http.(*Server).Serve", // the httptest server outlives subtests
+		"net/http.(*persistConn)",  // idle keep-alive conns close lazily
+		"net/http.(*Transport)",
+		"internal/poll.runtime_pollWait",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineStacks returns the per-goroutine stacks keyed by goroutine id.
+func goroutineStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	out := map[string]string{}
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if g == "" {
+			continue
+		}
+		out[goroutineKey(g)] = g
+	}
+	return out
+}
+
+// goroutineKey identifies a goroutine by id (first line "goroutine N
+// [state]:") so a state change doesn't make an old goroutine look new.
+func goroutineKey(stack string) string {
+	line, _, _ := strings.Cut(stack, "\n")
+	fields := strings.Fields(line)
+	if len(fields) >= 2 {
+		return fields[1]
+	}
+	return line
+}

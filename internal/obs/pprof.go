@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	nhpprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// AttachPprof mounts the standard net/http/pprof handlers under
+// /debug/pprof/ on mux — opt-in, so production servers only expose them when
+// the operator asks (the -pprof flag on the binaries).
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", nhpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", nhpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", nhpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", nhpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", nhpprof.Trace)
+}
+
+// Profile is a whole-run pprof capture started at boot and written at
+// shutdown (the -profile flag on streambrain-serve/-stream/-dist).
+type Profile struct {
+	kind string
+	path string
+	f    *os.File
+}
+
+// mutexProfileFraction samples 1/5 of mutex contention events — cheap
+// enough to leave on for a whole run.
+const mutexProfileFraction = 5
+
+// StartProfile begins collecting the given profile kind ("cpu", "heap", or
+// "mutex"), to be written to path by Stop. kind "" returns (nil, nil) and a
+// nil *Profile's Stop is a no-op, so callers can wire the flag through
+// unconditionally.
+func StartProfile(kind, path string) (*Profile, error) {
+	if kind == "" {
+		return nil, nil
+	}
+	p := &Profile{kind: kind, path: path}
+	switch kind {
+	case "cpu":
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.f = f
+	case "heap":
+		// Collected at Stop; nothing to arm.
+	case "mutex":
+		runtime.SetMutexProfileFraction(mutexProfileFraction)
+	default:
+		return nil, fmt.Errorf("obs: unknown profile kind %q (want cpu, heap, or mutex)", kind)
+	}
+	return p, nil
+}
+
+// Stop finalizes the profile and writes it to the path given at start.
+func (p *Profile) Stop() error {
+	if p == nil {
+		return nil
+	}
+	switch p.kind {
+	case "cpu":
+		pprof.StopCPUProfile()
+		return p.f.Close()
+	case "heap":
+		f, err := os.Create(p.path)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // get up-to-date allocation statistics
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	case "mutex":
+		defer runtime.SetMutexProfileFraction(0)
+		f, err := os.Create(p.path)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+// Path returns the output path ("" on nil).
+func (p *Profile) Path() string {
+	if p == nil {
+		return ""
+	}
+	return p.path
+}
+
+// ProfileKinds documents the values the -profile flag accepts.
+const ProfileKinds = "cpu|heap|mutex"

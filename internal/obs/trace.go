@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples request lifecycles: every sampleEvery-th call to Sample
+// returns a live Trace, the rest return nil (and nil Traces swallow all span
+// calls for free). Finished traces land in a fixed-capacity ring, newest
+// evicting oldest, and can be exported as a chrome://tracing-loadable JSON
+// array — one trace event per line, so the file is also greppable as JSONL.
+type Tracer struct {
+	sampleEvery uint64
+	seq         atomic.Uint64 // sample admission counter
+	epoch       time.Time     // zero point for exported timestamps
+
+	mu   sync.Mutex
+	ring []*Trace // finished traces, oldest first
+	cap  int
+}
+
+// NewTracer returns a tracer keeping the last capacity finished traces and
+// admitting one of every sampleEvery Sample calls (values < 1 mean
+// sample-everything).
+func NewTracer(sampleEvery, capacity int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{sampleEvery: uint64(sampleEvery), epoch: time.Now(), cap: capacity}
+}
+
+// Sample starts a new trace for one in sampleEvery calls; otherwise (and on
+// a nil tracer) it returns nil, which every Trace/Span method tolerates.
+func (t *Tracer) Sample(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if (t.seq.Add(1)-1)%t.sampleEvery != 0 {
+		return nil
+	}
+	return &Trace{tr: t, name: name, start: time.Now()}
+}
+
+// finish appends tr to the ring, evicting the oldest past capacity.
+func (t *Tracer) finish(tr *Trace) {
+	t.mu.Lock()
+	t.ring = append(t.ring, tr)
+	if len(t.ring) > t.cap {
+		t.ring = t.ring[len(t.ring)-t.cap:]
+	}
+	t.mu.Unlock()
+}
+
+// Traces returns the finished traces currently in the ring, oldest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Trace(nil), t.ring...)
+}
+
+// WriteChromeTrace writes the ring as a chrome://tracing / Perfetto JSON
+// array of complete ("ph":"X") events, timestamps in microseconds since the
+// tracer's epoch. Each trace renders on its own tid row: the root event is
+// the whole request, the spans nest under it.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	for tid, tr := range t.Traces() {
+		rows := tr.snapshot()
+		emit := func(name string, start, end time.Time) {
+			if !first {
+				bw.WriteString(",\n")
+			}
+			first = false
+			fmt.Fprintf(bw,
+				`{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d}`,
+				name, t.us(start), float64(end.Sub(start))/1e3, tid+1)
+		}
+		emit(tr.name, tr.start, rows.end)
+		for _, s := range rows.spans {
+			emit(s.Name, s.Start, s.End)
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// us converts a timestamp to microseconds since the tracer epoch.
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.epoch)) / 1e3
+}
+
+// Handler serves the ring as a chrome trace download — mount it at
+// GET /debug/traces.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="streambrain-trace.json"`)
+		t.WriteChromeTrace(w)
+	})
+}
+
+// SpanRecord is one completed span inside a trace.
+type SpanRecord struct {
+	Name       string
+	Start, End time.Time
+}
+
+// Trace is one sampled request lifecycle: a named root interval plus the
+// spans recorded inside it. All methods are safe for concurrent use (spans
+// may be added from the HTTP goroutine and a batcher worker at once) and
+// no-ops on a nil receiver.
+type Trace struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRecord
+	end   time.Time
+	done  bool
+}
+
+// Start opens a span; call End on the result to record it.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Add records an already-measured interval as a span.
+func (t *Trace) Add(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.spans = append(t.spans, SpanRecord{Name: name, Start: start, End: end})
+	}
+	t.mu.Unlock()
+}
+
+// AddDuration records a span of length d ending now — for stages whose
+// boundaries were measured with a plain time.Since.
+func (t *Trace) AddDuration(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.Add(name, now.Add(-d), now)
+}
+
+// Finish closes the trace and publishes it to the tracer's ring. Spans added
+// after Finish are dropped. Finish is idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.end = time.Now()
+	t.mu.Unlock()
+	t.tr.finish(t)
+}
+
+type traceRows struct {
+	spans []SpanRecord
+	end   time.Time
+}
+
+func (t *Trace) snapshot() traceRows {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return traceRows{spans: append([]SpanRecord(nil), t.spans...), end: end}
+}
+
+// Spans returns the spans recorded so far (test and /debug introspection).
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	return t.snapshot().spans
+}
+
+// Name returns the trace's root name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Span is one in-flight timed stage of a trace.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// End records the span into its trace. Safe on nil (unsampled requests).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.Add(s.name, s.start, time.Now())
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingAndRing(t *testing.T) {
+	tr := NewTracer(3, 2)
+	var live int
+	for i := 0; i < 9; i++ {
+		if tc := tr.Sample("req"); tc != nil {
+			live++
+			tc.Finish()
+		}
+	}
+	if live != 3 {
+		t.Fatalf("sampled %d of 9 with sampleEvery=3", live)
+	}
+	if got := len(tr.Traces()); got != 2 {
+		t.Fatalf("ring holds %d traces, want capacity 2", got)
+	}
+}
+
+func TestTraceSpansAndChromeExport(t *testing.T) {
+	tr := NewTracer(1, 8)
+	tc := tr.Sample("predict")
+	for _, stage := range []string{"decode", "enqueue", "assemble", "encode", "forward"} {
+		sp := tc.Start(stage)
+		time.Sleep(200 * time.Microsecond)
+		sp.End()
+	}
+	tc.AddDuration("respond", 150*time.Microsecond)
+	tc.Finish()
+	tc.Add("late", time.Now(), time.Now()) // after Finish: dropped
+	if got := len(tc.Spans()); got != 6 {
+		t.Fatalf("trace has %d spans, want 6", got)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The export must be strict JSON (chrome://tracing and jq both load it).
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(out), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, out)
+	}
+	if len(events) != 7 { // root + 6 spans
+		t.Fatalf("exported %d events, want 7", len(events))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event %v is not a complete event", ev)
+		}
+		if ev["dur"].(float64) < 0 || ev["ts"].(float64) < 0 {
+			t.Fatalf("event %v has negative time", ev)
+		}
+	}
+	// One event per line between the brackets (greppable JSONL property).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7+2 {
+		t.Fatalf("export has %d lines, want 9 (brackets + 7 events)", len(lines))
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTracer(1, 4)
+	tc := tr.Sample("req")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tc.AddDuration("worker", time.Microsecond)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		sp := tc.Start("http")
+		sp.End()
+	}
+	<-done
+	tc.Finish()
+	if got := len(tc.Spans()); got != 200 {
+		t.Fatalf("trace has %d spans, want 200", got)
+	}
+}

@@ -94,6 +94,36 @@ func (h *Histogram) RecordValue(v int64) {
 // Count returns the number of recorded observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the sum of all recorded raw values (nanoseconds when the
+// histogram records durations).
+func (h *Histogram) Sum() int64 { return int64(h.sum.Load()) }
+
+// CumulativeCounts returns, for each bound (ascending raw values), how many
+// observations fell at or below it — the cumulative bucket counts a
+// Prometheus histogram exposition is made of (internal/obs renders them as
+// `_bucket{le=...}` samples). Observations are attributed by their bucket's
+// representative value, so the answer carries the same ~1.6% quantization
+// the quantiles do. The final cumulative total over all buckets is returned
+// alongside so callers can emit a self-consistent +Inf bucket even while
+// other goroutines record.
+func (h *Histogram) CumulativeCounts(bounds []int64) (counts []uint64, total uint64) {
+	counts = make([]uint64, len(bounds))
+	var cum uint64
+	bi := 0
+	for i := 0; i < numCounters; i++ {
+		v := valueAt(i)
+		for bi < len(bounds) && bounds[bi] < v {
+			counts[bi] = cum
+			bi++
+		}
+		cum += h.counts[i].Load()
+	}
+	for ; bi < len(bounds); bi++ {
+		counts[bi] = cum
+	}
+	return counts, cum
+}
+
 // Max returns the largest recorded observation (exact, not quantized).
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
 

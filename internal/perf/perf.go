@@ -44,6 +44,16 @@ type Result struct {
 	// overhead — comparable run-to-run, not benchmark-precise).
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Server-reported telemetry, scraped from the fixture's /metrics after
+	// the serve passes (DESIGN.md §11) — the server's own view of the same
+	// load the client-side numbers above describe. Batch amortization and
+	// stage latencies here come from the batcher's instruments, not the
+	// client clock, so client-side scheduling noise cancels out. Zero for
+	// non-serve scenarios.
+	ServerAvgBatch     float64 `json:"server_avg_batch,omitempty"`
+	ServerQueueDepth   float64 `json:"server_queue_depth,omitempty"`
+	ServerQueueP99Ms   float64 `json:"server_queue_wait_p99_ms,omitempty"`
+	ServerForwardP99Ms float64 `json:"server_forward_p99_ms,omitempty"`
 }
 
 // Report is the BENCH_<suite>.json envelope: the suite's results plus the
@@ -136,6 +146,10 @@ func MergeMedian(reports []Report) (Report, error) {
 		m.MaxMs = pick(func(r Result) float64 { return r.MaxMs })
 		m.AllocsPerOp = pick(func(r Result) float64 { return r.AllocsPerOp })
 		m.BytesPerOp = pick(func(r Result) float64 { return r.BytesPerOp })
+		m.ServerAvgBatch = pick(func(r Result) float64 { return r.ServerAvgBatch })
+		m.ServerQueueDepth = pick(func(r Result) float64 { return r.ServerQueueDepth })
+		m.ServerQueueP99Ms = pick(func(r Result) float64 { return r.ServerQueueP99Ms })
+		m.ServerForwardP99Ms = pick(func(r Result) float64 { return r.ServerForwardP99Ms })
 		for _, res := range runs {
 			if res.Errors > m.Errors {
 				m.Errors = res.Errors

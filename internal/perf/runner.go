@@ -18,6 +18,7 @@ import (
 	"streambrain/internal/core"
 	"streambrain/internal/data"
 	"streambrain/internal/higgs"
+	"streambrain/internal/obs"
 	"streambrain/internal/perf/hist"
 	"streambrain/internal/stream"
 	"streambrain/internal/tensor"
@@ -427,10 +428,49 @@ func (r *Runner) runServe(sc Scenario) (Result, error) {
 		passes[pass] = res
 	}
 	res := bestOf(passes)
+	if err := scrapeServeMetrics(client, fx.url, &res); err != nil {
+		// Telemetry is a bonus column, not the measurement — log and move on.
+		r.logf("%s: /metrics scrape failed: %v", sc.Name, err)
+	}
 	if res.Errors > 0 {
 		r.logf("%s: %d requests failed", sc.Name, res.Errors)
 	}
 	return res, nil
+}
+
+// scrapeServeMetrics fills the Result's Server* fields from the fixture
+// server's own /metrics exposition: the batcher-observed average batch size,
+// residual queue depth, and server-side queue-wait/forward p99s. These are
+// lifetime-of-fixture numbers (all passes hit one server), which is exactly
+// the regime bestOf summarizes.
+func scrapeServeMetrics(client *http.Client, url string, res *Result) error {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	exp, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	sum, okSum := exp.Value("streambrain_serve_batch_size_sum", nil)
+	count, okCount := exp.Value("streambrain_serve_batch_size_count", nil)
+	if okSum && okCount && count > 0 {
+		res.ServerAvgBatch = sum / count
+	}
+	if depth, ok := exp.Value("streambrain_serve_queue_depth", nil); ok {
+		res.ServerQueueDepth = depth
+	}
+	if q, ok := exp.HistQuantile("streambrain_serve_queue_wait_seconds", 0.99); ok {
+		res.ServerQueueP99Ms = q * 1e3
+	}
+	if q, ok := exp.HistQuantile("streambrain_serve_forward_seconds", 0.99); ok {
+		res.ServerForwardP99Ms = q * 1e3
+	}
+	return nil
 }
 
 // ------------------------------------------------------------ stream ingest

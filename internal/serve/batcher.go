@@ -5,8 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"streambrain/internal/obs"
 )
 
 // ErrClosed is returned by Predict after Close.
@@ -17,6 +18,18 @@ var ErrClosed = errors.New("serve: batcher closed")
 // backed by per-worker model replicas needs no locking). It must return one
 // prediction and one score per event.
 type PredictFunc func(worker int, events [][]float64) (pred []int, score []float64, err error)
+
+// BatchTiming breaks one backend call into its stages, for the per-stage
+// histograms and trace spans (DESIGN.md §11). A zero value means the stages
+// were not measured; the batcher then attributes the whole call to forward.
+type BatchTiming struct {
+	Encode  time.Duration // encoder transform
+	Forward time.Duration // kernel forward pass
+}
+
+// StagedPredictFunc is a PredictFunc that also reports per-stage timings —
+// what the HTTP server wires in so /metrics can split encode from forward.
+type StagedPredictFunc func(worker int, events [][]float64) (pred []int, score []float64, timing BatchTiming, err error)
 
 // BatcherConfig tunes the micro-batching scheduler.
 type BatcherConfig struct {
@@ -32,6 +45,9 @@ type BatcherConfig struct {
 	Workers int
 	// Queue is the pending-request buffer size (default 4×MaxBatch).
 	Queue int
+	// Metrics is the instrument set the scheduler records into. Nil gets a
+	// private registry (counters still work, nothing is exported).
+	Metrics *Metrics
 }
 
 func (c BatcherConfig) withDefaults() BatcherConfig {
@@ -46,6 +62,9 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 4 * c.MaxBatch
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil)
 	}
 	return c
 }
@@ -81,38 +100,45 @@ type response struct {
 type request struct {
 	features []float64
 	done     chan response
+	tr       *obs.Trace // non-nil on sampled requests; spans land here
+	enq      time.Time  // when the request entered the queue
 }
 
 // Batcher coalesces concurrent single-event Predict calls into batched
-// PredictFunc invocations: the first request of a window opens a timer of
+// backend invocations: the first request of a window opens a timer of
 // MaxWait; every request arriving before it fires joins the batch, up to
 // MaxBatch, then the whole batch runs as one backend call. This amortizes
 // per-call dispatch overhead exactly the way training batches amortize
 // kernel launches.
 type Batcher struct {
 	cfg BatcherConfig
-	fn  PredictFunc
+	fn  StagedPredictFunc
+	m   *Metrics
 
 	reqCh   chan *request
 	batchCh chan []*request
 	stop    chan struct{} // closed by Close: stop accepting
 	done    chan struct{} // closed when all workers exited
 	once    sync.Once
-
-	requests         atomic.Uint64
-	batches          atomic.Uint64
-	batchedEvents    atomic.Uint64
-	coalescedBatches atomic.Uint64
-	maxBatch         atomic.Uint64
 }
 
-// NewBatcher starts the scheduler: one collector goroutine plus cfg.Workers
-// batch executors.
+// NewBatcher starts the scheduler around a plain PredictFunc (whole-call
+// time is attributed to the forward stage).
 func NewBatcher(fn PredictFunc, cfg BatcherConfig) *Batcher {
+	return NewStagedBatcher(func(w int, events [][]float64) ([]int, []float64, BatchTiming, error) {
+		pred, score, err := fn(w, events)
+		return pred, score, BatchTiming{}, err
+	}, cfg)
+}
+
+// NewStagedBatcher starts the scheduler: one collector goroutine plus
+// cfg.Workers batch executors.
+func NewStagedBatcher(fn StagedPredictFunc, cfg BatcherConfig) *Batcher {
 	cfg = cfg.withDefaults()
 	b := &Batcher{
 		cfg:     cfg,
 		fn:      fn,
+		m:       cfg.Metrics,
 		reqCh:   make(chan *request, cfg.Queue),
 		batchCh: make(chan []*request, cfg.Workers),
 		stop:    make(chan struct{}),
@@ -137,10 +163,22 @@ func NewBatcher(fn PredictFunc, cfg BatcherConfig) *Batcher {
 // Predict submits one raw event and blocks until its batch returns (or ctx
 // is canceled, or the batcher closes).
 func (b *Batcher) Predict(ctx context.Context, features []float64) (class int, score float64, err error) {
-	r := &request{features: features, done: make(chan response, 1)}
+	return b.PredictTraced(ctx, features, nil)
+}
+
+// PredictTraced is Predict carrying a sampled trace: the enqueue, batch
+// assembly, encode, and forward stages of this event's journey are recorded
+// as spans on tr (nil tr — the common, unsampled case — costs nothing).
+func (b *Batcher) PredictTraced(ctx context.Context, features []float64, tr *obs.Trace) (class int, score float64, err error) {
+	// enq is stamped before the send publishes r to the collector — a worker
+	// may read it the instant the send completes. Queue wait therefore also
+	// covers time blocked on a full queue, which is queueing too.
+	r := &request{features: features, done: make(chan response, 1), tr: tr, enq: time.Now()}
+	sp := tr.Start("enqueue")
 	select {
 	case b.reqCh <- r:
-		b.requests.Add(1)
+		sp.End()
+		b.m.events.Inc()
 	case <-b.stop:
 		return 0, 0, ErrClosed
 	case <-ctx.Done():
@@ -164,14 +202,25 @@ func (b *Batcher) Predict(ctx context.Context, features []float64) (class int, s
 	}
 }
 
-// Stats returns a snapshot of the scheduler counters.
+// Stats returns the scheduler counters as one consistent snapshot: the
+// reads run under the registry's Snapshot lock, excluded from the grouped
+// updates the workers make, so no torn cross-field state (Batches
+// incremented but BatchedEvents not yet) can ever be observed.
 func (b *Batcher) Stats() BatcherStats {
+	var s BatcherStats
+	b.m.reg.Snapshot(func() { s = b.statsLoad() })
+	return s
+}
+
+// statsLoad assembles BatcherStats from the instruments without locking —
+// for callers that already hold a registry Snapshot (the /stats handler).
+func (b *Batcher) statsLoad() BatcherStats {
 	return BatcherStats{
-		Requests:         b.requests.Load(),
-		Batches:          b.batches.Load(),
-		BatchedEvents:    b.batchedEvents.Load(),
-		CoalescedBatches: b.coalescedBatches.Load(),
-		MaxBatch:         b.maxBatch.Load(),
+		Requests:         b.m.events.Value(),
+		Batches:          b.m.batchSize.Count(),
+		BatchedEvents:    uint64(b.m.batchSize.Sum()),
+		CoalescedBatches: b.m.coalesced.Value(),
+		MaxBatch:         uint64(b.m.batchSize.Max()),
 	}
 }
 
@@ -250,22 +299,53 @@ func (b *Batcher) drain(flush func(), pending *[]*request) {
 func (b *Batcher) worker(w int) {
 	for batch := range b.batchCh {
 		n := uint64(len(batch))
-		b.batches.Add(1)
-		b.batchedEvents.Add(n)
-		if n >= 2 {
-			b.coalescedBatches.Add(1)
-		}
-		for {
-			old := b.maxBatch.Load()
-			if n <= old || b.maxBatch.CompareAndSwap(old, n) {
-				break
+		dispatched := time.Now()
+		// Per-event queue-wait observations, plus the batch trace: the
+		// first sampled request in the batch carries the spans for the
+		// whole batch (the other events shared its fate).
+		var tr *obs.Trace
+		var oldest time.Duration
+		for _, r := range batch {
+			wait := dispatched.Sub(r.enq)
+			b.m.queueWait.Observe(wait)
+			if wait > oldest {
+				oldest = wait
+			}
+			if tr == nil {
+				tr = r.tr
 			}
 		}
+		tr.Add("assemble", dispatched.Add(-oldest), dispatched)
+		// The batch accounting is one Atomically group, so a concurrent
+		// Stats snapshot sees the size histogram and the coalesced counter
+		// move together (the torn-read fix, DESIGN.md §11).
+		b.m.reg.Atomically(func() {
+			b.m.batchSize.ObserveValue(int64(n))
+			if n >= 2 {
+				b.m.coalesced.Inc()
+			}
+		})
 		events := make([][]float64, len(batch))
 		for i, r := range batch {
 			events[i] = r.features
 		}
-		pred, score, err := b.fn(w, events)
+		start := time.Now()
+		pred, score, tm, err := b.fn(w, events)
+		if tm == (BatchTiming{}) {
+			// Unstaged backend: attribute the whole call to forward.
+			tm.Forward = time.Since(start)
+		}
+		if tm.Encode > 0 {
+			b.m.encode.Observe(tm.Encode)
+		}
+		b.m.forward.Observe(tm.Forward)
+		if tr != nil {
+			encEnd := start.Add(tm.Encode)
+			if tm.Encode > 0 {
+				tr.Add("encode", start, encEnd)
+			}
+			tr.Add("forward", encEnd, encEnd.Add(tm.Forward))
+		}
 		if err == nil && (len(pred) != len(batch) || len(score) != len(batch)) {
 			err = fmt.Errorf("serve: predict returned %d/%d results for %d events",
 				len(pred), len(score), len(batch))

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"streambrain/internal/obs/obstest"
 )
 
 // echoPredict maps each event's first feature straight through, so a test
@@ -156,8 +158,9 @@ func TestBatcherShortResultsRejected(t *testing.T) {
 }
 
 // TestBatcherClose: Close drains in-flight work and later Predicts fail
-// fast with ErrClosed.
+// fast with ErrClosed — and the worker goroutines actually exit.
 func TestBatcherClose(t *testing.T) {
+	defer obstest.CheckLeaks(t)()
 	b := NewBatcher(echoPredict, BatcherConfig{MaxBatch: 8, MaxWait: time.Millisecond})
 	if _, _, err := b.Predict(context.Background(), []float64{1}); err != nil {
 		t.Fatal(err)
@@ -233,6 +236,7 @@ func TestBatcherManyWorkersThroughput(t *testing.T) {
 // PredictFunc sleeps briefly so Close always lands while batches are in
 // flight and the queue holds pending requests.
 func TestBatcherCloseRacesPredict(t *testing.T) {
+	defer obstest.CheckLeaks(t)()
 	for round := 0; round < 8; round++ {
 		fn := func(w int, events [][]float64) ([]int, []float64, error) {
 			time.Sleep(200 * time.Microsecond)

@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
@@ -187,14 +188,23 @@ func LoadBundleFile(path string, be backend.Backend) (*Bundle, error) {
 // whole batch. Safe for concurrent use on a frozen (non-training) network —
 // the forward path only reads shared weights.
 func (b *Bundle) Predict(events [][]float64) (pred []int, signalScore []float64, err error) {
+	pred, signalScore, _, err = b.PredictStaged(events)
+	return pred, signalScore, err
+}
+
+// PredictStaged is Predict reporting how the call split between the encoder
+// transform and the kernel forward pass — the stage boundary the serving
+// telemetry (batcher histograms, trace spans; DESIGN.md §11) exposes.
+func (b *Bundle) PredictStaged(events [][]float64) (pred []int, signalScore []float64, timing BatchTiming, err error) {
 	if len(events) == 0 {
-		return nil, nil, nil
+		return nil, nil, timing, nil
 	}
+	start := time.Now()
 	idx := make([][]int32, len(events))
 	for i, ev := range events {
 		row, err := b.Enc.TransformRow(make([]int32, 0, b.Features), ev)
 		if err != nil {
-			return nil, nil, fmt.Errorf("serve: event %d: %w", i, err)
+			return nil, nil, timing, fmt.Errorf("serve: event %d: %w", i, err)
 		}
 		idx[i] = row
 	}
@@ -205,6 +215,9 @@ func (b *Bundle) Predict(events [][]float64) (pred []int, signalScore []float64,
 		Hypercolumns: b.Features,
 		UnitsPerHC:   b.Enc.Bins,
 	}
+	encoded := time.Now()
+	timing.Encode = encoded.Sub(start)
 	pred, signalScore = b.Net.Predict(ds)
-	return pred, signalScore, nil
+	timing.Forward = time.Since(encoded)
+	return pred, signalScore, timing, nil
 }

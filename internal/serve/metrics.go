@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"streambrain/internal/obs"
+)
+
+// Serve metric families (the DESIGN.md §11 catalogue). Declared as
+// constants so tests, docs checks, and the /stats view all name the same
+// strings.
+const (
+	metricRequests   = "streambrain_serve_requests_total"
+	metricReqErrors  = "streambrain_serve_request_errors_total"
+	metricEvents     = "streambrain_serve_events_total"
+	metricCoalesced  = "streambrain_serve_coalesced_batches_total"
+	metricBatchSize  = "streambrain_serve_batch_size"
+	metricQueueDepth = "streambrain_serve_queue_depth"
+	metricLatency    = "streambrain_serve_request_seconds"
+	metricDecode     = "streambrain_serve_decode_seconds"
+	metricQueueWait  = "streambrain_serve_queue_wait_seconds"
+	metricEncode     = "streambrain_serve_encode_seconds"
+	metricForward    = "streambrain_serve_forward_seconds"
+	metricGeneration = "streambrain_serve_reload_generation"
+)
+
+// batchSizeBounds bucket the per-batch event count; the top bound matches
+// the largest MaxBatch anyone reasonably configures, and everything above
+// lands in +Inf.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Metrics is the serve subsystem's instrument set over one obs.Registry.
+// The batcher and the HTTP server share one instance, so /stats, /metrics,
+// and BatcherStats are all views over the same counters — they can never
+// disagree, and a Registry.Snapshot over them is the torn-read fix for the
+// old field-by-field BatcherStats assembly.
+type Metrics struct {
+	reg *obs.Registry
+
+	requests  *obs.Counter
+	errors    *obs.Counter
+	events    *obs.Counter
+	coalesced *obs.Counter
+	batchSize *obs.Histogram
+	latency   *obs.Histogram
+	decode    *obs.Histogram
+	queueWait *obs.Histogram
+	encode    *obs.Histogram
+	forward   *obs.Histogram
+}
+
+// NewMetrics registers the serve instrument set on reg. A nil reg gets a
+// private registry, so an uninstrumented Batcher or Server still has working
+// counters (and a scrapeable /metrics) without the caller wiring anything.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Metrics{
+		reg: reg,
+		requests: reg.Counter(metricRequests,
+			"Predict HTTP requests completed."),
+		errors: reg.Counter(metricReqErrors,
+			"Predict HTTP requests that failed (bad input, no bundle, backend error)."),
+		events: reg.Counter(metricEvents,
+			"Events accepted into the batch queue."),
+		coalesced: reg.Counter(metricCoalesced,
+			"Batches that merged two or more requests."),
+		batchSize: reg.ValueHistogram(metricBatchSize,
+			"Events per backend batch call.", batchSizeBounds),
+		latency: reg.LatencyHistogram(metricLatency,
+			"End-to-end predict request latency."),
+		decode: reg.LatencyHistogram(metricDecode,
+			"JSON decode and validation time per predict request."),
+		queueWait: reg.LatencyHistogram(metricQueueWait,
+			"Time an event waits in the batch queue before dispatch."),
+		encode: reg.LatencyHistogram(metricEncode,
+			"Encoder transform time per backend batch call."),
+		forward: reg.LatencyHistogram(metricForward,
+			"Kernel forward-pass time per backend batch call."),
+	}
+	// Queue depth is derived, not stored: events accepted minus events
+	// dispatched in batches. Computed from the same instruments at
+	// exposition time, under the Snapshot lock, so it is consistent with
+	// the counters alongside it.
+	reg.GaugeFunc(metricQueueDepth,
+		"Events accepted but not yet dispatched to a backend call.",
+		func() float64 {
+			d := float64(m.events.Value()) - m.batchSize.Sum()
+			if d < 0 {
+				return 0
+			}
+			return d
+		})
+	return m
+}
+
+// Registry returns the underlying obs registry (for mounting /metrics or
+// registering neighbor-subsystem instruments alongside).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }

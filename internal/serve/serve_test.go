@@ -16,6 +16,7 @@ import (
 	"streambrain/internal/core"
 	"streambrain/internal/data"
 	"streambrain/internal/higgs"
+	"streambrain/internal/obs/obstest"
 	"streambrain/internal/sgd"
 )
 
@@ -126,6 +127,9 @@ func TestLoadBundleRejectsBareNetworkSnapshot(t *testing.T) {
 // registry, and returns the running httptest server plus helpers.
 func newTestServer(t *testing.T, hybrid bool, cfg ServerConfig) (*httptest.Server, *Server, *Bundle, *data.Dataset, string) {
 	t.Helper()
+	// Registered before the close cleanup below, so it runs after it (LIFO):
+	// every test through this fixture asserts server shutdown leaks nothing.
+	t.Cleanup(obstest.CheckLeaks(t))
 	net, enc, testDS := trainTiny(t, hybrid, 31)
 	path := filepath.Join(t.TempDir(), "model.bundle")
 	if err := SaveBundleFile(path, net, enc); err != nil {

@@ -7,17 +7,34 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"streambrain/internal/obs"
 )
 
 // maxEventsPerRequest bounds one HTTP request's payload so a single caller
 // cannot monopolize the batch queue.
 const maxEventsPerRequest = 4096
 
+// defaultTraceEvery is the default request-trace sampling rate: one predict
+// request in 64 is recorded span-by-span into the trace ring.
+const defaultTraceEvery = 64
+
 // ServerConfig tunes the HTTP prediction service.
 type ServerConfig struct {
 	// Batcher tunes the micro-batching scheduler. Batcher.Workers is
 	// clamped to the registry's replica count.
 	Batcher BatcherConfig
+	// Obs is the metrics registry the server instruments (served at
+	// GET /metrics). Nil gets a private registry — /metrics still works,
+	// the caller just cannot co-register other subsystems on it.
+	Obs *obs.Registry
+	// Tracer samples predict-request lifecycles into a ring served at
+	// GET /debug/traces (chrome://tracing format). Nil builds one sampling
+	// every defaultTraceEvery-th request; TraceEvery < 0 disables tracing.
+	Tracer *obs.Tracer
+	// TraceEvery overrides the built tracer's sampling rate when Tracer is
+	// nil (0 keeps the default; negative disables tracing).
+	TraceEvery int
 }
 
 // PredictRequest is the body of POST /v1/predict. Either Events (a batch of
@@ -39,7 +56,9 @@ type PredictResponse struct {
 	Predictions []Prediction `json:"predictions"`
 }
 
-// StatsResponse is the body returned by GET /stats.
+// StatsResponse is the body returned by GET /stats. Every number is a view
+// over the same obs registry /metrics exposes, read in one registry
+// snapshot, so the two surfaces cannot disagree.
 type StatsResponse struct {
 	UptimeSeconds float64        `json:"uptime_seconds"`
 	Requests      uint64         `json:"requests"`
@@ -63,10 +82,13 @@ type reloadRequest struct {
 }
 
 // Server is the HTTP prediction service: it owns a Registry (which model is
-// live) and a Batcher (how requests reach it).
+// live), a Batcher (how requests reach it), and the telemetry surfaces over
+// both (/metrics, /stats, /debug/traces).
 type Server struct {
 	reg     *Registry
 	batcher *Batcher
+	m       *Metrics
+	tracer  *obs.Tracer
 	lat     *latencyTracker
 	mux     *http.ServeMux
 	start   time.Time
@@ -82,25 +104,53 @@ func NewServer(reg *Registry, cfg ServerConfig, reloadPath string) *Server {
 	if bcfg.Workers <= 0 || bcfg.Workers > reg.Replicas() {
 		bcfg.Workers = reg.Replicas()
 	}
+	m := cfg.Batcher.Metrics
+	if m == nil {
+		m = NewMetrics(cfg.Obs)
+	}
+	bcfg.Metrics = m
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.TraceEvery >= 0 {
+		every := cfg.TraceEvery
+		if every == 0 {
+			every = defaultTraceEvery
+		}
+		tracer = obs.NewTracer(every, 64)
+	}
 	s := &Server{
 		reg:        reg,
+		m:          m,
+		tracer:     tracer,
 		lat:        &latencyTracker{},
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 		reloadPath: reloadPath,
 	}
-	s.batcher = NewBatcher(func(w int, events [][]float64) ([]int, []float64, error) {
+	s.batcher = NewStagedBatcher(func(w int, events [][]float64) ([]int, []float64, BatchTiming, error) {
 		b := reg.Replica(w)
 		if b == nil {
-			return nil, nil, errors.New("serve: no bundle loaded")
+			return nil, nil, BatchTiming{}, errors.New("serve: no bundle loaded")
 		}
-		pred, score, err := b.Predict(events)
-		return pred, score, err
+		return b.PredictStaged(events)
 	}, bcfg)
+	// The live bundle generation, as a gauge: a scrape across a fleet shows
+	// which servers still run the old model mid-rollout.
+	m.reg.GaugeFunc(metricGeneration,
+		"Generation of the live bundle (0 before the first load).",
+		func() float64 {
+			if info := reg.Info(); info != nil {
+				return float64(info.Generation)
+			}
+			return 0
+		})
 	s.mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/reload", s.handleReload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", m.reg.Handler())
+	if tracer != nil {
+		s.mux.Handle("GET /debug/traces", tracer.Handler())
+	}
 	return s
 }
 
@@ -114,6 +164,12 @@ func (s *Server) Close() { s.batcher.Close() }
 // Batcher exposes the scheduler (benchmarks drive it directly).
 func (s *Server) Batcher() *Batcher { return s.batcher }
 
+// Obs returns the metrics registry backing /metrics and /stats.
+func (s *Server) Obs() *obs.Registry { return s.m.reg }
+
+// Tracer returns the request tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -126,14 +182,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
+	tr := s.tracer.Sample("predict")
 	ok := false
-	defer func() { s.lat.observe(time.Since(started), !ok) }()
+	defer func() {
+		d := time.Since(started)
+		s.m.requests.Inc()
+		if !ok {
+			s.m.errors.Inc()
+		}
+		s.m.latency.Observe(d)
+		s.lat.observe(d)
+		tr.Finish()
+	}()
 
 	info := s.reg.Info()
 	if info == nil {
 		writeError(w, http.StatusServiceUnavailable, "no bundle loaded")
 		return
 	}
+	spDecode := tr.Start("decode")
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
@@ -159,23 +226,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	decoded := time.Now()
+	spDecode.End()
+	dur := decoded.Sub(started)
+	if dur > 0 {
+		s.m.decode.Observe(dur)
+	}
 
 	// Each event goes through the batcher on its own so coalescing happens
-	// across concurrent HTTP requests as well as within one request.
+	// across concurrent HTTP requests as well as within one request. Only
+	// the first event carries the trace — its journey stands for the
+	// request's.
 	preds := make([]Prediction, len(events))
 	errs := make([]error, len(events))
 	var wg sync.WaitGroup
 	wg.Add(len(events))
 	for i, ev := range events {
-		go func(i int, ev []float64) {
+		etr := tr
+		if i > 0 {
+			etr = nil
+		}
+		go func(i int, ev []float64, etr *obs.Trace) {
 			defer wg.Done()
-			class, score, err := s.batcher.Predict(r.Context(), ev)
+			class, score, err := s.batcher.PredictTraced(r.Context(), ev, etr)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			preds[i] = Prediction{Class: class, SignalScore: score}
-		}(i, ev)
+		}(i, ev, etr)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -189,7 +268,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ok = true
+	spRespond := tr.Start("respond")
 	writeJSON(w, http.StatusOK, PredictResponse{Predictions: preds})
+	spRespond.End()
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -228,17 +309,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	bs := s.batcher.Stats()
-	lat := s.lat.snapshot()
+	// One registry snapshot covers the batcher counters and the request
+	// totals, so the reported numbers are a single consistent cut — the
+	// same guarantee /metrics gives (DESIGN.md §11).
+	var bs BatcherStats
+	var requests, errCount uint64
+	s.m.reg.Snapshot(func() {
+		bs = s.batcher.statsLoad()
+		requests = s.m.requests.Value()
+		errCount = s.m.errors.Value()
+	})
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      lat.Count,
+		Requests:      requests,
 		Events:        bs.Requests,
 		Batches:       bs.Batches,
 		AvgBatch:      bs.AvgBatch(),
 		MaxBatch:      bs.MaxBatch,
 		Coalesced:     bs.CoalescedBatches,
-		Latency:       lat,
+		Latency:       s.lat.snapshot(requests, errCount),
 		Bundle:        s.reg.Info(),
 	})
 }

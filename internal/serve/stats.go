@@ -2,7 +2,6 @@ package serve
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"streambrain/internal/perf/hist"
@@ -14,28 +13,23 @@ import (
 // the life of the process.
 const latencyWindowObs = 8192
 
-// latencyTracker is the per-endpoint latency tracker: lifetime monotone
-// counters plus recent-window percentiles from the shared HDR-style
-// histogram (hist.Histogram, DESIGN.md §8) that the perf load generator
-// also records into. Recency comes from interval rotation — observations
-// land in cur, which swaps to prev every latencyWindowObs requests, and a
-// snapshot merges the two — keeping the predecessor ring's
-// "biased toward current behavior" property (the right trade-off for an
-// /stats endpoint operators poll) without its sort-on-snapshot cost.
+// latencyTracker holds the recent-window percentile state for /stats: a
+// rotating pair of the shared HDR-style histograms (hist.Histogram,
+// DESIGN.md §8). Lifetime request/error totals live in the obs registry
+// (Metrics.requests / Metrics.errors) — this tracker is purely the windowed
+// view, because the cumulative streambrain_serve_request_seconds histogram
+// on /metrics cannot forget old observations while /stats operators want
+// "recent behavior". Observations land in cur, which swaps to prev every
+// latencyWindowObs requests, and a snapshot merges the two — keeping the
+// predecessor ring's "biased toward current behavior" property without its
+// sort-on-snapshot cost.
 type latencyTracker struct {
-	errors atomic.Uint64
-	total  atomic.Uint64
-
 	mu   sync.Mutex
 	cur  *hist.Histogram
 	prev *hist.Histogram
 }
 
-func (l *latencyTracker) observe(d time.Duration, failed bool) {
-	if failed {
-		l.errors.Add(1)
-	}
-	l.total.Add(1)
+func (l *latencyTracker) observe(d time.Duration) {
 	l.mu.Lock()
 	if l.cur == nil {
 		l.cur = hist.New()
@@ -48,7 +42,8 @@ func (l *latencyTracker) observe(d time.Duration, failed bool) {
 }
 
 // LatencySummary reports request-latency percentiles in milliseconds over
-// the recent window. Count and Errors are lifetime totals.
+// the recent window. Count and Errors are lifetime totals (from the obs
+// registry counters).
 type LatencySummary struct {
 	Count  uint64  `json:"count"`
 	Errors uint64  `json:"errors"`
@@ -58,7 +53,9 @@ type LatencySummary struct {
 	MaxMs  float64 `json:"max_ms"`
 }
 
-func (l *latencyTracker) snapshot() LatencySummary {
+// snapshot merges the window pair into percentiles; the caller supplies the
+// lifetime totals it read from the registry.
+func (l *latencyTracker) snapshot(count, errors uint64) LatencySummary {
 	w := hist.New()
 	l.mu.Lock()
 	w.Merge(l.prev)
@@ -66,8 +63,8 @@ func (l *latencyTracker) snapshot() LatencySummary {
 	l.mu.Unlock()
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return LatencySummary{
-		Count:  l.total.Load(),
-		Errors: l.errors.Load(),
+		Count:  count,
+		Errors: errors,
 		P50Ms:  ms(w.Quantile(0.50)),
 		P90Ms:  ms(w.Quantile(0.90)),
 		P99Ms:  ms(w.Quantile(0.99)),

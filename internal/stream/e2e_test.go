@@ -11,6 +11,7 @@ import (
 
 	"streambrain/internal/core"
 	"streambrain/internal/data"
+	"streambrain/internal/obs/obstest"
 	"streambrain/internal/serve"
 	"streambrain/internal/stream"
 )
@@ -53,6 +54,9 @@ func testParams() core.Params {
 // let the pipeline publish snapshots into a serve.Registry, and prove the
 // HTTP service answers /v1/predict from a generation trained after startup.
 func TestPipelineEndToEnd(t *testing.T) {
+	// Once Run returns and the server closes, nothing of the pipeline or the
+	// serving stack may survive as a goroutine.
+	defer obstest.CheckLeaks(t)()
 	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 1))
 	p, err := stream.New(stream.Config{
 		Backend:         "parallel",

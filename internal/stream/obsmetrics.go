@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"streambrain/internal/obs"
+)
+
+// Stream metric families (the DESIGN.md §11 catalogue).
+const (
+	metricEvents     = "streambrain_stream_events_total"
+	metricBatches    = "streambrain_stream_batches_total"
+	metricDrifts     = "streambrain_stream_drifts_total"
+	metricPublishes  = "streambrain_stream_publishes_total"
+	metricStructural = "streambrain_stream_structural_rounds_total"
+	metricStep       = "streambrain_stream_step_seconds"
+	metricRefit      = "streambrain_stream_refit_seconds"
+	metricWindowAcc  = "streambrain_stream_window_accuracy"
+	metricWindowAUC  = "streambrain_stream_window_auc"
+	metricThreshold  = "streambrain_stream_threshold"
+)
+
+// metrics is the stream pipeline's instrument set. Built against a nil
+// registry every instrument is nil, and every recording below is a no-op —
+// an uninstrumented pipeline pays only nil checks.
+type obsMetrics struct {
+	events     *obs.Counter
+	batches    *obs.Counter
+	drifts     *obs.Counter
+	publishes  *obs.Counter
+	structural *obs.Counter
+	step       *obs.Histogram
+	refit      *obs.Histogram
+	windowAcc  *obs.Gauge
+	windowAUC  *obs.Gauge
+	threshold  *obs.Gauge
+}
+
+// live reports whether the instruments record anywhere — false for the
+// nil-registry pipeline, which then skips computing gauge inputs (the
+// window AUC sort) entirely.
+func (m *obsMetrics) live() bool { return m.windowAcc != nil }
+
+func newObsMetrics(reg *obs.Registry) *obsMetrics {
+	return &obsMetrics{
+		events: reg.Counter(metricEvents,
+			"Events ingested (warmup included); its rate is the ingest rate."),
+		batches: reg.Counter(metricBatches,
+			"Micro-batch training steps after warmup."),
+		drifts: reg.Counter(metricDrifts,
+			"Drift-detector firings."),
+		publishes: reg.Counter(metricPublishes,
+			"Bundle snapshots handed to the publisher."),
+		structural: reg.Counter(metricStructural,
+			"Structural-plasticity rounds applied."),
+		step: reg.LatencyHistogram(metricStep,
+			"Wall time of one prequential micro-batch step."),
+		refit: reg.LatencyHistogram(metricRefit,
+			"Encoder refit duration (drift response and periodic refits)."),
+		windowAcc: reg.Gauge(metricWindowAcc,
+			"Prequential accuracy over the sliding window."),
+		windowAUC: reg.Gauge(metricWindowAUC,
+			"Prequential AUC over the sliding window."),
+		threshold: reg.Gauge(metricThreshold,
+			"Current calibrated decision threshold."),
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
 	"streambrain/internal/data"
+	"streambrain/internal/obs"
 	"streambrain/internal/sgd"
 )
 
@@ -58,6 +60,13 @@ type Config struct {
 	// ReservoirSize is the uniform-sample capacity backing encoder refits
 	// (default 4096).
 	ReservoirSize int
+	// Obs is the telemetry registry the pipeline records into (ingest rate,
+	// drift events, refit duration — DESIGN.md §11). Nil disables metric
+	// recording at the cost of a nil check per call.
+	Obs *obs.Registry
+	// Tracer samples ingest-step lifecycles (encode → predict → partial_fit
+	// → window_update → drift_check → publish spans). Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -133,9 +142,11 @@ type Stats struct {
 // Pipeline is the online continual-learning loop. Build one with New, feed
 // it with Run (single goroutine), observe it with Stats (any goroutine).
 type Pipeline struct {
-	cfg Config
-	pub Publisher
-	be  backend.Backend
+	cfg    Config
+	pub    Publisher
+	be     backend.Backend
+	m      *obsMetrics
+	tracer *obs.Tracer
 
 	// net and enc are owned by the Run goroutine; publishers receive
 	// serialized snapshots, never live pointers across goroutines.
@@ -179,13 +190,15 @@ func New(cfg Config, pub Publisher) (*Pipeline, error) {
 		}
 	}
 	return &Pipeline{
-		cfg:   cfg,
-		pub:   pub,
-		be:    be,
-		res:   data.NewReservoir(cfg.ReservoirSize, cfg.Params.Seed+101),
-		win:   NewWindow(cfg.Window),
-		drift: NewDriftDetector(cfg.DriftDrop, cfg.DriftMinObs),
-		stats: Stats{Threshold: 0.5},
+		cfg:    cfg,
+		pub:    pub,
+		be:     be,
+		m:      newObsMetrics(cfg.Obs),
+		tracer: cfg.Tracer,
+		res:    data.NewReservoir(cfg.ReservoirSize, cfg.Params.Seed+101),
+		win:    NewWindow(cfg.Window),
+		drift:  NewDriftDetector(cfg.DriftDrop, cfg.DriftMinObs),
+		stats:  Stats{Threshold: 0.5},
 	}, nil
 }
 
@@ -300,6 +313,8 @@ func (p *Pipeline) bootstrap(rows [][]float64, labels []int) error {
 	p.stats.Events += int64(len(rows))
 	p.stats.Threshold = net.Threshold()
 	p.mu.Unlock()
+	p.m.events.Add(uint64(len(rows)))
+	p.m.threshold.Set(net.Threshold())
 	return p.publish()
 }
 
@@ -308,13 +323,24 @@ func (p *Pipeline) bootstrap(rows [][]float64, labels []int) error {
 // finally apply whatever lifecycle actions (drift response, encoder refit,
 // structural plasticity, publish) came due.
 func (p *Pipeline) step(rows [][]float64, labels []int) error {
+	stepStart := time.Now()
+	tr := p.tracer.Sample("ingest")
+	defer tr.Finish()
+
+	sp := tr.Start("encode")
 	encoded, err := p.enc.TransformBatch(rows, labels, p.cfg.Classes)
+	sp.End()
 	if err != nil {
 		return fmt.Errorf("stream: %w", err)
 	}
+	sp = tr.Start("predict")
 	pred, score := p.net.Predict(encoded)
+	sp.End()
+	sp = tr.Start("partial_fit")
 	p.net.PartialFit(encoded.Idx, labels)
+	sp.End()
 
+	sp = tr.Start("window_update")
 	p.mu.Lock()
 	for i := range pred {
 		p.win.Add(pred[i], labels[i], score[i])
@@ -324,6 +350,8 @@ func (p *Pipeline) step(rows [][]float64, labels []int) error {
 	p.sincePublish += len(rows)
 	p.sinceRefit += len(rows)
 	p.sinceStructural += len(rows)
+	sp.End()
+	sp = tr.Start("drift_check")
 	drifted := false
 	if p.win.Full() {
 		drifted = p.drift.Observe(p.win.Accuracy())
@@ -332,33 +360,64 @@ func (p *Pipeline) step(rows [][]float64, labels []int) error {
 		p.stats.Drifts++
 		p.drift.Reset()
 	}
+	sp.End()
 	refit := drifted || (p.cfg.RefitEvery > 0 && p.sinceRefit >= p.cfg.RefitEvery)
 	structural := p.sinceStructural >= p.cfg.StructuralEvery
 	publish := p.cfg.PublishEvery > 0 && p.sincePublish >= p.cfg.PublishEvery
+	// AUC snapshots and sorts the whole window — too expensive to pay per
+	// step when nobody is scraping, so the gauges only update on a live
+	// registry.
+	live := p.m.live()
+	var winAcc, winAUC float64
+	if live && p.win.Len() > 0 {
+		winAcc, winAUC = p.win.Accuracy(), p.win.AUC()
+	}
 	p.mu.Unlock()
+
+	p.m.events.Add(uint64(len(rows)))
+	p.m.batches.Inc()
+	if drifted {
+		p.m.drifts.Inc()
+	}
+	if live {
+		p.m.windowAcc.Set(winAcc)
+		p.m.windowAUC.Set(winAUC)
+	}
 
 	// Drift response: re-anchor the encoder on the reservoir (which tracks
 	// the shifted input distribution) and recalibrate the decision cut at
 	// the next publish; the trace EMA re-adapts on its own.
 	if refit {
+		refitStart := time.Now()
+		sp = tr.Start("refit")
 		if err := p.enc.Refit(p.res.Rows()); err != nil {
 			return fmt.Errorf("stream: %w", err)
 		}
+		sp.End()
+		p.m.refit.Observe(time.Since(refitStart))
 		p.mu.Lock()
 		p.stats.Refits++
 		p.sinceRefit = 0
 		p.mu.Unlock()
 	}
 	if structural {
+		sp = tr.Start("structural")
 		p.net.Hidden.StructuralUpdate()
+		sp.End()
+		p.m.structural.Inc()
 		p.mu.Lock()
 		p.stats.StructuralRounds++
 		p.sinceStructural = 0
 		p.mu.Unlock()
 	}
 	if publish {
-		return p.publish()
+		sp = tr.Start("publish")
+		err := p.publish()
+		sp.End()
+		p.m.step.Observe(time.Since(stepStart))
+		return err
 	}
+	p.m.step.Observe(time.Since(stepStart))
 	return nil
 }
 
@@ -382,6 +441,9 @@ func (p *Pipeline) publish() error {
 	p.mu.Lock()
 	p.stats.Publishes++
 	p.sincePublish = 0
+	threshold := p.stats.Threshold
 	p.mu.Unlock()
+	p.m.publishes.Inc()
+	p.m.threshold.Set(threshold)
 	return nil
 }

@@ -12,6 +12,12 @@
 //     cmd/streambrain-dist; every other -flag the section shows must be
 //     defined by some command under cmd/.
 //
+//   - every streambrain_* metric name DESIGN.md or README.md mentions
+//     must appear as a quoted string literal in some Go source file
+//     (exposition suffixes _bucket/_sum/_count resolve to their base
+//     family), so the documented metric catalogue (DESIGN.md §11) cannot
+//     drift from the names the code actually registers.
+//
 //     go run ./tools/docscheck          # checks the repository root
 //     go run ./tools/docscheck -root .. # or any tree
 //
@@ -52,6 +58,7 @@ func main() {
 		os.Exit(1)
 	}
 	var problems []string
+	codeMetrics := map[string]bool{}
 	err = filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -71,6 +78,9 @@ func main() {
 			return err
 		}
 		problems = append(problems, checkFile(path, string(raw), sections)...)
+		for _, m := range metricLit.FindAllStringSubmatch(string(raw), -1) {
+			codeMetrics[m[1]] = true
+		}
 		return nil
 	})
 	if err != nil {
@@ -78,6 +88,7 @@ func main() {
 		os.Exit(1)
 	}
 	problems = append(problems, checkClusterDocs(*root)...)
+	problems = append(problems, checkMetricDocs(*root, codeMetrics)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -209,6 +220,45 @@ func checkClusterDocs(root string) []string {
 			problems = append(problems, fmt.Sprintf(
 				"%s: Cluster quickstart shows -%s, which no command under cmd/ defines",
 				readmePath, name))
+		}
+	}
+	return problems
+}
+
+var (
+	// metricLit matches a metric family name registered (or scraped) as a
+	// quoted Go string literal.
+	metricLit = regexp.MustCompile(`"(streambrain_[a-z0-9_]+)"`)
+	// metricMention matches a metric name anywhere in markdown prose.
+	metricMention = regexp.MustCompile(`streambrain_[a-z0-9_]+`)
+)
+
+// checkMetricDocs verifies every streambrain_* metric name the docs
+// mention resolves to a quoted literal somewhere in the Go sources, so the
+// DESIGN.md §11 catalogue and the README's Observability section cannot
+// name metrics the code no longer (or never) registers. Exposition
+// suffixes count as their base family.
+func checkMetricDocs(root string, codeMetrics map[string]bool) []string {
+	var problems []string
+	for _, doc := range []string{"DESIGN.md", "README.md"} {
+		path := filepath.Join(root, doc)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: cannot read (metric names are checked): %v", path, err))
+			continue
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			for _, name := range metricMention.FindAllString(line, -1) {
+				base := name
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					base = strings.TrimSuffix(base, suffix)
+				}
+				if codeMetrics[name] || codeMetrics[base] {
+					continue
+				}
+				problems = append(problems, fmt.Sprintf(
+					"%s:%d: documents metric %s, which no Go file registers", path, i+1, name))
+			}
 		}
 	}
 	return problems

@@ -1,0 +1,224 @@
+// Command metricscheck validates a /metrics scrape from a streambrain
+// process (DESIGN.md §11):
+//
+//	curl -s localhost:8080/metrics > scrape1.txt
+//	# ...drive some load...
+//	curl -s localhost:8080/metrics > scrape2.txt
+//	go run ./tools/metricscheck -current scrape2.txt -prev scrape1.txt \
+//	    -require streambrain_serve_requests_total,streambrain_serve_batch_size
+//
+// It checks that the exposition parses as Prometheus text format 0.0.4
+// (obs.ParseText is strict: TYPE lines, label syntax, escapes, values),
+// that every histogram family is internally consistent — ascending le
+// bounds, cumulative bucket counts, a +Inf bucket equal to _count, a _sum
+// sample — and, given -prev (an earlier scrape of the same process), that
+// every counter and cumulative histogram sample is monotone non-decreasing.
+// -require lists metric-name prefixes that must each match at least one
+// sample, so the CI smoke test asserts the families it drove load through
+// actually appear. Exit status 1 lists every violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"streambrain/internal/obs"
+)
+
+func main() {
+	current := flag.String("current", "", "exposition file to validate (required)")
+	prev := flag.String("prev", "", "earlier scrape of the same process; counters must not decrease against it")
+	require := flag.String("require", "", "comma-separated metric-name prefixes that must each match a sample")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "metricscheck: -current is required")
+		os.Exit(2)
+	}
+
+	cur, err := parseFile(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+	var problems []string
+	problems = append(problems, checkHistograms(cur)...)
+	if *prev != "" {
+		old, err := parseFile(*prev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			os.Exit(1)
+		}
+		problems = append(problems, checkMonotone(old, cur)...)
+	}
+	for _, prefix := range strings.Split(*require, ",") {
+		if prefix = strings.TrimSpace(prefix); prefix == "" {
+			continue
+		}
+		if !hasPrefix(cur, prefix) {
+			problems = append(problems, fmt.Sprintf("required family %q has no samples", prefix))
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %s\n", *current, p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok (%d samples, %d typed families)\n",
+		*current, len(cur.Samples), len(cur.Types))
+}
+
+func parseFile(path string) (*obs.Exposition, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	exp, err := obs.ParseText(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return exp, nil
+}
+
+func hasPrefix(exp *obs.Exposition, prefix string) bool {
+	for _, s := range exp.Samples {
+		if strings.HasPrefix(s.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// seriesKey identifies one series of a family: its sorted labels minus le.
+func seriesKey(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		if k == "le" {
+			continue
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// checkHistograms asserts every TYPE histogram family is self-consistent.
+func checkHistograms(exp *obs.Exposition) []string {
+	var problems []string
+	for fam, typ := range exp.Types {
+		if typ != "histogram" {
+			continue
+		}
+		type bucket struct {
+			le  float64
+			cum float64
+		}
+		buckets := map[string][]bucket{}
+		sums := map[string]bool{}
+		counts := map[string]float64{}
+		for _, s := range exp.Samples {
+			key := seriesKey(s.Labels)
+			switch s.Name {
+			case fam + "_bucket":
+				le, err := strconv.ParseFloat(s.Labels["le"], 64)
+				if err != nil {
+					problems = append(problems,
+						fmt.Sprintf("%s: unparseable le %q", fam, s.Labels["le"]))
+					continue
+				}
+				buckets[key] = append(buckets[key], bucket{le, s.Value})
+			case fam + "_sum":
+				sums[key] = true
+			case fam + "_count":
+				counts[key] = s.Value
+			}
+		}
+		if len(buckets) == 0 {
+			problems = append(problems, fmt.Sprintf("%s: TYPE histogram but no _bucket samples", fam))
+			continue
+		}
+		for key, bs := range buckets {
+			label := fam
+			if key != "" {
+				label = fam + "{" + key + "}"
+			}
+			// The exposition writer emits buckets in bound order; a scraper
+			// may not rely on that, but our own writer must uphold it.
+			for i := 1; i < len(bs); i++ {
+				if bs[i].le <= bs[i-1].le {
+					problems = append(problems,
+						fmt.Sprintf("%s: le bounds not ascending (%g after %g)", label, bs[i].le, bs[i-1].le))
+				}
+				if bs[i].cum < bs[i-1].cum {
+					problems = append(problems, fmt.Sprintf(
+						"%s: bucket counts not cumulative (%g at le=%g after %g)",
+						label, bs[i].cum, bs[i].le, bs[i-1].cum))
+				}
+			}
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				problems = append(problems, fmt.Sprintf("%s: missing le=\"+Inf\" bucket", label))
+				continue
+			}
+			if count, ok := counts[key]; !ok {
+				problems = append(problems, fmt.Sprintf("%s: missing _count sample", label))
+			} else if count != last.cum {
+				problems = append(problems, fmt.Sprintf(
+					"%s: _count %g != +Inf bucket %g", label, count, last.cum))
+			}
+			if !sums[key] {
+				problems = append(problems, fmt.Sprintf("%s: missing _sum sample", label))
+			}
+		}
+	}
+	return problems
+}
+
+// checkMonotone asserts every cumulative sample in old — counters, and the
+// _bucket/_count/_sum of histograms — still exists in cur with a value that
+// has not decreased. (Histogram _sum is monotone too: observations are
+// non-negative durations/sizes.)
+func checkMonotone(old, cur *obs.Exposition) []string {
+	cumulative := func(exp *obs.Exposition, s obs.Sample) bool {
+		if typ, ok := exp.Types[s.Name]; ok && typ == "counter" {
+			return true
+		}
+		for _, suffix := range []string{"_bucket", "_count", "_sum"} {
+			fam := strings.TrimSuffix(s.Name, suffix)
+			if fam != s.Name && exp.Types[fam] == "histogram" {
+				return true
+			}
+		}
+		return false
+	}
+	var problems []string
+	for _, s := range old.Samples {
+		if !cumulative(old, s) {
+			continue
+		}
+		now, ok := cur.Value(s.Name, s.Labels)
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s%s: present in -prev but missing now", s.Name, labelSuffix(s.Labels)))
+			continue
+		}
+		if now < s.Value {
+			problems = append(problems, fmt.Sprintf(
+				"%s%s: counter went backwards (%g -> %g)", s.Name, labelSuffix(s.Labels), s.Value, now))
+		}
+	}
+	return problems
+}
+
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + seriesKey(labels) + "}"
+}
