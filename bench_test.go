@@ -9,6 +9,7 @@ package streambrain_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -26,6 +27,7 @@ import (
 	"streambrain/internal/mpi"
 	"streambrain/internal/posit"
 	"streambrain/internal/serve"
+	"streambrain/internal/serve/wire"
 	"streambrain/internal/stream"
 	"streambrain/internal/tensor"
 	"streambrain/internal/viz"
@@ -553,6 +555,77 @@ func BenchmarkServePredict(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	// wire=json vs wire=binary: the same 64-event batch through each codec
+	// path end to end (decode → forward → encode) on a single-worker bundle,
+	// so the gap is the protocol cost, not batching or parallelism. The JSON
+	// leg is what handlePredict does per request; the binary leg is the
+	// pooled predictWire hot path, which must stay allocation-free in steady
+	// state (the allocs/op column is gated in perf/baseline_serve.json).
+	serial, err := serve.LoadBundle(bytes.NewReader(buf.Bytes()), backend.MustNew("parallel", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const wireBatch = 64
+	b.Run("wire=json", func(b *testing.B) {
+		body, err := json.Marshal(serve.PredictRequest{Events: events[:wireBatch]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(body)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var req serve.PredictRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				b.Fatal(err)
+			}
+			pred, score, err := serial.Predict(req.Events)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp := serve.PredictResponse{Predictions: make([]serve.Prediction, len(pred))}
+			for j := range pred {
+				resp.Predictions[j] = serve.Prediction{Class: pred[j], SignalScore: score[j]}
+			}
+			if _, err := json.Marshal(resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(wireBatch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	b.Run("wire=binary", func(b *testing.B) {
+		frame, err := wire.AppendRequest(nil, events[:wireBatch], false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sc serve.Scratch
+		pred := make([]int, wireBatch)
+		score := make([]float64, wireBatch)
+		threshold := serial.Net.Threshold()
+		var out []byte
+		run := func() {
+			req, err := wire.DecodeRequest(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := serial.PredictPooled(req.Rows, pred, score, &sc); err != nil {
+				b.Fatal(err)
+			}
+			req.Release()
+			out, err = wire.AppendResponse(out[:0], pred, score, threshold, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		run() // warm the pools and scratch outside the timer
+		b.SetBytes(int64(len(frame)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		b.ReportMetric(float64(wireBatch)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 	})
 	b.Run("coalesced", func(b *testing.B) {
 		batcher := serve.NewBatcher(func(_ int, evs [][]float64) ([]int, []float64, error) {

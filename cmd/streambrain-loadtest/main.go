@@ -4,6 +4,8 @@
 //
 //	streambrain-loadtest -suite smoke                 # writes BENCH_smoke.json
 //	streambrain-loadtest -suite full -out /tmp/b.json # measurement scale
+//	streambrain-loadtest -suite serve                 # json vs binary predict codecs
+//	streambrain-loadtest -suite smoke -wire binary    # force serve scenarios onto one codec
 //	streambrain-loadtest -list                        # available suites
 //
 // Scenarios run pinned iteration counts (never wall-clock budgets), so two
@@ -24,9 +26,17 @@ func main() {
 	suite := flag.String("suite", "smoke", "perf suite to run")
 	out := flag.String("out", "", "output path (default BENCH_<suite>.json)")
 	runs := flag.Int("runs", 1, "suite repetitions merged by per-scenario median (use 3 when re-baselining)")
+	wireSel := flag.String("wire", "", "force serve scenarios onto one predict codec: binary or json (default: as declared per scenario)")
 	list := flag.Bool("list", false, "list available suites and their scenarios, then exit")
 	quiet := flag.Bool("q", false, "suppress per-scenario progress on stderr")
 	flag.Parse()
+
+	switch *wireSel {
+	case "", "json", "binary":
+	default:
+		fmt.Fprintf(os.Stderr, "streambrain-loadtest: -wire must be json or binary, got %q\n", *wireSel)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, name := range perf.Suites() {
@@ -43,7 +53,7 @@ func main() {
 		return
 	}
 
-	r := &perf.Runner{}
+	r := &perf.Runner{WireOverride: *wireSel}
 	if !*quiet {
 		r.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "streambrain-loadtest: "+format+"\n", args...)

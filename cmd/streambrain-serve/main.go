@@ -8,6 +8,11 @@
 // Concurrent requests are coalesced into single backend-sized forward passes
 // (up to -max-batch events per call, waiting at most -max-wait for company),
 // the same batching that gives StreamBrain its training throughput.
+// POST /v1/predict also speaks the length-prefixed binary wire protocol
+// (DESIGN.md §12): send a frame with
+// Content-Type: application/x-streambrain-frame and the response comes back
+// as a binary frame over a pooled, allocation-free hot path — the codec
+// cmd/streambrain-loadtest drives with -wire binary.
 // GET /healthz reports liveness, GET /stats reports request counts, batch
 // amortization, and latency percentiles, GET /metrics serves the same
 // counters as Prometheus text exposition, and POST /v1/reload atomically

@@ -91,8 +91,14 @@ func (p *Parallel[T]) OneHotMatMul(dst *tensor.Dense[T], idx [][]int32, w *tenso
 	tensor.OneHotMatMulParallel(dst, idx, w, p.workers)
 }
 
-// AddBias implements Kernels.
+// AddBias implements Kernels. The serial case skips parallelFor entirely:
+// the closure it would take captures m and bias and escapes to the heap,
+// which is the difference between 0 and 2 allocs/op on the predict hot path.
 func (p *Parallel[T]) AddBias(m *tensor.Dense[T], bias []T) {
+	if p.workers <= 1 || m.Rows <= 1 {
+		addBiasRange(m, bias, 0, m.Rows)
+		return
+	}
 	p.parallelFor(m.Rows, func(lo, hi int) { addBiasRange(m, bias, lo, hi) })
 }
 

@@ -153,21 +153,56 @@ func (n *Network) Threshold() float64 { return n.threshold }
 func (n *Network) Predict(ds *data.Encoded) (pred []int, signalScore []float64) {
 	pred = make([]int, ds.Len())
 	signalScore = make([]float64, ds.Len())
+	n.PredictInto(ds, pred, signalScore, nil)
+	return pred, signalScore
+}
+
+// predictChunk is the forward-pass tile: samples are scored through
+// chunk-row activation/probability matrices so a large Predict never
+// materializes the full hidden code.
+const predictChunk = 512
+
+// PredictScratch holds the forward-pass working set for PredictInto, reused
+// across calls so the serving hot path (DESIGN.md §12) scores batches without
+// allocating. The zero value is ready; buffers grow on first use and stick.
+type PredictScratch struct {
+	actData   []float64
+	probsData []float64
+	act       tensor.Matrix
+	probs     tensor.Matrix
+}
+
+// views sizes the scratch matrices as rows×(units, classes) windows over the
+// backing slices, allocating only when a previous call's capacity is too
+// small.
+func (sc *PredictScratch) views(rows, units, classes int) (act, probs *tensor.Matrix) {
+	if cap(sc.actData) < rows*units {
+		sc.actData = make([]float64, rows*units)
+	}
+	if cap(sc.probsData) < rows*classes {
+		sc.probsData = make([]float64, rows*classes)
+	}
+	sc.act = tensor.Matrix{Rows: rows, Cols: units, Data: sc.actData[:rows*units]}
+	sc.probs = tensor.Matrix{Rows: rows, Cols: classes, Data: sc.probsData[:rows*classes]}
+	return &sc.act, &sc.probs
+}
+
+// PredictInto is Predict writing into caller-owned slices (both must be
+// ds.Len() long) with an optional reusable scratch — the allocation-free form
+// the pooled serve path runs on. A nil sc uses a private scratch for this
+// call.
+func (n *Network) PredictInto(ds *data.Encoded, pred []int, signalScore []float64, sc *PredictScratch) {
+	if sc == nil {
+		sc = new(PredictScratch)
+	}
 	classes := n.Out.Classes()
-	const chunk = 512
-	act := tensor.NewMatrix(chunk, n.Hidden.Units())
-	probs := tensor.NewMatrix(chunk, classes)
-	for lo := 0; lo < ds.Len(); lo += chunk {
-		hi := lo + chunk
+	units := n.Hidden.Units()
+	for lo := 0; lo < ds.Len(); lo += predictChunk {
+		hi := lo + predictChunk
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		aview := act
-		pview := probs
-		if hi-lo != chunk {
-			aview = tensor.NewMatrix(hi-lo, n.Hidden.Units())
-			pview = tensor.NewMatrix(hi-lo, classes)
-		}
+		aview, pview := sc.views(hi-lo, units, classes)
 		n.Hidden.Forward(ds.Idx[lo:hi], aview)
 		n.Out.Scores(aview, pview)
 		for s := 0; s < hi-lo; s++ {
@@ -176,13 +211,14 @@ func (n *Network) Predict(ds *data.Encoded) (pred []int, signalScore []float64) 
 				signalScore[lo+s] = row[1]
 				if row[1] >= n.threshold {
 					pred[lo+s] = 1
+				} else {
+					pred[lo+s] = 0
 				}
 			} else {
 				pred[lo+s] = tensor.ArgMaxRow(row)
 			}
 		}
 	}
-	return pred, signalScore
 }
 
 // Evaluate returns test accuracy and (for binary problems) AUC — the two

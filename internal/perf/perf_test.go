@@ -35,6 +35,8 @@ func TestScenarioValidate(t *testing.T) {
 		{Name: "x", Kind: KindKernel, Op: "nope", Backend: "naive", Iters: 1},             // bad op
 		{Name: "x", Kind: KindServeClosed, Requests: 10},                                  // no concurrency
 		{Name: "x", Kind: KindServeOpen, Requests: 10},                                    // no rps
+		{Name: "x", Kind: KindServeClosed, Concurrency: 1, Requests: 10, Wire: "grpc"},    // bad wire
+		{Name: "x", Kind: KindServeOpen, TargetRPS: 5, Requests: 10, Wire: "proto"},       // bad wire
 		{Name: "x", Kind: KindStream},                                                     // no events
 		{Name: "x", Kind: KindAllreduce, Transport: "chan", Floats: 8, Iters: 1},          // no ranks
 		{Name: "x", Kind: KindAllreduce, Transport: "chan", Ranks: 2, Iters: 1},           // no floats
@@ -181,6 +183,27 @@ func TestRunServeClosedScenario(t *testing.T) {
 	}
 	if res.Errors != 0 {
 		t.Fatalf("%d/%d requests failed", res.Errors, res.Ops)
+	}
+	if res.Ops != 20 || res.Throughput <= 0 || res.P99Ms <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+// TestRunServeBinaryScenario drives the same closed loop over the binary
+// wire protocol, including the -wire override path. Skipped under -short:
+// it trains a (tiny) model first.
+func TestRunServeBinaryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	r := &Runner{Logf: t.Logf, WireOverride: "binary"}
+	res, err := r.RunScenario(Scenario{Name: "t/serve-binary", Kind: KindServeClosed,
+		Concurrency: 2, BatchSize: 2, Requests: 20, MCUs: 20, Wire: "json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d/%d binary requests failed", res.Errors, res.Ops)
 	}
 	if res.Ops != 20 || res.Throughput <= 0 || res.P99Ms <= 0 {
 		t.Fatalf("implausible result: %+v", res)

@@ -20,6 +20,7 @@ import (
 	"streambrain/internal/higgs"
 	"streambrain/internal/obs"
 	"streambrain/internal/perf/hist"
+	"streambrain/internal/serve/wire"
 	"streambrain/internal/stream"
 	"streambrain/internal/tensor"
 )
@@ -28,6 +29,13 @@ import (
 // per-scenario progress (cmd/streambrain-loadtest points it at stderr).
 type Runner struct {
 	Logf func(format string, args ...any)
+
+	// WireOverride forces every serve scenario onto one predict codec
+	// ("json" or "binary", the loadtest -wire flag); empty keeps each
+	// scenario's declared Wire. Scenario names are unchanged, so an
+	// overridden report is NOT baseline-comparable — it is for ad-hoc
+	// protocol A/B runs, not re-baselining.
+	WireOverride string
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -57,6 +65,10 @@ func (r *Runner) RunSuite(name string) (Report, error) {
 
 // RunScenario validates and executes one scenario.
 func (r *Runner) RunScenario(sc Scenario) (Result, error) {
+	if r != nil && r.WireOverride != "" &&
+		(sc.Kind == KindServeClosed || sc.Kind == KindServeOpen) {
+		sc.Wire = r.WireOverride
+	}
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -325,8 +337,20 @@ func (r *Runner) runServe(sc Scenario) (Result, error) {
 	if batch <= 0 {
 		batch = 1
 	}
-	// Pre-marshal a rotating pool of request bodies so the generator's own
-	// JSON encoding stays off the latency path.
+	// Pre-encode a rotating pool of request bodies so the generator's own
+	// codec work stays off the latency path. Wire selects the predict
+	// protocol: JSON bodies or binary frames on the same endpoint (the
+	// server negotiates by Content-Type).
+	contentType := "application/json"
+	encode := func(events [][]float64) ([]byte, error) {
+		return json.Marshal(map[string]any{"events": events})
+	}
+	if sc.Wire == "binary" {
+		contentType = wire.ContentType
+		encode = func(events [][]float64) ([]byte, error) {
+			return wire.AppendRequest(nil, events, false)
+		}
+	}
 	const bodyPool = 64
 	bodies := make([][]byte, bodyPool)
 	for i := range bodies {
@@ -334,9 +358,9 @@ func (r *Runner) runServe(sc Scenario) (Result, error) {
 		for j := range events {
 			events[j] = fx.events[(i*batch+j)%len(fx.events)]
 		}
-		raw, err := json.Marshal(map[string]any{"events": events})
+		raw, err := encode(events)
 		if err != nil {
-			return Result{}, fmt.Errorf("perf: marshal request: %w", err)
+			return Result{}, fmt.Errorf("perf: encode request: %w", err)
 		}
 		bodies[i] = raw
 	}
@@ -353,7 +377,7 @@ func (r *Runner) runServe(sc Scenario) (Result, error) {
 		var errs atomic.Uint64
 		doRequest := func(i int) {
 			t0 := time.Now()
-			resp, err := client.Post(fx.url+"/v1/predict", "application/json",
+			resp, err := client.Post(fx.url+"/v1/predict", contentType,
 				bytes.NewReader(bodies[i%bodyPool]))
 			if err == nil {
 				_, err = io.Copy(io.Discard, resp.Body)

@@ -65,11 +65,16 @@ type Scenario struct {
 
 	// Serve scenarios: Concurrency workers (closed loop), Requests total
 	// HTTP requests, BatchSize events per request, TargetRPS the open-loop
-	// dispatch rate.
+	// dispatch rate. Wire selects the predict codec: "" or "json" posts
+	// JSON bodies, "binary" posts length-prefixed wire frames
+	// (Content-Type application/x-streambrain-frame, DESIGN.md §12) — the
+	// json/binary twin scenarios in the "serve" suite measure the protocol
+	// gap under identical load.
 	Concurrency int     `json:"concurrency,omitempty"`
 	BatchSize   int     `json:"batch_size,omitempty"`
 	Requests    int     `json:"requests,omitempty"`
 	TargetRPS   float64 `json:"target_rps,omitempty"`
+	Wire        string  `json:"wire,omitempty"`
 
 	// Stream scenarios: Warmup events buffered for bootstrap, then Events
 	// steady-state events measured.
@@ -121,9 +126,15 @@ func (s Scenario) Validate() error {
 		if s.Concurrency <= 0 || s.Requests <= 0 {
 			return fmt.Errorf("perf: %s: closed loop needs Concurrency and Requests > 0", s.Name)
 		}
+		if err := validWire(s.Name, s.Wire); err != nil {
+			return err
+		}
 	case KindServeOpen:
 		if s.TargetRPS <= 0 || s.Requests <= 0 {
 			return fmt.Errorf("perf: %s: open loop needs TargetRPS and Requests > 0", s.Name)
+		}
+		if err := validWire(s.Name, s.Wire); err != nil {
+			return err
 		}
 	case KindStream:
 		if s.Events <= 0 {
@@ -153,6 +164,15 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("perf: %s: unknown kind %q", s.Name, s.Kind)
 	}
 	return nil
+}
+
+// validWire rejects predict codecs the serve runner does not know.
+func validWire(name, wire string) error {
+	switch wire {
+	case "", "json", "binary":
+		return nil
+	}
+	return fmt.Errorf("perf: %s: unknown wire %q (want json or binary)", name, wire)
 }
 
 // validTransport rejects fabrics the scaling runners do not know.
@@ -249,6 +269,18 @@ var suites = map[string][]Scenario{
 		{Name: "trace/parallel/f32", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40, Precision: "f32"},
 		{Name: "trainstep/parallel/f64", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64"},
 		{Name: "trainstep/parallel/f32", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32"},
+	},
+	// "serve" is the predict-protocol sweep behind BENCH_serve.json
+	// (DESIGN.md §12): json/binary twin scenarios under identical closed-
+	// and open-loop load, so the throughput and allocs/op gap between a
+	// pair is the measured cost of the JSON codec path. benchgate diffs it
+	// against perf/baseline_serve.json, with the allocs/op gate keeping the
+	// pooled binary hot path allocation-free.
+	"serve": {
+		{Name: "serve/json/closed/c8b16", Kind: KindServeClosed, Wire: "json", Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 100},
+		{Name: "serve/binary/closed/c8b16", Kind: KindServeClosed, Wire: "binary", Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 100},
+		{Name: "serve/json/open/300rps", Kind: KindServeOpen, Wire: "json", TargetRPS: 300, BatchSize: 4, Requests: 600, MCUs: 100},
+		{Name: "serve/binary/open/300rps", Kind: KindServeOpen, Wire: "binary", TargetRPS: 300, BatchSize: 4, Requests: 600, MCUs: 100},
 	},
 	// "scaling" is the distributed-fabric sweep behind BENCH_scaling.json
 	// (DESIGN.md §10): the trace-merge collective across payload sizes and

@@ -102,6 +102,22 @@ type request struct {
 	done     chan response
 	tr       *obs.Trace // non-nil on sampled requests; spans land here
 	enq      time.Time  // when the request entered the queue
+
+	// Block-request form (the binary wire path, DESIGN.md §12): rows is the
+	// whole multi-event batch, and the worker writes results straight into
+	// the caller-owned pred/score slices — one done signal, zero per-event
+	// channels. rows == nil means the single-event form above.
+	rows  [][]float64
+	pred  []int
+	score []float64
+}
+
+// size is how many events this request contributes to a batch.
+func (r *request) size() int {
+	if r.rows != nil {
+		return len(r.rows)
+	}
+	return 1
 }
 
 // Batcher coalesces concurrent single-event Predict calls into batched
@@ -202,6 +218,51 @@ func (b *Batcher) PredictTraced(ctx context.Context, features []float64, tr *obs
 	}
 }
 
+// PredictBlock submits a whole multi-event request as ONE queue entry and
+// blocks until its batch returns. Results land directly in the caller-owned
+// pred and score slices (both len(rows) long) — no per-event goroutines, no
+// per-event channels, which is what keeps the binary wire path allocation-
+// lean. The rows themselves still coalesce with other requests into backend
+// batches up to MaxBatch events.
+//
+// On a nil return the slices hold one result per row. On a context or
+// ErrClosed error the batch may still be in flight and may write into pred
+// and score afterwards — the caller must not reuse or pool those slices.
+func (b *Batcher) PredictBlock(ctx context.Context, rows [][]float64, pred []int, score []float64, tr *obs.Trace) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(pred) != len(rows) || len(score) != len(rows) {
+		return fmt.Errorf("serve: PredictBlock needs %d-long result slices, got %d/%d",
+			len(rows), len(pred), len(score))
+	}
+	r := &request{rows: rows, pred: pred, score: score,
+		done: make(chan response, 1), tr: tr, enq: time.Now()}
+	sp := tr.Start("enqueue")
+	select {
+	case b.reqCh <- r:
+		sp.End()
+		b.m.events.Add(uint64(len(rows)))
+	case <-b.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case resp := <-r.done:
+		return resp.err
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-b.done:
+		select {
+		case resp := <-r.done:
+			return resp.err
+		default:
+			return ErrClosed
+		}
+	}
+}
+
 // Stats returns the scheduler counters as one consistent snapshot: the
 // reads run under the registry's Snapshot lock, excluded from the grouped
 // updates the workers make, so no torn cross-field state (Batches
@@ -232,10 +293,13 @@ func (b *Batcher) Close() {
 }
 
 // collect is the batching loop: it owns the pending slice and the window
-// timer, so batch assembly needs no locks.
+// timer, so batch assembly needs no locks. The MaxBatch budget counts
+// EVENTS, not queue entries — a block request (PredictBlock) spends its row
+// count, so wire batches and single JSON events share one sizing policy.
 func (b *Batcher) collect() {
 	defer close(b.batchCh)
 	var pending []*request
+	var pendingEvents int
 	timer := time.NewTimer(time.Hour)
 	timer.Stop()
 	defer timer.Stop()
@@ -243,27 +307,48 @@ func (b *Batcher) collect() {
 		if len(pending) > 0 {
 			b.batchCh <- pending
 			pending = nil
+			pendingEvents = 0
+		}
+	}
+	add := func(r *request) {
+		pending = append(pending, r)
+		pendingEvents += r.size()
+	}
+	// drain flushes everything already queued at Close time so no accepted
+	// request is left without a response.
+	drain := func() {
+		for {
+			select {
+			case r := <-b.reqCh:
+				add(r)
+				if pendingEvents >= b.cfg.MaxBatch {
+					flush()
+				}
+			default:
+				flush()
+				return
+			}
 		}
 	}
 	for {
 		if len(pending) == 0 {
 			select {
 			case r := <-b.reqCh:
-				pending = append(pending, r)
-				if len(pending) >= b.cfg.MaxBatch {
+				add(r)
+				if pendingEvents >= b.cfg.MaxBatch {
 					flush()
 				} else {
 					timer.Reset(b.cfg.MaxWait)
 				}
 			case <-b.stop:
-				b.drain(flush, &pending)
+				drain()
 				return
 			}
 		} else {
 			select {
 			case r := <-b.reqCh:
-				pending = append(pending, r)
-				if len(pending) >= b.cfg.MaxBatch {
+				add(r)
+				if pendingEvents >= b.cfg.MaxBatch {
 					timer.Stop()
 					flush()
 				}
@@ -271,34 +356,24 @@ func (b *Batcher) collect() {
 				flush()
 			case <-b.stop:
 				timer.Stop()
-				b.drain(flush, &pending)
+				drain()
 				return
 			}
 		}
 	}
 }
 
-// drain flushes everything already queued at Close time so no accepted
-// request is left without a response.
-func (b *Batcher) drain(flush func(), pending *[]*request) {
-	for {
-		select {
-		case r := <-b.reqCh:
-			*pending = append(*pending, r)
-			if len(*pending) >= b.cfg.MaxBatch {
-				flush()
-			}
-		default:
-			flush()
-			return
-		}
-	}
-}
-
-// worker executes assembled batches serially within its slot.
+// worker executes assembled batches serially within its slot. The events
+// slice is the worker's reusable batch-assembly scratch — serial calls per
+// slot make that safe, and it keeps steady-state dispatch allocation-free.
 func (b *Batcher) worker(w int) {
+	var events [][]float64
 	for batch := range b.batchCh {
-		n := uint64(len(batch))
+		total := 0
+		for _, r := range batch {
+			total += r.size()
+		}
+		n := uint64(total)
 		dispatched := time.Now()
 		// Per-event queue-wait observations, plus the batch trace: the
 		// first sampled request in the batch carries the spans for the
@@ -321,13 +396,17 @@ func (b *Batcher) worker(w int) {
 		// move together (the torn-read fix, DESIGN.md §11).
 		b.m.reg.Atomically(func() {
 			b.m.batchSize.ObserveValue(int64(n))
-			if n >= 2 {
+			if len(batch) >= 2 {
 				b.m.coalesced.Inc()
 			}
 		})
-		events := make([][]float64, len(batch))
-		for i, r := range batch {
-			events[i] = r.features
+		events = events[:0]
+		for _, r := range batch {
+			if r.rows != nil {
+				events = append(events, r.rows...)
+			} else {
+				events = append(events, r.features)
+			}
 		}
 		start := time.Now()
 		pred, score, tm, err := b.fn(w, events)
@@ -346,16 +425,26 @@ func (b *Batcher) worker(w int) {
 			}
 			tr.Add("forward", encEnd, encEnd.Add(tm.Forward))
 		}
-		if err == nil && (len(pred) != len(batch) || len(score) != len(batch)) {
+		if err == nil && (len(pred) != total || len(score) != total) {
 			err = fmt.Errorf("serve: predict returned %d/%d results for %d events",
-				len(pred), len(score), len(batch))
+				len(pred), len(score), total)
 		}
-		for i, r := range batch {
+		off := 0
+		for _, r := range batch {
+			sz := r.size()
 			if err != nil {
 				r.done <- response{err: err}
+				off += sz
 				continue
 			}
-			r.done <- response{class: pred[i], score: score[i]}
+			if r.rows != nil {
+				copy(r.pred, pred[off:off+sz])
+				copy(r.score, score[off:off+sz])
+				r.done <- response{}
+			} else {
+				r.done <- response{class: pred[off], score: score[off]}
+			}
+			off += sz
 		}
 	}
 }

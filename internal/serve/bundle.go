@@ -17,7 +17,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"time"
 
 	"streambrain/internal/backend"
 	"streambrain/internal/core"
@@ -199,25 +198,11 @@ func (b *Bundle) PredictStaged(events [][]float64) (pred []int, signalScore []fl
 	if len(events) == 0 {
 		return nil, nil, timing, nil
 	}
-	start := time.Now()
-	idx := make([][]int32, len(events))
-	for i, ev := range events {
-		row, err := b.Enc.TransformRow(make([]int32, 0, b.Features), ev)
-		if err != nil {
-			return nil, nil, timing, fmt.Errorf("serve: event %d: %w", i, err)
-		}
-		idx[i] = row
+	pred = make([]int, len(events))
+	signalScore = make([]float64, len(events))
+	timing, err = b.PredictPooled(events, pred, signalScore, new(Scratch))
+	if err != nil {
+		return nil, nil, timing, err
 	}
-	ds := &data.Encoded{
-		Idx:          idx,
-		Y:            make([]int, len(events)), // unused by Predict
-		Classes:      b.Classes,
-		Hypercolumns: b.Features,
-		UnitsPerHC:   b.Enc.Bins,
-	}
-	encoded := time.Now()
-	timing.Encode = encoded.Sub(start)
-	pred, signalScore = b.Net.Predict(ds)
-	timing.Forward = time.Since(encoded)
 	return pred, signalScore, timing, nil
 }

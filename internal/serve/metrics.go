@@ -20,6 +20,12 @@ const (
 	metricEncode     = "streambrain_serve_encode_seconds"
 	metricForward    = "streambrain_serve_forward_seconds"
 	metricGeneration = "streambrain_serve_reload_generation"
+
+	// Binary wire protocol families (DESIGN.md §12).
+	metricWireRequests  = "streambrain_wire_requests_total"
+	metricWireErrors    = "streambrain_wire_frame_errors_total"
+	metricWireReqBytes  = "streambrain_wire_request_bytes_total"
+	metricWireRespBytes = "streambrain_wire_response_bytes_total"
 )
 
 // batchSizeBounds bucket the per-batch event count; the top bound matches
@@ -45,6 +51,11 @@ type Metrics struct {
 	queueWait *obs.Histogram
 	encode    *obs.Histogram
 	forward   *obs.Histogram
+
+	wireRequests  *obs.Counter
+	wireErrors    *obs.Counter
+	wireReqBytes  *obs.Counter
+	wireRespBytes *obs.Counter
 }
 
 // NewMetrics registers the serve instrument set on reg. A nil reg gets a
@@ -76,6 +87,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Encoder transform time per backend batch call."),
 		forward: reg.LatencyHistogram(metricForward,
 			"Kernel forward-pass time per backend batch call."),
+		wireRequests: reg.Counter(metricWireRequests,
+			"Predict requests served over the binary wire protocol."),
+		wireErrors: reg.Counter(metricWireErrors,
+			"Binary wire frames rejected as malformed (truncated, oversized, bad version/flags/geometry, non-finite)."),
+		wireReqBytes: reg.Counter(metricWireReqBytes,
+			"Bytes received in binary wire request frames."),
+		wireRespBytes: reg.Counter(metricWireRespBytes,
+			"Bytes sent in binary wire response frames."),
 	}
 	// Queue depth is derived, not stored: events accepted minus events
 	// dispatched in batches. Computed from the same instruments at

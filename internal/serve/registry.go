@@ -41,6 +41,10 @@ type BundleInfo struct {
 	SavedBackend string    `json:"saved_backend"`
 	Precision    string    `json:"precision"`
 	Replicas     int       `json:"replicas"`
+	// Threshold is the bundle's calibrated binary decision threshold — the
+	// wire response (DESIGN.md §12) carries it so clients can interpret
+	// scores without a second round trip.
+	Threshold float64 `json:"threshold"`
 }
 
 // Registry holds the active model bundle as per-worker replicas and supports
@@ -154,5 +158,6 @@ func (r *Registry) Info() *BundleInfo {
 		SavedBackend: b.SavedBackend,
 		Precision:    b.Precision.String(),
 		Replicas:     len(set.bundles),
+		Threshold:    b.Net.Threshold(),
 	}
 }

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+)
+
+// Scratch is the per-worker working set for PredictPooled: the encoder index
+// slab, the staged dataset view, and the network forward scratch, all reused
+// across batches so the steady-state serve path makes zero allocations per
+// request (DESIGN.md §12). Each batcher worker slot owns one Scratch — worker
+// slots run serially, so no locking.
+type Scratch struct {
+	idx     [][]int32
+	idxSlab []int32
+	y       []int
+	ds      data.Encoded
+	fw      core.PredictScratch
+}
+
+// grow sizes the slab and row-header buffers for a rows×features batch,
+// allocating only when a previous batch's capacity is too small.
+func (sc *Scratch) grow(rows, features int) {
+	if cap(sc.idxSlab) < rows*features {
+		sc.idxSlab = make([]int32, rows*features)
+	}
+	if cap(sc.idx) < rows {
+		sc.idx = make([][]int32, rows)
+	}
+	if cap(sc.y) < rows {
+		sc.y = make([]int, rows)
+	}
+}
+
+// PredictPooled is PredictStaged writing into caller-owned pred and score
+// slices (both len(events) long) through a reusable Scratch — the
+// allocation-free form the binary wire path and the batcher workers run on.
+// Safe for concurrent use across DISTINCT Scratch values on a frozen network;
+// one Scratch must not be shared between concurrent calls.
+func (b *Bundle) PredictPooled(events [][]float64, pred []int, score []float64, sc *Scratch) (BatchTiming, error) {
+	var timing BatchTiming
+	if len(events) == 0 {
+		return timing, nil
+	}
+	start := time.Now()
+	sc.grow(len(events), b.Features)
+	idx := sc.idx[:len(events)]
+	for i, ev := range events {
+		off := i * b.Features
+		// The three-index slice pins the row's capacity so TransformRow
+		// appends in place instead of growing into the next row's slab span.
+		row, err := b.Enc.TransformRow(sc.idxSlab[off:off:off+b.Features], ev)
+		if err != nil {
+			return timing, fmt.Errorf("serve: event %d: %w", i, err)
+		}
+		idx[i] = row
+	}
+	sc.ds = data.Encoded{
+		Idx:          idx,
+		Y:            sc.y[:len(events)], // unused by PredictInto
+		Classes:      b.Classes,
+		Hypercolumns: b.Features,
+		UnitsPerHC:   b.Enc.Bins,
+	}
+	encoded := time.Now()
+	timing.Encode = encoded.Sub(start)
+	b.Net.PredictInto(&sc.ds, pred, score, &sc.fw)
+	timing.Forward = time.Since(encoded)
+	return timing, nil
+}

@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"streambrain/internal/obs"
+	"streambrain/internal/serve/wire"
 )
 
 // maxEventsPerRequest bounds one HTTP request's payload so a single caller
@@ -68,7 +72,17 @@ type StatsResponse struct {
 	MaxBatch      uint64         `json:"max_batch"`
 	Coalesced     uint64         `json:"coalesced_batches"`
 	Latency       LatencySummary `json:"latency"`
+	Wire          WireStats      `json:"wire"`
 	Bundle        *BundleInfo    `json:"bundle,omitempty"`
+}
+
+// WireStats is the binary-protocol slice of /stats — the same counters the
+// streambrain_wire_* families export on /metrics.
+type WireStats struct {
+	Requests      uint64 `json:"requests"`
+	FrameErrors   uint64 `json:"frame_errors"`
+	RequestBytes  uint64 `json:"request_bytes"`
+	ResponseBytes uint64 `json:"response_bytes"`
 }
 
 // healthResponse is the body returned by GET /healthz.
@@ -126,12 +140,33 @@ func NewServer(reg *Registry, cfg ServerConfig, reloadPath string) *Server {
 		start:      time.Now(),
 		reloadPath: reloadPath,
 	}
+	// Per-worker predict state: worker slots run serially, so each slot's
+	// Scratch and result slices are reused across batches without locking —
+	// the backend call is allocation-free at steady state (DESIGN.md §12).
+	// The batcher copies results out before the slot's next call, so handing
+	// back worker-owned slices is safe.
+	type workerState struct {
+		sc    Scratch
+		pred  []int
+		score []float64
+	}
+	ws := make([]workerState, bcfg.Workers)
 	s.batcher = NewStagedBatcher(func(w int, events [][]float64) ([]int, []float64, BatchTiming, error) {
 		b := reg.Replica(w)
 		if b == nil {
 			return nil, nil, BatchTiming{}, errors.New("serve: no bundle loaded")
 		}
-		return b.PredictStaged(events)
+		st := &ws[w]
+		if cap(st.pred) < len(events) {
+			st.pred = make([]int, len(events))
+			st.score = make([]float64, len(events))
+		}
+		pred, score := st.pred[:len(events)], st.score[:len(events)]
+		tm, err := b.PredictPooled(events, pred, score, &st.sc)
+		if err != nil {
+			return nil, nil, tm, err
+		}
+		return pred, score, tm, nil
 	}, bcfg)
 	// The live bundle generation, as a gauge: a scrape across a fleet shows
 	// which servers still run the old model mid-rollout.
@@ -198,6 +233,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	info := s.reg.Info()
 	if info == nil {
 		writeError(w, http.StatusServiceUnavailable, "no bundle loaded")
+		return
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		ok = s.predictWire(w, r, started, tr, info)
 		return
 	}
 	spDecode := tr.Start("decode")
@@ -273,6 +312,102 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	spRespond.End()
 }
 
+// wireBuf is one binary-path response working set: the result slices handed
+// to the batcher plus the encode output buffer, pooled so the steady-state
+// wire path allocates nothing per request (DESIGN.md §12).
+type wireBuf struct {
+	pred  []int
+	score []float64
+	out   []byte
+}
+
+var wireBufPool = sync.Pool{New: func() any { return new(wireBuf) }}
+
+// abandonedInFlight reports an error after which the batch may still be
+// running and may still write into the request's buffers — those buffers
+// must be dropped to the GC, not returned to their pools.
+func abandonedInFlight(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrClosed)
+}
+
+// predictWire is the binary-protocol arm of POST /v1/predict (DESIGN.md
+// §12): decode one pooled request frame, score the whole block through the
+// batcher, encode one response frame. Success mirrors the request's
+// Content-Type; every error is still a JSON body, so callers get readable
+// diagnostics on the path that is by definition misbehaving.
+func (s *Server) predictWire(w http.ResponseWriter, r *http.Request, started time.Time, tr *obs.Trace, info *BundleInfo) bool {
+	s.m.wireRequests.Inc()
+	spDecode := tr.Start("decode")
+	req, frameBytes, err := wire.ReadRequest(r.Body)
+	if err != nil {
+		s.m.wireErrors.Inc()
+		status := http.StatusBadRequest
+		if errors.Is(err, wire.ErrOversized) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "%v", err)
+		return false
+	}
+	s.m.wireReqBytes.Add(uint64(frameBytes))
+	if req.Cols != info.Features {
+		s.m.wireErrors.Inc()
+		req.Release()
+		writeError(w, http.StatusBadRequest, "frame has %d features per event, model expects %d",
+			req.Cols, info.Features)
+		return false
+	}
+	if len(req.Rows) > maxEventsPerRequest {
+		s.m.wireErrors.Inc()
+		req.Release()
+		writeError(w, http.StatusRequestEntityTooLarge, "%d events exceeds the per-request cap of %d",
+			len(req.Rows), maxEventsPerRequest)
+		return false
+	}
+	spDecode.End()
+	if dur := time.Since(started); dur > 0 {
+		s.m.decode.Observe(dur)
+	}
+
+	buf := wireBufPool.Get().(*wireBuf)
+	rows := len(req.Rows)
+	if cap(buf.pred) < rows {
+		buf.pred = make([]int, rows)
+		buf.score = make([]float64, rows)
+	}
+	pred, score := buf.pred[:rows], buf.score[:rows]
+	if err := s.batcher.PredictBlock(r.Context(), req.Rows, pred, score, tr); err != nil {
+		if !abandonedInFlight(err) {
+			req.Release()
+			wireBufPool.Put(buf)
+		}
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "predict: %v", err)
+		return false
+	}
+	req.Release()
+	spRespond := tr.Start("respond")
+	out, err := wire.AppendResponse(buf.out[:0], pred, score, info.Threshold, info.Generation)
+	if err != nil {
+		wireBufPool.Put(buf)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return false
+	}
+	buf.out = out // keep the grown encode buffer with its pool entry
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+	s.m.wireRespBytes.Add(uint64(len(out)))
+	wireBufPool.Put(buf)
+	spRespond.End()
+	return true
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -314,10 +449,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// same guarantee /metrics gives (DESIGN.md §11).
 	var bs BatcherStats
 	var requests, errCount uint64
+	var ws WireStats
 	s.m.reg.Snapshot(func() {
 		bs = s.batcher.statsLoad()
 		requests = s.m.requests.Value()
 		errCount = s.m.errors.Value()
+		ws = WireStats{
+			Requests:      s.m.wireRequests.Value(),
+			FrameErrors:   s.m.wireErrors.Value(),
+			RequestBytes:  s.m.wireReqBytes.Value(),
+			ResponseBytes: s.m.wireRespBytes.Value(),
+		}
 	})
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -328,6 +470,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxBatch:      bs.MaxBatch,
 		Coalesced:     bs.CoalescedBatches,
 		Latency:       s.lat.snapshot(requests, errCount),
+		Wire:          ws,
 		Bundle:        s.reg.Info(),
 	})
 }

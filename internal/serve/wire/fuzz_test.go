@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestUpdateFuzzCorpus (with -update) writes the seeded corpus under
+// testdata/fuzz/<FuzzName>/ in the "go test fuzz v1" encoding — the same
+// seeds the targets f.Add, committed so CI's -fuzz smoke starts from known
+// interesting inputs rather than an empty corpus.
+func TestUpdateFuzzCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate the seeded fuzz corpus")
+	}
+	write := func(target, name string, lines ...string) {
+		t.Helper()
+		dir := filepath.Join("testdata", "fuzz", target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := "go test fuzz v1\n"
+		for _, l := range lines {
+			body += l + "\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed64, err := AppendRequest(nil, [][]float64{{0.5, -1.25, 3}, {0.125, 2.5, -0.75}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed32, err := AppendRequest(nil, [][]float64{{1, 2}, {3, 4}, {5, 6}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesSeeds := map[string][]byte{
+		"valid_f64":      seed64,
+		"valid_f32":      seed32,
+		"empty":          {},
+		"truncated":      {0, 0, 0, 6, Version, 0, 0, 1, 0, 1},
+		"hostile_length": {0xff, 0xff, 0xff, 0xff, Version, 0, 0xff, 0xff},
+		"zero_noise":     bytes.Repeat([]byte{0}, 64),
+	}
+	for name, b := range bytesSeeds {
+		write("FuzzWireDecodeRequest", name, fmt.Sprintf("[]byte(%q)", b))
+	}
+	roundTripSeeds := map[string][4]string{
+		"one_cell":  {"uint16(1)", "uint16(1)", "int64(0)", "bool(false)"},
+		"small_f64": {"uint16(2)", "uint16(3)", "int64(42)", "bool(false)"},
+		"higgs_f32": {"uint16(7)", "uint16(28)", "int64(7)", "bool(true)"},
+		"batch_f32": {"uint16(64)", "uint16(5)", "int64(-1)", "bool(true)"},
+	}
+	for name, args := range roundTripSeeds {
+		write("FuzzWireRoundTrip", name, args[0], args[1], args[2], args[3])
+	}
+}
+
+// decodeErrs is the closed set of failures DecodeRequest may return; the
+// fuzzers assert every rejection is one of these — a panic or an ad-hoc
+// error on adversarial input is a bug.
+var decodeErrs = []error{ErrTruncated, ErrOversized, ErrVersion, ErrFlags, ErrGeometry, ErrNonFinite}
+
+func isTypedErr(err error) bool {
+	for _, e := range decodeErrs {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzWireDecodeRequest throws arbitrary bytes at the request decoder. The
+// invariants: never panic, never accept-and-misreport (anything accepted
+// must re-encode to the exact input bytes), never return an untyped error,
+// and never allocate past the caps (the decoder validates geometry before
+// sizing buffers, so a hostile length prefix cannot balloon memory).
+func FuzzWireDecodeRequest(f *testing.F) {
+	seed64, err := AppendRequest(nil, [][]float64{{0.5, -1.25, 3}, {0.125, 2.5, -0.75}}, false)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed32, err := AppendRequest(nil, [][]float64{{1, 2}, {3, 4}, {5, 6}}, true)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed64)
+	f.Add(seed32)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 6, Version, 0, 0, 1, 0, 1})             // truncated payload
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, Version, 0, 0xff, 0xff}) // hostile length
+	f.Add(bytes.Repeat([]byte{0}, 64))                            // zero noise
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			if req != nil {
+				t.Fatalf("non-nil request alongside error %v", err)
+			}
+			if !isTypedErr(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted: the frame must be canonical — re-encoding the decoded
+		// rows reproduces the input byte-for-byte.
+		if len(req.Rows) == 0 || req.Cols == 0 {
+			t.Fatalf("accepted frame decoded to empty geometry")
+		}
+		if len(req.Rows) > MaxRows || req.Cols > MaxCols {
+			t.Fatalf("accepted frame beyond caps: %d x %d", len(req.Rows), req.Cols)
+		}
+		enc, err := AppendRequest(nil, req.Rows, req.Float32)
+		req.Release()
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(enc, frame) {
+			t.Fatalf("accepted frame is not canonical\n  in %x\n out %x", frame, enc)
+		}
+	})
+}
+
+// FuzzWireRoundTrip fuzzes the structured path: arbitrary geometry and
+// seed-derived values must encode, decode back to identical bits, and agree
+// between the in-memory and streaming decoders — at both payload widths.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint16(1), int64(0), false)
+	f.Add(uint16(2), uint16(3), int64(42), false)
+	f.Add(uint16(7), uint16(28), int64(7), true)
+	f.Add(uint16(64), uint16(5), int64(-1), true)
+	f.Fuzz(func(t *testing.T, nrows, ncols uint16, seed int64, f32 bool) {
+		rows := int(nrows)%128 + 1 // stay small: the fuzzer explores layout, not scale
+		cols := int(ncols)%64 + 1
+		state := uint64(seed)
+		next := func() float64 {
+			// xorshift64: deterministic, seed-derived, finite-by-construction
+			// values in (-1, 1) that exercise both payload widths.
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			v := float64(int64(state)) / math.MaxInt64
+			if f32 {
+				v = float64(float32(v))
+			}
+			return v
+		}
+		in := make([][]float64, rows)
+		for i := range in {
+			in[i] = make([]float64, cols)
+			for j := range in[i] {
+				in[i][j] = next()
+			}
+		}
+		frame, err := AppendRequest(nil, in, f32)
+		if err != nil {
+			t.Fatalf("encode %dx%d: %v", rows, cols, err)
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if req.Float32 != f32 || req.Cols != cols || len(req.Rows) != rows {
+			t.Fatalf("geometry drift: f32=%v cols=%d rows=%d", req.Float32, req.Cols, len(req.Rows))
+		}
+		for i := range in {
+			for j := range in[i] {
+				if math.Float64bits(req.Rows[i][j]) != math.Float64bits(in[i][j]) {
+					t.Fatalf("row %d col %d: bits %x, want %x", i, j,
+						math.Float64bits(req.Rows[i][j]), math.Float64bits(in[i][j]))
+				}
+			}
+		}
+		req.Release()
+		sreq, n, err := ReadRequest(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("streaming decode: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("streaming decode consumed %d of %d bytes", n, len(frame))
+		}
+		for i := range in {
+			for j := range in[i] {
+				if math.Float64bits(sreq.Rows[i][j]) != math.Float64bits(in[i][j]) {
+					t.Fatalf("streaming row %d col %d drifted", i, j)
+				}
+			}
+		}
+		sreq.Release()
+
+		// Response half: classes/scores derived from the same stream.
+		class := make([]int, rows)
+		score := make([]float64, rows)
+		for i := range class {
+			class[i] = int(state>>uint(i%8)) & 1
+			score[i] = next()
+		}
+		rframe, err := AppendResponse(nil, class, score, next(), state)
+		if err != nil {
+			t.Fatalf("response encode: %v", err)
+		}
+		resp, err := DecodeResponse(rframe)
+		if err != nil {
+			t.Fatalf("response decode of own encoding: %v", err)
+		}
+		if resp.Generation != state {
+			t.Fatalf("generation drift: %d != %d", resp.Generation, state)
+		}
+		for i := range class {
+			if resp.Class[i] != class[i] ||
+				math.Float64bits(resp.Score[i]) != math.Float64bits(score[i]) {
+				t.Fatalf("response row %d drifted", i)
+			}
+		}
+		// Corrupting any single byte of the request frame must never panic
+		// — flip one seed-chosen byte and decode again.
+		pos := int(state % uint64(len(frame)))
+		frame[pos] ^= 0xff
+		if q, err := DecodeRequest(frame); err == nil {
+			q.Release()
+		} else if !isTypedErr(err) {
+			t.Fatalf("corrupted frame produced untyped error: %v", err)
+		}
+	})
+}

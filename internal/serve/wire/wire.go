@@ -1,0 +1,420 @@
+// Package wire is the binary predict protocol (DESIGN.md §12): a
+// length-prefixed, big-endian frame format for POST /v1/predict that replaces
+// JSON on the serving hot path. It reuses the bit-exact IEEE-754 framing
+// conventions of the mpi TCP fabric (DESIGN.md §10) — every float crosses the
+// wire as its exact big-endian bit pattern, so a score computed by the server
+// arrives at the client bit-identical.
+//
+// Frame layouts (all integers big endian; offsets in bytes):
+//
+//	request                                  response
+//	off sz field                             off sz field
+//	0   4  length   bytes after this prefix  0   4  length   bytes after this prefix
+//	4   1  version  protocol Version (1)     4   1  version  protocol Version (1)
+//	5   1  flags    bit0 = FlagFloat32       5   1  flags    reserved (0)
+//	6   2  rows     event count              6   2  rows     prediction count
+//	8   2  cols     features per event       8   8  threshold  decision threshold (f64)
+//	10  …  payload  rows·cols floats         16  8  generation bundle generation (u64)
+//	                (8 B each; 4 B when      24  …  payload  rows × (u16 class +
+//	                FlagFloat32 is set)                      f64 score)
+//
+// Scores and the threshold are always carried at float64 width regardless of
+// the request payload width or the bundle's compute precision, which is what
+// makes the JSON and binary paths bit-exact equivalents of each other.
+//
+// The decoder is fuzz-hardened: every malformed frame maps to one of the
+// typed errors below (never a panic), and every geometry field is validated
+// against the package caps BEFORE any payload buffer is sized, so a hostile
+// length prefix cannot force an allocation beyond MaxRows·MaxCols floats.
+// Decoded requests draw their row buffers from a package pool; Release
+// returns them, keeping the steady-state serve path allocation-free.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// ContentType is the negotiated media type: a POST /v1/predict body with this
+// Content-Type is a request frame, and the success response mirrors it.
+const ContentType = "application/x-streambrain-frame"
+
+// Version is the frame version this package encodes and the only one it
+// accepts. Bump it when the layout changes; decoders reject the rest.
+const Version = 1
+
+// FlagFloat32 marks a request payload carried at 4-byte IEEE-754 width.
+// Values are widened to float64 on decode (exactly — every float32 is
+// representable). All other flag bits are reserved and must be zero.
+const FlagFloat32 = 1 << 0
+
+// Geometry caps. A frame claiming more is rejected with ErrOversized before
+// any buffer is sized; they bound one frame's decode footprint at
+// MaxRows·MaxCols float64s.
+const (
+	MaxRows = 4096 // events per frame (matches the serve per-request cap)
+	MaxCols = 1024 // features per event
+)
+
+const (
+	prefixLen     = 4              // the u32 length prefix
+	reqHeaderLen  = 6              // version + flags + rows + cols
+	respHeaderLen = 20             // version + flags + rows + threshold + generation
+	respRowLen    = 10             // u16 class + f64 score
+	maxClass      = math.MaxUint16 // widest class id the response row carries
+	maxReqLength  = reqHeaderLen + MaxRows*MaxCols*8
+	maxRespLength = respHeaderLen + MaxRows*respRowLen
+)
+
+// Frame-layout field names, in wire order. tools/docscheck cross-checks the
+// README "Binary protocol" section against these literals, so the documented
+// layout cannot drift from the one the code implements.
+const (
+	FieldLength     = "length"
+	FieldVersion    = "version"
+	FieldFlags      = "flags"
+	FieldRows       = "rows"
+	FieldCols       = "cols"
+	FieldPayload    = "payload"
+	FieldThreshold  = "threshold"
+	FieldGeneration = "generation"
+	FieldClass      = "class"
+	FieldScore      = "score"
+)
+
+// Typed decode failures. Handlers map them to HTTP statuses; fuzz targets
+// assert malformed input always lands on one of these, never a panic.
+var (
+	// ErrTruncated: the frame ends before its declared length.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrOversized: a length, row, or column field exceeds the package caps.
+	ErrOversized = errors.New("wire: frame exceeds size caps")
+	// ErrVersion: the version byte is not Version.
+	ErrVersion = errors.New("wire: unsupported frame version")
+	// ErrFlags: reserved flag bits are set.
+	ErrFlags = errors.New("wire: unknown flag bits")
+	// ErrGeometry: the length prefix, row/col counts, and payload size
+	// disagree (including zero rows/cols and trailing bytes).
+	ErrGeometry = errors.New("wire: frame geometry mismatch")
+	// ErrNonFinite: the feature payload carries NaN or ±Inf. JSON cannot
+	// express these, so rejecting them keeps the two paths equivalent.
+	ErrNonFinite = errors.New("wire: non-finite feature value")
+)
+
+// Request is one decoded predict frame. Rows holds the feature vectors as
+// views into a pooled slab — valid until Release, which returns the buffers
+// to the package pool for the next decode.
+type Request struct {
+	// Float32 records that the payload arrived at 4-byte width (FlagFloat32).
+	Float32 bool
+	// Cols is the per-row feature count; every Rows[i] has exactly Cols
+	// values.
+	Cols int
+	// Rows are the decoded feature vectors.
+	Rows [][]float64
+
+	slab []float64
+	hdrs [][]float64
+	buf  []byte
+}
+
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// Release returns the request's buffers to the decode pool. The Request and
+// every row in Rows must not be used afterwards.
+func (q *Request) Release() {
+	q.Rows = nil
+	reqPool.Put(q)
+}
+
+// header is the decoded fixed part of a request frame.
+type header struct {
+	float32 bool
+	rows    int
+	cols    int
+}
+
+// parseRequestHeader validates the six post-prefix header bytes plus the
+// length prefix. All cap checks happen here, before any payload buffer is
+// sized.
+func parseRequestHeader(length uint32, hdr []byte) (header, error) {
+	var h header
+	if length > maxReqLength {
+		return h, fmt.Errorf("%w: length prefix %d exceeds %d", ErrOversized, length, maxReqLength)
+	}
+	if hdr[0] != Version {
+		return h, fmt.Errorf("%w: version %d, want %d", ErrVersion, hdr[0], Version)
+	}
+	flags := hdr[1]
+	if flags&^byte(FlagFloat32) != 0 {
+		return h, fmt.Errorf("%w: flags 0x%02x", ErrFlags, flags)
+	}
+	h.float32 = flags&FlagFloat32 != 0
+	h.rows = int(binary.BigEndian.Uint16(hdr[2:4]))
+	h.cols = int(binary.BigEndian.Uint16(hdr[4:6]))
+	if h.rows == 0 || h.cols == 0 {
+		return h, fmt.Errorf("%w: %d rows x %d cols", ErrGeometry, h.rows, h.cols)
+	}
+	if h.rows > MaxRows || h.cols > MaxCols {
+		return h, fmt.Errorf("%w: %d rows x %d cols (caps %d x %d)",
+			ErrOversized, h.rows, h.cols, MaxRows, MaxCols)
+	}
+	if want := reqHeaderLen + h.rows*h.cols*h.width(); int(length) != want {
+		return h, fmt.Errorf("%w: length prefix %d, geometry needs %d", ErrGeometry, length, want)
+	}
+	return h, nil
+}
+
+func (h header) width() int {
+	if h.float32 {
+		return 4
+	}
+	return 8
+}
+
+// decodePayload fills the request's pooled slab from the raw payload bytes.
+// The header has already been validated, so len(payload) is exactly
+// rows·cols·width.
+func (q *Request) decodePayload(h header, payload []byte) error {
+	need := h.rows * h.cols
+	if cap(q.slab) < need {
+		q.slab = make([]float64, need)
+	}
+	vals := q.slab[:need]
+	if h.float32 {
+		for i := range vals {
+			v := float64(math.Float32frombits(binary.BigEndian.Uint32(payload[i*4:])))
+			if !isFinite(v) {
+				return fmt.Errorf("%w: payload value %d", ErrNonFinite, i)
+			}
+			vals[i] = v
+		}
+	} else {
+		for i := range vals {
+			v := math.Float64frombits(binary.BigEndian.Uint64(payload[i*8:]))
+			if !isFinite(v) {
+				return fmt.Errorf("%w: payload value %d", ErrNonFinite, i)
+			}
+			vals[i] = v
+		}
+	}
+	if cap(q.hdrs) < h.rows {
+		q.hdrs = make([][]float64, h.rows)
+	}
+	rows := q.hdrs[:h.rows]
+	for i := range rows {
+		rows[i] = vals[i*h.cols : (i+1)*h.cols]
+	}
+	q.Float32 = h.float32
+	q.Cols = h.cols
+	q.Rows = rows
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// DecodeRequest parses one complete request frame from buf. The returned
+// Request draws from the package pool; the caller must Release it. Trailing
+// bytes after the frame are an ErrGeometry.
+func DecodeRequest(frame []byte) (*Request, error) {
+	if len(frame) < prefixLen+reqHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(frame), prefixLen+reqHeaderLen)
+	}
+	length := binary.BigEndian.Uint32(frame[:prefixLen])
+	h, err := parseRequestHeader(length, frame[prefixLen:prefixLen+reqHeaderLen])
+	if err != nil {
+		return nil, err
+	}
+	body := frame[prefixLen+reqHeaderLen:]
+	payload := int(length) - reqHeaderLen
+	if len(body) < payload {
+		return nil, fmt.Errorf("%w: %d payload bytes, length prefix claims %d", ErrTruncated, len(body), payload)
+	}
+	if len(body) > payload {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrGeometry, len(body)-payload)
+	}
+	q := reqPool.Get().(*Request)
+	if err := q.decodePayload(h, body); err != nil {
+		q.Release()
+		return nil, err
+	}
+	return q, nil
+}
+
+// ReadRequest reads exactly one request frame from r (an HTTP request body).
+// It returns the decoded pooled Request plus the total frame size in bytes
+// (for byte-rate telemetry); the caller must Release the request. Geometry is
+// validated from the ten fixed header bytes before the payload buffer is
+// sized, so a hostile length prefix cannot force a large read or allocation.
+func ReadRequest(r io.Reader) (*Request, int, error) {
+	var hdr [prefixLen + reqHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:prefixLen])
+	h, err := parseRequestHeader(length, hdr[prefixLen:])
+	if err != nil {
+		return nil, 0, err
+	}
+	q := reqPool.Get().(*Request)
+	payload := int(length) - reqHeaderLen
+	if cap(q.buf) < payload {
+		q.buf = make([]byte, payload)
+	}
+	body := q.buf[:payload]
+	if _, err := io.ReadFull(r, body); err != nil {
+		q.Release()
+		return nil, 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if err := q.decodePayload(h, body); err != nil {
+		q.Release()
+		return nil, 0, err
+	}
+	return q, prefixLen + int(length), nil
+}
+
+// AppendRequest encodes rows as one request frame appended to dst (which may
+// be nil). float32Payload selects the 4-byte payload width — values are
+// rounded to float32 on the wire, halving the frame size; at 8-byte width the
+// frame carries each value's exact bit pattern.
+func AppendRequest(dst []byte, rows [][]float64, float32Payload bool) ([]byte, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: no rows", ErrGeometry)
+	}
+	if len(rows) > MaxRows {
+		return nil, fmt.Errorf("%w: %d rows (cap %d)", ErrOversized, len(rows), MaxRows)
+	}
+	cols := len(rows[0])
+	if cols == 0 {
+		return nil, fmt.Errorf("%w: empty row", ErrGeometry)
+	}
+	if cols > MaxCols {
+		return nil, fmt.Errorf("%w: %d cols (cap %d)", ErrOversized, cols, MaxCols)
+	}
+	width := 8
+	var flags byte
+	if float32Payload {
+		width, flags = 4, FlagFloat32
+	}
+	length := reqHeaderLen + len(rows)*cols*width
+	dst = appendFrameHeader(dst, uint32(length), flags, uint16(len(rows)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(cols))
+	for i, row := range rows {
+		if len(row) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d values, row 0 has %d", ErrGeometry, i, len(row), cols)
+		}
+		for _, v := range row {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("%w: row %d", ErrNonFinite, i)
+			}
+			if float32Payload {
+				dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+			} else {
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+			}
+		}
+	}
+	return dst, nil
+}
+
+// appendFrameHeader writes the prefix plus the shared version/flags/rows
+// fields both frame kinds open with.
+func appendFrameHeader(dst []byte, length uint32, flags byte, rows uint16) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, length)
+	dst = append(dst, Version, flags)
+	return binary.BigEndian.AppendUint16(dst, rows)
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	// Threshold is the decision threshold the classes were cut at; Generation
+	// is the bundle generation that scored the batch — together the frame's
+	// threshold metadata, letting a router tier detect mid-rollout skew.
+	Threshold  float64
+	Generation uint64
+	// Class and Score are the per-row predictions, in request row order.
+	// Scores are exact float64 bit patterns — bit-identical to the JSON
+	// path's values.
+	Class []int
+	Score []float64
+}
+
+// AppendResponse encodes predictions as one response frame appended to dst
+// (which may be nil). class and score must be the same length; scores travel
+// at full float64 width regardless of how the request payload arrived.
+func AppendResponse(dst []byte, class []int, score []float64, threshold float64, generation uint64) ([]byte, error) {
+	if len(class) != len(score) {
+		return nil, fmt.Errorf("%w: %d classes, %d scores", ErrGeometry, len(class), len(score))
+	}
+	if len(class) == 0 {
+		return nil, fmt.Errorf("%w: no rows", ErrGeometry)
+	}
+	if len(class) > MaxRows {
+		return nil, fmt.Errorf("%w: %d rows (cap %d)", ErrOversized, len(class), MaxRows)
+	}
+	length := respHeaderLen + len(class)*respRowLen
+	dst = appendFrameHeader(dst, uint32(length), 0, uint16(len(class)))
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(threshold))
+	dst = binary.BigEndian.AppendUint64(dst, generation)
+	for i, c := range class {
+		if c < 0 || c > maxClass {
+			return nil, fmt.Errorf("%w: class %d out of u16 range", ErrGeometry, c)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(c))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(score[i]))
+	}
+	return dst, nil
+}
+
+// DecodeResponse parses one complete response frame (the client half of the
+// protocol — loadtest, tests, and the future router tier).
+func DecodeResponse(frame []byte) (*Response, error) {
+	if len(frame) < prefixLen+respHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, header needs %d", ErrTruncated, len(frame), prefixLen+respHeaderLen)
+	}
+	length := binary.BigEndian.Uint32(frame[:prefixLen])
+	if length > maxRespLength {
+		return nil, fmt.Errorf("%w: length prefix %d exceeds %d", ErrOversized, length, maxRespLength)
+	}
+	hdr := frame[prefixLen:]
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrVersion, hdr[0], Version)
+	}
+	if hdr[1] != 0 {
+		return nil, fmt.Errorf("%w: flags 0x%02x", ErrFlags, hdr[1])
+	}
+	rows := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if rows == 0 {
+		return nil, fmt.Errorf("%w: zero rows", ErrGeometry)
+	}
+	if rows > MaxRows {
+		return nil, fmt.Errorf("%w: %d rows (cap %d)", ErrOversized, rows, MaxRows)
+	}
+	if want := respHeaderLen + rows*respRowLen; int(length) != want {
+		return nil, fmt.Errorf("%w: length prefix %d, geometry needs %d", ErrGeometry, length, want)
+	}
+	if len(frame)-prefixLen < int(length) {
+		return nil, fmt.Errorf("%w: %d frame bytes, length prefix claims %d", ErrTruncated, len(frame)-prefixLen, int(length)+prefixLen)
+	}
+	if len(frame)-prefixLen > int(length) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrGeometry, len(frame)-prefixLen-int(length))
+	}
+	resp := &Response{
+		Threshold:  math.Float64frombits(binary.BigEndian.Uint64(hdr[4:12])),
+		Generation: binary.BigEndian.Uint64(hdr[12:20]),
+		Class:      make([]int, rows),
+		Score:      make([]float64, rows),
+	}
+	body := hdr[respHeaderLen:]
+	for i := 0; i < rows; i++ {
+		resp.Class[i] = int(binary.BigEndian.Uint16(body[i*respRowLen:]))
+		resp.Score[i] = math.Float64frombits(binary.BigEndian.Uint64(body[i*respRowLen+2:]))
+	}
+	return resp, nil
+}

@@ -107,9 +107,15 @@ func MatMulParallel[T Float](dst, a, b *Dense[T], block, workers int) {
 	if block <= 0 {
 		block = DefaultBlock
 	}
-	if workers <= 1 || a.Rows < 2*block {
+	// blk is a single-assignment copy: the goroutine closure below must not
+	// capture a reassigned variable, or the compiler captures it by
+	// reference and heap-allocates the cell at function entry — one alloc
+	// per call even on the serial branch, which the predict hot path runs
+	// at zero allocations.
+	blk := block
+	if workers <= 1 || a.Rows < 2*blk {
 		dst.Zero()
-		matMulBlockedRange(dst, a, b, block, 0, a.Rows)
+		matMulBlockedRange(dst, a, b, blk, 0, a.Rows)
 		return
 	}
 	dst.Zero()
@@ -125,7 +131,7 @@ func MatMulParallel[T Float](dst, a, b *Dense[T], block, workers int) {
 		wg.Add(1)
 		go func(r0, r1 int) {
 			defer wg.Done()
-			matMulBlockedRange(dst, a, b, block, r0, r1)
+			matMulBlockedRange(dst, a, b, blk, r0, r1)
 		}(r0, r1)
 	}
 	wg.Wait()

@@ -28,12 +28,22 @@ type Thresholds struct {
 	// path can look "fast" (failures return quickly), so throughput alone
 	// would pass it.
 	MaxErrorRise float64 // default 0.01
+	// MaxAllocGrowth and AllocFloor gate the allocs/op column: a scenario
+	// fails when its current allocs/op exceeds BOTH the baseline by more
+	// than MaxAllocGrowth (fractional) AND the baseline plus AllocFloor
+	// (absolute). The double condition keeps pooled near-zero baselines
+	// honest without turning GC-count jitter into failures: a 0-alloc
+	// baseline only fails past the absolute floor, a 10k-alloc JSON path
+	// only fails past +50%. This is the check that keeps the binary wire
+	// hot path (DESIGN.md §12) allocation-free in CI.
+	MaxAllocGrowth float64 // default 0.5
+	AllocFloor     float64 // default 32
 }
 
 // DefaultThresholds are the gate limits DESIGN.md §8 documents.
 func DefaultThresholds() Thresholds {
 	return Thresholds{MaxThroughputDrop: 0.15, MaxP99Growth: 0.25, P99FloorMs: 0.1,
-		MaxErrorRise: 0.01}
+		MaxErrorRise: 0.01, MaxAllocGrowth: 0.5, AllocFloor: 32}
 }
 
 // Verdict status values.
@@ -133,6 +143,15 @@ func compare(base, now perf.Result, th Thresholds) Verdict {
 				"p99 %.3fms → %.3fms (%+.1f%%, limit +%.0f%%)",
 				base.P99Ms, now.P99Ms, 100*v.P99Delta, 100*th.MaxP99Growth))
 		}
+	}
+	// Allocation gate: see Thresholds.MaxAllocGrowth. Both the relative and
+	// the absolute headroom must be exceeded, so zero-alloc pooled baselines
+	// and chatty JSON baselines are each gated at the scale that matters.
+	if now.AllocsPerOp > base.AllocsPerOp*(1+th.MaxAllocGrowth) &&
+		now.AllocsPerOp > base.AllocsPerOp+th.AllocFloor {
+		problems = append(problems, fmt.Sprintf(
+			"allocs/op %.1f → %.1f (limit max(+%.0f%%, +%.0f abs))",
+			base.AllocsPerOp, now.AllocsPerOp, 100*th.MaxAllocGrowth, th.AllocFloor))
 	}
 	if len(problems) > 0 {
 		v.Status = StatusRegression

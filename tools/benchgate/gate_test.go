@@ -176,6 +176,42 @@ func TestP99NoiseFloor(t *testing.T) {
 	}
 }
 
+func TestEvaluateAllocRegression(t *testing.T) {
+	th := DefaultThresholds()
+	withAllocs := func(name string, allocs float64) perf.Result {
+		r := res(name, 1000, 10)
+		r.AllocsPerOp = allocs
+		return r
+	}
+	// A pooled zero-alloc baseline: jitter inside the absolute floor passes,
+	// a broken pool (allocations per op reappearing) fails.
+	base := []perf.Result{withAllocs("binary", 0)}
+	cur := []perf.Result{withAllocs("binary", 20)}
+	if _, failed := Evaluate(base, cur, th); failed {
+		t.Fatal("alloc growth inside the absolute floor must not fail")
+	}
+	cur = []perf.Result{withAllocs("binary", 200)}
+	verdicts, failed := Evaluate(base, cur, th)
+	if !failed {
+		t.Fatal("a zero-alloc baseline growing to 200 allocs/op must fail")
+	}
+	if v := verdictFor(t, verdicts, "binary"); v.Status != StatusRegression ||
+		!strings.Contains(v.Detail, "allocs/op") {
+		t.Fatalf("verdict %+v, want allocs/op regression detail", v)
+	}
+	// A chatty JSON baseline: wobble under +50% passes, past it (and past
+	// the floor) fails.
+	base = []perf.Result{withAllocs("json", 10000)}
+	cur = []perf.Result{withAllocs("json", 14000)}
+	if _, failed := Evaluate(base, cur, th); failed {
+		t.Fatal("+40% alloc growth must pass a 50% gate")
+	}
+	cur = []perf.Result{withAllocs("json", 16000)}
+	if _, failed := Evaluate(base, cur, th); !failed {
+		t.Fatal("+60% alloc growth must fail a 50% gate")
+	}
+}
+
 func TestCustomThresholds(t *testing.T) {
 	th := Thresholds{MaxThroughputDrop: 0.01, MaxP99Growth: 0.01}
 	base := []perf.Result{res("tight", 1000, 10)}

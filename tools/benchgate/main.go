@@ -34,6 +34,10 @@ func main() {
 		"skip the p99 check when the baseline p99 is below this (timer noise)")
 	flag.Float64Var(&th.MaxErrorRise, "max-error-rise", th.MaxErrorRise,
 		"fail when the error rate exceeds the baseline's by more than this fraction")
+	flag.Float64Var(&th.MaxAllocGrowth, "max-alloc-growth", th.MaxAllocGrowth,
+		"fail when allocs/op grows more than this fraction (and past -alloc-floor)")
+	flag.Float64Var(&th.AllocFloor, "alloc-floor", th.AllocFloor,
+		"absolute allocs/op headroom below which alloc growth is not gated")
 	advisory := flag.Bool("advisory", false,
 		"report regressions but exit 0 — for bootstrapping a baseline on new hardware")
 	strict := flag.Bool("strict", false,

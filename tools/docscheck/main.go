@@ -89,6 +89,7 @@ func main() {
 	}
 	problems = append(problems, checkClusterDocs(*root)...)
 	problems = append(problems, checkMetricDocs(*root, codeMetrics)...)
+	problems = append(problems, checkWireDocs(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -259,6 +260,75 @@ func checkMetricDocs(root string, codeMetrics map[string]bool) []string {
 				problems = append(problems, fmt.Sprintf(
 					"%s:%d: documents metric %s, which no Go file registers", path, i+1, name))
 			}
+		}
+	}
+	return problems
+}
+
+var (
+	// wireFieldDef matches the Field* frame-layout constants in the wire
+	// package ("FieldRows = \"rows\"").
+	wireFieldDef = regexp.MustCompile(`Field[A-Za-z0-9]+\s*=\s*"([a-z_]+)"`)
+	// wireFieldUse matches a field name in the README layout tables' first
+	// column ("| `rows` | u16 | ..." or "| per row: `class` | ...").
+	wireFieldUse = regexp.MustCompile("\\|[^|`]*`([a-z_]+)`\\s*\\|")
+	// wireContentType matches the negotiated media type literal in wire.go.
+	wireContentType = regexp.MustCompile(`ContentType\s*=\s*"([a-z0-9/._+-]+)"`)
+)
+
+// checkWireDocs enforces the binary-protocol docs (DESIGN.md §12): the
+// README must carry a "Binary protocol" section whose layout-table field
+// names are exactly the Field* constants internal/serve/wire defines, and
+// which shows the negotiated Content-Type — so the documented frame layout
+// cannot drift from the codec.
+func checkWireDocs(root string) []string {
+	wirePath := filepath.Join(root, "internal", "serve", "wire", "wire.go")
+	raw, err := os.ReadFile(wirePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (the README wire docs are checked against it): %v", wirePath, err)}
+	}
+	fields := map[string]bool{}
+	for _, m := range wireFieldDef.FindAllStringSubmatch(string(raw), -1) {
+		fields[m[1]] = true
+	}
+	if len(fields) == 0 {
+		return []string{fmt.Sprintf("%s: no Field* frame-layout constants found", wirePath)}
+	}
+	contentType := ""
+	if m := wireContentType.FindStringSubmatch(string(raw)); m != nil {
+		contentType = m[1]
+	}
+
+	readmePath := filepath.Join(root, "README.md")
+	doc, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (binary protocol docs are checked): %v", readmePath, err)}
+	}
+	section := markdownSection(string(doc), "## Binary protocol")
+	if section == "" {
+		return []string{fmt.Sprintf("%s: missing a \"## Binary protocol\" section", readmePath)}
+	}
+	var problems []string
+	if contentType != "" && !strings.Contains(section, contentType) {
+		problems = append(problems, fmt.Sprintf(
+			"%s: Binary protocol never shows the negotiated Content-Type %s", readmePath, contentType))
+	}
+	documented := map[string]bool{}
+	for _, m := range wireFieldUse.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	for f := range fields {
+		if !documented[f] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Binary protocol layout tables never name frame field `%s` (wire.Field* defines it)",
+				readmePath, f))
+		}
+	}
+	for f := range documented {
+		if !fields[f] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Binary protocol documents frame field `%s`, which internal/serve/wire does not define",
+				readmePath, f))
 		}
 	}
 	return problems
