@@ -1,0 +1,156 @@
+// Command streambrain-router is the fleet front door (DESIGN.md §13): it
+// accepts /v1/predict in JSON or the binary wire protocol and fans requests
+// across N streambrain-serve replicas over persistent binary-protocol
+// connections:
+//
+//	streambrain-router -addr :8080 -replica 127.0.0.1:9001 -replica 127.0.0.1:9002
+//
+// or with dynamic membership — start the router first, then point replicas
+// at its fleet listener:
+//
+//	streambrain-router -addr :8080 -fleet-addr 127.0.0.1:7946
+//	streambrain-serve -bundle model.bundle -addr 127.0.0.1:0 -join 127.0.0.1:7946
+//
+// Replicas are health-checked via /healthz every -health-every; -fail-after
+// consecutive failures eject a replica from rotation and one successful
+// probe re-admits it. Transport failures retry idempotent predicts once on
+// a different replica. Beyond -max-inflight concurrently admitted requests
+// the router sheds with 429 + Retry-After. -pick selects least-loaded
+// (default) or hash (rendezvous-hash by request payload) routing.
+// POST /v1/reload distributes a bundle to every replica (bundle-push, no
+// shared filesystem needed); GET /healthz reports ok/degraded/unavailable
+// with per-replica detail; GET /stats, GET /metrics, and GET /debug/traces
+// mirror the streambrain-serve observability surface for the fleet tier.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streambrain/internal/fleet"
+	"streambrain/internal/obs"
+)
+
+// replicaList collects repeatable -replica flags.
+type replicaList []string
+
+func (r *replicaList) String() string { return strings.Join(*r, ",") }
+func (r *replicaList) Set(v string) error {
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		return fmt.Errorf("bad replica address %q: %w", v, err)
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("streambrain-router: ")
+
+	var replicas replicaList
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address for client traffic")
+		fleetAddr   = flag.String("fleet-addr", "", "membership listen address replicas -join (empty = static membership only)")
+		pick        = flag.String("pick", fleet.PickLeastLoaded, "replica pick policy: least-loaded | hash")
+		maxInflight = flag.Int("max-inflight", 256, "admitted predicts in flight before shedding with 429")
+		conns       = flag.Int("replica-conns", 32, "persistent connections per replica")
+		healthEvery = flag.Duration("health-every", 500*time.Millisecond, "active /healthz probe interval")
+		failAfter   = flag.Int("fail-after", 2, "consecutive failures before a replica is ejected")
+		bundlePath  = flag.String("bundle", "", "default bundle path for POST /v1/reload pushes")
+		traceEvery  = flag.Int("trace-every", 0, "sample every Nth request into /debug/traces (0 = default rate, <0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		profileKind = flag.String("profile", "", "whole-run profile written at shutdown: "+obs.ProfileKinds)
+		profileOut  = flag.String("profile-out", "", "profile output path (default streambrain-router.<kind>.pprof)")
+	)
+	flag.Var(&replicas, "replica", "replica address host:port (repeatable)")
+	flag.Parse()
+	if *pick != fleet.PickLeastLoaded && *pick != fleet.PickHash {
+		log.Fatalf("-pick must be %s or %s", fleet.PickLeastLoaded, fleet.PickHash)
+	}
+	if len(replicas) == 0 && *fleetAddr == "" {
+		log.Fatal("no members: pass -replica host:port (repeatable) or -fleet-addr for dynamic joins")
+	}
+
+	prof, err := obs.StartProfile(*profileKind, profilePath(*profileOut, "streambrain-router", *profileKind))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool := fleet.NewPool(fleet.Config{
+		Pick:            *pick,
+		MaxInflight:     *maxInflight,
+		ConnsPerReplica: *conns,
+		HealthEvery:     *healthEvery,
+		FailAfter:       *failAfter,
+		Obs:             obs.NewRegistry(),
+		TraceEvery:      *traceEvery,
+	})
+	for _, r := range replicas {
+		pool.Add(r)
+	}
+	if *fleetAddr != "" {
+		jln, err := net.Listen("tcp", *fleetAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool.ServeJoin(jln)
+		log.Printf("fleet membership on %s", jln.Addr())
+	}
+	router := fleet.NewRouter(pool, *bundlePath)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", router.Handler())
+	if *pprofOn {
+		obs.AttachPprof(mux)
+		log.Printf("pprof mounted at /debug/pprof/")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	// Listen explicitly rather than ListenAndServe so -addr :0 works and
+	// scripts can parse the bound port from the "routing on" line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go func() {
+		log.Printf("routing on %s (%d replicas, pick %s, max-inflight %d)",
+			ln.Addr(), len(replicas), *pick, *maxInflight)
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	<-ctx.Done()
+
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	router.Close()
+	if err := prof.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	if prof != nil {
+		log.Printf("wrote %s profile to %s", *profileKind, prof.Path())
+	}
+}
+
+// profilePath resolves -profile-out, defaulting to <cmd>.<kind>.pprof.
+func profilePath(out, cmd, kind string) string {
+	if out != "" || kind == "" {
+		return out
+	}
+	return cmd + "." + kind + ".pprof"
+}

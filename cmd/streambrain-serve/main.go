@@ -29,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -36,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"streambrain/internal/fleet"
 	"streambrain/internal/obs"
 	"streambrain/internal/serve"
 )
@@ -53,6 +55,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max coalesced events per backend call")
 		maxWait     = flag.Duration("max-wait", 2*time.Millisecond, "max time a request waits to be batched")
 		traceEvery  = flag.Int("trace-every", 0, "sample every Nth request into /debug/traces (0 = default rate, <0 disables)")
+		joinAddr    = flag.String("join", "", "announce this replica to a streambrain-router fleet listener at host:port")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		profileKind = flag.String("profile", "", "whole-run profile written at shutdown: "+obs.ProfileKinds)
 		profileOut  = flag.String("profile-out", "", "profile output path (default streambrain-serve.<kind>.pprof)")
@@ -90,13 +93,27 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	// Listen explicitly rather than ListenAndServe so -addr :0 works: the
+	// kernel-assigned port is logged (scripts parse the "serving on" line)
+	// and announced to the fleet.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: mux}
 	go func() {
-		log.Printf("serving on %s (max-batch %d, max-wait %s)", *addr, *maxBatch, *maxWait)
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serving on %s (max-batch %d, max-wait %s)", ln.Addr(), *maxBatch, *maxWait)
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
+	if *joinAddr != "" {
+		table, err := fleet.Announce(*joinAddr, ln)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("joined fleet at %s (%d members)", *joinAddr, len(table))
+	}
 	<-ctx.Done()
 
 	// Graceful teardown: stop accepting, drain in-flight requests and the

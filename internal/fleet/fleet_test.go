@@ -1,0 +1,609 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/obs/obstest"
+	"streambrain/internal/serve"
+	"streambrain/internal/serve/wire"
+)
+
+// ------------------------------------------------------------------ fixture
+
+// The fleet tests share one tiny trained bundle: training dominates test
+// wall time, and every test only needs "a real model whose predictions we
+// can compare bit-for-bit".
+var (
+	fixtureOnce   sync.Once
+	fixtureRaw    []byte
+	fixtureEvents [][]float64
+)
+
+func fixture(t testing.TB) ([]byte, [][]float64) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		ds := higgs.Generate(800, 0.5, 3)
+		rng := rand.New(rand.NewSource(11))
+		trainDS, testDS := ds.Split(0.75, rng)
+		enc := data.FitEncoder(trainDS, 8)
+		encoded := enc.Transform(trainDS)
+		p := core.DefaultParams()
+		p.MCUs = 20
+		p.ReceptiveField = 0.4
+		p.UnsupervisedEpochs = 1
+		p.SupervisedEpochs = 1
+		p.Seed = 3
+		net := core.NewNetwork(backend.MustNew("parallel", 1),
+			encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p)
+		net.Train(encoded)
+		var buf bytes.Buffer
+		if err := serve.SaveBundle(&buf, net, enc); err != nil {
+			panic(err)
+		}
+		fixtureRaw = buf.Bytes()
+		n := min(48, testDS.Len())
+		fixtureEvents = make([][]float64, n)
+		for i := range fixtureEvents {
+			fixtureEvents[i] = testDS.X.Row(i)
+		}
+	})
+	return fixtureRaw, fixtureEvents
+}
+
+// newReplica boots one in-process streambrain-serve replica over loopback
+// and returns its test server (Listener.Addr() is the pool address).
+func newReplica(t testing.TB, raw []byte) *httptest.Server {
+	t.Helper()
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 1))
+	if err := reg.LoadBytes(raw, "test", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Batcher: serve.BatcherConfig{MaxBatch: 16, MaxWait: 100 * time.Microsecond},
+	}, "")
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.CloseClientConnections()
+		ts.Close()
+		srv.Close()
+	})
+	return ts
+}
+
+func addrOf(ts *httptest.Server) string { return ts.Listener.Addr().String() }
+
+// newFleet wires a pool + router over the given replica addresses. Probing
+// is off unless cfg enables it, so tests control health transitions.
+func newFleet(t testing.TB, cfg Config, addrs ...string) (*Router, *httptest.Server) {
+	t.Helper()
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = -1
+	}
+	if cfg.TraceEvery == 0 {
+		cfg.TraceEvery = 1
+	}
+	pool := NewPool(cfg)
+	for _, a := range addrs {
+		pool.Add(a)
+	}
+	router := NewRouter(pool, "")
+	front := httptest.NewServer(router.Handler())
+	t.Cleanup(func() {
+		front.CloseClientConnections()
+		front.Close()
+		router.Close()
+	})
+	return router, front
+}
+
+func jsonPredict(t testing.TB, url string, events [][]float64) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(serve.PredictRequest{Events: events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func wirePredict(t testing.TB, url string, events [][]float64) (int, []byte) {
+	t.Helper()
+	frame, err := wire.AppendRequest(nil, events, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/predict", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// ------------------------------------------------------------------- tests
+
+// The fleet acceptance bar: predictions through router + 2 replicas are
+// bit-identical to a direct single-process serve, on both codecs.
+func TestFleetBitExactWithDirectServe(t *testing.T) {
+	raw, events := fixture(t)
+	direct := newReplica(t, raw)
+	r1, r2 := newReplica(t, raw), newReplica(t, raw)
+	_, front := newFleet(t, Config{}, addrOf(r1), addrOf(r2))
+
+	for i := 0; i < 8; i++ {
+		batch := events[i*4 : i*4+4]
+		st, wantJSON := jsonPredict(t, direct.URL, batch)
+		if st != http.StatusOK {
+			t.Fatalf("direct JSON status %d: %s", st, wantJSON)
+		}
+		st, gotJSON := jsonPredict(t, front.URL, batch)
+		if st != http.StatusOK {
+			t.Fatalf("router JSON status %d: %s", st, gotJSON)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("JSON mismatch:\ndirect %s\nrouter %s", wantJSON, gotJSON)
+		}
+		st, wantBin := wirePredict(t, direct.URL, batch)
+		if st != http.StatusOK {
+			t.Fatalf("direct wire status %d", st)
+		}
+		st, gotBin := wirePredict(t, front.URL, batch)
+		if st != http.StatusOK {
+			t.Fatalf("router wire status %d", st)
+		}
+		if !bytes.Equal(wantBin, gotBin) {
+			t.Fatalf("wire frame mismatch on batch %d", i)
+		}
+	}
+}
+
+// Kill one of two replicas mid-run: every client request must still
+// succeed, with exactly the transparent retry absorbing the death.
+func TestFleetSurvivesReplicaKill(t *testing.T) {
+	raw, events := fixture(t)
+	r1, r2 := newReplica(t, raw), newReplica(t, raw)
+	router, front := newFleet(t, Config{FailAfter: 1}, addrOf(r1), addrOf(r2))
+
+	const total = 120
+	for i := 0; i < total; i++ {
+		if i == total/2 {
+			r1.CloseClientConnections()
+			r1.Close()
+		}
+		st, body := jsonPredict(t, front.URL, events[:2])
+		if st != http.StatusOK {
+			t.Fatalf("request %d failed with %d: %s", i, st, body)
+		}
+	}
+	if got := router.m.retries.Value(); got < 1 {
+		t.Fatalf("expected at least one transparent retry, counter = %d", got)
+	}
+	if got := router.m.errors.Value(); got != 0 {
+		t.Fatalf("client-visible errors = %d, want 0", got)
+	}
+	if got := router.m.ejections.Value(); got < 1 {
+		t.Fatalf("expected the dead replica ejected, counter = %d", got)
+	}
+}
+
+// A replica that dies mid-request (connection cut after headers are read)
+// must be retried once; when every replica does that, the client gets a
+// fast 502, not a hang.
+func TestFleetRetryThenBadGateway(t *testing.T) {
+	dieHandler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Errorf("hijack: %v", err)
+			return
+		}
+		conn.Close()
+	})
+	d1, d2 := httptest.NewServer(dieHandler), httptest.NewServer(dieHandler)
+	defer d1.Close()
+	defer d2.Close()
+
+	t.Run("one dying replica retries onto a live one", func(t *testing.T) {
+		raw, events := fixture(t)
+		live := newReplica(t, raw)
+		router, front := newFleet(t, Config{FailAfter: 1}, addrOf(d1), addrOf(live))
+		for i := 0; i < 4; i++ {
+			st, body := jsonPredict(t, front.URL, events[:1])
+			if st != http.StatusOK {
+				t.Fatalf("request %d: status %d: %s", i, st, body)
+			}
+		}
+		if router.m.retries.Value() < 1 {
+			t.Fatal("expected a retry against the dying replica")
+		}
+	})
+
+	t.Run("all replicas dying yields 502 then fast 503", func(t *testing.T) {
+		_, events := fixture(t)
+		router, front := newFleet(t, Config{FailAfter: 1}, addrOf(d1), addrOf(d2))
+		start := time.Now()
+		st, _ := jsonPredict(t, front.URL, events[:1])
+		if st != http.StatusBadGateway {
+			t.Fatalf("first status %d, want 502", st)
+		}
+		// Both replicas are now ejected: no-replica requests are a fast 503.
+		resp, err := http.Post(front.URL+"/v1/predict", "application/json",
+			strings.NewReader(`{"features": [1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("second status %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("503 missing Retry-After")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("all-down path took %s, want fast failure", elapsed)
+		}
+		if router.m.errors.Value() < 2 {
+			t.Fatalf("errors counter = %d, want >= 2", router.m.errors.Value())
+		}
+	})
+}
+
+// Admission control: beyond MaxInflight concurrently admitted predicts the
+// router sheds with 429 + Retry-After instead of queueing.
+func TestFleetShedsWith429(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer slow.Close()
+	router, front := newFleet(t, Config{MaxInflight: 1}, addrOf(slow))
+
+	frame, err := wire.AppendRequest(nil, [][]float64{{0.5, 0.5}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := make(chan int, 4)
+	retryAfter := make(chan string, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(front.URL+"/v1/predict", wire.ContentType, bytes.NewReader(frame))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+			retryAfter <- resp.Header.Get("Retry-After")
+		}()
+	}
+	// Let the requests pile up against the held replica, then release.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(statuses)
+	close(retryAfter)
+	var ok200, shed429 int
+	for st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+		default:
+			t.Fatalf("unexpected status %d", st)
+		}
+	}
+	if ok200 < 1 || shed429 < 1 {
+		t.Fatalf("got %d OK / %d shed, want at least one of each", ok200, shed429)
+	}
+	sawRetryAfter := false
+	for ra := range retryAfter {
+		if ra != "" {
+			sawRetryAfter = true
+		}
+	}
+	if !sawRetryAfter {
+		t.Fatal("no 429 carried Retry-After")
+	}
+	if router.m.shed.Value() != uint64(shed429) {
+		t.Fatalf("shed counter %d, responses %d", router.m.shed.Value(), shed429)
+	}
+}
+
+// Active probing ejects a dead replica, /healthz degrades, and a restart on
+// the same address is re-admitted.
+func TestFleetEjectionAndReadmission(t *testing.T) {
+	raw, events := fixture(t)
+	stable := newReplica(t, raw)
+
+	// The flappable replica: a plain http.Server we can kill and restart on
+	// the same port (Go listeners set SO_REUSEADDR).
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 1))
+	if err := reg.LoadBytes(raw, "test", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Batcher: serve.BatcherConfig{MaxBatch: 16, MaxWait: 100 * time.Microsecond},
+	}, "")
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flappyAddr := ln.Addr().String()
+	flappy := &http.Server{Handler: srv.Handler()}
+	go flappy.Serve(ln)
+
+	router, front := newFleet(t, Config{
+		HealthEvery:  20 * time.Millisecond,
+		FailAfter:    2,
+		ProbeTimeout: 200 * time.Millisecond,
+	}, addrOf(stable), flappyAddr)
+
+	waitHealth := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err := http.Get(front.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var body struct {
+				Status string `json:"status"`
+			}
+			json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if body.Status == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("healthz stuck at %q, want %q", body.Status, want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	waitHealth("ok")
+	flappy.Close() // hard stop: refuses new conns, kills established ones
+	waitHealth("degraded")
+	if router.m.ejections.Value() < 1 {
+		t.Fatal("no ejection recorded")
+	}
+	// Predicts keep working while degraded.
+	if st, body := jsonPredict(t, front.URL, events[:1]); st != http.StatusOK {
+		t.Fatalf("degraded predict status %d: %s", st, body)
+	}
+
+	// Resurrect on the same address; the prober must re-admit it.
+	ln2, err := net.Listen("tcp", flappyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flappy2 := &http.Server{Handler: srv.Handler()}
+	go flappy2.Serve(ln2)
+	defer flappy2.Close()
+	waitHealth("ok")
+	if router.m.readmissions.Value() < 1 {
+		t.Fatal("no readmission recorded")
+	}
+}
+
+// The bundle-push path: POST /v1/reload on the router lands the new bundle
+// on every replica, reported atomically by generation.
+func TestFleetBundlePush(t *testing.T) {
+	raw, _ := fixture(t)
+	r1, r2 := newReplica(t, raw), newReplica(t, raw)
+	router, front := newFleet(t, Config{}, addrOf(r1), addrOf(r2))
+
+	path := filepath.Join(t.TempDir(), "push.bundle")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(front.URL+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Complete bool `json:"complete"`
+		Replicas []struct {
+			Replica    string `json:"replica"`
+			Generation uint64 `json:"generation"`
+			Error      string `json:"error"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.Complete {
+		t.Fatalf("push status %d complete=%v: %+v", resp.StatusCode, out.Complete, out)
+	}
+	if len(out.Replicas) != 2 {
+		t.Fatalf("%d replica outcomes, want 2", len(out.Replicas))
+	}
+	for _, o := range out.Replicas {
+		// Each replica loaded the fixture at generation 1; the push is its
+		// second load.
+		if o.Generation != 2 || o.Error != "" {
+			t.Fatalf("replica %s: generation %d error %q", o.Replica, o.Generation, o.Error)
+		}
+	}
+	if router.m.pushes.Value() != 1 {
+		t.Fatalf("pushes counter %d, want 1", router.m.pushes.Value())
+	}
+
+	// A push with a dead member is incomplete and says which member failed.
+	r2.CloseClientConnections()
+	r2.Close()
+	resp2, err := http.Post(front.URL+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial push status %d, want 502", resp2.StatusCode)
+	}
+}
+
+// Dynamic membership: a replica announcing over the mpi bootstrap framing
+// lands in the pool and serves traffic.
+func TestFleetJoinMembership(t *testing.T) {
+	raw, events := fixture(t)
+	r1 := newReplica(t, raw)
+	router, front := newFleet(t, Config{})
+	jln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Pool().ServeJoin(jln)
+
+	table, err := Announce(jln.Addr().String(), r1.Listener)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 1 || table[0] != addrOf(r1) {
+		t.Fatalf("member table %v, want [%s]", table, addrOf(r1))
+	}
+	if got := router.Pool().Addrs(); len(got) != 1 || got[0] != addrOf(r1) {
+		t.Fatalf("pool members %v", got)
+	}
+	if st, body := jsonPredict(t, front.URL, events[:1]); st != http.StatusOK {
+		t.Fatalf("predict via joined member: status %d: %s", st, body)
+	}
+	// Re-announcing (a restart) is idempotent.
+	if _, err := Announce(jln.Addr().String(), r1.Listener); err != nil {
+		t.Fatal(err)
+	}
+	if got := router.Pool().Addrs(); len(got) != 1 {
+		t.Fatalf("re-announce duplicated the member: %v", got)
+	}
+}
+
+// Router shutdown leaves no goroutines behind: prober, join accept loop,
+// and the replicas' connection pools all wind down.
+func TestFleetShutdownNoLeaks(t *testing.T) {
+	raw, events := fixture(t) // train outside the leak window
+	defer obstest.CheckLeaks(t)()
+
+	// The replica is built by hand (not newReplica) so its teardown happens
+	// inside this test body, before the deferred leak check runs.
+	reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 1))
+	if err := reg.LoadBytes(raw, "test", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(reg, serve.ServerConfig{
+		Batcher: serve.BatcherConfig{MaxBatch: 16, MaxWait: 100 * time.Microsecond},
+	}, "")
+	rts := httptest.NewServer(srv.Handler())
+
+	pool := NewPool(Config{HealthEvery: 20 * time.Millisecond, TraceEvery: 1})
+	pool.Add(rts.Listener.Addr().String())
+	jln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.ServeJoin(jln)
+	router := NewRouter(pool, "")
+	front := httptest.NewServer(router.Handler())
+	if st, _ := jsonPredict(t, front.URL, events[:1]); st != http.StatusOK {
+		t.Fatalf("predict status %d", st)
+	}
+	front.CloseClientConnections()
+	front.Close()
+	router.Close()
+	rts.CloseClientConnections()
+	rts.Close()
+	srv.Close()
+}
+
+// Rendezvous hashing: the same payload maps to the same replica while
+// membership is stable, and survives excluding the picked member.
+func TestPickHashStable(t *testing.T) {
+	pool := NewPool(Config{Pick: PickHash, HealthEvery: -1})
+	defer pool.Close()
+	for _, a := range []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1"} {
+		pool.Add(a)
+	}
+	first := pool.pick(42, nil)
+	for i := 0; i < 16; i++ {
+		if got := pool.pick(42, nil); got != first {
+			t.Fatalf("pick not stable: %s then %s", first.addr, got.addr)
+		}
+	}
+	second := pool.pick(42, first)
+	if second == nil || second == first {
+		t.Fatal("exclusion did not yield a different replica")
+	}
+	if third := pool.pick(7, nil); third == nil {
+		t.Fatal("different key picked nothing")
+	}
+}
+
+// The binary pass-through validates only the outer frame bounds and rejects
+// malformed outer frames before burning a replica round trip.
+func TestRouterWireOuterValidation(t *testing.T) {
+	raw, _ := fixture(t)
+	r1 := newReplica(t, raw)
+	_, front := newFleet(t, Config{}, addrOf(r1))
+
+	post := func(body []byte) int {
+		resp, err := http.Post(front.URL+"/v1/predict", wire.ContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if st := post([]byte{0, 0}); st != http.StatusBadRequest {
+		t.Fatalf("short frame: status %d, want 400", st)
+	}
+	if st := post([]byte{0, 0, 0, 99, 1, 1, 0, 1, 0, 1}); st != http.StatusBadRequest {
+		t.Fatalf("lying length prefix: status %d, want 400", st)
+	}
+	if st := post([]byte{0, 0, 0, 6, 9, 1, 0, 1, 0, 1}); st != http.StatusBadRequest {
+		t.Fatalf("bad version: status %d, want 400", st)
+	}
+	// Inner geometry errors pass through as the replica's typed 400.
+	frame := []byte{0, 0, 0, 6, 1, 1, 0, 0, 0, 0} // zero rows/cols
+	if st := post(frame); st != http.StatusBadRequest {
+		t.Fatalf("replica-rejected frame: status %d, want 400", st)
+	}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"streambrain/internal/mpi"
+)
+
+// Fleet membership rides the mpi rendezvous bootstrap framing (DESIGN.md
+// §10, §13): a joining replica dials the router's membership listener,
+// announces its serve address with the same magic-prefixed hello frame a
+// rank sends to rank 0, and gets the current member address table back as
+// the acknowledgement. Rank is 0 and world size is 0 on this path —
+// fleet membership is open-ended where rank rendezvous is fixed-size.
+
+// ServeJoin accepts replica announcements on ln until the pool closes or
+// the listener is shut down. Each accepted member is added to the pool
+// (idempotently) and receives the membership table as acknowledgement.
+// The pool takes ownership of ln: Close closes it.
+func (p *Pool) ServeJoin(ln net.Listener) {
+	p.mu.Lock()
+	p.joinLns = append(p.joinLns, ln)
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed by Close
+			}
+			go p.handleJoin(conn)
+		}
+	}()
+}
+
+// handleJoin runs one announcement exchange. A stream without the bootstrap
+// magic is dropped before it can touch the membership table.
+func (p *Pool) handleJoin(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	_, _, addr, err := mpi.ReadHello(conn)
+	if err != nil {
+		return
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return
+	}
+	p.Add(addr)
+	mpi.WriteAddrTable(conn, p.Addrs())
+}
+
+// Announce registers the replica listening on ln with the fleet membership
+// listener at fleetAddr and returns the member table the router replied
+// with. The advertised address is ln's port joined with the host the
+// membership connection sees, so `-addr 127.0.0.1:0` replicas announce a
+// dialable address.
+func Announce(fleetAddr string, ln net.Listener) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", fleetAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: announce dial %s: %w", fleetAddr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	addr := mpi.AdvertisedAddr(ln, conn)
+	if err := mpi.WriteHello(conn, 0, 0, addr); err != nil {
+		return nil, fmt.Errorf("fleet: announce hello: %w", err)
+	}
+	table, err := mpi.ReadAddrTable(conn)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: announce ack: %w", err)
+	}
+	return table, nil
+}

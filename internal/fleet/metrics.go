@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"streambrain/internal/obs"
+)
+
+// Fleet metric families (the DESIGN.md §11 catalogue, §13 additions).
+// Declared as constants so tests, docs checks, and the /stats view all name
+// the same strings.
+const (
+	metricRequests     = "streambrain_fleet_requests_total"
+	metricErrors       = "streambrain_fleet_request_errors_total"
+	metricShed         = "streambrain_fleet_shed_total"
+	metricRetries      = "streambrain_fleet_retries_total"
+	metricEjections    = "streambrain_fleet_ejections_total"
+	metricReadmissions = "streambrain_fleet_readmissions_total"
+	metricPushes       = "streambrain_fleet_bundle_pushes_total"
+	metricReplicas     = "streambrain_fleet_replicas"
+	metricHealthy      = "streambrain_fleet_healthy_replicas"
+	metricInflight     = "streambrain_fleet_inflight"
+	metricLatency      = "streambrain_fleet_request_seconds"
+	metricForward      = "streambrain_fleet_forward_seconds"
+	metricReplicaUp    = "streambrain_fleet_replica_up"
+	metricReplicaInfl  = "streambrain_fleet_replica_inflight"
+	metricReplicaGen   = "streambrain_fleet_replica_generation"
+)
+
+// Metrics is the fleet tier's instrument set over one obs.Registry. The
+// pool and the router share one instance, so /stats, /metrics, and the
+// health view are all reads of the same counters.
+type Metrics struct {
+	reg *obs.Registry
+
+	requests     *obs.Counter
+	errors       *obs.Counter
+	shed         *obs.Counter
+	retries      *obs.Counter
+	ejections    *obs.Counter
+	readmissions *obs.Counter
+	pushes       *obs.Counter
+	latency      *obs.Histogram
+}
+
+// NewMetrics registers the fleet instrument set on reg. A nil reg gets a
+// private registry, so an uninstrumented pool still has working counters.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg: reg,
+		requests: reg.Counter(metricRequests,
+			"Predict requests completed by the router."),
+		errors: reg.Counter(metricErrors,
+			"Predict requests the router failed (no replicas, exhausted retry, bad input)."),
+		shed: reg.Counter(metricShed,
+			"Requests shed with 429 by admission control before reaching a replica."),
+		retries: reg.Counter(metricRetries,
+			"Idempotent predicts retried on a second replica after a transport failure."),
+		ejections: reg.Counter(metricEjections,
+			"Replicas ejected from rotation after consecutive health failures."),
+		readmissions: reg.Counter(metricReadmissions,
+			"Ejected replicas re-admitted after a successful health probe."),
+		pushes: reg.Counter(metricPushes,
+			"Bundle pushes distributed to every replica successfully."),
+		latency: reg.LatencyHistogram(metricLatency,
+			"End-to-end router predict latency, fan-out hop included."),
+	}
+}
+
+// Registry returns the underlying obs registry (for mounting /metrics or
+// registering neighbor-subsystem instruments alongside).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// registerReplica adds the per-replica labeled series for one member.
+// Registration is idempotent per (name, replica) pair, so re-announcing a
+// member is harmless.
+func (m *Metrics) registerReplica(rep *replica) {
+	l := obs.L("replica", rep.addr)
+	rep.requests = m.reg.Counter(metricReplicaReqs,
+		"Predict requests forwarded to this replica.", l)
+	rep.forward = m.reg.LatencyHistogram(metricForward,
+		"Router-observed latency of one replica forward hop.", l)
+	m.reg.GaugeFunc(metricReplicaUp,
+		"1 while the replica is in rotation, 0 while ejected.",
+		func() float64 {
+			if rep.healthy.Load() {
+				return 1
+			}
+			return 0
+		}, l)
+	m.reg.GaugeFunc(metricReplicaInfl,
+		"Requests currently in flight to this replica.",
+		func() float64 { return float64(rep.inflight.Load()) }, l)
+	m.reg.GaugeFunc(metricReplicaGen,
+		"Bundle generation the replica last reported on /healthz.",
+		func() float64 { return float64(rep.generation.Load()) }, l)
+}
+
+const metricReplicaReqs = "streambrain_fleet_replica_requests_total"

@@ -1,0 +1,326 @@
+// Package fleet is the horizontal serving tier (DESIGN.md §13): a Pool of
+// streambrain-serve replica processes behind one Router front door. The
+// router accepts /v1/predict in both codecs, speaks only the length-prefixed
+// binary protocol (DESIGN.md §12) on the router↔replica hop over persistent
+// connections, health-checks replicas with ejection and re-admission,
+// retries idempotent predicts once on a dead replica, sheds load with 429
+// before queues grow unbounded, and distributes bundle reloads to every
+// member. Membership is either static (-replica flags) or dynamic: replicas
+// announce themselves over the same hello/address-table bootstrap framing
+// the mpi TCP fabric uses for rank rendezvous (DESIGN.md §10).
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambrain/internal/obs"
+)
+
+// Pick policy names accepted by Config.Pick and the -pick flag.
+const (
+	// PickLeastLoaded routes each request to the healthy replica with the
+	// fewest router-side requests in flight — the right default for
+	// homogeneous replicas.
+	PickLeastLoaded = "least-loaded"
+	// PickHash routes by rendezvous (highest-random-weight) hash of the
+	// request payload: the same event batch lands on the same replica while
+	// membership is stable, and only 1/N of keys move when it changes.
+	PickHash = "hash"
+)
+
+// Config tunes the fleet pool and router.
+type Config struct {
+	// Pick selects the replica pick policy (default PickLeastLoaded).
+	Pick string
+	// MaxInflight bounds router-wide admitted predicts; requests beyond it
+	// are shed with 429 (default 256).
+	MaxInflight int
+	// ConnsPerReplica caps the persistent connections (and so the in-flight
+	// requests) per replica on the binary hop (default 32).
+	ConnsPerReplica int
+	// HealthEvery is the active /healthz probe interval (default 500ms;
+	// negative disables active probing — ejection then relies on forward
+	// failures and nothing re-admits, so only tests want that).
+	HealthEvery time.Duration
+	// FailAfter ejects a replica after this many consecutive failures
+	// (probe or forward; default 2).
+	FailAfter int
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// Obs is the shared metrics registry (nil gets a private one).
+	Obs *obs.Registry
+	// Tracer samples request lifecycles into /debug/traces. Nil builds one
+	// sampling every TraceEvery-th request (TraceEvery < 0 disables, 0
+	// keeps the serve default of 64).
+	Tracer     *obs.Tracer
+	TraceEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pick == "" {
+		c.Pick = PickLeastLoaded
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.ConnsPerReplica <= 0 {
+		c.ConnsPerReplica = 32
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	return c
+}
+
+// replica is one streambrain-serve member: its address, its persistent
+// connection pool, and its health state.
+type replica struct {
+	addr string // host:port
+	url  string // http://host:port
+
+	client   *http.Client
+	inflight atomic.Int64
+	fails    atomic.Int64 // consecutive failures (probe or forward)
+	healthy  atomic.Bool
+	// generation is the bundle generation the replica last reported — the
+	// fleet's mid-rollout skew signal.
+	generation atomic.Uint64
+
+	requests *obs.Counter
+	forward  *obs.Histogram
+}
+
+// Pool is the fleet membership set: replicas, their health, and the active
+// prober. Safe for concurrent use.
+type Pool struct {
+	cfg Config
+	m   *Metrics
+
+	mu       sync.RWMutex
+	replicas []*replica
+	byAddr   map[string]*replica
+	joinLns  []net.Listener
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewPool builds an empty pool and starts its health prober.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	m := NewMetrics(cfg.Obs)
+	p := &Pool{
+		cfg:    cfg,
+		m:      m,
+		byAddr: make(map[string]*replica),
+		stop:   make(chan struct{}),
+	}
+	m.reg.GaugeFunc(metricReplicas, "Replicas in the fleet membership table.",
+		func() float64 { return float64(len(p.snapshot())) })
+	m.reg.GaugeFunc(metricHealthy, "Replicas currently in rotation.",
+		func() float64 { return float64(len(p.healthySnapshot(nil))) })
+	m.reg.GaugeFunc(metricInflight, "Predicts in flight across all replicas.",
+		func() float64 {
+			var n int64
+			for _, rep := range p.snapshot() {
+				n += rep.inflight.Load()
+			}
+			return float64(n)
+		})
+	if cfg.HealthEvery > 0 {
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
+	return p
+}
+
+// Metrics returns the pool's instrument set (the router shares it).
+func (p *Pool) Metrics() *Metrics { return p.m }
+
+// Add registers a replica by host:port address. Adding an existing address
+// is a no-op (a re-announcing replica after a restart keeps its slot and its
+// metric series); new members start healthy and the prober corrects that
+// within one interval if they are not.
+func (p *Pool) Add(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byAddr[addr]; ok {
+		return
+	}
+	rep := &replica{
+		addr: addr,
+		url:  "http://" + addr,
+		client: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        p.cfg.ConnsPerReplica,
+				MaxIdleConnsPerHost: p.cfg.ConnsPerReplica,
+				MaxConnsPerHost:     p.cfg.ConnsPerReplica,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	rep.healthy.Store(true)
+	p.m.registerReplica(rep)
+	p.byAddr[addr] = rep
+	p.replicas = append(p.replicas, rep)
+}
+
+// Addrs returns the member addresses in join order.
+func (p *Pool) Addrs() []string {
+	reps := p.snapshot()
+	addrs := make([]string, len(reps))
+	for i, rep := range reps {
+		addrs[i] = rep.addr
+	}
+	return addrs
+}
+
+// snapshot returns the current member slice (shared, read-only).
+func (p *Pool) snapshot() []*replica {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.replicas
+}
+
+// healthySnapshot returns the replicas in rotation, excluding one (the
+// retry path excludes the replica that just failed).
+func (p *Pool) healthySnapshot(exclude *replica) []*replica {
+	var out []*replica
+	for _, rep := range p.snapshot() {
+		if rep != exclude && rep.healthy.Load() {
+			out = append(out, rep)
+		}
+	}
+	return out
+}
+
+// pick selects a replica for one request under the configured policy, or
+// nil when nothing is in rotation. key is the request-payload hash (only
+// the hash policy reads it).
+func (p *Pool) pick(key uint64, exclude *replica) *replica {
+	healthy := p.healthySnapshot(exclude)
+	if len(healthy) == 0 {
+		return nil
+	}
+	if p.cfg.Pick == PickHash {
+		// Rendezvous hashing: score every member against the key, take the
+		// highest. Stable under membership churn without a ring structure.
+		var best *replica
+		var bestScore uint64
+		for _, rep := range healthy {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s/%d", rep.addr, key)
+			if s := h.Sum64(); best == nil || s > bestScore {
+				best, bestScore = rep, s
+			}
+		}
+		return best
+	}
+	best := healthy[0]
+	for _, rep := range healthy[1:] {
+		if rep.inflight.Load() < best.inflight.Load() {
+			best = rep
+		}
+	}
+	return best
+}
+
+// noteFailure records one failed probe or forward and ejects the replica
+// once the consecutive-failure threshold is reached.
+func (p *Pool) noteFailure(rep *replica) {
+	if rep.fails.Add(1) >= int64(p.cfg.FailAfter) && rep.healthy.CompareAndSwap(true, false) {
+		p.m.ejections.Inc()
+	}
+}
+
+// noteSuccess clears the failure streak and re-admits an ejected replica.
+func (p *Pool) noteSuccess(rep *replica) {
+	rep.fails.Store(0)
+	if rep.healthy.CompareAndSwap(false, true) {
+		p.m.readmissions.Inc()
+	}
+}
+
+// probeLoop actively health-checks every member. A replica that fails
+// FailAfter consecutive checks (probe or forward) leaves rotation; one
+// successful probe re-admits it. Probes run for ejected members too — that
+// is the re-admission path.
+func (p *Pool) probeLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		for _, rep := range p.snapshot() {
+			p.probe(rep)
+		}
+	}
+}
+
+// probe runs one /healthz check and updates the replica's health state and
+// last-seen bundle generation.
+func (p *Pool) probe(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		p.noteFailure(rep)
+		return
+	}
+	resp, err := rep.client.Do(req)
+	if err != nil {
+		p.noteFailure(rep)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.noteFailure(rep)
+		return
+	}
+	var body struct {
+		Bundle *struct {
+			Generation uint64 `json:"generation"`
+		} `json:"bundle"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) == nil && body.Bundle != nil {
+		rep.generation.Store(body.Bundle.Generation)
+	}
+	p.noteSuccess(rep)
+}
+
+// Close stops the prober, the membership listeners, and the replicas' idle
+// connections. Pending forwards on live connections finish; the pool must
+// not be picked from afterwards.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.mu.Lock()
+	lns := p.joinLns
+	p.joinLns = nil
+	p.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	p.wg.Wait()
+	for _, rep := range p.snapshot() {
+		rep.client.CloseIdleConnections()
+	}
+}

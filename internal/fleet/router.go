@@ -1,0 +1,550 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"streambrain/internal/obs"
+	"streambrain/internal/serve"
+	"streambrain/internal/serve/wire"
+)
+
+// Router frame-size facts, restated from the wire package (DESIGN.md §12):
+// the request length prefix is 4 bytes, the request header 6, and nothing
+// legitimate exceeds header + MaxRows·MaxCols float64s. The router checks
+// only these outer bounds on the binary pass-through path; payload geometry
+// is the replica decoder's job and its typed 400s pass back unchanged.
+const (
+	prefixLen       = 4
+	reqHeaderLen    = 6
+	maxReqFrame     = prefixLen + reqHeaderLen + wire.MaxRows*wire.MaxCols*8
+	maxBundleUpload = 256 << 20 // one pushed bundle, amply above any real model
+)
+
+// routerBuf is one request's working set: the buffered request frame and
+// the buffered replica response, pooled so the steady-state pass-through
+// path allocates nothing per request. Both directions are fully buffered on
+// purpose — a replica dying mid-response must be retryable, which means the
+// original request bytes have to outlive the first forward attempt.
+type routerBuf struct {
+	in  []byte
+	out []byte
+}
+
+var routerBufPool = sync.Pool{New: func() any { return new(routerBuf) }}
+
+// errAllAttemptsFailed marks a forward that failed at the transport on the
+// retry attempt too (or had no second replica to retry on).
+var errAllAttemptsFailed = errors.New("fleet: all forward attempts failed")
+
+// errNoReplicas marks a pick against an empty rotation.
+var errNoReplicas = errors.New("fleet: no healthy replicas")
+
+// Router is the fleet front door (DESIGN.md §13): /v1/predict in JSON or
+// binary at the edge, the binary protocol on every replica hop.
+type Router struct {
+	pool   *Pool
+	m      *Metrics
+	tracer *obs.Tracer
+	sem    chan struct{}
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu         sync.Mutex // serializes /v1/reload fan-outs
+	reloadPath string
+}
+
+// NewRouter builds the front door over a pool. reloadPath, when non-empty,
+// is the default bundle path for POST /v1/reload.
+func NewRouter(pool *Pool, reloadPath string) *Router {
+	cfg := pool.cfg
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.TraceEvery >= 0 {
+		every := cfg.TraceEvery
+		if every == 0 {
+			every = 64
+		}
+		tracer = obs.NewTracer(every, 64)
+	}
+	rt := &Router{
+		pool:       pool,
+		m:          pool.m,
+		tracer:     tracer,
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		reloadPath: reloadPath,
+	}
+	rt.mux.HandleFunc("POST /v1/predict", rt.handlePredict)
+	rt.mux.HandleFunc("POST /v1/reload", rt.handleReload)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	rt.mux.Handle("GET /metrics", rt.m.reg.Handler())
+	if tracer != nil {
+		rt.mux.Handle("GET /debug/traces", tracer.Handler())
+	}
+	return rt
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Pool returns the membership pool behind the router.
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// Close stops the pool (prober, membership listeners, idle connections).
+func (rt *Router) Close() { rt.pool.Close() }
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handlePredict is the fan-out hot path: admit (or shed), buffer, pick,
+// forward with one retry, respond.
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	// Admission control: beyond MaxInflight concurrently admitted predicts
+	// the router sheds immediately with 429 — a bounded queue would only
+	// trade the 429 for a p99 explosion (DESIGN.md §13).
+	select {
+	case rt.sem <- struct{}{}:
+		defer func() { <-rt.sem }()
+	default:
+		rt.m.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "router at capacity (%d in flight)", cap(rt.sem))
+		return
+	}
+
+	started := time.Now()
+	tr := rt.tracer.Sample("predict")
+	ok := false
+	defer func() {
+		rt.m.requests.Inc()
+		if !ok {
+			rt.m.errors.Inc()
+		}
+		rt.m.latency.Observe(time.Since(started))
+		tr.Finish()
+	}()
+
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		ok = rt.predictWire(w, r, tr)
+		return
+	}
+	ok = rt.predictJSON(w, r, tr)
+}
+
+// predictWire is the binary pass-through arm: the frame bytes cross the
+// router untouched in both directions. Only the outer bounds are checked
+// here; a frame with bad geometry costs one replica round trip and comes
+// back as the replica decoder's typed 400.
+func (rt *Router) predictWire(w http.ResponseWriter, r *http.Request, tr *obs.Trace) bool {
+	if r.ContentLength > maxReqFrame {
+		writeError(w, http.StatusBadRequest, "frame of %d bytes exceeds the %d cap", r.ContentLength, maxReqFrame)
+		return false
+	}
+	buf := routerBufPool.Get().(*routerBuf)
+	defer routerBufPool.Put(buf)
+
+	spDecode := tr.Start("decode")
+	var err error
+	buf.in, err = readAll(buf.in[:0], r.Body, maxReqFrame)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read frame: %v", err)
+		return false
+	}
+	if len(buf.in) < prefixLen+reqHeaderLen {
+		writeError(w, http.StatusBadRequest, "frame of %d bytes is shorter than a request header", len(buf.in))
+		return false
+	}
+	if got, want := binary.BigEndian.Uint32(buf.in), uint32(len(buf.in)-prefixLen); got != want {
+		writeError(w, http.StatusBadRequest, "length prefix %d, body carries %d frame bytes", got, want)
+		return false
+	}
+	if buf.in[prefixLen] != wire.Version {
+		writeError(w, http.StatusBadRequest, "frame version %d, router speaks %d", buf.in[prefixLen], wire.Version)
+		return false
+	}
+	spDecode.End()
+
+	status, out, err := rt.forward(r.Context(), tr, buf)
+	if err != nil {
+		writeForwardError(w, err)
+		return false
+	}
+	spRespond := tr.Start("respond")
+	ct := "application/json" // replica errors are JSON bodies even on this path
+	if status == http.StatusOK {
+		ct = wire.ContentType
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Length", fmt.Sprint(len(out)))
+	w.WriteHeader(status)
+	w.Write(out)
+	spRespond.End()
+	return status == http.StatusOK
+}
+
+// predictJSON is the transcode arm: JSON lives only at this edge. The
+// request becomes one binary frame (f64 payload, so scores round-trip
+// bit-identical to a direct JSON predict), the replica's binary response
+// becomes the serve package's JSON response shape.
+func (rt *Router) predictJSON(w http.ResponseWriter, r *http.Request, tr *obs.Trace) bool {
+	spDecode := tr.Start("decode")
+	var req serve.PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return false
+	}
+	events := req.Events
+	if len(req.Features) > 0 {
+		events = append(events, req.Features)
+	}
+	if len(events) == 0 {
+		writeError(w, http.StatusBadRequest, "no events in request")
+		return false
+	}
+	buf := routerBufPool.Get().(*routerBuf)
+	defer routerBufPool.Put(buf)
+	frame, err := wire.AppendRequest(buf.in[:0], events, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "encode frame: %v", err)
+		return false
+	}
+	buf.in = frame
+	spDecode.End()
+
+	status, out, err := rt.forward(r.Context(), tr, buf)
+	if err != nil {
+		writeForwardError(w, err)
+		return false
+	}
+	spRespond := tr.Start("respond")
+	defer spRespond.End()
+	if status != http.StatusOK {
+		// The replica's error body is already JSON; pass it through.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(out)
+		return false
+	}
+	resp, err := wire.DecodeResponse(out)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "replica response frame: %v", err)
+		return false
+	}
+	preds := make([]serve.Prediction, len(resp.Class))
+	for i := range preds {
+		preds[i] = serve.Prediction{Class: resp.Class[i], SignalScore: resp.Score[i]}
+	}
+	writeJSON(w, http.StatusOK, serve.PredictResponse{Predictions: preds})
+	return true
+}
+
+// forward sends buf.in to a picked replica and buffers the response into
+// buf.out. Transport failures (dial, write, or a death mid-response) eject
+// toward the health threshold and are retried exactly once on a different
+// replica — predicts are idempotent, so the only cost of the retry is
+// latency (DESIGN.md §13). HTTP-level error statuses are deterministic
+// rejections and are NOT retried; they pass through to the client.
+func (rt *Router) forward(ctx context.Context, tr *obs.Trace, buf *routerBuf) (int, []byte, error) {
+	key := uint64(0)
+	if rt.pool.cfg.Pick == PickHash {
+		h := fnv.New64a()
+		h.Write(buf.in)
+		key = h.Sum64()
+	}
+	spPick := tr.Start("pick")
+	rep := rt.pool.pick(key, nil)
+	spPick.End()
+	if rep == nil {
+		return 0, nil, errNoReplicas
+	}
+	status, out, err := rt.forwardOnce(ctx, tr, rep, buf)
+	if err == nil {
+		return status, out, nil
+	}
+	if ctx.Err() != nil {
+		return 0, nil, ctx.Err()
+	}
+	rt.m.retries.Inc()
+	retry := rt.pool.pick(key, rep)
+	if retry == nil {
+		return 0, nil, fmt.Errorf("%w: %v", errAllAttemptsFailed, err)
+	}
+	status, out, err2 := rt.forwardOnce(ctx, tr, retry, buf)
+	if err2 != nil {
+		return 0, nil, fmt.Errorf("%w: %v; retry: %v", errAllAttemptsFailed, err, err2)
+	}
+	return status, out, nil
+}
+
+// forwardOnce runs one replica round trip: POST the frame, buffer the whole
+// response. Any transport error counts against the replica's health streak;
+// any complete HTTP response (success or error status) clears it.
+func (rt *Router) forwardOnce(ctx context.Context, tr *obs.Trace, rep *replica, buf *routerBuf) (int, []byte, error) {
+	sp := tr.Start("forward")
+	defer sp.End()
+	started := time.Now()
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	rep.requests.Inc()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/predict", bytes.NewReader(buf.in))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentType)
+	req.ContentLength = int64(len(buf.in))
+	resp, err := rep.client.Do(req)
+	if err != nil {
+		rt.pool.noteFailure(rep)
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	buf.out, err = readAll(buf.out[:0], resp.Body, maxReqFrame)
+	if err != nil {
+		// Died mid-response: the request bytes are still intact in buf.in,
+		// so the caller can retry on another replica.
+		rt.pool.noteFailure(rep)
+		return 0, nil, err
+	}
+	rt.pool.noteSuccess(rep)
+	rep.forward.Observe(time.Since(started))
+	return resp.StatusCode, buf.out, nil
+}
+
+func writeForwardError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errNoReplicas):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		writeError(w, 499, "client gone: %v", err) // nginx's client-closed-request code
+	default:
+		writeError(w, http.StatusBadGateway, "%v", err)
+	}
+}
+
+// readAll reads r to EOF into dst (reused capacity), failing past max.
+func readAll(dst []byte, r io.Reader, max int) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if len(dst) > max {
+			return dst, fmt.Errorf("body exceeds %d bytes", max)
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// handleReload is the bundle-push path (DESIGN.md §13): load new bundle
+// bytes (from a local path or a raw request body) and distribute them to
+// every member as an octet-stream /v1/reload. The push is atomic by
+// generation: 200 means every member acknowledged the swap and reported its
+// new generation; any failure reports 502 with the per-replica outcome so
+// an operator can see exactly which members still run the old bundle.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var raw []byte
+	var source string
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		var err error
+		raw, err = readAll(nil, r.Body, maxBundleUpload)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read bundle: %v", err)
+			return
+		}
+		source = "push"
+	} else {
+		var req struct {
+			Path string `json:"path,omitempty"`
+		}
+		if r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+				return
+			}
+		}
+		path := req.Path
+		if path == "" {
+			path = rt.reloadPath
+		}
+		if path == "" {
+			writeError(w, http.StatusBadRequest, "no bundle: pass {\"path\": ...}, POST raw bytes, or start the router with a default")
+			return
+		}
+		var err error
+		raw, err = os.ReadFile(path)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read bundle: %v", err)
+			return
+		}
+		rt.reloadPath = path
+		source = path
+	}
+
+	type outcome struct {
+		Replica    string `json:"replica"`
+		Generation uint64 `json:"generation,omitempty"`
+		Error      string `json:"error,omitempty"`
+	}
+	reps := rt.pool.snapshot()
+	if len(reps) == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no replicas to push to")
+		return
+	}
+	outcomes := make([]outcome, len(reps))
+	var wg sync.WaitGroup
+	wg.Add(len(reps))
+	for i, rep := range reps {
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			outcomes[i] = rt.pushBundle(r.Context(), rep, raw)
+		}(i, rep)
+	}
+	wg.Wait()
+	allOK := true
+	for _, o := range outcomes {
+		if o.Error != "" {
+			allOK = false
+		}
+	}
+	status := http.StatusOK
+	if allOK {
+		rt.m.pushes.Inc()
+	} else {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, map[string]any{
+		"source":   source,
+		"complete": allOK,
+		"replicas": outcomes,
+	})
+}
+
+// pushBundle sends bundle bytes to one replica and records the generation
+// it came back with.
+func (rt *Router) pushBundle(ctx context.Context, rep *replica, raw []byte) (o struct {
+	Replica    string `json:"replica"`
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}) {
+	o.Replica = rep.addr
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/v1/reload", bytes.NewReader(raw))
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rep.client.Do(req)
+	if err != nil {
+		o.Error = err.Error()
+		return o
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		o.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		return o
+	}
+	var info struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &info); err == nil {
+		o.Generation = info.Generation
+		rep.generation.Store(info.Generation)
+	}
+	return o
+}
+
+// replicaHealth is one member's row in /healthz and /stats.
+type replicaHealth struct {
+	Addr       string `json:"addr"`
+	Healthy    bool   `json:"healthy"`
+	Inflight   int64  `json:"inflight"`
+	Generation uint64 `json:"generation"`
+	Fails      int64  `json:"consecutive_fails"`
+}
+
+func (rt *Router) replicaRows() (rows []replicaHealth, healthy int) {
+	for _, rep := range rt.pool.snapshot() {
+		h := rep.healthy.Load()
+		if h {
+			healthy++
+		}
+		rows = append(rows, replicaHealth{
+			Addr:       rep.addr,
+			Healthy:    h,
+			Inflight:   rep.inflight.Load(),
+			Generation: rep.generation.Load(),
+			Fails:      rep.fails.Load(),
+		})
+	}
+	return rows, healthy
+}
+
+// handleHealth reports ok / degraded / unavailable: ok with every member in
+// rotation, degraded while at least one is ejected but predicts still have
+// somewhere to go, unavailable (503) with nothing in rotation.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rows, healthy := rt.replicaRows()
+	status, code := "ok", http.StatusOK
+	switch {
+	case healthy == 0:
+		status, code = "unavailable", http.StatusServiceUnavailable
+	case healthy < len(rows):
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"healthy":  healthy,
+		"replicas": rows,
+	})
+}
+
+// handleStats is the human-readable counter view over the same instruments
+// /metrics exposes.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows, healthy := rt.replicaRows()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(rt.start).Seconds(),
+		"requests":       rt.m.requests.Value(),
+		"errors":         rt.m.errors.Value(),
+		"shed":           rt.m.shed.Value(),
+		"retries":        rt.m.retries.Value(),
+		"ejections":      rt.m.ejections.Value(),
+		"readmissions":   rt.m.readmissions.Value(),
+		"bundle_pushes":  rt.m.pushes.Value(),
+		"healthy":        healthy,
+		"replicas":       rows,
+	})
+}

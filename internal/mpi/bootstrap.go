@@ -1,0 +1,47 @@
+package mpi
+
+import (
+	"io"
+	"net"
+)
+
+// The rendezvous bootstrap's wire pieces, exported for reuse outside the
+// rank mesh. The serving fleet (DESIGN.md §13) runs the same
+// hello/address-table handshake between streambrain-serve replicas and the
+// streambrain-router membership listener that rank bootstrap runs between
+// joiners and rank 0 (DESIGN.md §10) — one magic, one framing, one failure
+// mode for "you dialed the wrong port".
+
+// WriteHello writes one bootstrap announcement: the protocol magic, the
+// sender's rank (or 0 for non-rank peers like fleet replicas), the expected
+// world size (0 when membership is open-ended), and the sender's advertised
+// data address.
+func WriteHello(w io.Writer, rank, size int, addr string) error {
+	return writeHello(w, rank, size, addr)
+}
+
+// ReadHello reads one bootstrap announcement written by WriteHello. A
+// stream that does not open with the protocol magic fails fast — a port
+// scanner or a mismatched binary cannot corrupt the membership table.
+func ReadHello(r io.Reader) (rank, size int, addr string, err error) {
+	return readHello(r)
+}
+
+// WriteAddrTable writes the gathered member address table — the rendezvous
+// acknowledgement both rank bootstrap and fleet joins close with.
+func WriteAddrTable(w io.Writer, addrs []string) error {
+	return writeTable(w, addrs)
+}
+
+// ReadAddrTable reads an address table written by WriteAddrTable.
+func ReadAddrTable(r io.Reader) ([]string, error) {
+	return readTable(r)
+}
+
+// AdvertisedAddr picks the address peers should dial to reach ln: ln's
+// port joined with the local host of the rendezvous connection, so a
+// listener bound to a wildcard or loopback :0 still advertises something
+// routable from the rendezvous point's perspective.
+func AdvertisedAddr(ln net.Listener, rendezvous net.Conn) string {
+	return advertisedAddr(ln, rendezvous)
+}

@@ -1,0 +1,235 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streambrain/internal/fleet"
+	"streambrain/internal/perf/hist"
+	"streambrain/internal/serve"
+	"streambrain/internal/serve/wire"
+)
+
+// --------------------------------------------------------------- fleet load
+//
+// The fleet scenarios measure the horizontal tier (DESIGN.md §13): a real
+// streambrain-router Handler over N real serve replicas, all on loopback
+// HTTP. The fixture pins ONE router connection per replica, which makes each
+// replica's per-connection capacity latency-bound — a lone in-flight frame
+// never fills the batcher's MaxBatch, so it always pays the full MaxWait
+// coalescing window, and the replica sits mostly idle between frames. That
+// is the deliberate design: replicas' idle windows overlap, so adding a
+// replica adds capacity even on a single-core runner, and the r2/r1 ratio
+// measures the fan-out tier's scaling rather than the host's core count.
+
+// fleetFixture is a router front door over N in-process serve replicas.
+type fleetFixture struct {
+	url      string
+	events   [][]float64
+	router   *fleet.Router
+	replicas []*httptest.Server
+	servers  []*serve.Server
+	front    *httptest.Server
+}
+
+// newFleetFixture trains one fixture model and boots Replicas copies of it
+// behind a router. Every replica runs the default batcher configuration
+// (the window the single-connection design leans on).
+func newFleetFixture(mcus, replicas int) (*fleetFixture, error) {
+	raw, events, err := trainFixtureBundle(mcus)
+	if err != nil {
+		return nil, err
+	}
+	fx := &fleetFixture{events: events}
+	pool := fleet.NewPool(fleet.Config{
+		ConnsPerReplica: 1,
+		HealthEvery:     100 * time.Millisecond,
+		FailAfter:       1,
+		TraceEvery:      -1,
+	})
+	for i := 0; i < replicas; i++ {
+		reg := serve.NewRegistry(1, serve.NamedBackendFactory("parallel", 0))
+		if err := reg.LoadBytes(raw, fmt.Sprintf("perf-fleet-%d", i), time.Now()); err != nil {
+			fx.close()
+			return nil, fmt.Errorf("perf: fleet fixture load: %w", err)
+		}
+		srv := serve.NewServer(reg, serve.ServerConfig{}, "")
+		ts := httptest.NewServer(srv.Handler())
+		fx.servers = append(fx.servers, srv)
+		fx.replicas = append(fx.replicas, ts)
+		pool.Add(ts.Listener.Addr().String())
+	}
+	fx.router = fleet.NewRouter(pool, "")
+	fx.front = httptest.NewServer(fx.router.Handler())
+	fx.url = fx.front.URL
+	return fx, nil
+}
+
+// killReplica hard-kills replica i: established router connections die
+// mid-flight and new dials are refused — the "SIGKILL one replica" regime
+// of the CI fleet-smoke job, in-process.
+func (fx *fleetFixture) killReplica(i int) {
+	fx.replicas[i].CloseClientConnections()
+	fx.replicas[i].Close()
+	fx.servers[i].Close()
+	fx.replicas[i] = nil
+	fx.servers[i] = nil
+}
+
+func (fx *fleetFixture) close() {
+	if fx.front != nil {
+		fx.front.CloseClientConnections()
+		fx.front.Close()
+	}
+	if fx.router != nil {
+		fx.router.Close()
+	}
+	for i := range fx.replicas {
+		if fx.replicas[i] != nil {
+			fx.replicas[i].CloseClientConnections()
+			fx.replicas[i].Close()
+		}
+		if fx.servers[i] != nil {
+			fx.servers[i].Close()
+		}
+	}
+}
+
+func (r *Runner) runFleet(sc Scenario) (Result, error) {
+	fx, err := newFleetFixture(sc.MCUs, sc.Replicas)
+	if err != nil {
+		return Result{}, err
+	}
+	defer fx.close()
+
+	batch := sc.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	contentType := "application/json"
+	encode := func(events [][]float64) ([]byte, error) {
+		return json.Marshal(map[string]any{"events": events})
+	}
+	if sc.Wire == "binary" {
+		contentType = wire.ContentType
+		encode = func(events [][]float64) ([]byte, error) {
+			return wire.AppendRequest(nil, events, false)
+		}
+	}
+	const bodyPool = 64
+	bodies := make([][]byte, bodyPool)
+	for i := range bodies {
+		events := make([][]float64, batch)
+		for j := range events {
+			events[j] = fx.events[(i*batch+j)%len(fx.events)]
+		}
+		raw, err := encode(events)
+		if err != nil {
+			return Result{}, fmt.Errorf("perf: encode request: %w", err)
+		}
+		bodies[i] = raw
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		},
+	}
+
+	// A kill-one scenario is a single measurement pass: the replica it kills
+	// at the halfway mark cannot be resurrected for a second pass, and its
+	// point is the error count (zero, via the retry path), not best-of-3
+	// throughput.
+	npasses := measurePasses
+	if sc.KillOne {
+		npasses = 1
+	}
+	var killOnce sync.Once
+	passes := make([]Result, npasses)
+	for pass := range passes {
+		h := hist.New()
+		var errs atomic.Uint64
+		doRequest := func(i int) {
+			if sc.KillOne && i == sc.Requests/2 {
+				killOnce.Do(func() { fx.killReplica(0) })
+			}
+			t0 := time.Now()
+			resp, err := client.Post(fx.url+"/v1/predict", contentType,
+				bytes.NewReader(bodies[i%bodyPool]))
+			if err == nil {
+				_, err = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			h.Record(time.Since(t0))
+			if err != nil {
+				errs.Add(1)
+			}
+		}
+
+		probe := startProbe()
+		start := time.Now()
+		switch sc.Kind {
+		case KindFleetClosed:
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(sc.Concurrency)
+			for w := 0; w < sc.Concurrency; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1) - 1
+						if i >= int64(sc.Requests) {
+							return
+						}
+						doRequest(int(i))
+					}
+				}()
+			}
+			wg.Wait()
+		case KindFleetOpen:
+			interval := sc.interval()
+			sched := time.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < sc.Requests; i++ {
+				if d := time.Until(sched.Add(time.Duration(i) * interval)); d > 0 {
+					time.Sleep(d)
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					doRequest(i)
+				}(i)
+			}
+			wg.Wait()
+		}
+		wall := time.Since(start)
+
+		res := Result{
+			Scenario:    sc.Name,
+			Kind:        string(sc.Kind),
+			Ops:         uint64(sc.Requests),
+			Errors:      errs.Load(),
+			WallSeconds: wall.Seconds(),
+			Throughput:  float64(sc.Requests*batch) / wall.Seconds(),
+		}
+		res.AllocsPerOp, res.BytesPerOp = probe.perOp(res.Ops)
+		fillLatency(&res, h)
+		passes[pass] = res
+	}
+	res := bestOf(passes)
+	if res.Errors > 0 {
+		r.logf("%s: %d requests failed", sc.Name, res.Errors)
+	}
+	return res, nil
+}

@@ -66,7 +66,8 @@ func (r *Runner) RunSuite(name string) (Report, error) {
 // RunScenario validates and executes one scenario.
 func (r *Runner) RunScenario(sc Scenario) (Result, error) {
 	if r != nil && r.WireOverride != "" &&
-		(sc.Kind == KindServeClosed || sc.Kind == KindServeOpen) {
+		(sc.Kind == KindServeClosed || sc.Kind == KindServeOpen ||
+			sc.Kind == KindFleetClosed || sc.Kind == KindFleetOpen) {
 		sc.Wire = r.WireOverride
 	}
 	if err := sc.Validate(); err != nil {
@@ -84,6 +85,8 @@ func (r *Runner) RunScenario(sc Scenario) (Result, error) {
 		return r.runAllreduce(sc)
 	case KindTrainScale:
 		return r.runTrainScale(sc)
+	case KindFleetClosed, KindFleetOpen:
+		return r.runFleet(sc)
 	}
 	return Result{}, fmt.Errorf("perf: unknown kind %q", sc.Kind)
 }

@@ -33,6 +33,13 @@ const (
 	// supervised epoch per pass) over core.DistributedTrainer on the chosen
 	// Transport.
 	KindTrainScale Kind = "trainscale"
+	// KindFleetClosed drives a streambrain-router front door over Replicas
+	// in-process serve replicas closed-loop — the horizontal-scaling sweep
+	// behind BENCH_fleet.json (DESIGN.md §13).
+	KindFleetClosed Kind = "fleet-closed"
+	// KindFleetOpen is the open-loop twin: fixed-schedule dispatch at
+	// TargetRPS through the router, so fan-out queueing shows in p99.
+	KindFleetOpen Kind = "fleet-open"
 )
 
 // Scenario is one declarative perf measurement. Which fields matter depends
@@ -93,6 +100,14 @@ type Scenario struct {
 	Ranks     int    `json:"ranks,omitempty"`
 	Transport string `json:"transport,omitempty"`
 	Floats    int    `json:"floats,omitempty"`
+
+	// Fleet scenarios (fleet-closed, fleet-open): Replicas is the number of
+	// serve replicas behind the router; KillOne hard-kills one replica
+	// halfway through the request count (single measurement pass — the dead
+	// replica cannot be resurrected between passes) to measure the client-
+	// visible cost of a mid-run replica death.
+	Replicas int  `json:"replicas,omitempty"`
+	KillOne  bool `json:"kill_one,omitempty"`
 }
 
 // Validate reports the first malformed field for the scenario's kind.
@@ -158,6 +173,22 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("perf: %s: trainscale needs Events > 0", s.Name)
 		}
 		if err := validTransport(s.Name, s.Transport); err != nil {
+			return err
+		}
+	case KindFleetClosed, KindFleetOpen:
+		if s.Replicas < 1 {
+			return fmt.Errorf("perf: %s: fleet needs Replicas >= 1", s.Name)
+		}
+		if s.Kind == KindFleetClosed && (s.Concurrency <= 0 || s.Requests <= 0) {
+			return fmt.Errorf("perf: %s: closed loop needs Concurrency and Requests > 0", s.Name)
+		}
+		if s.Kind == KindFleetOpen && (s.TargetRPS <= 0 || s.Requests <= 0) {
+			return fmt.Errorf("perf: %s: open loop needs TargetRPS and Requests > 0", s.Name)
+		}
+		if s.KillOne && s.Replicas < 2 {
+			return fmt.Errorf("perf: %s: kill-one needs Replicas >= 2 (someone has to survive)", s.Name)
+		}
+		if err := validWire(s.Name, s.Wire); err != nil {
 			return err
 		}
 	default:
@@ -309,5 +340,23 @@ var suites = map[string][]Scenario{
 		{Name: "train/tcp/r2", Kind: KindTrainScale, Transport: "tcp", Ranks: 2, Events: 4096, MCUs: 50},
 		{Name: "train/tcp/r4", Kind: KindTrainScale, Transport: "tcp", Ranks: 4, Events: 4096, MCUs: 50},
 		{Name: "train/tcp/r8", Kind: KindTrainScale, Transport: "tcp", Ranks: 8, Events: 4096, MCUs: 50},
+	},
+	// "fleet" is the horizontal-serving sweep behind BENCH_fleet.json
+	// (DESIGN.md §13): the router front door over 1/2/4 replicas, closed and
+	// open loop, plus a kill-one-replica run. The replica-count trio shares
+	// one load shape, so the r2/r1 and r4/r1 throughput ratios ARE the
+	// measured fan-out scaling; the kill-one scenario's error count is the
+	// client-visible cost of a replica death (the retry path keeps it at
+	// zero). The fixture pins one router connection per replica so each
+	// replica's capacity is bounded by its batching window, not by CPU —
+	// scaling then measures the fan-out tier, which is what this suite is
+	// for, and stays honest on a single-core CI runner.
+	"fleet": {
+		{Name: "fleet/binary/closed/r1", Kind: KindFleetClosed, Wire: "binary", Replicas: 1, Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 50},
+		{Name: "fleet/binary/closed/r2", Kind: KindFleetClosed, Wire: "binary", Replicas: 2, Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 50},
+		{Name: "fleet/binary/closed/r4", Kind: KindFleetClosed, Wire: "binary", Replicas: 4, Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 50},
+		{Name: "fleet/json/closed/r2", Kind: KindFleetClosed, Wire: "json", Replicas: 2, Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 50},
+		{Name: "fleet/binary/open/r2/300rps", Kind: KindFleetOpen, Wire: "binary", Replicas: 2, TargetRPS: 300, BatchSize: 4, Requests: 600, MCUs: 50},
+		{Name: "fleet/binary/killone/r2", Kind: KindFleetClosed, Wire: "binary", Replicas: 2, Concurrency: 8, BatchSize: 16, Requests: 600, MCUs: 50, KillOne: true},
 	},
 }

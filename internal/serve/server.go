@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -408,9 +409,33 @@ func (s *Server) predictWire(w http.ResponseWriter, r *http.Request, started tim
 	return true
 }
 
+// maxBundlePush bounds one pushed bundle body — amply above any real model,
+// small enough that a hostile Content-Length cannot balloon the process.
+const maxBundlePush = 256 << 20
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Raw bundle push (DESIGN.md §13): a router tier POSTs the bundle bytes
+	// directly as application/octet-stream, so replicas need no shared
+	// filesystem to follow a fleet-wide rollout.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/octet-stream") {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxBundlePush+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "read bundle: %v", err)
+			return
+		}
+		if len(raw) > maxBundlePush {
+			writeError(w, http.StatusBadRequest, "bundle exceeds %d bytes", maxBundlePush)
+			return
+		}
+		if err := s.reg.LoadBytes(raw, "push:"+r.RemoteAddr, time.Now()); err != nil {
+			writeError(w, http.StatusConflict, "reload: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.reg.Info())
+		return
+	}
 	var req reloadRequest
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

@@ -2,7 +2,9 @@ package main
 
 import (
 	"fmt"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 
 	"streambrain/internal/perf"
@@ -186,4 +188,72 @@ func FormatReport(verdicts []Verdict, failed, enforcing bool) string {
 		fmt.Fprintln(&b, "benchgate: PASS")
 	}
 	return b.String()
+}
+
+// fleetClosedName splits a fleet closed-loop scenario name into its load
+// shape and replica count ("fleet/binary/closed/r2" → "fleet/binary/closed",
+// 2). Kill-one scenarios are excluded: their throughput includes a replica
+// death.
+var fleetClosedName = regexp.MustCompile(`^(.+)/r([0-9]+)$`)
+
+// FleetScaling checks the fan-out tier's horizontal scaling inside ONE
+// report: for every fleet closed-loop scenario family with a single-replica
+// member, each multi-replica member must reach at least minRatio× the
+// single-replica throughput (DESIGN.md §13's 2-replica bar, applied as a
+// floor to larger fleets too). A throughput ratio within one run is its own
+// baseline — it holds or fails independent of the machine — so callers
+// enforce it even when the environment stamp disarms the baseline diff.
+func FleetScaling(results []perf.Result, minRatio float64) (lines []string, failed bool) {
+	type member struct {
+		replicas   int
+		throughput float64
+	}
+	families := map[string][]member{}
+	for _, r := range results {
+		if r.Kind != string(perf.KindFleetClosed) || strings.Contains(r.Scenario, "killone") {
+			continue
+		}
+		m := fleetClosedName.FindStringSubmatch(r.Scenario)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[2])
+		if err != nil || n < 1 {
+			continue
+		}
+		families[m[1]] = append(families[m[1]], member{n, r.Throughput})
+	}
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var base float64
+		for _, m := range families[name] {
+			if m.replicas == 1 {
+				base = m.throughput
+			}
+		}
+		if base <= 0 {
+			continue // no single-replica anchor in this family
+		}
+		members := families[name]
+		sort.Slice(members, func(i, j int) bool { return members[i].replicas < members[j].replicas })
+		for _, m := range members {
+			if m.replicas == 1 {
+				continue
+			}
+			ratio := m.throughput / base
+			status := "ok"
+			if ratio < minRatio {
+				status = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: fleet scaling %s: r%d/r1 = %.2fx (floor %.2fx) %s",
+				name, m.replicas, ratio, minRatio, status))
+		}
+	}
+	return lines, failed
 }

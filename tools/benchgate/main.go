@@ -38,6 +38,8 @@ func main() {
 		"fail when allocs/op grows more than this fraction (and past -alloc-floor)")
 	flag.Float64Var(&th.AllocFloor, "alloc-floor", th.AllocFloor,
 		"absolute allocs/op headroom below which alloc growth is not gated")
+	minFleetScaling := flag.Float64("min-fleet-scaling", 1.7,
+		"minimum rN/r1 closed-loop throughput ratio for fleet suites (0 disables)")
 	advisory := flag.Bool("advisory", false,
 		"report regressions but exit 0 — for bootstrapping a baseline on new hardware")
 	strict := flag.Bool("strict", false,
@@ -83,7 +85,18 @@ func main() {
 	enforcing := !*advisory && (!envMismatch || *strict)
 	verdicts, failed := Evaluate(baseline.Results, current.Results, th)
 	fmt.Print(FormatReport(verdicts, failed, enforcing))
-	if failed && enforcing {
+	// The fleet scaling floor is a within-run ratio (DESIGN.md §13), so it
+	// needs no matching environment stamp: it enforces on every machine
+	// unless running advisory or explicitly disabled.
+	scalingFailed := false
+	if *minFleetScaling > 0 {
+		var lines []string
+		lines, scalingFailed = FleetScaling(current.Results, *minFleetScaling)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	if (failed && enforcing) || (scalingFailed && !*advisory) {
 		os.Exit(1)
 	}
 }

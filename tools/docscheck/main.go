@@ -10,7 +10,9 @@
 //     report, and show the launcher's core flags (-ranks, -transport,
 //     -epochs) — each of which must really be defined by
 //     cmd/streambrain-dist; every other -flag the section shows must be
-//     defined by some command under cmd/.
+//     defined by some command under cmd/. The "Fleet quickstart" section
+//     carries the same contract against cmd/streambrain-router (-replica,
+//     -pick, -max-inflight) and BENCH_fleet.json.
 //
 //   - every streambrain_* metric name DESIGN.md or README.md mentions
 //     must appear as a quoted string literal in some Go source file
@@ -88,6 +90,7 @@ func main() {
 		os.Exit(1)
 	}
 	problems = append(problems, checkClusterDocs(*root)...)
+	problems = append(problems, checkFleetDocs(*root)...)
 	problems = append(problems, checkMetricDocs(*root, codeMetrics)...)
 	problems = append(problems, checkWireDocs(*root)...)
 	if len(problems) > 0 {
@@ -220,6 +223,64 @@ func checkClusterDocs(root string) []string {
 		if name := m[1]; !allFlags[name] {
 			problems = append(problems, fmt.Sprintf(
 				"%s: Cluster quickstart shows -%s, which no command under cmd/ defines",
+				readmePath, name))
+		}
+	}
+	return problems
+}
+
+// fleetCoreFlags are the router flags the fleet quickstart must document.
+var fleetCoreFlags = []string{"replica", "pick", "max-inflight"}
+
+// checkFleetDocs enforces the serving-fleet docs (DESIGN.md §13): README's
+// "Fleet quickstart" section against the flags cmd/streambrain-router
+// actually defines, mirroring the cluster-quickstart contract.
+func checkFleetDocs(root string) []string {
+	readmePath := filepath.Join(root, "README.md")
+	raw, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (fleet quickstart is checked): %v", readmePath, err)}
+	}
+	section := markdownSection(string(raw), "## Fleet quickstart")
+	if section == "" {
+		return []string{fmt.Sprintf("%s: missing a \"## Fleet quickstart\" section", readmePath)}
+	}
+	var problems []string
+	for _, must := range []string{"streambrain-router", "BENCH_fleet.json"} {
+		if !strings.Contains(section, must) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Fleet quickstart never mentions %s", readmePath, must))
+		}
+	}
+	routerFlags, err := definedFlags(filepath.Join(root, "cmd", "streambrain-router", "main.go"))
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	allFlags := map[string]bool{}
+	cmds, _ := filepath.Glob(filepath.Join(root, "cmd", "*", "main.go"))
+	for _, path := range cmds {
+		fs, err := definedFlags(path)
+		if err != nil {
+			return append(problems, fmt.Sprintf("docscheck: %v", err))
+		}
+		for f := range fs {
+			allFlags[f] = true
+		}
+	}
+	for _, f := range fleetCoreFlags {
+		if !routerFlags[f] {
+			problems = append(problems,
+				fmt.Sprintf("cmd/streambrain-router: core flag -%s is not defined", f))
+		}
+		if !strings.Contains(section, "-"+f) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Fleet quickstart never shows -%s", readmePath, f))
+		}
+	}
+	for _, m := range flagUse.FindAllStringSubmatch(section, -1) {
+		if name := m[1]; !allFlags[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Fleet quickstart shows -%s, which no command under cmd/ defines",
 				readmePath, name))
 		}
 	}
