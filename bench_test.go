@@ -361,11 +361,79 @@ func BenchmarkTraceUpdate(b *testing.B) {
 	}
 }
 
+// BenchmarkLayerStep is the whole-layer offload ablation (DESIGN.md §14):
+// one fused LayerStep against the identical composed kernel sequence, serial
+// and with the full worker team. ReportAllocs pins the fused serial path's
+// zero-allocation steady state — the composed sequence allocates its log(Cj)
+// table on every weight refresh.
+func BenchmarkLayerStep(b *testing.B) {
+	const batch, fi, mi, h, m = 128, 28, 10, 1, 1000
+	in, units := fi*mi, h*m
+	rng := rand.New(rand.NewSource(5))
+	idx := make([][]int32, batch)
+	for s := range idx {
+		for g := 0; g < fi; g++ {
+			idx[s] = append(idx[s], int32(g*mi+rng.Intn(mi)))
+		}
+	}
+	ci := make([]float64, in)
+	cj := make([]float64, units)
+	kbi := make([]float64, units)
+	bias := make([]float64, units)
+	for i := range ci {
+		ci[i] = rng.Float64()*0.9 + 0.05
+	}
+	for j := range cj {
+		cj[j] = rng.Float64()*0.9 + 0.05
+		kbi[j] = 1
+	}
+	cij := tensor.NewMatrix(in, units)
+	w := tensor.NewMatrix(in, units)
+	act := tensor.NewMatrix(batch, units)
+	for i := range cij.Data {
+		cij.Data[i] = rng.Float64()*0.9 + 0.05
+		w.Data[i] = rng.NormFloat64()
+	}
+	geom := backend.LayerGeom{Fi: fi, Mi: mi, H: h, M: m}
+	hyper := backend.LayerHyper[float64]{
+		Taupdt: 0.01, Taubdt: 0.01, PMinFraction: 0.1,
+		Temperature: 1, Eps: 1e-9, Kbi: kbi,
+	}
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("fused/workers=%d", workers), func(b *testing.B) {
+			st := backend.MustNew("fused", workers).(backend.LayerStepper[float64])
+			st.LayerStep(idx, act, ci, cj, cij, w, bias, nil, geom, hyper) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.LayerStep(idx, act, ci, cj, cij, w, bias, nil, geom, hyper)
+			}
+		})
+		b.Run(fmt.Sprintf("composed/workers=%d", workers), func(b *testing.B) {
+			be := backend.MustNew("parallel", workers)
+			meanAct := make([]float64, units)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				be.OneHotMatMul(act, idx, w)
+				be.AddBias(act, bias)
+				be.SoftmaxGroups(act, h, m, 1)
+				be.OneHotMeanLerp(ci, idx, 0.01)
+				tensor.ColMeans(meanAct, act)
+				be.Lerp(cj, meanAct, 0.01)
+				be.OneHotOuterLerp(cij, idx, act, 0.01)
+				be.UpdateWeights(w, ci, cj, cij, nil, fi, mi, h, m, 1e-9)
+				be.UpdateBias(bias, kbi, cj, 1e-9)
+			}
+		})
+	}
+}
+
 // BenchmarkTrainStep times one full unsupervised BCPNN batch step per
 // backend at the paper's headline geometry (1 HCU × 3000 MCUs).
 func BenchmarkTrainStep(b *testing.B) {
 	splits := benchSplits(b)
-	for _, name := range []string{"naive", "parallel", "gpusim"} {
+	for _, name := range []string{"naive", "parallel", "fused", "gpusim"} {
 		b.Run(name, func(b *testing.B) {
 			p := core.DefaultParams()
 			p.MCUs = 3000

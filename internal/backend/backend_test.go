@@ -43,13 +43,15 @@ func allBackends() []Backend {
 		MustNew("naive", 0),
 		MustNew("parallel", 1),
 		MustNew("parallel", 4),
+		MustNew("fused", 1),
+		MustNew("fused", 4),
 		MustNew("gpusim", 4),
 	}
 }
 
 func TestRegistryNames(t *testing.T) {
 	names := Names()
-	want := map[string]bool{"naive": true, "parallel": true, "gpusim": true}
+	want := map[string]bool{"naive": true, "parallel": true, "fused": true, "gpusim": true}
 	for _, n := range names {
 		delete(want, n)
 	}

@@ -1,0 +1,123 @@
+package backend
+
+import "math"
+
+// Bit-exact natural log for the fused hot loop.
+//
+// The fused LayerStep is transcendental-bound: re-deriving W touches every
+// Cij element with a log, and on one core math.Log's call overhead and serial
+// polynomial dominate the step. fastLog4 reimplements math.Log's exact
+// arithmetic (same reduction, same Remez polynomial, same rounding order) with
+// the frexp bit-twiddled inline and four independent lanes interleaved, so the
+// four divisions and polynomial chains overlap in the pipeline instead of
+// serializing. The results are bit-identical to math.Log for every input —
+// lanes with zero, subnormal, negative, or non-finite inputs fall back to
+// math.Log — which keeps the fused backend's bit-exactness contract with the
+// composed kernels (fused_test.go, core's backend-agreement test) intact.
+
+const (
+	ln2Hi = 6.93147180369123816490e-01
+	ln2Lo = 1.90821492927058770002e-10
+	lgL1  = 6.666666666666735130e-01
+	lgL2  = 3.999999999940941908e-01
+	lgL3  = 2.857142874366239149e-01
+	lgL4  = 2.222219843214978396e-01
+	lgL5  = 1.818357216161805012e-01
+	lgL6  = 1.531383769920937332e-01
+	lgL7  = 1.479819860511658591e-01
+
+	// sqrtHalfMant is the mantissa field of √2/2. frexp's "halve the exponent
+	// boundary" branch (f < √2/2 → f *= 2, k--) compares equal-exponent
+	// values, so it reduces to an integer compare on mantissas — computed
+	// branchlessly below because the data-dependent branch mispredicts on
+	// real trace values.
+	sqrtHalfMant = uint64(0x6A09E667F3BCD)
+)
+
+// fastLog returns math.Log(x) bit-exactly. The fast path covers positive
+// normal finite x (everything the trace floors max(·,eps²) can produce);
+// other inputs take the stdlib.
+func fastLog(x float64) float64 {
+	b := math.Float64bits(x)
+	if e := b >> 52 & 0x7ff; e == 0 || e == 0x7ff || b>>63 != 0 {
+		return math.Log(x)
+	}
+	m := b & (1<<52 - 1)
+	adj := (m - sqrtHalfMant) >> 63 // 1 iff the mantissa is below √2/2's
+	ki := int(b>>52&0x7ff) - 1022 - int(adj)
+	f := math.Float64frombits(m|(0x3fe+adj)<<52) - 1
+	k := float64(ki)
+	s := f / (2 + f)
+	s2 := s * s
+	s4 := s2 * s2
+	t1 := s2 * (lgL1 + s4*(lgL3+s4*(lgL5+s4*lgL7)))
+	t2 := s4 * (lgL2 + s4*(lgL4+s4*lgL6))
+	hfsq := 0.5 * f * f
+	return k*ln2Hi - ((hfsq - (s*(hfsq+(t1+t2)) + k*ln2Lo)) - f)
+}
+
+// fastLog4 returns (math.Log(x0), …, math.Log(x3)) bit-exactly, computing the
+// four lanes interleaved. Any lane outside the positive-normal fast path is
+// recomputed via the stdlib before returning.
+func fastLog4(x0, x1, x2, x3 float64) (float64, float64, float64, float64) {
+	b0 := math.Float64bits(x0)
+	b1 := math.Float64bits(x1)
+	b2 := math.Float64bits(x2)
+	b3 := math.Float64bits(x3)
+	if (b0|b1|b2|b3)>>63 != 0 ||
+		!normalExp(b0) || !normalExp(b1) || !normalExp(b2) || !normalExp(b3) {
+		return math.Log(x0), math.Log(x1), math.Log(x2), math.Log(x3)
+	}
+	m0 := b0 & (1<<52 - 1)
+	m1 := b1 & (1<<52 - 1)
+	m2 := b2 & (1<<52 - 1)
+	m3 := b3 & (1<<52 - 1)
+	a0 := (m0 - sqrtHalfMant) >> 63
+	a1 := (m1 - sqrtHalfMant) >> 63
+	a2 := (m2 - sqrtHalfMant) >> 63
+	a3 := (m3 - sqrtHalfMant) >> 63
+	k0 := int(b0>>52&0x7ff) - 1022 - int(a0)
+	k1 := int(b1>>52&0x7ff) - 1022 - int(a1)
+	k2 := int(b2>>52&0x7ff) - 1022 - int(a2)
+	k3 := int(b3>>52&0x7ff) - 1022 - int(a3)
+	f0 := math.Float64frombits(m0|(0x3fe+a0)<<52) - 1
+	f1 := math.Float64frombits(m1|(0x3fe+a1)<<52) - 1
+	f2 := math.Float64frombits(m2|(0x3fe+a2)<<52) - 1
+	f3 := math.Float64frombits(m3|(0x3fe+a3)<<52) - 1
+	s0 := f0 / (2 + f0)
+	s1 := f1 / (2 + f1)
+	s2 := f2 / (2 + f2)
+	s3 := f3 / (2 + f3)
+	q0 := s0 * s0
+	q1 := s1 * s1
+	q2 := s2 * s2
+	q3 := s3 * s3
+	r0 := q0 * q0
+	r1 := q1 * q1
+	r2 := q2 * q2
+	r3 := q3 * q3
+	t10 := q0 * (lgL1 + r0*(lgL3+r0*(lgL5+r0*lgL7)))
+	t11 := q1 * (lgL1 + r1*(lgL3+r1*(lgL5+r1*lgL7)))
+	t12 := q2 * (lgL1 + r2*(lgL3+r2*(lgL5+r2*lgL7)))
+	t13 := q3 * (lgL1 + r3*(lgL3+r3*(lgL5+r3*lgL7)))
+	t20 := r0 * (lgL2 + r0*(lgL4+r0*lgL6))
+	t21 := r1 * (lgL2 + r1*(lgL4+r1*lgL6))
+	t22 := r2 * (lgL2 + r2*(lgL4+r2*lgL6))
+	t23 := r3 * (lgL2 + r3*(lgL4+r3*lgL6))
+	h0 := 0.5 * f0 * f0
+	h1 := 0.5 * f1 * f1
+	h2 := 0.5 * f2 * f2
+	h3 := 0.5 * f3 * f3
+	y0 := float64(k0)*ln2Hi - ((h0 - (s0*(h0+(t10+t20)) + float64(k0)*ln2Lo)) - f0)
+	y1 := float64(k1)*ln2Hi - ((h1 - (s1*(h1+(t11+t21)) + float64(k1)*ln2Lo)) - f1)
+	y2 := float64(k2)*ln2Hi - ((h2 - (s2*(h2+(t12+t22)) + float64(k2)*ln2Lo)) - f2)
+	y3 := float64(k3)*ln2Hi - ((h3 - (s3*(h3+(t13+t23)) + float64(k3)*ln2Lo)) - f3)
+	return y0, y1, y2, y3
+}
+
+// normalExp reports whether the exponent field of b is that of a normal
+// finite float64.
+func normalExp(b uint64) bool {
+	e := b >> 52 & 0x7ff
+	return e != 0 && e != 0x7ff
+}

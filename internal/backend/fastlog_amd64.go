@@ -1,0 +1,15 @@
+//go:build amd64 && !purego
+
+package backend
+
+import "streambrain/internal/tensor"
+
+// fusedLogSIMD gates the AVX2 weight-row log kernel on the same AVX2+FMA+
+// OS-XSAVE detection the tensor microkernels use.
+var fusedLogSIMD = tensor.SIMDEnabled()
+
+// weightRowLogAVX (fastlog_amd64.s) fills wrow[j] = log(max(crow[j], eps2)) -
+// logci - logcj[j] for j in [0, ret), ret a multiple of 4, stopping early if
+// a lane's floored trace is not a positive normal float. The caller finishes
+// the row with the scalar path.
+func weightRowLogAVX(wrow, crow, logcj []float64, logci, eps2 float64) int

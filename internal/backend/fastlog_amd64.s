@@ -1,0 +1,155 @@
+// AVX2 kernel for the fused weight-row log pass. Four log lanes per
+// iteration, evaluated with separate VMULPD/VADDPD in exactly the scalar
+// fastLog association order — the amd64 compiler never contracts float
+// expressions into FMA, so lane arithmetic is bit-identical to the pure-Go
+// path (and to math.Log; fastlog_test.go asserts both). A lane whose
+// max(crow[j], eps2) is not a positive normal float makes the kernel return
+// early; the Go wrapper finishes the row through the scalar fallback.
+//
+//go:build !purego
+
+#include "textflag.h"
+
+// fdlibm log constants plus the bit-manipulation masks of the branchless
+// frexp (see fastlog.go for the derivation).
+DATA flc<>+0x00(SB)/8, $0x000FFFFFFFFFFFFF // mantissa mask = 2^52-1
+DATA flc<>+0x08(SB)/8, $0x7FF0000000000000 // inf/NaN exponent bits
+DATA flc<>+0x10(SB)/8, $0x0006A09E667F3BCD // mantissa of sqrt(2)/2
+DATA flc<>+0x18(SB)/8, $0x3FE0000000000000 // exponent field 0x3fe (also 0.5)
+DATA flc<>+0x20(SB)/8, $0x0010000000000000 // exponent field increment 1<<52
+DATA flc<>+0x28(SB)/8, $0x0000000000000035 // 53: k+1075 = e_biased+adj+53
+DATA flc<>+0x30(SB)/8, $0x4330000000000000 // 2^52 as a double (int->fp magic)
+DATA flc<>+0x38(SB)/8, $0x4330000000000433 // 2^52 + 1075 as a double
+DATA flc<>+0x40(SB)/8, $0x3FF0000000000000 // 1.0
+DATA flc<>+0x48(SB)/8, $0x4000000000000000 // 2.0
+DATA flc<>+0x50(SB)/8, $0x3FE62E42FEE00000 // ln2Hi
+DATA flc<>+0x58(SB)/8, $0x3DEA39EF35793C76 // ln2Lo
+DATA flc<>+0x60(SB)/8, $0x3FE5555555555593 // L1
+DATA flc<>+0x68(SB)/8, $0x3FD999999997FA04 // L2
+DATA flc<>+0x70(SB)/8, $0x3FD2492494229359 // L3
+DATA flc<>+0x78(SB)/8, $0x3FCC71C51D8E78AF // L4
+DATA flc<>+0x80(SB)/8, $0x3FC7466496CB03DE // L5
+DATA flc<>+0x88(SB)/8, $0x3FC39A09D078C69F // L6
+DATA flc<>+0x90(SB)/8, $0x3FC2F112DF3E5244 // L7
+GLOBL flc<>(SB), RODATA, $152
+
+// func weightRowLogAVX(wrow, crow, logcj []float64, logci, eps2 float64) int
+// wrow[j] = log(max(crow[j], eps2)) - logci - logcj[j] for j in [0, ret),
+// ret a multiple of 4. Requires len(crow), len(logcj) >= len(wrow).
+TEXT ·weightRowLogAVX(SB), NOSPLIT, $0-96
+	MOVQ wrow_base+0(FP), DI
+	MOVQ wrow_len+8(FP), CX
+	MOVQ crow_base+24(FP), SI
+	MOVQ logcj_base+48(FP), DX
+	VBROADCASTSD logci+72(FP), Y14
+	VBROADCASTSD eps2+80(FP), Y13
+	VBROADCASTSD flc<>+0x00(SB), Y15 // mantissa mask
+	VBROADCASTSD flc<>+0x08(SB), Y12 // inf bits
+	VBROADCASTSD flc<>+0x10(SB), Y11 // sqrt(2)/2 mantissa
+	ANDQ $-4, CX
+	XORQ AX, AX
+
+wrloop:
+	CMPQ AX, CX
+	JGE  wrdone
+	VMOVUPD (SI)(AX*8), Y0
+	// m = max(crow, eps2): MAXPD(eps2, crow) keeps NaN lanes NaN, matching
+	// Go's max builtin on these operands.
+	VMAXPD Y0, Y13, Y0
+
+	// Fast-path guard: every lane's bits must lie in [2^52, 0x7FF<<52) as
+	// signed integers — positive normal finite. Otherwise stop here and let
+	// the scalar fallback (which defers to math.Log) finish the row.
+	VPCMPGTQ Y15, Y0, Y1 // bits > 2^52-1
+	VPCMPGTQ Y0, Y12, Y2 // infBits > bits
+	VPAND    Y2, Y1, Y1
+	VMOVMSKPD Y1, BX
+	CMPL     BX, $0xf
+	JNE      wrdone
+
+	// Branchless frexp: mant, biased exponent, and the "below sqrt(2)/2"
+	// adjustment mask (all-ones = adjust, i.e. -1 as int64).
+	VPAND  Y15, Y0, Y1   // mant
+	VPSRLQ $52, Y0, Y2   // e_biased (sign bit is clear)
+	VPCMPGTQ Y1, Y11, Y3 // adjmask = mant < sqrtHalfMant
+
+	// k as a double via the 2^52 magic-number trick:
+	// k+1075 = e_biased + adjmask + 53 is a small positive integer.
+	VPADDQ Y3, Y2, Y4
+	VBROADCASTSD flc<>+0x28(SB), Y5
+	VPADDQ Y5, Y4, Y4
+	VBROADCASTSD flc<>+0x30(SB), Y5
+	VPOR   Y5, Y4, Y4
+	VBROADCASTSD flc<>+0x38(SB), Y5
+	VSUBPD Y5, Y4, Y4 // Y4 = k
+
+	// f = frac - 1 with frac in [sqrt(2)/2, sqrt(2)): mantissa with exponent
+	// 0x3fe, bumped to 0x3ff where the adjust mask fires.
+	VBROADCASTSD flc<>+0x18(SB), Y5
+	VPOR   Y5, Y1, Y6
+	VBROADCASTSD flc<>+0x20(SB), Y5
+	VPAND  Y3, Y5, Y5
+	VPADDQ Y5, Y6, Y6
+	VBROADCASTSD flc<>+0x40(SB), Y5
+	VSUBPD Y5, Y6, Y6 // Y6 = f
+
+	// s = f/(2+f), s2, s4
+	VBROADCASTSD flc<>+0x48(SB), Y5
+	VADDPD Y6, Y5, Y7
+	VDIVPD Y7, Y6, Y7 // Y7 = s
+	VMULPD Y7, Y7, Y8 // s2
+	VMULPD Y8, Y8, Y9 // s4
+
+	// t1 = s2*(L1 + s4*(L3 + s4*(L5 + s4*L7)))
+	VBROADCASTSD flc<>+0x90(SB), Y5
+	VMULPD Y9, Y5, Y10
+	VBROADCASTSD flc<>+0x80(SB), Y5
+	VADDPD Y5, Y10, Y10
+	VMULPD Y9, Y10, Y10
+	VBROADCASTSD flc<>+0x70(SB), Y5
+	VADDPD Y5, Y10, Y10
+	VMULPD Y9, Y10, Y10
+	VBROADCASTSD flc<>+0x60(SB), Y5
+	VADDPD Y5, Y10, Y10
+	VMULPD Y8, Y10, Y10
+
+	// t2 = s4*(L2 + s4*(L4 + s4*L6)); R = t1 + t2 (reusing Y2)
+	VBROADCASTSD flc<>+0x88(SB), Y5
+	VMULPD Y9, Y5, Y2
+	VBROADCASTSD flc<>+0x78(SB), Y5
+	VADDPD Y5, Y2, Y2
+	VMULPD Y9, Y2, Y2
+	VBROADCASTSD flc<>+0x68(SB), Y5
+	VADDPD Y5, Y2, Y2
+	VMULPD Y9, Y2, Y2
+	VADDPD Y2, Y10, Y10 // R
+
+	// hfsq = (0.5*f)*f
+	VBROADCASTSD flc<>+0x18(SB), Y5
+	VMULPD Y6, Y5, Y2
+	VMULPD Y6, Y2, Y2
+
+	// log = k*ln2Hi - ((hfsq - (s*(hfsq+R) + k*ln2Lo)) - f)
+	VADDPD Y10, Y2, Y10 // hfsq + R
+	VMULPD Y7, Y10, Y10 // s*(hfsq+R)
+	VBROADCASTSD flc<>+0x58(SB), Y5
+	VMULPD Y4, Y5, Y3   // k*ln2Lo
+	VADDPD Y3, Y10, Y10
+	VSUBPD Y10, Y2, Y2  // hfsq - (...)
+	VSUBPD Y6, Y2, Y2   // ... - f
+	VBROADCASTSD flc<>+0x50(SB), Y5
+	VMULPD Y4, Y5, Y4   // k*ln2Hi
+	VSUBPD Y2, Y4, Y4   // log
+
+	// wrow[j] = log - logci - logcj[j]
+	VSUBPD Y14, Y4, Y4
+	VMOVUPD (DX)(AX*8), Y5
+	VSUBPD Y5, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  wrloop
+
+wrdone:
+	MOVQ AX, ret+88(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package backend
+
+const fusedLogSIMD = false
+
+func weightRowLogAVX(wrow, crow, logcj []float64, logci, eps2 float64) int { return 0 }

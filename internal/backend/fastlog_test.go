@@ -1,0 +1,76 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFastLogBitExact sweeps the fused pass's input domain — the trace floor
+// eps² = 1e-18 up through large supports — plus every special-case class, and
+// demands bit equality with math.Log. The fused backend's agreement with the
+// composed kernels rests on this.
+func TestFastLogBitExact(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		want := math.Log(x)
+		if got := fastLog(x); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("fastLog(%v) = %v, want %v", x, got, want)
+		}
+		g0, g1, g2, g3 := fastLog4(x, x*1.5, x*0.25, x*7)
+		for i, pair := range [][2]float64{{g0, x}, {g1, x * 1.5}, {g2, x * 0.25}, {g3, x * 7}} {
+			w := math.Log(pair[1])
+			if pair[0] != w && !(math.IsNaN(pair[0]) && math.IsNaN(w)) {
+				t.Fatalf("fastLog4 lane %d at %v = %v, want %v", i, pair[1], pair[0], w)
+			}
+		}
+	}
+	// Dense log-uniform sweep over (≈4e-18, ≈2e17).
+	for i := 0; i < 500000; i++ {
+		check(math.Exp(40 * (float64(i)/250000 - 1)))
+	}
+	// Random mantissas across the full normal exponent range.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200000; i++ {
+		check(math.Ldexp(0.5+0.5*rng.Float64(), rng.Intn(2000)-1000))
+	}
+	for _, x := range []float64{
+		1e-18, 1, math.Sqrt2 / 2, 0.5, 0.999999999, 1.000000001, 2, math.E, 1e300,
+		2.2250738585072014e-308, // smallest normal
+		5e-324, 1e-310,          // subnormals → stdlib fallback
+		0, math.Inf(1), math.Inf(-1), math.NaN(), -1, -1e-300,
+	} {
+		check(x)
+	}
+}
+
+// TestWeightRowFromTraceBitExact drives the row kernel (the AVX2 path where
+// the machine has it, the 4-wide pure-Go path otherwise) against the composed
+// kernels' scalar formula, including lanes that force the SIMD guard's
+// scalar fallback mid-row.
+func TestWeightRowFromTraceBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const eps2, logci = 1e-18, -0.37
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(530)
+		crow := make([]float64, n)
+		logcj := make([]float64, n)
+		for j := range crow {
+			crow[j] = math.Exp(40 * (rng.Float64() - 1)) // spans eps2..1
+			logcj[j] = rng.NormFloat64()
+		}
+		if trial%4 == 0 { // poison a lane: guard must hand off to math.Log
+			p := rng.Intn(n)
+			crow[p] = []float64{math.NaN(), math.Inf(1), 0, -3, 5e-324}[rng.Intn(5)]
+		}
+		got := make([]float64, n)
+		weightRowFromTrace(got, crow, logcj, logci, eps2)
+		for j := range got {
+			want := math.Log(max(crow[j], eps2)) - logci - logcj[j]
+			if got[j] != want && !(math.IsNaN(got[j]) && math.IsNaN(want)) {
+				t.Fatalf("trial %d n=%d j=%d crow=%v: got %v, want %v",
+					trial, n, j, crow[j], got[j], want)
+			}
+		}
+	}
+}

@@ -150,7 +150,7 @@ func TestNames32Coverage(t *testing.T) {
 	for _, n := range Names32() {
 		have[n] = true
 	}
-	for _, want := range []string{"naive", "parallel", "gpusim"} {
+	for _, want := range []string{"naive", "parallel", "fused", "gpusim"} {
 		if !have[want] {
 			t.Fatalf("backend %q missing a float32 kernel set (have %v)", want, Names32())
 		}

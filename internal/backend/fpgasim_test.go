@@ -93,6 +93,67 @@ func TestFPGASimComputeKernelsDelegate(t *testing.T) {
 	}
 }
 
+// TestFPGASimPipelineModel checks the streaming-pipeline cost model: a fused
+// LayerStep is one launch whose cycle cost is bounded by its busiest dataflow
+// stage (the stages overlap), while composed kernels serialize — their stage
+// cycles land additively on the total.
+func TestFPGASimPipelineModel(t *testing.T) {
+	f := NewFPGASim(2, posit.Posit16)
+	s := newLayerState[float64](rand.New(rand.NewSource(4)), 8, true, false)
+	s.step(f)
+	p := f.Pipeline()
+	if p.Steps != 1 || p.KernelLaunches != 1 {
+		t.Fatalf("fused step: steps=%d launches=%d, want 1/1", p.Steps, p.KernelLaunches)
+	}
+	var peak, sum int64
+	for st := 0; st < numStages; st++ {
+		if p.StageOps[st] <= 0 {
+			t.Fatalf("stage %s recorded no ops", StageName(st))
+		}
+		if p.StageCycles[st] != p.StageOps[st] {
+			t.Fatalf("stage %s: cycles %d != ops %d at II=1", StageName(st), p.StageCycles[st], p.StageOps[st])
+		}
+		if p.StageCycles[st] > peak {
+			peak = p.StageCycles[st]
+		}
+		sum += p.StageCycles[st]
+	}
+	if p.TotalCycles != peak {
+		t.Fatalf("fused TotalCycles = %d, want busiest stage %d (stages stream concurrently)",
+			p.TotalCycles, peak)
+	}
+	// Occupancy of the busiest stage is 1; every occupancy is in (0, 1].
+	for st := 0; st < numStages; st++ {
+		occ := p.Occupancy(st)
+		if occ <= 0 || occ > 1 {
+			t.Fatalf("stage %s occupancy %g out of range", StageName(st), occ)
+		}
+	}
+
+	// The composed sequence for the same update serializes: its total is the
+	// sum of its stage cycles, so the same work costs strictly more device
+	// time than the fused pipeline's max.
+	f.ResetPipeline()
+	composedStep[float64](f, s)
+	c := f.Pipeline()
+	if c.Steps != 0 {
+		t.Fatalf("composed sequence counted %d fused steps", c.Steps)
+	}
+	if c.KernelLaunches <= 1 {
+		t.Fatalf("composed launches = %d, want > 1", c.KernelLaunches)
+	}
+	var csum int64
+	for st := 0; st < numStages; st++ {
+		csum += c.StageCycles[st]
+	}
+	if c.TotalCycles != csum {
+		t.Fatalf("composed TotalCycles = %d, want additive %d", c.TotalCycles, csum)
+	}
+	if c.TotalCycles <= peak {
+		t.Fatalf("composed cycles %d not above fused pipeline bound %d", c.TotalCycles, peak)
+	}
+}
+
 func TestNewFPGASimInvalidFormatPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,265 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streambrain/internal/tensor"
+)
+
+// layerState is one complete fused-step operand set, generic over precision,
+// buildable from a seed so fused and composed runs start bit-identical.
+type layerState[T tensor.Float] struct {
+	idx  [][]int32
+	act  *tensor.Dense[T]
+	ci   []T
+	cj   []T
+	cij  *tensor.Dense[T]
+	w    *tensor.Dense[T]
+	bias []T
+	mask []bool
+	geom LayerGeom
+	hyp  LayerHyper[T]
+}
+
+func newLayerState[T tensor.Float](rng *rand.Rand, batch int, masked, noisy bool) *layerState[T] {
+	geom := LayerGeom{Fi: 6, Mi: 4, H: 3, M: 5}
+	in, units := geom.Inputs(), geom.Units()
+	s := &layerState[T]{
+		act:  tensor.NewDense[T](batch, units),
+		ci:   make([]T, in),
+		cj:   make([]T, units),
+		cij:  tensor.NewDense[T](in, units),
+		w:    tensor.NewDense[T](in, units),
+		bias: make([]T, units),
+		geom: geom,
+		hyp: LayerHyper[T]{
+			Taupdt:       0.03,
+			Taubdt:       0.02,
+			PMinFraction: 0.5, // pmin = 0.1: some units below, some above
+			Temperature:  0.8,
+			Eps:          1e-9,
+			Kbi:          make([]T, units),
+		},
+	}
+	s.idx = make([][]int32, batch)
+	for b := range s.idx {
+		for f := 0; f < geom.Fi; f++ {
+			s.idx[b] = append(s.idx[b], int32(f*geom.Mi+rng.Intn(geom.Mi)))
+		}
+	}
+	for i := range s.ci {
+		s.ci[i] = T(rng.Float64()*0.9 + 0.05)
+	}
+	for j := range s.cj {
+		s.cj[j] = T(rng.Float64()*0.9 + 0.05)
+		s.hyp.Kbi[j] = T(1 + 0.2*rng.Float64())
+		s.bias[j] = T(rng.NormFloat64() * 0.1)
+	}
+	for i := range s.cij.Data {
+		s.cij.Data[i] = T(rng.Float64()*0.9 + 0.05)
+	}
+	for i := range s.w.Data {
+		s.w.Data[i] = T(rng.NormFloat64())
+	}
+	if masked {
+		s.mask = make([]bool, geom.Fi*geom.H)
+		for i := range s.mask {
+			s.mask[i] = rng.Intn(2) == 0
+		}
+	}
+	if noisy {
+		s.hyp.Noise = make([]T, batch*units)
+		for i := range s.hyp.Noise {
+			s.hyp.Noise[i] = T(rng.NormFloat64() * 0.05)
+		}
+	}
+	return s
+}
+
+func (s *layerState[T]) clone() *layerState[T] {
+	c := *s
+	c.act = s.act.Clone()
+	c.ci = append([]T(nil), s.ci...)
+	c.cj = append([]T(nil), s.cj...)
+	c.cij = s.cij.Clone()
+	c.w = s.w.Clone()
+	c.bias = append([]T(nil), s.bias...)
+	c.hyp.Kbi = append([]T(nil), s.hyp.Kbi...)
+	return &c
+}
+
+func (s *layerState[T]) step(st LayerStepper[T]) {
+	st.LayerStep(s.idx, s.act, s.ci, s.cj, s.cij, s.w, s.bias, s.mask, s.geom, s.hyp)
+}
+
+// composedStep drives the same batch update through the composed kernel
+// sequence, in exactly the order core's TrainBatch issues it. The
+// homeostasis reference is written independently (float64 throughout) so the
+// comparison does not share code with the fused implementation.
+func composedStep[T tensor.Float](be Kernels[T], s *layerState[T]) {
+	t := s.hyp.Taupdt
+	units := s.geom.Units()
+	be.OneHotMatMul(s.act, s.idx, s.w)
+	be.AddBias(s.act, s.bias)
+	if s.hyp.Noise != nil {
+		for i, v := range s.hyp.Noise {
+			s.act.Data[i] += v
+		}
+	}
+	be.SoftmaxGroups(s.act, s.geom.H, s.geom.M, s.hyp.Temperature)
+	be.OneHotMeanLerp(s.ci, s.idx, t)
+	mean := make([]T, units)
+	tensor.ColMeans(mean, s.act)
+	be.Lerp(s.cj, mean, t)
+	be.OneHotOuterLerp(s.cij, s.idx, s.act, t)
+	fair := math.Log(1 / float64(s.geom.M))
+	pmin := s.hyp.PMinFraction / float64(s.geom.M)
+	for j, v := range s.cj {
+		target := 1.0
+		if float64(v) < pmin {
+			target = fair / math.Log(math.Max(float64(v), s.hyp.Eps))
+		}
+		s.hyp.Kbi[j] = T((1-s.hyp.Taubdt)*float64(s.hyp.Kbi[j]) + s.hyp.Taubdt*target)
+	}
+	be.UpdateWeights(s.w, s.ci, s.cj, s.cij, s.mask, s.geom.Fi, s.geom.Mi, s.geom.H, s.geom.M, s.hyp.Eps)
+	be.UpdateBias(s.bias, s.hyp.Kbi, s.cj, s.hyp.Eps)
+}
+
+func maxSliceDiff[T tensor.Float](a, b []T) float64 {
+	var d float64
+	for i := range a {
+		if v := math.Abs(float64(a[i]) - float64(b[i])); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func (s *layerState[T]) maxDiff(o *layerState[T]) float64 {
+	d := maxSliceDiff(s.act.Data, o.act.Data)
+	d = math.Max(d, maxSliceDiff(s.ci, o.ci))
+	d = math.Max(d, maxSliceDiff(s.cj, o.cj))
+	d = math.Max(d, maxSliceDiff(s.cij.Data, o.cij.Data))
+	d = math.Max(d, maxSliceDiff(s.w.Data, o.w.Data))
+	d = math.Max(d, maxSliceDiff(s.bias, o.bias))
+	return math.Max(d, maxSliceDiff(s.hyp.Kbi, o.hyp.Kbi))
+}
+
+// TestFusedMatchesComposed is the fused ≡ composed property test: one
+// LayerStep must equal the composed kernel sequence over every batch shape,
+// masked and unmasked, noisy and noise-free, at both precisions and at both
+// serial and parallel worker counts.
+func TestFusedMatchesComposed(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	run := func(t *testing.T, check func(t *testing.T, seed int64, batch, workers int, masked, noisy bool)) {
+		for _, seed := range seeds {
+			for _, batch := range []int{1, 7, 64} {
+				for _, workers := range []int{1, 4} {
+					for _, masked := range []bool{false, true} {
+						for _, noisy := range []bool{false, true} {
+							check(t, seed, batch, workers, masked, noisy)
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Run("f64", func(t *testing.T) {
+		run(t, func(t *testing.T, seed int64, batch, workers int, masked, noisy bool) {
+			fusedS := newLayerState[float64](rand.New(rand.NewSource(seed)), batch, masked, noisy)
+			composedS := fusedS.clone()
+			fusedS.step(NewFused(workers))
+			composedStep[float64](MustNew("naive", 0), composedS)
+			if d := fusedS.maxDiff(composedS); d > 1e-12 {
+				t.Fatalf("seed %d batch %d workers %d masked %v noisy %v: fused diverges by %g",
+					seed, batch, workers, masked, noisy, d)
+			}
+		})
+	})
+	t.Run("f32", func(t *testing.T) {
+		run(t, func(t *testing.T, seed int64, batch, workers int, masked, noisy bool) {
+			fusedS := newLayerState[float32](rand.New(rand.NewSource(seed)), batch, masked, noisy)
+			composedS := fusedS.clone()
+			fusedS.step(NewFusedOf[float32](workers))
+			composedStep[float32](MustNew32("naive", 0), composedS)
+			if d := fusedS.maxDiff(composedS); d > 1e-5 {
+				t.Fatalf("seed %d batch %d workers %d masked %v noisy %v: fused diverges by %g",
+					seed, batch, workers, masked, noisy, d)
+			}
+		})
+	})
+}
+
+// TestLayerStepperConformance runs every registered backend that advertises
+// the whole-layer offload capability against its own composed kernel
+// sequence — the capability contract: LayerStep computes the same function
+// the backend's composed kernels do (for fpgasim that includes the posit
+// parameter quantization, which both paths apply identically).
+func TestLayerStepperConformance(t *testing.T) {
+	for _, name := range Names() {
+		be := MustNew(name, 3)
+		st, ok := be.(LayerStepper[float64])
+		if !ok {
+			continue
+		}
+		t.Run(name+"/f64", func(t *testing.T) {
+			fusedS := newLayerState[float64](rand.New(rand.NewSource(17)), 9, true, false)
+			composedS := fusedS.clone()
+			fusedS.step(st)
+			composedStep[float64](MustNew(name, 3), composedS)
+			if d := fusedS.maxDiff(composedS); d > 1e-12 {
+				t.Fatalf("%s LayerStep diverges from its composed sequence by %g", name, d)
+			}
+		})
+	}
+	for _, name := range Names32() {
+		be := MustNew32(name, 3)
+		st, ok := be.(LayerStepper[float32])
+		if !ok {
+			continue
+		}
+		t.Run(name+"/f32", func(t *testing.T) {
+			fusedS := newLayerState[float32](rand.New(rand.NewSource(17)), 9, true, false)
+			composedS := fusedS.clone()
+			fusedS.step(st)
+			composedStep[float32](MustNew32(name, 3), composedS)
+			if d := fusedS.maxDiff(composedS); d > 1e-5 {
+				t.Fatalf("%s LayerStep diverges from its composed sequence by %g", name, d)
+			}
+		})
+	}
+}
+
+// TestFusedBackendsImplementLayerStepper pins which registered backends
+// advertise the capability at each precision.
+func TestFusedBackendsImplementLayerStepper(t *testing.T) {
+	want64 := map[string]bool{"fused": true, "gpusim": true, "fpgasim": true}
+	for _, name := range Names() {
+		_, ok := MustNew(name, 1).(LayerStepper[float64])
+		if ok != want64[name] {
+			t.Errorf("%s LayerStepper[float64] = %v, want %v", name, ok, want64[name])
+		}
+	}
+	want32 := map[string]bool{"fused": true, "gpusim": true}
+	for _, name := range Names32() {
+		_, ok := MustNew32(name, 1).(LayerStepper[float32])
+		if ok != want32[name] {
+			t.Errorf("%s LayerStepper[float32] = %v, want %v", name, ok, want32[name])
+		}
+	}
+}
+
+// TestFusedLayerStepShapeChecks: a malformed operand set must panic, not
+// corrupt memory.
+func TestFusedLayerStepShapeChecks(t *testing.T) {
+	s := newLayerState[float64](rand.New(rand.NewSource(1)), 4, false, false)
+	s.act = tensor.NewDense[float64](3, s.geom.Units()) // batch mismatch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on act shape mismatch")
+		}
+	}()
+	s.step(NewFused(1))
+}

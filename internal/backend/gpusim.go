@@ -74,6 +74,11 @@ type GPUSim[T tensor.Float] struct {
 	dev *Parallel[T]
 	led *gpuLedger
 
+	// step executes fused whole-layer offload (LayerStep) on the modeled
+	// device — the full_cuda substitution: one launch per training step
+	// instead of one per kernel.
+	step *Fused[T]
+
 	// resident is this precision's buffer set; it shares the ledger mutex
 	// so companion simulators account atomically against one device model.
 	resident map[*T]bool
@@ -96,6 +101,7 @@ func NewGPUSimOf[T tensor.Float](workers int, policy TransferPolicy) *GPUSim[T] 
 	return &GPUSim[T]{
 		dev:      NewParallelOf[T](workers),
 		led:      &gpuLedger{policy: policy},
+		step:     NewFusedOf[T](workers),
 		resident: make(map[*T]bool),
 	}
 }
@@ -115,6 +121,7 @@ func (g *GPUSim[T]) Kernels32() Backend32 {
 	return &GPUSim[float32]{
 		dev:      NewParallelOf[float32](g.dev.Workers()),
 		led:      g.led,
+		step:     NewFusedOf[float32](g.dev.Workers()),
 		resident: make(map[*float32]bool),
 	}
 }
@@ -290,4 +297,23 @@ func (g *GPUSim[T]) UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.De
 func (g *GPUSim[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	g.launch([][]T{kbi, cj}, [][]T{bias})
 	g.dev.UpdateBias(bias, kbi, cj, eps)
+}
+
+// LayerStep implements LayerStepper: the whole-layer offload the paper's
+// full_cuda backend performs. The entire training step is one device launch;
+// with the model state resident (the trainer pins it at construction) the
+// only H2D traffic under PolicyOffloaded is the one-hot index batch plus any
+// pre-drawn support noise, and nothing comes back — the activations are
+// device scratch consumed in-pass, never downloaded. The composed sequence
+// for the same step costs six-plus launches and repeated index uploads.
+func (g *GPUSim[T]) LayerStep(idx [][]int32, act *tensor.Dense[T], ci, cj []T,
+	cij, w *tensor.Dense[T], bias []T, mask []bool, geom LayerGeom, hyper LayerHyper[T]) {
+	g.idxBytes(idx)
+	ins := [][]T{w.Data, bias, ci, cj, cij.Data, hyper.Kbi}
+	if hyper.Noise != nil {
+		ins = append(ins, hyper.Noise)
+	}
+	outs := [][]T{ci, cj, cij.Data, w.Data, bias, hyper.Kbi}
+	g.launch(ins, outs)
+	g.step.LayerStep(idx, act, ci, cj, cij, w, bias, mask, geom, hyper)
 }

@@ -155,6 +155,71 @@ func TestGPUSimCompanionSharesLedger(t *testing.T) {
 	}
 }
 
+// TestGPUSimFusedLayerStepAccounting is the whole-layer offload regression
+// test: with the model state device-resident, one fused LayerStep must cost
+// exactly one kernel launch and upload only the one-hot index batch — zero
+// float H2D traffic and zero D2H (the in-pass activations are device scratch,
+// never downloaded). The composed sequence for the same step costs several
+// launches and repeated index uploads; the test pins both sides of that gap.
+func TestGPUSimFusedLayerStepAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := newLayerState[float64](rng, 8, true, false)
+	g := NewGPUSim(2, PolicyOffloaded)
+	g.MakeResident(s.w.Data, s.bias, s.ci, s.cj, s.cij.Data, s.hyp.Kbi)
+
+	g.ResetStats()
+	s.step(g)
+	st := g.Stats()
+	var wantIdx int64
+	for _, a := range s.idx {
+		wantIdx += int64(4 * len(a))
+	}
+	if st.KernelLaunches != 1 {
+		t.Fatalf("fused step launches = %d, want 1", st.KernelLaunches)
+	}
+	if st.BytesH2D != wantIdx {
+		t.Fatalf("fused step H2D = %d, want %d (indices only)", st.BytesH2D, wantIdx)
+	}
+	if st.BytesD2H != 0 {
+		t.Fatalf("fused step D2H = %d, want 0", st.BytesD2H)
+	}
+
+	// The composed sequence on the same resident state must cost strictly
+	// more launches and more index upload traffic — the quantitative offload
+	// argument the fused path exists for.
+	g.ResetStats()
+	composedStep[float64](g, s)
+	cs := g.Stats()
+	if cs.KernelLaunches <= 1 {
+		t.Fatalf("composed sequence launches = %d, want > 1", cs.KernelLaunches)
+	}
+	if cs.BytesH2D <= wantIdx {
+		t.Fatalf("composed H2D = %d, want > %d (indices re-uploaded per kernel)",
+			cs.BytesH2D, wantIdx)
+	}
+
+	// Pre-drawn support noise is per-batch input: it is charged as an upload
+	// even with the model state resident.
+	noisy := newLayerState[float64](rand.New(rand.NewSource(10)), 8, false, true)
+	g2 := NewGPUSim(1, PolicyOffloaded)
+	g2.MakeResident(noisy.w.Data, noisy.bias, noisy.ci, noisy.cj, noisy.cij.Data, noisy.hyp.Kbi)
+	g2.ResetStats()
+	noisy.step(g2)
+	st2 := g2.Stats()
+	var wantIdx2 int64
+	for _, a := range noisy.idx {
+		wantIdx2 += int64(4 * len(a))
+	}
+	wantNoise := int64(8 * len(noisy.hyp.Noise))
+	if st2.KernelLaunches != 1 {
+		t.Fatalf("noisy fused step launches = %d, want 1", st2.KernelLaunches)
+	}
+	if st2.BytesH2D != wantIdx2+wantNoise {
+		t.Fatalf("noisy fused step H2D = %d, want %d (indices + noise)",
+			st2.BytesH2D, wantIdx2+wantNoise)
+	}
+}
+
 // TestGPUSimChargeUpload: host-side rewrites of pinned buffers (the
 // mixed-precision sync32 recast) charge H2D bytes without losing residency.
 func TestGPUSimChargeUpload(t *testing.T) {

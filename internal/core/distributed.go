@@ -172,6 +172,13 @@ func TrainRank(c *mpi.Comm, n *Network, shard *data.Encoded,
 		// instead of deadlocking.
 		for b := 0; b < nBatches; b++ {
 			if b < len(batches) {
+				// TrainBatch dispatches fused on LayerStepper backends
+				// (DESIGN.md §14), so distributed training inherits the
+				// whole-layer offload per local batch. Only the
+				// post-allreduce refresh below must stay composed: it
+				// re-derives parameters from the merged traces without
+				// advancing them, which is exactly what refreshParameters
+				// (and not a LayerStep) computes.
 				n.Hidden.TrainBatch(batches[b])
 			}
 			if (b+1)%mergeEvery == 0 {

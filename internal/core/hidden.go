@@ -22,6 +22,14 @@ type HiddenLayer struct {
 	// passes then run at half width while every trace below stays float64.
 	be32 backend.Backend32
 
+	// step is the whole-layer offload capability (DESIGN.md §14), non-nil
+	// when the backend implements backend.LayerStepper[float64]. TrainBatch
+	// then ships the complete batch update as one fused call instead of the
+	// composed kernel sequence. Traces are float64, so dispatch is float64-
+	// only: on the float32 path a fused step trains at full width in-pass and
+	// the lazy sync32 rebuild covers prediction.
+	step backend.LayerStepper[float64]
+
 	// Input geometry: Fi input hypercolumns of Mi units each.
 	Fi, Mi int
 	// Hidden geometry: H HCUs of M MCUs each.
@@ -63,9 +71,10 @@ type HiddenLayer struct {
 	noiseStd float64
 
 	// scratch reused across batches to keep the hot loop allocation-free.
-	pool    *tensor.Pool
-	pool32  *tensor.PoolOf[float32]
-	meanAct []float64
+	pool     *tensor.Pool
+	pool32   *tensor.PoolOf[float32]
+	meanAct  []float64
+	noiseBuf []float64 // pre-drawn support noise for the fused step
 }
 
 // NewHiddenLayer builds a hidden layer for inputs of fi hypercolumns × mi
@@ -92,6 +101,10 @@ func NewHiddenLayer(be backend.Backend, fi, mi int, p Params, rng *rand.Rand) *H
 		pool:    tensor.NewPool(),
 		meanAct: make([]float64, units),
 	}
+	// Whole-layer offload is a capability, not a registry entry: any backend
+	// that implements LayerStepper (fused, gpusim, fpgasim) gets the fused
+	// training dispatch; everything else keeps the composed kernel sequence.
+	l.step, _ = be.(backend.LayerStepper[float64])
 	if p.Precision.Is32() {
 		// A backend that models shared device state (gpusim) hands out its
 		// own float32 companion so both precisions account against one
@@ -208,9 +221,13 @@ func (l *HiddenLayer) Units() int { return l.H * l.M }
 // Inputs returns the total number of input units (Fi·Mi).
 func (l *HiddenLayer) Inputs() int { return l.Fi * l.Mi }
 
-// refreshParameters recomputes W and Bias from the traces; called after
-// every trace update and after every mask change. On the float32 path the
-// down-cast images go stale and are rebuilt lazily by sync32.
+// refreshParameters recomputes W and Bias from the traces. On the composed
+// training path it runs after every trace update; on the fused path
+// (DESIGN.md §14) LayerStep produces W and Bias in-pass and this is needed
+// only where parameters must be re-derived without advancing the traces —
+// construction, trace re-seeding, and mask changes (structural plasticity).
+// On the float32 path the down-cast images go stale and are rebuilt lazily
+// by sync32.
 func (l *HiddenLayer) refreshParameters() {
 	l.be.UpdateWeights(l.W, l.Ci, l.Cj, l.Cij, l.Mask, l.Fi, l.Mi, l.H, l.M, l.p.Eps)
 	l.be.UpdateBias(l.Bias, l.Kbi, l.Cj, l.p.Eps)
@@ -311,9 +328,32 @@ func (l *HiddenLayer) SetNoise(std float64) { l.noiseStd = std }
 
 // TrainBatch performs one unsupervised BCPNN step on a mini-batch:
 // noisy forward pass (see SetNoise), trace update, homeostasis, parameter
-// refresh.
+// refresh. On a LayerStepper backend the whole step is one fused call
+// (DESIGN.md §14); otherwise it is the composed kernel sequence.
 func (l *HiddenLayer) TrainBatch(idx [][]int32) {
 	act := l.pool.Get(len(idx), l.Units())
+	l.trainBatchInto(idx, act)
+	l.pool.Put(act)
+}
+
+// TrainBatchInto is TrainBatch exposing the training activations: when the
+// step ran fused with no support noise it fills act (batch × H·M) with the
+// batch's forward activations — computed in-pass against the pre-update
+// parameters — and returns true, letting streaming callers skip a second
+// forward pass. It returns false when the activations are not reusable
+// (composed path, or noise was injected); act contents are then undefined.
+func (l *HiddenLayer) TrainBatchInto(idx [][]int32, act *tensor.Matrix) bool {
+	if act.Rows != len(idx) || act.Cols != l.Units() {
+		panic("core: TrainBatchInto activation shape mismatch")
+	}
+	return l.trainBatchInto(idx, act)
+}
+
+func (l *HiddenLayer) trainBatchInto(idx [][]int32, act *tensor.Matrix) bool {
+	if l.step != nil {
+		l.fusedLayerStep(idx, act)
+		return l.noiseStd == 0
+	}
 	l.forwardNoisy(idx, act)
 	t := l.p.Taupdt
 	l.be.OneHotMeanLerp(l.Ci, idx, t)
@@ -322,7 +362,41 @@ func (l *HiddenLayer) TrainBatch(idx [][]int32) {
 	l.be.OneHotOuterLerp(l.Cij, idx, act, t)
 	l.homeostasis()
 	l.refreshParameters()
-	l.pool.Put(act)
+	return false
+}
+
+// fusedLayerStep ships the whole batch update to the backend as one
+// LayerStep call. Homeostasis and the parameter refresh happen in-pass, so
+// the composed sequence's trailing refreshParameters — and, for float32, the
+// eager recast it would schedule — collapse to marking the images stale;
+// sync32 still rebuilds them lazily before the next reduced-precision
+// forward. Support noise is pre-drawn row-major from the layer RNG, exactly
+// the order forwardNoisy consumes it, so training stays deterministic and
+// backend-independent.
+func (l *HiddenLayer) fusedLayerStep(idx [][]int32, act *tensor.Matrix) {
+	var noise []float64
+	if l.noiseStd > 0 {
+		n := len(idx) * l.Units()
+		if cap(l.noiseBuf) < n {
+			l.noiseBuf = make([]float64, n)
+		}
+		noise = l.noiseBuf[:n]
+		for i := range noise {
+			noise[i] = l.noiseStd * l.rng.NormFloat64()
+		}
+	}
+	l.step.LayerStep(idx, act, l.Ci, l.Cj, l.Cij, l.W, l.Bias, l.Mask,
+		backend.LayerGeom{Fi: l.Fi, Mi: l.Mi, H: l.H, M: l.M},
+		backend.LayerHyper[float64]{
+			Taupdt:       l.p.Taupdt,
+			Taubdt:       l.p.Taubdt,
+			PMinFraction: l.p.PMinFraction,
+			Temperature:  l.p.Temperature,
+			Eps:          l.p.Eps,
+			Kbi:          l.Kbi,
+			Noise:        noise,
+		})
+	l.w32stale = true
 }
 
 // homeostasis adapts the per-unit bias gain Kbi. The paper defers the bias

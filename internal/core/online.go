@@ -36,11 +36,16 @@ func (n *Network) PartialFit(idx [][]int32, labels []int) {
 		n.Hidden.InitTracesFromData(idx)
 		n.tracesSeeded = true
 	}
-	n.Hidden.TrainBatch(idx)
 	if n.partialAct == nil || n.partialAct.Rows != len(idx) {
 		n.partialAct = tensor.NewMatrix(len(idx), n.Hidden.Units())
 	}
-	n.Hidden.Forward(idx, n.partialAct)
+	// A fused backend (DESIGN.md §14) hands back the batch activations it
+	// already computed in-pass, so the streaming step runs one forward pass
+	// per micro-batch instead of two; composed backends (and noisy batches)
+	// keep the explicit post-update Forward.
+	if !n.Hidden.TrainBatchInto(idx, n.partialAct) {
+		n.Hidden.Forward(idx, n.partialAct)
+	}
 	n.Out.TrainBatch(n.partialAct, labels)
 	n.TrainTime += time.Since(start)
 }

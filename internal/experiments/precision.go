@@ -23,12 +23,21 @@ import (
 //   - posit16/8: the fpgasim backend, which quantizes derived-parameter
 //     storage through posit(16,1) / posit(8,0).
 //
+// PR 9 widens the ablation into a precision×backend grid: each precision
+// also runs on every backend that defines it and changes the execution
+// strategy — the fused whole-layer backend (DESIGN.md §14) and the gpusim
+// offload model at float64, fused again at float32. The grid is the
+// accuracy half of the fusion claim: a fused row's ΔAUC against the
+// composed reference must vanish (float64, where LayerStep is bit-exact)
+// or stay within the paper tolerance (float32).
+//
 // Reported per row: accuracy, AUC, train time, and the AUC delta against
 // the float64 reference — the number the paper's claim is about.
 
 // PrecisionRow is one variant's summary.
 type PrecisionRow struct {
 	Name       string
+	Backend    string // backend registry name the variant ran on
 	Acc, AUC   metrics.Summary
 	Secs       metrics.Summary
 	DeltaAUC   float64 // mean AUC − float64 mean AUC
@@ -103,16 +112,19 @@ func RunPrecision(cfg Config, mcuCap int) *PrecisionResult {
 	p16, p8 := posit.Posit16, posit.Posit8
 	variants := []variant{
 		{name: "float64", backend: cfg.Backend, prec: core.Float64, mib: weightsMiB(8)},
+		{name: "float64/fused", backend: "fused", prec: core.Float64, mib: weightsMiB(8)},
+		{name: "float64/gpusim", backend: "gpusim", prec: core.Float64, mib: weightsMiB(8)},
 		{name: "float32", backend: cfg.Backend, prec: core.Float32, mib: weightsMiB(4)},
+		{name: "float32/fused", backend: "fused", prec: core.Float32, mib: weightsMiB(4)},
 		{name: "posit16", backend: "fpgasim", format: &p16, mib: weightsMiB(2)},
 		{name: "posit8", backend: "fpgasim", format: &p8, mib: weightsMiB(1)},
 	}
 
 	res := &PrecisionResult{}
-	cfg.printf("E8: precision ablation — %d events, MCUs=%d, %d repeats (SIMD %v)\n",
+	cfg.printf("E8: precision×backend grid — %d events, MCUs=%d, %d repeats (SIMD %v)\n",
 		cfg.Events, p.MCUs, cfg.Repeats, tensor.SIMDEnabled())
-	cfg.printf("%-9s %-22s %-22s %10s %10s %9s\n",
-		"variant", "accuracy", "AUC", "ΔAUC", "train s", "W MiB")
+	cfg.printf("%-15s %-9s %-22s %-22s %10s %10s %9s\n",
+		"variant", "backend", "accuracy", "AUC", "ΔAUC", "train s", "W MiB")
 	var refAUC float64
 	for i, v := range variants {
 		pv := p
@@ -122,22 +134,26 @@ func RunPrecision(cfg Config, mcuCap int) *PrecisionResult {
 			// core.Load): report the unsupported combination instead of
 			// letting core.NewNetwork panic mid-ablation.
 			if _, err := backend.New32(v.backend, cfg.Workers); err != nil {
-				cfg.printf("%-9s skipped: %v\n", v.name, err)
+				cfg.printf("%-15s skipped: %v\n", v.name, err)
 				continue
 			}
+		}
+		backendName := v.backend
+		if v.format != nil {
+			backendName = "fpgasim"
 		}
 		acc, auc, secs := precisionTrial(cfg, splits, pv, v.backend, v.format)
 		if i == 0 {
 			refAUC = auc.Mean
 		}
 		row := PrecisionRow{
-			Name: v.name, Acc: acc, AUC: auc, Secs: secs,
+			Name: v.name, Backend: backendName, Acc: acc, AUC: auc, Secs: secs,
 			DeltaAUC:   auc.Mean - refAUC,
 			WeightsMiB: v.mib,
 		}
 		res.Rows = append(res.Rows, row)
-		cfg.printf("%-9s %-22s %-22s %+10.4f %10.2f %9.2f\n",
-			row.Name, acc.String(), auc.String(), row.DeltaAUC, secs.Mean, row.WeightsMiB)
+		cfg.printf("%-15s %-9s %-22s %-22s %+10.4f %10.2f %9.2f\n",
+			row.Name, row.Backend, acc.String(), auc.String(), row.DeltaAUC, secs.Mean, row.WeightsMiB)
 	}
 	if d := math.Abs(res.DeltaAUC("float32")); d > 0.005 {
 		cfg.printf("WARNING: float32 AUC delta %.4f exceeds the paper-claim tolerance 0.005\n", d)

@@ -278,6 +278,16 @@ func buildKernelOpAt[T tensor.Float](sc Scenario, be backend.Kernels[T]) (func()
 		}
 		act := tensor.NewDense[T](trainstepBatch, units)
 		const t = 0.012
+		// A whole-layer offload backend (DESIGN.md §14) runs the identical
+		// update as one fused LayerStep; the fused/parallel throughput ratio
+		// of a scenario pair is the measured fusion speedup benchgate floors.
+		if st, ok := be.(backend.LayerStepper[T]); ok {
+			geom := backend.LayerGeom{Fi: trainstepFi, Mi: trainstepMi, H: 1, M: units}
+			hyper := backend.LayerHyper[T]{Taupdt: t, Temperature: 1, Eps: 1e-9, Kbi: kbi}
+			return func() {
+				st.LayerStep(idx, act, ci, cj, cij, w, bias, nil, geom, hyper)
+			}, nil
+		}
 		return func() {
 			// Forward: support, bias, per-HCU softmax (single hypercolumn).
 			be.OneHotMatMul(act, idx, w)

@@ -300,6 +300,17 @@ var suites = map[string][]Scenario{
 		{Name: "trace/parallel/f32", Kind: KindKernel, Op: "trace", Backend: "parallel", Iters: 40, Precision: "f32"},
 		{Name: "trainstep/parallel/f64", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64"},
 		{Name: "trainstep/parallel/f32", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32"},
+		// Whole-layer offload twins (DESIGN.md §14): same pinned work through
+		// the fused backend. gemm/trace exercise its composed kernels (they
+		// are the parallel worker team); trainstep runs the one-call
+		// LayerStep, and the fused/parallel trainstep ratio is the fusion
+		// speedup benchgate floors within-run (-min-fused-speedup).
+		{Name: "gemm/fused/256/f64", Kind: KindKernel, Op: "gemm", Backend: "fused", Size: 256, Iters: 30, Precision: "f64"},
+		{Name: "gemm/fused/256/f32", Kind: KindKernel, Op: "gemm", Backend: "fused", Size: 256, Iters: 30, Precision: "f32"},
+		{Name: "trace/fused/f64", Kind: KindKernel, Op: "trace", Backend: "fused", Iters: 40, Precision: "f64"},
+		{Name: "trace/fused/f32", Kind: KindKernel, Op: "trace", Backend: "fused", Iters: 40, Precision: "f32"},
+		{Name: "trainstep/fused/f64", Kind: KindKernel, Op: "trainstep", Backend: "fused", Iters: 30, MCUs: 200, Precision: "f64"},
+		{Name: "trainstep/fused/f32", Kind: KindKernel, Op: "trainstep", Backend: "fused", Iters: 30, MCUs: 200, Precision: "f32"},
 	},
 	// "serve" is the predict-protocol sweep behind BENCH_serve.json
 	// (DESIGN.md §12): json/binary twin scenarios under identical closed-

@@ -38,6 +38,15 @@ func Scale[T Float](alpha T, x []T) {
 	scaleDispatch(alpha, x)
 }
 
+// Add computes dst += src element-wise — the alpha=1 Axpy, exposed for the
+// fused layer-step backend's single-pass row accumulation.
+func Add[T Float](dst, src []T) {
+	if len(dst) != len(src) {
+		panic("tensor: Add length mismatch")
+	}
+	addDispatch(dst, src)
+}
+
 // Sum returns the sum of the elements of x.
 func Sum[T Float](x []T) T {
 	var s T

@@ -45,7 +45,7 @@ func TestNewModelValidation(t *testing.T) {
 
 func TestBackendsListed(t *testing.T) {
 	names := streambrain.Backends()
-	want := map[string]bool{"naive": true, "parallel": true, "gpusim": true}
+	want := map[string]bool{"naive": true, "parallel": true, "fused": true, "gpusim": true}
 	for _, n := range names {
 		delete(want, n)
 	}

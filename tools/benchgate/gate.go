@@ -190,6 +190,52 @@ func FormatReport(verdicts []Verdict, failed, enforcing bool) string {
 	return b.String()
 }
 
+// fusedStepName matches a kernels-suite trainstep scenario:
+// trainstep/<backend>/<precision>.
+var fusedStepName = regexp.MustCompile(`^trainstep/(fused|parallel)/(f32|f64)$`)
+
+// FusedKernelFloor checks the whole-layer offload claim inside ONE report
+// (DESIGN.md §14): the fused backend's trainstep throughput must reach at
+// least minRatio× the composed parallel backend's at float64 — the precision
+// the fused LayerStep carries the learning state at, and where its blocked
+// passes and vectorized log are the whole difference between the backends.
+// The float32 pair is reported informationally only: both of its sides
+// already share the fast Log32 kernels, so its ratio measures cache locality
+// alone and a hard floor on it would gate machine noise. Like FleetScaling,
+// a within-run ratio is its own baseline, so callers enforce it even when
+// the environment stamp disarms the baseline diff.
+func FusedKernelFloor(results []perf.Result, minRatio float64) (lines []string, failed bool) {
+	rate := map[string]float64{}
+	for _, r := range results {
+		if m := fusedStepName.FindStringSubmatch(r.Scenario); m != nil {
+			rate[m[1]+"/"+m[2]] = r.Throughput
+		}
+	}
+	for _, prec := range []string{"f64", "f32"} {
+		fused, par := rate["fused/"+prec], rate["parallel/"+prec]
+		if fused <= 0 || par <= 0 {
+			continue
+		}
+		ratio := fused / par
+		switch {
+		case prec != "f64":
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: fused trainstep %s: fused/parallel = %.2fx (informational)",
+				prec, ratio))
+		case ratio < minRatio:
+			failed = true
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: fused trainstep %s: fused/parallel = %.2fx (floor %.2fx) FAIL",
+				prec, ratio, minRatio))
+		default:
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: fused trainstep %s: fused/parallel = %.2fx (floor %.2fx) ok",
+				prec, ratio, minRatio))
+		}
+	}
+	return lines, failed
+}
+
 // fleetClosedName splits a fleet closed-loop scenario name into its load
 // shape and replica count ("fleet/binary/closed/r2" → "fleet/binary/closed",
 // 2). Kill-one scenarios are excluded: their throughput includes a replica

@@ -220,3 +220,46 @@ func TestCustomThresholds(t *testing.T) {
 		t.Fatal("tightened thresholds must apply")
 	}
 }
+
+func TestFusedKernelFloor(t *testing.T) {
+	results := []perf.Result{
+		res("trainstep/parallel/f64", 800, 1.3),
+		res("trainstep/fused/f64", 1400, 0.8),
+		res("trainstep/parallel/f32", 1100, 0.9),
+		res("trainstep/fused/f32", 1120, 0.9),
+		res("gemm/fused/256/f64", 300, 3.3), // non-trainstep: ignored
+	}
+	lines, failed := FusedKernelFloor(results, 1.15)
+	if failed {
+		t.Fatalf("1.75x ratio must clear a 1.15x floor: %v", lines)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want f64 enforced line + f32 informational line, got %v", lines)
+	}
+	if !strings.Contains(lines[0], "f64") || !strings.Contains(lines[0], "ok") {
+		t.Fatalf("f64 line %q, want enforced ok", lines[0])
+	}
+	if !strings.Contains(lines[1], "f32") || !strings.Contains(lines[1], "informational") {
+		t.Fatalf("f32 line %q, want informational (shared Log32 kernels, no floor)", lines[1])
+	}
+
+	// Below the floor at f64 the gate fails; the f32 pair never does.
+	results[1].Throughput = 850 // 1.06x
+	results[3].Throughput = 500 // f32 fused far below parallel
+	lines, failed = FusedKernelFloor(results, 1.15)
+	if !failed {
+		t.Fatalf("1.06x at f64 must fail a 1.15x floor: %v", lines)
+	}
+	if !strings.Contains(lines[0], "FAIL") {
+		t.Fatalf("f64 line %q, want FAIL", lines[0])
+	}
+	if strings.Contains(lines[1], "FAIL") {
+		t.Fatalf("f32 line %q must stay informational", lines[1])
+	}
+
+	// Suites without the trainstep pair (smoke, serve, fleet) are untouched.
+	lines, failed = FusedKernelFloor([]perf.Result{res("predict/json", 100, 1)}, 1.15)
+	if failed || len(lines) != 0 {
+		t.Fatalf("non-kernel suite must be exempt: %v", lines)
+	}
+}

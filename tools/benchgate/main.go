@@ -40,6 +40,8 @@ func main() {
 		"absolute allocs/op headroom below which alloc growth is not gated")
 	minFleetScaling := flag.Float64("min-fleet-scaling", 1.7,
 		"minimum rN/r1 closed-loop throughput ratio for fleet suites (0 disables)")
+	minFusedSpeedup := flag.Float64("min-fused-speedup", 1.15,
+		"minimum fused/parallel trainstep throughput ratio at f64 for kernel suites (0 disables)")
 	advisory := flag.Bool("advisory", false,
 		"report regressions but exit 0 — for bootstrapping a baseline on new hardware")
 	strict := flag.Bool("strict", false,
@@ -96,7 +98,18 @@ func main() {
 			fmt.Println(l)
 		}
 	}
-	if (failed && enforcing) || (scalingFailed && !*advisory) {
+	// The fused-kernel floor (DESIGN.md §14) is likewise a within-run ratio:
+	// the whole-layer offload must beat the composed parallel path by the
+	// configured factor on whatever machine runs the kernels suite.
+	fusedFailed := false
+	if *minFusedSpeedup > 0 {
+		var lines []string
+		lines, fusedFailed = FusedKernelFloor(current.Results, *minFusedSpeedup)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	if (failed && enforcing) || ((scalingFailed || fusedFailed) && !*advisory) {
 		os.Exit(1)
 	}
 }

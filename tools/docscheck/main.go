@@ -14,6 +14,14 @@
 //     carries the same contract against cmd/streambrain-router (-replica,
 //     -pick, -max-inflight) and BENCH_fleet.json.
 //
+//   - the README's "Backends" table must list exactly the names the
+//     backend registry exposes, at each precision: every backend.Names()
+//     entry needs a row with a ✓ in the f64 column, every Names32() entry
+//     a ✓ in the f32 column, and the table may not claim a backend or a
+//     precision the registry does not provide (checked bidirectionally by
+//     importing the registry itself, so a Register call and the docs
+//     cannot drift);
+//
 //   - every streambrain_* metric name DESIGN.md or README.md mentions
 //     must appear as a quoted string literal in some Go source file
 //     (exposition suffixes _bucket/_sum/_count resolve to their base
@@ -36,6 +44,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"streambrain/internal/backend"
 )
 
 var (
@@ -91,6 +101,7 @@ func main() {
 	}
 	problems = append(problems, checkClusterDocs(*root)...)
 	problems = append(problems, checkFleetDocs(*root)...)
+	problems = append(problems, checkBackendDocs(*root)...)
 	problems = append(problems, checkMetricDocs(*root, codeMetrics)...)
 	problems = append(problems, checkWireDocs(*root)...)
 	if len(problems) > 0 {
@@ -281,6 +292,70 @@ func checkFleetDocs(root string) []string {
 		if name := m[1]; !allFlags[name] {
 			problems = append(problems, fmt.Sprintf(
 				"%s: Fleet quickstart shows -%s, which no command under cmd/ defines",
+				readmePath, name))
+		}
+	}
+	return problems
+}
+
+// backendRow matches one body row of the README "Backends" table and
+// captures the backend name plus the f64 and f32 columns.
+var backendRow = regexp.MustCompile("(?m)^\\|\\s*`([a-z0-9]+)`\\s*\\|([^|]*)\\|([^|]*)\\|")
+
+// checkBackendDocs enforces the backend-registry docs (DESIGN.md §14): the
+// README's "Backends" table must list exactly the names backend.Names()
+// exposes, with a ✓ in the f32 column exactly for the backend.Names32()
+// entries — checked bidirectionally against the imported registry, so a
+// Register call and the table cannot drift in either direction.
+func checkBackendDocs(root string) []string {
+	readmePath := filepath.Join(root, "README.md")
+	raw, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (the Backends table is checked): %v", readmePath, err)}
+	}
+	section := markdownSection(string(raw), "## Backends")
+	if section == "" {
+		return []string{fmt.Sprintf("%s: missing a \"## Backends\" section", readmePath)}
+	}
+	doc64 := map[string]bool{}
+	doc32 := map[string]bool{}
+	for _, m := range backendRow.FindAllStringSubmatch(section, -1) {
+		name := m[1]
+		if strings.Contains(m[2], "✓") {
+			doc64[name] = true
+		}
+		if strings.Contains(m[3], "✓") {
+			doc32[name] = true
+		}
+	}
+	var problems []string
+	reg64 := map[string]bool{}
+	for _, name := range backend.Names() {
+		reg64[name] = true
+		if !doc64[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Backends table has no f64 row for registered backend `%s`", readmePath, name))
+		}
+	}
+	reg32 := map[string]bool{}
+	for _, name := range backend.Names32() {
+		reg32[name] = true
+		if !doc32[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Backends table does not mark registered f32 backend `%s`", readmePath, name))
+		}
+	}
+	for name := range doc64 {
+		if !reg64[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Backends table documents `%s` at f64, which backend.Names() does not register",
+				readmePath, name))
+		}
+	}
+	for name := range doc32 {
+		if !reg32[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Backends table documents `%s` at f32, which backend.Names32() does not register",
 				readmePath, name))
 		}
 	}
