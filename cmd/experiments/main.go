@@ -10,6 +10,7 @@
 //	experiments -fig 7          # E7:   semi-supervised label efficiency
 //	experiments -fig 8          # E8:   precision ablation (f64/f32/posit)
 //	experiments -fig 9          # E9:   distributed rank-count invariance
+//	experiments -fig 10         # E10:  structural-sparsity schedule
 //	experiments -fig 0          # headline numbers (hybrid 1x3000)
 //
 // The -events / -repeats / -mcu-cap flags trade fidelity for runtime; the
@@ -30,7 +31,7 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		fig     = flag.Int("fig", 3, "figure to regenerate: 0 (headline), 1-5, 6 (related-work table), 7 (label efficiency), 8 (precision ablation), 9 (distributed invariance)")
+		fig     = flag.Int("fig", 3, "figure to regenerate: 0 (headline), 1-5, 6 (related-work table), 7 (label efficiency), 8 (precision ablation), 9 (distributed invariance), 10 (sparsity schedule)")
 		backend = flag.String("backend", "parallel", "compute backend")
 		workers = flag.Int("workers", 0, "backend workers (0 = all cores)")
 		events  = flag.Int("events", 30000, "synthetic HIGGS events")
@@ -86,8 +87,10 @@ func main() {
 		experiments.RunPrecision(cfg, *mcuCap)
 	case 9:
 		_, err = experiments.RunDistributed(cfg, *mcuCap)
+	case 10:
+		experiments.RunSparsity(cfg, *mcuCap)
 	default:
-		log.Fatalf("unknown figure %d (want 0-9)", *fig)
+		log.Fatalf("unknown figure %d (want 0-10)", *fig)
 	}
 	if err != nil {
 		log.Fatal(err)

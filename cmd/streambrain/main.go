@@ -32,6 +32,8 @@ func main() {
 		hcus        = flag.Int("hcus", 1, "hidden hypercolumn units")
 		mcus        = flag.Int("mcus", 3000, "minicolumn units per HCU")
 		rf          = flag.Float64("rf", 0.30, "receptive-field fraction [0,1]")
+		sparsity    = flag.Float64("sparsity", 0, "target structural sparsity [0,1): anneal each HCU's receptive field down to round((1-s)*Fi) active inputs with the prune/regrow schedule (0 = keep -rf fixed)")
+		sparseC     = flag.Bool("sparse-compute", false, "run the block-sparse kernel path over the pruned mask (silent blocks skipped and frozen); default recomputes every block dense-masked")
 		unsup       = flag.Int("unsup-epochs", 6, "unsupervised epochs")
 		sup         = flag.Int("sup-epochs", 6, "supervised epochs")
 		taupdt      = flag.Float64("taupdt", 0.012, "trace learning rate")
@@ -55,6 +57,8 @@ func main() {
 	params.BatchSize = *batch
 	params.Seed = *seed
 	params.Precision = streambrain.Precision(*precision)
+	params.TargetSparsity = *sparsity
+	params.SparseCompute = *sparseC
 	if err := params.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -106,6 +110,14 @@ func main() {
 	}
 	fmt.Printf("training %d HCUs x %d MCUs, RF %.0f%%, readout %s, backend %s\n",
 		*hcus, *mcus, *rf*100, readout, *backendName)
+	if *sparsity > 0 {
+		regime := "dense-masked"
+		if *sparseC {
+			regime = "block-sparse"
+		}
+		fmt.Printf("structural sparsity: prune/regrow toward %.0f%% silent inputs per HCU, %s compute\n",
+			*sparsity*100, regime)
+	}
 	model.Fit(train)
 	acc, auc := model.Evaluate(test)
 	fmt.Printf("test accuracy %.4f, AUC %.4f (train time %.1fs)\n",

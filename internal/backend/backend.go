@@ -83,6 +83,32 @@ type Kernels[T tensor.Float] interface {
 		mask []bool, fi, mi, h, m int, eps float64)
 	// UpdateBias recomputes bias_j = kbi_j · log(max(cj_j, eps)).
 	UpdateBias(bias, kbi, cj []T, eps float64)
+
+	// Block-sparse kernel set (DESIGN.md §15). These are the receptive-field-
+	// mask-aware counterparts of the hot dense kernels: a tensor.BlockIndex
+	// (the compressed form of the mask, rebuilt only on structural swaps)
+	// restricts every touch to the active (input HCU × hidden HCU) blocks, so
+	// at structural sparsity s they pay ~(1−s) of the dense work. They
+	// implement the sparse-compute training regime, in which silent-block
+	// joint traces are FROZEN rather than decayed (the dense path's silent
+	// statistics are deliberately not maintained; see DESIGN.md §15 for the
+	// substitution).
+
+	// OneHotMatMulSparse is OneHotMatMul gathering only active-block weight
+	// segments. Because silent W blocks hold exact zeros, it is bit-identical
+	// to the dense gather at every precision.
+	OneHotMatMulSparse(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T],
+		bi *tensor.BlockIndex)
+	// OneHotOuterLerpSparse is OneHotOuterLerp decaying and accumulating only
+	// the active blocks of cij; silent blocks keep their bits (frozen traces).
+	OneHotOuterLerpSparse(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T],
+		t float64, bi *tensor.BlockIndex)
+	// UpdateWeightsSparse recomputes only the active blocks of w from the
+	// traces. Silent blocks are left untouched — callers maintain the
+	// invariant that they hold zeros by running a full masked UpdateWeights
+	// whenever the mask changes.
+	UpdateWeightsSparse(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
+		bi *tensor.BlockIndex, eps float64)
 }
 
 // Backend is the float64 kernel set — the precision of every training trace.

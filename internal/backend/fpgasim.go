@@ -141,6 +141,19 @@ func activeCount(idx [][]int32) int64 {
 	return n
 }
 
+// sparseGatherOps counts the elementary operations of a block-sparse one-hot
+// gather or scatter: for each active index of each sample, one M-wide panel
+// op per hidden HCU the index's input hypercolumn actually reaches.
+func sparseGatherOps(idx [][]int32, bi *tensor.BlockIndex) int64 {
+	var n int64
+	for _, sample := range idx {
+		for _, in := range sample {
+			n += int64(len(bi.Active(int(in)/bi.Mi))) * int64(bi.M)
+		}
+	}
+	return n
+}
+
 // MatMul implements Backend.
 func (f *FPGASim) MatMul(dst, a, b *tensor.Matrix) {
 	f.countLaunch(StageSupport, int64(a.Rows)*int64(a.Cols)*int64(b.Cols))
@@ -217,6 +230,33 @@ func (f *FPGASim) UpdateBias(bias, kbi, cj []float64, eps float64) {
 	f.format.QuantizeSlice(bias)
 }
 
+// OneHotMatMulSparse implements Backend: support gathers touch only the
+// active weight panels of the block index.
+func (f *FPGASim) OneHotMatMulSparse(dst *tensor.Matrix, idx [][]int32, w *tensor.Matrix,
+	bi *tensor.BlockIndex) {
+	f.countLaunch(StageSupport, sparseGatherOps(idx, bi))
+	f.dev.OneHotMatMulSparse(dst, idx, w, bi)
+}
+
+// OneHotOuterLerpSparse implements Backend: the decay pass streams the active
+// joint-trace elements only (silent blocks are frozen) and the accumulation
+// pass is a block-sparse scatter.
+func (f *FPGASim) OneHotOuterLerpSparse(cij *tensor.Matrix, idx [][]int32,
+	act *tensor.Matrix, t float64, bi *tensor.BlockIndex) {
+	f.countLaunch(StageTrace, bi.ActiveElems()+sparseGatherOps(idx, bi))
+	f.dev.OneHotOuterLerpSparse(cij, idx, act, t, bi)
+}
+
+// UpdateWeightsSparse implements Backend: only active weight panels are
+// re-derived (silent panels hold zeros and are never written), then the
+// parameters are re-quantized into posit storage like the dense kernel.
+func (f *FPGASim) UpdateWeightsSparse(w *tensor.Matrix, ci, cj []float64, cij *tensor.Matrix,
+	bi *tensor.BlockIndex, eps float64) {
+	f.countLaunch(StageWeight, bi.ActiveElems())
+	f.dev.UpdateWeightsSparse(w, ci, cj, cij, bi, eps)
+	f.quantizeParams(w, nil)
+}
+
 // quantizeParams rounds the derived parameters into posit storage: w row
 // bands in parallel (it is the large buffer), bias inline when non-nil.
 func (f *FPGASim) quantizeParams(w *tensor.Matrix, bias []float64) {
@@ -241,15 +281,30 @@ func (f *FPGASim) LayerStep(idx [][]int32, act *tensor.Matrix, ci, cj []float64,
 	batch := int64(len(idx))
 
 	var ops [numStages]int64
-	ops[StageSupport] = nact*units + batch*units // gathers + bias add
-	if hyper.Noise != nil {
-		ops[StageSupport] += batch * units
+	if bi := hyper.Blocks; bi != nil {
+		// Block-sparse regime: gathers, trace decay/accumulation and weight
+		// re-derivation stream only the active panels of the block index.
+		gather := sparseGatherOps(idx, bi)
+		ops[StageSupport] = gather + batch*units // gathers + bias add
+		if hyper.Noise != nil {
+			ops[StageSupport] += batch * units
+		}
+		ops[StageSoftmax] = batch * units
+		// ci EMA + cj EMA + active-block Cij decay and accumulation.
+		ops[StageTrace] = int64(len(ci)) + nact + units + bi.ActiveElems() + gather
+		// Active-panel W re-derivation + homeostatic gain + bias refresh.
+		ops[StageWeight] = bi.ActiveElems() + 2*units
+	} else {
+		ops[StageSupport] = nact*units + batch*units // gathers + bias add
+		if hyper.Noise != nil {
+			ops[StageSupport] += batch * units
+		}
+		ops[StageSoftmax] = batch * units
+		// ci EMA + cj EMA + Cij decay and accumulation.
+		ops[StageTrace] = int64(len(ci)) + nact + units + int64(len(cij.Data)) + nact*units
+		// W re-derivation + homeostatic gain + bias refresh.
+		ops[StageWeight] = int64(len(w.Data)) + 2*units
 	}
-	ops[StageSoftmax] = batch * units
-	// ci EMA + cj EMA + Cij decay and accumulation.
-	ops[StageTrace] = int64(len(ci)) + nact + units + int64(len(cij.Data)) + nact*units
-	// W re-derivation + homeostatic gain + bias refresh.
-	ops[StageWeight] = int64(len(w.Data)) + 2*units
 
 	f.pipe.Steps++
 	f.pipe.KernelLaunches++

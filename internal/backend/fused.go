@@ -81,6 +81,10 @@ func checkLayerStep[T tensor.Float](idx [][]int32, act *tensor.Dense[T], ci, cj 
 	if hyper.Noise != nil && len(hyper.Noise) != len(idx)*units {
 		panic("backend: LayerStep noise length mismatch")
 	}
+	if bi := hyper.Blocks; bi != nil &&
+		(bi.Fi != geom.Fi || bi.Mi != geom.Mi || bi.H != geom.H || bi.M != geom.M) {
+		panic("backend: LayerStep block-index geometry mismatch")
+	}
 }
 
 // LayerStep implements LayerStepper.
@@ -114,7 +118,18 @@ func (f *Fused[T]) LayerStep(idx [][]int32, act *tensor.Dense[T], ci, cj []T,
 
 	// Pass 2 — trace + weight refresh, sharded over Cij/W rows, blocked so a
 	// row block's decay, accumulation, and log-odds re-derivation all happen
-	// while the block is cache-resident.
+	// while the block is cache-resident. The sparse regime walks only the
+	// active blocks of the index through the same segment microkernels.
+	if bi := hyper.Blocks; bi != nil {
+		if f.workers <= 1 {
+			f.traceWeightBandSparse(cij, w, act, idx, ci, bi, t, hyper.Eps, 0, cij.Rows)
+		} else {
+			f.parallelFor(cij.Rows, func(lo, hi int) {
+				f.traceWeightBandSparse(cij, w, act, idx, ci, bi, t, hyper.Eps, lo, hi)
+			})
+		}
+		return
+	}
 	if f.workers <= 1 {
 		f.traceWeightBand(cij, w, act, idx, ci, mask, geom, t, hyper.Eps, 0, cij.Rows)
 	} else {
@@ -126,15 +141,26 @@ func (f *Fused[T]) LayerStep(idx [][]int32, act *tensor.Dense[T], ci, cj []T,
 
 // forwardBand computes act rows [lo,hi): support gather, bias, optional
 // pre-drawn noise, per-HCU softmax — one pass per row. Rows are independent,
-// so worker sharding cannot change the result.
+// so worker sharding cannot change the result. In the sparse regime the
+// gather touches only active-block weight segments; the skipped segments are
+// exact zeros, so the support is bit-identical to the dense gather.
 func (f *Fused[T]) forwardBand(act *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T],
 	bias []T, hyper LayerHyper[T], geom LayerGeom, lo, hi int) {
 	n := w.Cols
+	bi := hyper.Blocks
 	for s := lo; s < hi; s++ {
 		row := act.Row(s)
 		clear(row)
 		for _, in := range idx[s] {
-			tensor.Add(row, w.Data[int(in)*n:int(in)*n+n])
+			wrow := w.Data[int(in)*n : int(in)*n+n]
+			if bi == nil {
+				tensor.Add(row, wrow)
+				continue
+			}
+			for _, h := range bi.Active(int(in) / bi.Mi) {
+				o := int(h) * bi.M
+				tensor.Add(row[o:o+bi.M], wrow[o:o+bi.M])
+			}
 		}
 		tensor.Add(row, bias)
 		if hyper.Noise != nil {
@@ -142,6 +168,37 @@ func (f *Fused[T]) forwardBand(act *tensor.Dense[T], idx [][]int32, w *tensor.De
 		}
 		for g := 0; g < geom.H; g++ {
 			tensor.SoftmaxRow(row[g*geom.M:(g+1)*geom.M], hyper.Temperature)
+		}
+	}
+}
+
+// traceWeightBandSparse is the block-sparse pass 2: for Cij/W rows [lo,hi),
+// decay and accumulate only the active blocks (the shared sparse range
+// helper) and re-derive only the active weight segments while the rows are
+// cache-resident. Silent trace blocks stay frozen and silent weight blocks
+// keep the zeros the last masked refresh wrote.
+func (f *Fused[T]) traceWeightBandSparse(cij, w, act *tensor.Dense[T], idx [][]int32,
+	ci []T, bi *tensor.BlockIndex, t, eps float64, lo, hi int) {
+	epsT := T(eps)
+	eps2 := epsT * epsT
+	logcj := f.logcj
+	m := bi.M
+	block := fusedBlockRows(cij.Cols, int(elemSize[T]()))
+	for b0 := lo; b0 < hi; b0 += block {
+		b1 := min(b0+block, hi)
+		oneHotOuterLerpSparseRange(cij, idx, act, t, bi, b0, b1)
+		for i := b0; i < b1; i++ {
+			active := bi.Active(i / bi.Mi)
+			if len(active) == 0 {
+				continue
+			}
+			logci := logT(max(ci[i], epsT))
+			crow := cij.Row(i)
+			wrow := w.Row(i)
+			for _, h := range active {
+				o := int(h) * m
+				weightRowFromTrace(wrow[o:o+m], crow[o:o+m], logcj[o:o+m], logci, eps2)
+			}
 		}
 	}
 }

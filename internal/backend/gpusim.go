@@ -223,6 +223,34 @@ func (g *GPUSim[T]) idxBytes(idx [][]int32) {
 	g.led.mu.Unlock()
 }
 
+// partial is an operand charged at a modeled element count instead of its
+// full buffer length — the sparse kernels move only active-block panels.
+type partial[T tensor.Float] struct {
+	buf   []T
+	elems int64
+}
+
+// launchPartial is launch with per-operand element counts: one kernel launch,
+// H2D for non-resident (or chatty) inputs, D2H for non-resident (or chatty)
+// outputs, each charged at the operand's modeled element count. The sparse
+// kernels route through it so the cost model charges only active blocks.
+func (g *GPUSim[T]) launchPartial(ins, outs []partial[T]) {
+	g.led.mu.Lock()
+	defer g.led.mu.Unlock()
+	g.led.stats.KernelLaunches++
+	es := elemSize[T]()
+	for _, p := range ins {
+		if g.led.policy == PolicyChatty || !g.resident[key(p.buf)] {
+			g.led.stats.BytesH2D += es * p.elems
+		}
+	}
+	for _, p := range outs {
+		if g.led.policy == PolicyChatty || !g.resident[key(p.buf)] {
+			g.led.stats.BytesD2H += es * p.elems
+		}
+	}
+}
+
 // MatMul implements Kernels.
 func (g *GPUSim[T]) MatMul(dst, a, b *tensor.Dense[T]) {
 	g.launch([][]T{a.Data, b.Data}, [][]T{dst.Data})
@@ -299,6 +327,46 @@ func (g *GPUSim[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	g.dev.UpdateBias(bias, kbi, cj, eps)
 }
 
+// full returns a partial operand charged at its whole buffer length.
+func full[T tensor.Float](b []T) partial[T] {
+	return partial[T]{buf: b, elems: int64(len(b))}
+}
+
+// blocksOf returns a partial operand for a block-tiled matrix (W or Cij),
+// charged at the index's active-element count: the modeled kernel gathers and
+// scatters only the active (input HCU × hidden HCU) panels.
+func blocksOf[T tensor.Float](m *tensor.Dense[T], bi *tensor.BlockIndex) partial[T] {
+	return partial[T]{buf: m.Data, elems: bi.ActiveElems()}
+}
+
+// OneHotMatMulSparse implements Kernels. One launch; the weight read is
+// charged at the active-block element count only.
+func (g *GPUSim[T]) OneHotMatMulSparse(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T],
+	bi *tensor.BlockIndex) {
+	g.idxBytes(idx)
+	g.launchPartial([]partial[T]{blocksOf(w, bi)}, []partial[T]{full(dst.Data)})
+	g.dev.OneHotMatMulSparse(dst, idx, w, bi)
+}
+
+// OneHotOuterLerpSparse implements Kernels. The joint-trace write moves only
+// the active blocks — silent blocks are frozen, so the modeled kernel never
+// touches them.
+func (g *GPUSim[T]) OneHotOuterLerpSparse(cij *tensor.Dense[T], idx [][]int32,
+	act *tensor.Dense[T], t float64, bi *tensor.BlockIndex) {
+	g.idxBytes(idx)
+	g.launchPartial([]partial[T]{full(act.Data)}, []partial[T]{blocksOf(cij, bi)})
+	g.dev.OneHotOuterLerpSparse(cij, idx, act, t, bi)
+}
+
+// UpdateWeightsSparse implements Kernels. Both the joint-trace read and the
+// weight write are charged at the active-block element count.
+func (g *GPUSim[T]) UpdateWeightsSparse(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
+	bi *tensor.BlockIndex, eps float64) {
+	g.launchPartial([]partial[T]{full(ci), full(cj), blocksOf(cij, bi)},
+		[]partial[T]{blocksOf(w, bi)})
+	g.dev.UpdateWeightsSparse(w, ci, cj, cij, bi, eps)
+}
+
 // LayerStep implements LayerStepper: the whole-layer offload the paper's
 // full_cuda backend performs. The entire training step is one device launch;
 // with the model state resident (the trainer pins it at construction) the
@@ -309,11 +377,24 @@ func (g *GPUSim[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 func (g *GPUSim[T]) LayerStep(idx [][]int32, act *tensor.Dense[T], ci, cj []T,
 	cij, w *tensor.Dense[T], bias []T, mask []bool, geom LayerGeom, hyper LayerHyper[T]) {
 	g.idxBytes(idx)
-	ins := [][]T{w.Data, bias, ci, cj, cij.Data, hyper.Kbi}
-	if hyper.Noise != nil {
-		ins = append(ins, hyper.Noise)
+	if bi := hyper.Blocks; bi != nil {
+		// Block-sparse regime: W and Cij move (and are rewritten) only in
+		// their active panels; the short vectors move whole as before.
+		ins := []partial[T]{blocksOf(w, bi), full(bias), full(ci), full(cj),
+			blocksOf(cij, bi), full(hyper.Kbi)}
+		if hyper.Noise != nil {
+			ins = append(ins, full(hyper.Noise))
+		}
+		outs := []partial[T]{full(ci), full(cj), blocksOf(cij, bi),
+			blocksOf(w, bi), full(bias), full(hyper.Kbi)}
+		g.launchPartial(ins, outs)
+	} else {
+		ins := [][]T{w.Data, bias, ci, cj, cij.Data, hyper.Kbi}
+		if hyper.Noise != nil {
+			ins = append(ins, hyper.Noise)
+		}
+		outs := [][]T{ci, cj, cij.Data, w.Data, bias, hyper.Kbi}
+		g.launch(ins, outs)
 	}
-	outs := [][]T{ci, cj, cij.Data, w.Data, bias, hyper.Kbi}
-	g.launch(ins, outs)
 	g.step.LayerStep(idx, act, ci, cj, cij, w, bias, mask, geom, hyper)
 }

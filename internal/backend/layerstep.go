@@ -52,6 +52,15 @@ type LayerHyper[T tensor.Float] struct {
 	Eps          float64 // probability floor for the log-odds parameters
 	Kbi          []T     // homeostatic gain, updated in-pass
 	Noise        []T     // optional pre-drawn support noise, batch×(H·M) row-major
+
+	// Blocks, when non-nil, selects the block-sparse compute regime
+	// (DESIGN.md §15): the step gathers, decays, accumulates and re-derives
+	// only the active (input HCU × hidden HCU) blocks of the index. Silent
+	// joint-trace blocks are frozen (not decayed) and silent weight blocks
+	// are not written — the caller guarantees they hold zeros by running a
+	// full masked refresh whenever the mask changes. Blocks must agree with
+	// geom and, when both are given, with mask.
+	Blocks *tensor.BlockIndex
 }
 
 // LayerStepper is the optional whole-layer offload capability. LayerStep

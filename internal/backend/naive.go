@@ -197,6 +197,118 @@ func (*Naive[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	updateBias(bias, kbi, cj, eps)
 }
 
+// OneHotMatMulSparse implements Kernels.
+func (*Naive[T]) OneHotMatMulSparse(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T],
+	bi *tensor.BlockIndex) {
+	tensor.OneHotMatMulSparse(dst, idx, w, bi)
+}
+
+// OneHotOuterLerpSparse implements Kernels.
+func (*Naive[T]) OneHotOuterLerpSparse(cij *tensor.Dense[T], idx [][]int32, act *tensor.Dense[T],
+	t float64, bi *tensor.BlockIndex) {
+	oneHotOuterLerpSparseRange(cij, idx, act, t, bi, 0, cij.Rows)
+}
+
+// oneHotOuterLerpSparseRange is the block-sparse trace update over cij rows
+// [r0,r1): active (fi,h) blocks are decayed and accumulated exactly as the
+// dense kernel would, silent blocks are left frozen. Every backend routes
+// through this one helper with identical M-length segments, so the results
+// are bit-identical across backends and worker counts (the segment boundary
+// fixes which lanes the FMA microkernel covers; sharing the segmentation
+// shares the rounding).
+func oneHotOuterLerpSparseRange[T tensor.Float](cij *tensor.Dense[T], idx [][]int32,
+	act *tensor.Dense[T], t float64, bi *tensor.BlockIndex, r0, r1 int) {
+	if len(idx) != act.Rows {
+		panic("backend: OneHotOuterLerpSparse batch mismatch")
+	}
+	if cij.Cols != act.Cols {
+		panic("backend: OneHotOuterLerpSparse width mismatch")
+	}
+	if bi == nil || bi.Fi*bi.Mi != cij.Rows || bi.H*bi.M != cij.Cols {
+		panic("backend: OneHotOuterLerpSparse block-index geometry mismatch")
+	}
+	if len(idx) == 0 {
+		return
+	}
+	m := bi.M
+	omt := 1 - T(t)
+	for i := r0; i < r1; i++ {
+		active := bi.Active(i / bi.Mi)
+		if len(active) == 0 {
+			continue
+		}
+		row := cij.Row(i)
+		for _, h := range active {
+			o := int(h) * m
+			tensor.Scale(omt, row[o:o+m])
+		}
+	}
+	inc := T(t) / T(len(idx))
+	for s, ins := range idx {
+		arow := act.Row(s)
+		for _, in := range ins {
+			ii := int(in)
+			if ii < r0 || ii >= r1 {
+				continue
+			}
+			active := bi.Active(ii / bi.Mi)
+			if len(active) == 0 {
+				continue
+			}
+			row := cij.Row(ii)
+			for _, h := range active {
+				o := int(h) * m
+				tensor.Axpy(inc, arow[o:o+m], row[o:o+m])
+			}
+		}
+	}
+}
+
+// UpdateWeightsSparse implements Kernels.
+func (*Naive[T]) UpdateWeightsSparse(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
+	bi *tensor.BlockIndex, eps float64) {
+	updateWeightsSparseRange(w, ci, cj, cij, bi, eps, 0, w.Rows)
+}
+
+// updateWeightsSparseRange recomputes the active blocks of w rows [r0,r1)
+// from the traces, element-for-element the formula of updateWeightsRange.
+// Silent blocks are not written: the caller guarantees they already hold
+// zeros (full masked refresh on every mask change).
+func updateWeightsSparseRange[T tensor.Float](w *tensor.Dense[T], ci, cj []T,
+	cij *tensor.Dense[T], bi *tensor.BlockIndex, eps float64, r0, r1 int) {
+	if w.Rows != cij.Rows || w.Cols != cij.Cols {
+		panic("backend: UpdateWeightsSparse shape mismatch")
+	}
+	if len(ci) != w.Rows || len(cj) != w.Cols {
+		panic("backend: UpdateWeightsSparse trace length mismatch")
+	}
+	if bi == nil || bi.Fi*bi.Mi != w.Rows || bi.H*bi.M != w.Cols {
+		panic("backend: UpdateWeightsSparse block-index geometry mismatch")
+	}
+	epsT := T(eps)
+	eps2 := epsT * epsT
+	m := bi.M
+	logcj := make([]T, len(cj))
+	for j, v := range cj {
+		logcj[j] = logT(max(v, epsT))
+	}
+	for i := r0; i < r1; i++ {
+		active := bi.Active(i / bi.Mi)
+		if len(active) == 0 {
+			continue
+		}
+		logci := logT(max(ci[i], epsT))
+		crow := cij.Row(i)
+		wrow := w.Row(i)
+		for _, h := range active {
+			o := int(h) * m
+			for j := o; j < o+m; j++ {
+				wrow[j] = logT(max(crow[j], eps2)) - logci - logcj[j]
+			}
+		}
+	}
+}
+
 func updateBias[T tensor.Float](bias, kbi, cj []T, eps float64) {
 	if len(bias) != len(cj) || len(kbi) != len(cj) {
 		panic("backend: UpdateBias length mismatch")

@@ -157,3 +157,31 @@ func (p *Parallel[T]) UpdateWeights(w *tensor.Dense[T], ci, cj []T, cij *tensor.
 func (p *Parallel[T]) UpdateBias(bias, kbi, cj []T, eps float64) {
 	updateBias(bias, kbi, cj, eps)
 }
+
+// OneHotMatMulSparse implements Kernels.
+func (p *Parallel[T]) OneHotMatMulSparse(dst *tensor.Dense[T], idx [][]int32, w *tensor.Dense[T],
+	bi *tensor.BlockIndex) {
+	tensor.OneHotMatMulSparseParallel(dst, idx, w, bi, p.workers)
+}
+
+// OneHotOuterLerpSparse implements Kernels. Sharded by trace row band like
+// the dense kernel; the band split is row-aligned so every worker applies the
+// shared sparse range helper to whole rows and the result is bit-identical at
+// any worker count.
+func (p *Parallel[T]) OneHotOuterLerpSparse(cij *tensor.Dense[T], idx [][]int32,
+	act *tensor.Dense[T], t float64, bi *tensor.BlockIndex) {
+	if len(idx) == 0 {
+		return
+	}
+	p.parallelFor(cij.Rows, func(lo, hi int) {
+		oneHotOuterLerpSparseRange(cij, idx, act, t, bi, lo, hi)
+	})
+}
+
+// UpdateWeightsSparse implements Kernels.
+func (p *Parallel[T]) UpdateWeightsSparse(w *tensor.Dense[T], ci, cj []T, cij *tensor.Dense[T],
+	bi *tensor.BlockIndex, eps float64) {
+	p.parallelFor(w.Rows, func(lo, hi int) {
+		updateWeightsSparseRange(w, ci, cj, cij, bi, eps, lo, hi)
+	})
+}

@@ -59,6 +59,17 @@ type HiddenLayer struct {
 	Mask []bool
 	K    int
 
+	// sparse selects the block-sparse compute regime (DESIGN.md §15):
+	// forward gathers, joint-trace updates and weight re-derivation walk the
+	// compressed block index instead of the dense buffers. Silent Cij blocks
+	// are then frozen (dense mode keeps decaying them), and silent W blocks
+	// hold exact zeros — an invariant re-established by the full masked
+	// refreshParameters run on every mask change.
+	sparse bool
+	// blocks is the compressed block index over Mask, rebuilt lazily by
+	// Blocks(); nil means stale (every mask mutation resets it).
+	blocks *tensor.BlockIndex
+
 	// lastSwaps records the most recent structural update for observers.
 	lastSwaps []SwapRecord
 
@@ -98,6 +109,7 @@ func NewHiddenLayer(be backend.Backend, fi, mi int, p Params, rng *rand.Rand) *H
 		Cij:     tensor.NewMatrix(in, units),
 		p:       p,
 		rng:     rng,
+		sparse:  p.SparseCompute,
 		pool:    tensor.NewPool(),
 		meanAct: make([]float64, units),
 	}
@@ -215,6 +227,24 @@ func (l *HiddenLayer) initMask() {
 	}
 }
 
+// SparseCompute reports whether the layer runs the block-sparse compute
+// regime.
+func (l *HiddenLayer) SparseCompute() bool { return l.sparse }
+
+// Blocks returns the compressed block index over the current receptive-field
+// mask, rebuilding it if a mask mutation invalidated the cached one. The
+// rebuild is O(Fi·H) — cheap next to a batch — and happens only on swap, so
+// steady-state training reuses one index.
+func (l *HiddenLayer) Blocks() *tensor.BlockIndex {
+	if l.blocks == nil {
+		l.blocks = tensor.NewBlockIndex(l.Mask, l.Fi, l.Mi, l.H, l.M)
+	}
+	return l.blocks
+}
+
+// invalidateBlocks drops the cached block index after a mask mutation.
+func (l *HiddenLayer) invalidateBlocks() { l.blocks = nil }
+
 // Units returns the total number of hidden units (H·M).
 func (l *HiddenLayer) Units() int { return l.H * l.M }
 
@@ -232,6 +262,12 @@ func (l *HiddenLayer) refreshParameters() {
 	l.be.UpdateWeights(l.W, l.Ci, l.Cj, l.Cij, l.Mask, l.Fi, l.Mi, l.H, l.M, l.p.Eps)
 	l.be.UpdateBias(l.Bias, l.Kbi, l.Cj, l.p.Eps)
 	l.w32stale = true
+	if l.sparse && l.blocks == nil {
+		// Rebuild the block index eagerly: every mask mutation funnels through
+		// a masked refresh, so a warm index here keeps Forward read-only — the
+		// invariant concurrent serving (Bundle.Predict) relies on.
+		l.blocks = tensor.NewBlockIndex(l.Mask, l.Fi, l.Mi, l.H, l.M)
+	}
 }
 
 // Precision32 reports whether this layer runs forward passes on the float32
@@ -270,7 +306,11 @@ func (l *HiddenLayer) Forward(idx [][]int32, out *tensor.Matrix) {
 		l.pool32.Put(act32)
 		return
 	}
-	l.be.OneHotMatMul(out, idx, l.W)
+	if l.sparse {
+		l.be.OneHotMatMulSparse(out, idx, l.W, l.Blocks())
+	} else {
+		l.be.OneHotMatMul(out, idx, l.W)
+	}
 	l.be.AddBias(out, l.Bias)
 	l.be.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
 }
@@ -286,7 +326,11 @@ func (l *HiddenLayer) Forward32(idx [][]int32, out *tensor.Matrix32) {
 		panic("core: Forward32 output shape mismatch")
 	}
 	l.sync32()
-	l.be32.OneHotMatMul(out, idx, l.w32)
+	if l.sparse {
+		l.be32.OneHotMatMulSparse(out, idx, l.w32, l.Blocks())
+	} else {
+		l.be32.OneHotMatMul(out, idx, l.w32)
+	}
 	l.be32.AddBias(out, l.bias32)
 	l.be32.SoftmaxGroups(out, l.H, l.M, l.p.Temperature)
 }
@@ -301,7 +345,11 @@ func (l *HiddenLayer) forwardNoisy(idx [][]int32, out *tensor.Matrix) {
 	if l.be32 != nil {
 		act32 := l.pool32.Get(len(idx), l.Units())
 		l.sync32()
-		l.be32.OneHotMatMul(act32, idx, l.w32)
+		if l.sparse {
+			l.be32.OneHotMatMulSparse(act32, idx, l.w32, l.Blocks())
+		} else {
+			l.be32.OneHotMatMul(act32, idx, l.w32)
+		}
 		l.be32.AddBias(act32, l.bias32)
 		if l.noiseStd > 0 {
 			for i := range act32.Data {
@@ -313,7 +361,11 @@ func (l *HiddenLayer) forwardNoisy(idx [][]int32, out *tensor.Matrix) {
 		l.pool32.Put(act32)
 		return
 	}
-	l.be.OneHotMatMul(out, idx, l.W)
+	if l.sparse {
+		l.be.OneHotMatMulSparse(out, idx, l.W, l.Blocks())
+	} else {
+		l.be.OneHotMatMul(out, idx, l.W)
+	}
 	l.be.AddBias(out, l.Bias)
 	if l.noiseStd > 0 {
 		for i := range out.Data {
@@ -359,6 +411,18 @@ func (l *HiddenLayer) trainBatchInto(idx [][]int32, act *tensor.Matrix) bool {
 	l.be.OneHotMeanLerp(l.Ci, idx, t)
 	tensor.ColMeans(l.meanAct, act)
 	l.be.Lerp(l.Cj, l.meanAct, t)
+	if l.sparse {
+		// Block-sparse step: only active Cij blocks decay/accumulate and
+		// only active W panels are re-derived. Silent W panels keep the
+		// exact zeros the last masked refresh wrote.
+		bi := l.Blocks()
+		l.be.OneHotOuterLerpSparse(l.Cij, idx, act, t, bi)
+		l.homeostasis()
+		l.be.UpdateWeightsSparse(l.W, l.Ci, l.Cj, l.Cij, bi, l.p.Eps)
+		l.be.UpdateBias(l.Bias, l.Kbi, l.Cj, l.p.Eps)
+		l.w32stale = true
+		return false
+	}
 	l.be.OneHotOuterLerp(l.Cij, idx, act, t)
 	l.homeostasis()
 	l.refreshParameters()
@@ -385,6 +449,10 @@ func (l *HiddenLayer) fusedLayerStep(idx [][]int32, act *tensor.Matrix) {
 			noise[i] = l.noiseStd * l.rng.NormFloat64()
 		}
 	}
+	var bi *tensor.BlockIndex
+	if l.sparse {
+		bi = l.Blocks()
+	}
 	l.step.LayerStep(idx, act, l.Ci, l.Cj, l.Cij, l.W, l.Bias, l.Mask,
 		backend.LayerGeom{Fi: l.Fi, Mi: l.Mi, H: l.H, M: l.M},
 		backend.LayerHyper[float64]{
@@ -395,6 +463,7 @@ func (l *HiddenLayer) fusedLayerStep(idx [][]int32, act *tensor.Matrix) {
 			Eps:          l.p.Eps,
 			Kbi:          l.Kbi,
 			Noise:        noise,
+			Blocks:       bi,
 		})
 	l.w32stale = true
 }

@@ -94,7 +94,14 @@ func (n *Network) TrainUnsupervised(train *data.Encoded, epochs int, hooks ...Ep
 		train.Batches(n.p.BatchSize, n.rng, func(idx [][]int32, _ []int) {
 			n.Hidden.TrainBatch(idx)
 		})
-		n.Hidden.StructuralUpdate()
+		if n.p.TargetSparsity > 0 {
+			// The sparse regime replaces the MI exchange with the usage-
+			// driven prune/regrow schedule: K anneals toward the target
+			// sparsity, shrinking the active block set the kernels walk.
+			n.Hidden.PruneRegrow(n.sparsityTargetK(e+1, epochs), n.p.SwapsPerEpoch)
+		} else {
+			n.Hidden.StructuralUpdate()
+		}
 		n.TrainTime += time.Since(start)
 		start = time.Now()
 		for _, hook := range hooks {
@@ -102,6 +109,34 @@ func (n *Network) TrainUnsupervised(train *data.Encoded, epochs int, hooks ...Ep
 		}
 	}
 	n.Hidden.SetNoise(0)
+}
+
+// sparsityTargetK returns the per-HCU active-connection count the prune/
+// regrow schedule assigns after `epoch` of `totalEpochs` unsupervised epochs
+// (epoch is 1-based): a linear anneal from the initial K = round(RF·Fi) down
+// to round((1−TargetSparsity)·Fi), reached at SparsityEpochs (or the final
+// epoch when SparsityEpochs is 0) and held there. Never below 1 — an HCU with
+// an empty receptive field would be pure bias.
+func (n *Network) sparsityTargetK(epoch, totalEpochs int) int {
+	fi := n.Hidden.Fi
+	k0 := receptiveK(n.p.ReceptiveField, fi)
+	kEnd := receptiveK(1-n.p.TargetSparsity, fi)
+	if kEnd < 1 {
+		kEnd = 1
+	}
+	span := n.p.SparsityEpochs
+	if span <= 0 {
+		span = totalEpochs
+	}
+	if epoch >= span {
+		return kEnd
+	}
+	frac := float64(epoch) / float64(span)
+	k := k0 + int(float64(kEnd-k0)*frac)
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // TrainSupervised runs the classification phase on the frozen hidden code.

@@ -109,6 +109,28 @@ type Params struct {
 	// Precision selects the forward-compute element width ("" = float64).
 	// See the Precision type for what moves to float32 and what stays wide.
 	Precision Precision
+
+	// SparseCompute turns the receptive-field mask into block-sparse compute
+	// (DESIGN.md §15): forward gathers, joint-trace updates and weight
+	// re-derivation walk a compressed per-HCU block index instead of the
+	// dense buffers, and silent Cij blocks are frozen rather than decayed.
+	// The dense default keeps StreamBrain's semantics (silent traces still
+	// decay); sparse is the measured-speed regime the sparsity experiments
+	// and the sparse perf suite exercise.
+	SparseCompute bool
+	// TargetSparsity is the final fraction of silenced input hypercolumns
+	// per HCU the prune/regrow schedule anneals toward (0 keeps the initial
+	// ReceptiveField fixed and the MI-swap plasticity). The schedule shrinks
+	// K from round(ReceptiveField·Fi) to round((1−TargetSparsity)·Fi) across
+	// SparsityEpochs. It is independent of SparseCompute: with it the pruned
+	// blocks are also skipped by the kernels (the speed lever); without it
+	// the same structural trajectory runs on the dense-masked kernels — the
+	// twin the E10 equivalence bound compares against.
+	TargetSparsity float64
+	// SparsityEpochs is the number of unsupervised epochs over which the
+	// prune/regrow schedule reaches TargetSparsity (0 = all unsupervised
+	// epochs).
+	SparsityEpochs int
 }
 
 // DefaultParams returns the hyperparameter set used as the starting point of
@@ -158,6 +180,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("core: negative epoch count")
 	case !p.Precision.Valid():
 		return fmt.Errorf("core: Precision = %q, need %q or %q", p.Precision, Float64, Float32)
+	case p.TargetSparsity < 0 || p.TargetSparsity >= 1:
+		return fmt.Errorf("core: TargetSparsity = %v, need [0,1)", p.TargetSparsity)
+	case p.SparsityEpochs < 0:
+		return fmt.Errorf("core: SparsityEpochs = %d, need >= 0", p.SparsityEpochs)
 	}
 	return nil
 }

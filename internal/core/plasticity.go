@@ -92,10 +92,108 @@ func (l *HiddenLayer) StructuralUpdate() []SwapRecord {
 		}
 	}
 	if len(swaps) > 0 {
+		l.invalidateBlocks()
 		l.refreshParameters()
 	}
 	l.lastSwaps = swaps
 	return swaps
+}
+
+// PruneRegrow runs one usage-driven structural step of the sparse-compute
+// regime (DESIGN.md §15): per HCU it first regrows up to regrow random silent
+// input hypercolumns, then prunes the lowest-MI active ones until exactly
+// targetK remain active. Regrown connections have their joint-trace block
+// re-seeded to the product of the marginals (Cij = Ci·Cj), the neutral state
+// — their weights re-derive to ~0 and their MI starts at 0, so they are
+// excluded from the same step's prune ranking (they would otherwise be culled
+// immediately) and must earn their keep before the next one.
+//
+// Driving targetK down a schedule is what turns structural plasticity into a
+// compute lever: every pruned hypercolumn removes an (Mi×M)-element block
+// from the forward gather, the joint-trace update and the weight
+// re-derivation of every batch. Returns one SwapRecord per event: regrowth
+// has Silenced = -1, pruning has Enabled = -1 and GainMI = -MI of the culled
+// connection. The layer's K becomes targetK.
+func (l *HiddenLayer) PruneRegrow(targetK, regrow int) []SwapRecord {
+	if targetK < 1 {
+		targetK = 1
+	}
+	if targetK > l.Fi {
+		targetK = l.Fi
+	}
+	// Growth is rate-limited by the regrow budget: a target above what this
+	// round can reach clamps to K+regrow so the exactly-K-per-HCU invariant
+	// survives (every HCU has the same silent count going in).
+	if lim := l.K + regrow; targetK > lim {
+		targetK = lim
+	}
+	var swaps []SwapRecord
+	// Regrow first, across all HCUs, so one MI pass then scores every prune.
+	regrown := make(map[int]bool) // fi*H+h of this step's regrowths
+	for h := 0; h < l.H; h++ {
+		var silent []int
+		for fi := 0; fi < l.Fi; fi++ {
+			if !l.Mask[fi*l.H+h] {
+				silent = append(silent, fi)
+			}
+		}
+		r := regrow
+		if r > len(silent) {
+			r = len(silent)
+		}
+		if r <= 0 {
+			continue
+		}
+		for _, pick := range l.rng.Perm(len(silent))[:r] {
+			fi := silent[pick]
+			l.Mask[fi*l.H+h] = true
+			regrown[fi*l.H+h] = true
+			l.reseedBlock(fi, h)
+			swaps = append(swaps, SwapRecord{HCU: h, Silenced: -1, Enabled: fi})
+		}
+	}
+	mi := l.MutualInformation()
+	for h := 0; h < l.H; h++ {
+		var active []int
+		for fi := 0; fi < l.Fi; fi++ {
+			if l.Mask[fi*l.H+h] && !regrown[fi*l.H+h] {
+				active = append(active, fi)
+			}
+		}
+		// Lowest MI first; this step's regrowths rank after every veteran.
+		sort.Slice(active, func(a, b int) bool {
+			return mi[active[a]*l.H+h] < mi[active[b]*l.H+h]
+		})
+		for fi := 0; fi < l.Fi; fi++ {
+			if regrown[fi*l.H+h] {
+				active = append(active, fi)
+			}
+		}
+		nPrune := len(active) - targetK
+		for i := 0; i < nPrune; i++ {
+			fi := active[i]
+			l.Mask[fi*l.H+h] = false
+			swaps = append(swaps, SwapRecord{HCU: h, Silenced: fi, Enabled: -1,
+				GainMI: -mi[fi*l.H+h]})
+		}
+	}
+	l.K = targetK
+	l.invalidateBlocks()
+	l.refreshParameters()
+	l.lastSwaps = swaps
+	return swaps
+}
+
+// reseedBlock resets the joint-trace block of (input hypercolumn fi, HCU h)
+// to the product of the current marginals — the zero-information state a
+// regrown connection learns from.
+func (l *HiddenLayer) reseedBlock(fi, h int) {
+	for a := fi * l.Mi; a < (fi+1)*l.Mi; a++ {
+		row := l.Cij.Row(a)
+		for j := h * l.M; j < (h+1)*l.M; j++ {
+			row[j] = l.Ci[a] * l.Cj[j]
+		}
+	}
 }
 
 // LastSwaps returns the records of the most recent StructuralUpdate — the
@@ -122,6 +220,7 @@ func (l *HiddenLayer) SetReceptiveField(h int, field []bool) {
 	for fi, on := range field {
 		l.Mask[fi*l.H+h] = on
 	}
+	l.invalidateBlocks()
 	l.refreshParameters()
 }
 

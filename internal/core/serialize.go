@@ -126,6 +126,17 @@ func Load(r io.Reader, be backend.Backend) (*Network, error) {
 	copy(n.Hidden.Cij.Data, st.HiddenCij)
 	copy(n.Hidden.Kbi, st.HiddenKbi)
 	copy(n.Hidden.Mask, st.Mask)
+	// The prune/regrow schedule drives K away from round(RF·Fi), so restore
+	// it from the mask itself (the exactly-K-per-HCU invariant makes column
+	// h=0 representative), and drop any block index built over the init mask.
+	k := 0
+	for fi := 0; fi < st.Fi; fi++ {
+		if st.Mask[fi*st.Params.HCUs] {
+			k++
+		}
+	}
+	n.Hidden.K = k
+	n.Hidden.invalidateBlocks()
 	n.Hidden.refreshParameters()
 	switch st.ReadoutKind {
 	case "", readoutBCPNN:

@@ -303,6 +303,61 @@ func TestPrecisionAblationTolerance(t *testing.T) {
 	}
 }
 
+// TestSparsityScheduleTolerance is the acceptance check for the block-sparse
+// compute claim (E10, DESIGN.md §15) at test scale: running the 80%-sparsity
+// prune/regrow schedule on the block-sparse kernels must land within 0.01
+// AUC of the same schedule on the dense-masked kernels (the compute-regime
+// equivalence bound), the realized sparsity must hit the target, and the
+// trajectory must anneal monotonically.
+func TestSparsityScheduleTolerance(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Events = 12000
+	cfg.UnsupEpochs = 4
+	cfg.SupEpochs = 4
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	res := RunSparsity(cfg, 100)
+	if len(res.Rows) != 5 {
+		t.Fatalf("expected 5 sparsity rows, got %d", len(res.Rows))
+	}
+	if ref := res.Rows[0].AUC.Mean; ref < 0.55 {
+		t.Fatalf("dense reference failed to learn: AUC %.3f", ref)
+	}
+	sp, tw := res.Row("sparse-0.80"), res.Row("dense-sched-0.80")
+	if sp == nil || tw == nil {
+		t.Fatal("missing 0.80-target rows")
+	}
+	if tw.AUC.Mean < 0.55 {
+		t.Fatalf("dense-compute schedule twin failed to learn: AUC %.3f", tw.AUC.Mean)
+	}
+	if d := sp.AUC.Mean - tw.AUC.Mean; d < -0.01 || d > 0.01 {
+		t.Fatalf("80%% sparse AUC %.4f vs dense-compute twin %.4f: regime delta %.4f outside ±0.01",
+			sp.AUC.Mean, tw.AUC.Mean, d)
+	}
+	if sp.K != tw.K {
+		t.Fatalf("twins ended at different K: sparse %d, dense %d", sp.K, tw.K)
+	}
+	// The schedule must actually realize the target: K = round(0.2·Fi).
+	if sp.Final < 0.75 || sp.Final > 0.85 {
+		t.Fatalf("realized sparsity %.2f, want ≈0.80 (K=%d)", sp.Final, sp.K)
+	}
+	// Trajectory: one point per unsupervised epoch, never densifying.
+	if len(sp.Trajectory) != cfg.UnsupEpochs {
+		t.Fatalf("trajectory has %d points, want %d", len(sp.Trajectory), cfg.UnsupEpochs)
+	}
+	for i := 1; i < len(sp.Trajectory); i++ {
+		if sp.Trajectory[i] < sp.Trajectory[i-1] {
+			t.Fatalf("sparsity trajectory densified at epoch %d: %v", i, sp.Trajectory)
+		}
+	}
+	if last := sp.Trajectory[len(sp.Trajectory)-1]; last != sp.Final {
+		t.Fatalf("trajectory end %.3f disagrees with final sparsity %.3f", last, sp.Final)
+	}
+	if !strings.Contains(buf.String(), "E10") {
+		t.Fatal("missing table header")
+	}
+}
+
 // TestDistributedInvarianceTolerance is the acceptance check for the
 // paper's data-parallel claim at test scale (E9): training on 4 ranks over
 // the real TCP fabric must land within 0.005 AUC of the 1-rank run — the

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/metrics"
+)
+
+// E10 — structural sparsity as a compute lever (DESIGN.md §15). The paper
+// treats structural plasticity as an accuracy mechanism: each HCU learns
+// *where to look* by exchanging mask bits at constant K. This experiment
+// asks the systems question the block-sparse kernels exist for: how much of
+// the receptive field can the prune/regrow schedule remove before AUC moves?
+//
+// Every variant starts from a full receptive field (RF = 1.0, K = Fi). The
+// dense reference keeps it; the schedule rows anneal K down a linear
+// schedule to round((1−target)·Fi) with usage-driven pruning (lowest-MI
+// connections go first) and rate-limited regrowth. Each schedule target runs
+// twice: on the dense-masked kernels (the semantics twin — silent traces
+// keep decaying, every block is still computed) and on the block-sparse
+// kernel path (silent blocks frozen and skipped). The CI bound compares the
+// twins: an identical structural trajectory under the two compute regimes
+// must land within 0.01 AUC, which isolates the kernel-regime effect from
+// the capacity cost of the schedule itself (visible against the full-field
+// row). The throughput half of the claim is enforced separately by the
+// "sparse" perf suite and its benchgate floor.
+
+// SparsityRow is one schedule variant's summary.
+type SparsityRow struct {
+	Name   string
+	Target float64 // scheduled final sparsity (0 = dense reference)
+	// Final is the realized block sparsity 1 − K/Fi after training.
+	Final    float64
+	K        int // active input hypercolumns per HCU after training
+	Acc, AUC metrics.Summary
+	Secs     metrics.Summary
+	DeltaAUC float64 // mean AUC − dense-reference mean AUC
+	// Trajectory is the realized sparsity after each unsupervised epoch of
+	// the last repeat — the annealing path the schedule walked.
+	Trajectory []float64
+}
+
+// SparsityResult is the full E10 output.
+type SparsityResult struct {
+	Rows []SparsityRow
+}
+
+// DeltaAUC returns the named row's AUC delta (0 when absent).
+func (r *SparsityResult) DeltaAUC(name string) float64 {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row.DeltaAUC
+		}
+	}
+	return 0
+}
+
+// Row returns the named row, or nil.
+func (r *SparsityResult) Row(name string) *SparsityRow {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// sparsityTrial trains one variant cfg.Repeats times, capturing the sparsity
+// trajectory of the last repeat via an epoch hook.
+func sparsityTrial(cfg Config, splits *HiggsSplits, p core.Params) (acc, auc, secs metrics.Summary, traj []float64, k int) {
+	var accs, aucs, times []float64
+	for r := 0; r < cfg.Repeats; r++ {
+		pr := p
+		pr.Seed = cfg.Seed + int64(1000*r)
+		be := backend.MustNew(cfg.Backend, cfg.Workers)
+		net := core.NewNetwork(be, splits.Train.Hypercolumns, splits.Train.UnitsPerHC,
+			splits.Train.Classes, pr)
+		traj = traj[:0]
+		hook := func(_ int, l *core.HiddenLayer) {
+			traj = append(traj, 1-float64(l.K)/float64(l.Fi))
+		}
+		net.TrainUnsupervised(splits.Train, cfg.UnsupEpochs, hook)
+		net.TrainSupervised(splits.Train, cfg.SupEpochs)
+		net.CalibrateThreshold(splits.Train)
+		pred, scores := net.Predict(splits.Test)
+		accs = append(accs, metrics.Accuracy(pred, splits.Test.Y))
+		aucs = append(aucs, metrics.AUC(scores, splits.Test.Y))
+		times = append(times, net.TrainTime.Seconds())
+		k = net.Hidden.K
+	}
+	return metrics.Summarize(accs), metrics.Summarize(aucs), metrics.Summarize(times), traj, k
+}
+
+// RunSparsity executes the sparsity-schedule ablation and prints one row per
+// target.
+func RunSparsity(cfg Config, mcuCap int) *SparsityResult {
+	splits := PrepareHiggs(cfg)
+	p := core.DefaultParams()
+	p.MCUs = 300
+	if mcuCap > 0 && p.MCUs > mcuCap {
+		p.MCUs = mcuCap
+	}
+	p.ReceptiveField = 1.0 // start from the full field; the schedule prunes
+	p.UnsupervisedEpochs = cfg.UnsupEpochs
+	p.SupervisedEpochs = cfg.SupEpochs
+	p.Seed = cfg.Seed
+
+	variants := []struct {
+		target float64
+		sparse bool
+	}{
+		{0, false},   // full-field dense reference
+		{0.5, false}, // schedule on dense-masked kernels
+		{0.5, true},  // same schedule, block-sparse kernels
+		{0.8, false},
+		{0.8, true},
+	}
+	res := &SparsityResult{}
+	cfg.printf("E10: sparsity schedule — %d events, MCUs=%d, Fi=%d, %d repeats\n",
+		cfg.Events, p.MCUs, splits.Train.Hypercolumns, cfg.Repeats)
+	cfg.printf("%-16s %8s %8s %4s %-22s %-22s %10s %10s\n",
+		"variant", "target", "final", "K", "accuracy", "AUC", "ΔAUC", "train s")
+	var refAUC float64
+	for i, v := range variants {
+		pv := p
+		name := "dense"
+		if v.target > 0 {
+			regime := "dense-sched"
+			if v.sparse {
+				regime = "sparse"
+			}
+			name = fmt.Sprintf("%s-%.2f", regime, v.target)
+			pv.SparseCompute = v.sparse
+			pv.TargetSparsity = v.target
+		}
+		acc, auc, secs, traj, k := sparsityTrial(cfg, splits, pv)
+		if i == 0 {
+			refAUC = auc.Mean
+		}
+		row := SparsityRow{
+			Name: name, Target: v.target,
+			Final: 1 - float64(k)/float64(splits.Train.Hypercolumns),
+			K:     k,
+			Acc:   acc, AUC: auc, Secs: secs,
+			DeltaAUC:   auc.Mean - refAUC,
+			Trajectory: append([]float64(nil), traj...),
+		}
+		res.Rows = append(res.Rows, row)
+		cfg.printf("%-16s %8.2f %8.2f %4d %-22s %-22s %+10.4f %10.2f\n",
+			row.Name, row.Target, row.Final, row.K, acc.String(), auc.String(),
+			row.DeltaAUC, secs.Mean)
+	}
+	return res
+}

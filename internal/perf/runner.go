@@ -278,14 +278,41 @@ func buildKernelOpAt[T tensor.Float](sc Scenario, be backend.Kernels[T]) (func()
 		}
 		act := tensor.NewDense[T](trainstepBatch, units)
 		const t = 0.012
-		// A whole-layer offload backend (DESIGN.md §14) runs the identical
-		// update as one fused LayerStep; the fused/parallel throughput ratio
-		// of a scenario pair is the measured fusion speedup benchgate floors.
+		// Structural-sparsity fixture (DESIGN.md §15): a receptive-field mask
+		// silencing Sparsity of the input hypercolumns, the state the
+		// prune/regrow schedule leaves behind. The dense twin still computes
+		// every block against this mask (masked UpdateWeights re-zeroes the
+		// silent panels, exactly what the dense training regime pays); the
+		// sparse twin walks the compressed block index and skips them.
+		mask, bi := trainstepMask(sc, rng, units)
 		if st, ok := be.(backend.LayerStepper[T]); ok {
+			// A whole-layer offload backend (DESIGN.md §14) runs the identical
+			// update as one fused LayerStep; the fused/parallel throughput
+			// ratio of a scenario pair is the measured fusion speedup
+			// benchgate floors.
 			geom := backend.LayerGeom{Fi: trainstepFi, Mi: trainstepMi, H: 1, M: units}
 			hyper := backend.LayerHyper[T]{Taupdt: t, Temperature: 1, Eps: 1e-9, Kbi: kbi}
+			if sc.Sparse {
+				hyper.Blocks = bi
+			}
 			return func() {
-				st.LayerStep(idx, act, ci, cj, cij, w, bias, nil, geom, hyper)
+				st.LayerStep(idx, act, ci, cj, cij, w, bias, mask, geom, hyper)
+			}, nil
+		}
+		if sc.Sparse {
+			return func() {
+				// Block-sparse step: forward gather, joint-trace update and
+				// weight re-derivation touch only active blocks — the
+				// sequence HiddenLayer.trainBatchInto runs in sparse mode.
+				be.OneHotMatMulSparse(act, idx, w, bi)
+				be.AddBias(act, bias)
+				be.SoftmaxGroups(act, 1, units, 1)
+				be.OneHotMeanLerp(ci, idx, t)
+				tensor.ColMeans(meanAct, act)
+				be.Lerp(cj, meanAct, t)
+				be.OneHotOuterLerpSparse(cij, idx, act, t, bi)
+				be.UpdateWeightsSparse(w, ci, cj, cij, bi, 1e-9)
+				be.UpdateBias(bias, kbi, cj, 1e-9)
 			}, nil
 		}
 		return func() {
@@ -298,12 +325,36 @@ func buildKernelOpAt[T tensor.Float](sc Scenario, be backend.Kernels[T]) (func()
 			tensor.ColMeans(meanAct, act)
 			be.Lerp(cj, meanAct, t)
 			be.OneHotOuterLerp(cij, idx, act, t)
-			// Parameter refresh.
-			be.UpdateWeights(w, ci, cj, cij, nil, 0, 0, 0, 0, 1e-9)
+			// Parameter refresh. Unmasked when no sparsity fixture is
+			// configured, keeping legacy baseline scenarios bit-identical.
+			be.UpdateWeights(w, ci, cj, cij, mask, trainstepFi, trainstepMi, 1, units, 1e-9)
 			be.UpdateBias(bias, kbi, cj, 1e-9)
 		}, nil
 	}
 	return nil, fmt.Errorf("perf: unknown kernel op %q", sc.Op)
+}
+
+// trainstepMask builds the structural-sparsity fixture for a trainstep
+// scenario: an Fi×1 receptive-field mask with K = round((1−Sparsity)·Fi)
+// active input hypercolumns (never below 1) plus its compressed block index.
+// The active set is drawn from the scenario's pinned RNG, whose consumption up
+// to this point is identical for every trainstep scenario — so the dense and
+// sparse twins of one sparsity level share the exact same mask, which is what
+// makes their throughput ratio a controlled experiment. Legacy scenarios with
+// no sparsity configured get (nil, nil) and keep their original behavior.
+func trainstepMask(sc Scenario, rng *rand.Rand, units int) ([]bool, *tensor.BlockIndex) {
+	if sc.Sparsity == 0 && !sc.Sparse {
+		return nil, nil
+	}
+	k := int(math.Round((1 - sc.Sparsity) * trainstepFi))
+	if k < 1 {
+		k = 1
+	}
+	mask := make([]bool, trainstepFi)
+	for _, f := range rng.Perm(trainstepFi)[:k] {
+		mask[f] = true
+	}
+	return mask, tensor.NewBlockIndex(mask, trainstepFi, trainstepMi, 1, units)
 }
 
 func (r *Runner) runKernel(sc Scenario) (Result, error) {

@@ -70,6 +70,19 @@ type Scenario struct {
 	// ("" keeps the legacy core-driven trainstep for baseline continuity.)
 	Precision string `json:"precision,omitempty"`
 
+	// Sparsity gives a trainstep scenario a receptive-field mask silencing
+	// this fraction of input hypercolumns per HCU (K = round((1−s)·Fi)
+	// active), the state the structural prune/regrow schedule (DESIGN.md
+	// §15) leaves behind. Sparse then selects the compute regime over that
+	// mask: false runs the dense-masked kernel sequence (every block still
+	// computed — the semantics twin), true the block-sparse one (silent
+	// blocks skipped via the compressed block index). A dense/sparse
+	// scenario pair shares one mask and model shape, so its within-run
+	// throughput ratio IS the measured structural-sparsity speedup the
+	// benchgate floors (-min-sparse-speedup).
+	Sparsity float64 `json:"sparsity,omitempty"`
+	Sparse   bool    `json:"sparse,omitempty"`
+
 	// Serve scenarios: Concurrency workers (closed loop), Requests total
 	// HTTP requests, BatchSize events per request, TargetRPS the open-loop
 	// dispatch rate. Wire selects the predict codec: "" or "json" posts
@@ -136,6 +149,16 @@ func (s Scenario) Validate() error {
 		case "", "f64", "f32":
 		default:
 			return fmt.Errorf("perf: %s: unknown precision %q (want f64 or f32)", s.Name, s.Precision)
+		}
+		if s.Sparsity < 0 || s.Sparsity >= 1 {
+			return fmt.Errorf("perf: %s: Sparsity = %v, need [0,1)", s.Name, s.Sparsity)
+		}
+		if (s.Sparsity > 0 || s.Sparse) && s.Op != "trainstep" {
+			return fmt.Errorf("perf: %s: sparsity only applies to the trainstep op", s.Name)
+		}
+		if (s.Sparsity > 0 || s.Sparse) && s.Precision == "" {
+			return fmt.Errorf("perf: %s: sparse trainstep needs an explicit precision "+
+				"(the legacy core-driven trainstep has no mask fixture)", s.Name)
 		}
 	case KindServeClosed:
 		if s.Concurrency <= 0 || s.Requests <= 0 {
@@ -311,6 +334,26 @@ var suites = map[string][]Scenario{
 		{Name: "trace/fused/f32", Kind: KindKernel, Op: "trace", Backend: "fused", Iters: 40, Precision: "f32"},
 		{Name: "trainstep/fused/f64", Kind: KindKernel, Op: "trainstep", Backend: "fused", Iters: 30, MCUs: 200, Precision: "f64"},
 		{Name: "trainstep/fused/f32", Kind: KindKernel, Op: "trainstep", Backend: "fused", Iters: 30, MCUs: 200, Precision: "f32"},
+	},
+	// "sparse" is the structural-sparsity sweep behind BENCH_sparse.json
+	// (DESIGN.md §15): trainstep twin pairs sharing one pruned receptive-
+	// field mask, run dense-masked (every block computed, silent W blocks
+	// re-zeroed — what the schedule costs without the sparse kernels) and
+	// block-sparse (silent blocks skipped via the compressed index). The
+	// sparse/dense throughput ratio of a pair is the measured prune/regrow
+	// speedup; benchgate floors the f64 ratio at ≥80% sparsity within-run
+	// (-min-sparse-speedup), the compute half of the E10 claim — the AUC
+	// half is the experiment's own ±0.01 twin bound. The s50 and f32 pairs
+	// are informational: at half sparsity the skipped fraction is too small
+	// for the floor, and the f32 pair shares the fast Log32 kernels so its
+	// ratio mostly measures cache footprint.
+	"sparse": {
+		{Name: "trainstep/dense/f64/s80", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64", Sparsity: 0.8},
+		{Name: "trainstep/sparse/f64/s80", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64", Sparsity: 0.8, Sparse: true},
+		{Name: "trainstep/dense/f32/s80", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32", Sparsity: 0.8},
+		{Name: "trainstep/sparse/f32/s80", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f32", Sparsity: 0.8, Sparse: true},
+		{Name: "trainstep/dense/f64/s50", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64", Sparsity: 0.5},
+		{Name: "trainstep/sparse/f64/s50", Kind: KindKernel, Op: "trainstep", Backend: "parallel", Iters: 30, MCUs: 200, Precision: "f64", Sparsity: 0.5, Sparse: true},
 	},
 	// "serve" is the predict-protocol sweep behind BENCH_serve.json
 	// (DESIGN.md §12): json/binary twin scenarios under identical closed-

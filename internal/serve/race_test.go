@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"streambrain/internal/backend"
+	"streambrain/internal/core"
+	"streambrain/internal/data"
+	"streambrain/internal/higgs"
+	"streambrain/internal/obs/obstest"
+)
+
+// trainTinySparse is trainTiny in the block-sparse compute regime: the
+// prune/regrow schedule (DESIGN.md §15) keeps mutating the receptive-field
+// mask — and with it the compressed block index — on every further
+// unsupervised epoch, which is exactly the churn the hot-swap race tests
+// need.
+func trainTinySparse(t testing.TB, seed int64) (*core.Network, *data.Encoder, *data.Encoded, *data.Dataset) {
+	t.Helper()
+	ds := higgs.Generate(800, 0.5, seed)
+	rng := rand.New(rand.NewSource(seed + 7))
+	trainDS, testDS := ds.Split(0.75, rng)
+	enc := data.FitEncoder(trainDS, 8)
+	encoded := enc.Transform(trainDS)
+
+	p := core.DefaultParams()
+	p.MCUs = 24
+	p.ReceptiveField = 0.5
+	p.UnsupervisedEpochs = 2
+	p.SupervisedEpochs = 2
+	p.Seed = seed
+	p.SparseCompute = true
+	p.TargetSparsity = 0.7
+	net := core.NewNetwork(backend.MustNew("parallel", 2),
+		encoded.Hypercolumns, encoded.UnitsPerHC, encoded.Classes, p)
+	net.Train(encoded)
+	return net, enc, encoded, testDS
+}
+
+// TestConcurrentPredictDuringSparseHotSwap hammers registry replicas with
+// concurrent Predict calls while a co-located trainer keeps mutating the
+// network's receptive-field mask (prune/regrow structural swaps) and
+// publishing fresh generations through PublishBundle. Run under -race this
+// pins the serving contract: published bundles are deep copies with warm
+// block indexes, so readers never observe — or write — trainer state.
+func TestConcurrentPredictDuringSparseHotSwap(t *testing.T) {
+	defer obstest.CheckLeaks(t)()
+	net, enc, encoded, testDS := trainTinySparse(t, 51)
+	reg := NewRegistry(2, NamedBackendFactory("parallel", 2))
+	if err := reg.PublishBundle(net, enc, "gen-0"); err != nil {
+		t.Fatal(err)
+	}
+	events := rawRows(testDS, 16)
+
+	const readers = 4
+	const publishes = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				b := reg.Replica(w)
+				pred, _, err := b.Predict(events)
+				if err != nil {
+					t.Errorf("reader %d: %v", w, err)
+					return
+				}
+				for j, p := range pred {
+					if p != 0 && p != 1 {
+						t.Errorf("reader %d: event %d predicted class %d", w, j, p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// The trainer thread: more unsupervised epochs (each ends in a
+	// prune/regrow round that swaps mask bits and rebuilds the block index),
+	// each followed by a publish. Training and publishing share a goroutine,
+	// as in stream.RegistryPublisher — the registry's deep-copy semantics are
+	// what make this safe against the readers.
+	for gen := 1; gen <= publishes; gen++ {
+		net.TrainUnsupervised(encoded, 1)
+		if err := reg.PublishBundle(net, enc, fmt.Sprintf("gen-%d", gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	info := reg.Info()
+	if info == nil || info.Generation != publishes+1 {
+		t.Fatalf("registry info %+v, want generation %d", info, publishes+1)
+	}
+	final := reg.Replica(0)
+	if !final.Net.Hidden.SparseCompute() {
+		t.Fatal("published bundle lost the sparse-compute flag")
+	}
+	if got := final.Net.Hidden.Blocks().Sparsity(); got <= 0 {
+		t.Fatalf("published bundle has dense block index (sparsity %v)", got)
+	}
+}
+
+// TestBatcherPredictDuringHotSwap routes the concurrent load through the
+// micro-batching scheduler — the production path — while generations hot-swap
+// underneath it, then closes the batcher and (via CheckLeaks) asserts no
+// worker goroutine outlives it.
+func TestBatcherPredictDuringHotSwap(t *testing.T) {
+	defer obstest.CheckLeaks(t)()
+	net, enc, encoded, testDS := trainTinySparse(t, 52)
+	reg := NewRegistry(2, NamedBackendFactory("parallel", 2))
+	if err := reg.PublishBundle(net, enc, "gen-0"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(func(w int, events [][]float64) ([]int, []float64, error) {
+		bundle := reg.Replica(w)
+		pred, score, err := bundle.Predict(events)
+		return pred, score, err
+	}, BatcherConfig{MaxBatch: 8, MaxWait: 200 * time.Microsecond, Workers: 2})
+	events := rawRows(testDS, 8)
+
+	const clients = 6
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if _, _, err := b.Predict(ctx, events[(c+i)%len(events)]); err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	for gen := 1; gen <= 3; gen++ {
+		net.TrainUnsupervised(encoded, 1)
+		if err := reg.PublishBundle(net, enc, fmt.Sprintf("gen-%d", gen)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	b.Close()
+	if st := b.Stats(); st.Requests == 0 || st.Batches == 0 {
+		t.Fatalf("no traffic flowed through the batcher: %+v", st)
+	}
+}

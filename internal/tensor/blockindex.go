@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockIndex is the compressed form of a receptive-field mask (DESIGN.md §15):
+// a CSR index over the Fi×H grid of (input hypercolumn, hidden hypercolumn)
+// blocks listing, for every input hypercolumn, the hidden HCUs whose mask bit
+// is set. Block (fi, h) covers the Mi×M sub-panel of the weight and joint-
+// trace matrices at rows [fi·Mi, (fi+1)·Mi) and columns [h·M, (h+1)·M).
+//
+// The index is immutable once built and is rebuilt only when the mask changes
+// (a structural-plasticity swap or a prune/regrow step), never per batch —
+// the whole point is that the per-batch kernels walk the short active lists
+// instead of testing Fi·H mask bits, and skip the silent panels entirely.
+type BlockIndex struct {
+	// Geometry: Fi input hypercolumns of Mi units each, H hidden HCUs of M
+	// units each — identical to backend.LayerGeom.
+	Fi, Mi, H, M int
+
+	// rowStart has Fi+1 entries; cols[rowStart[fi]:rowStart[fi+1]] is the
+	// sorted list of active hidden HCUs of input hypercolumn fi.
+	rowStart []int32
+	cols     []int32
+}
+
+// NewBlockIndex compresses an fi×h row-major boolean mask (the layout of
+// Kernels.UpdateWeights' mask argument) into a block index with the given
+// block shape. A nil mask means fully dense: every block is active.
+func NewBlockIndex(mask []bool, fi, mi, h, m int) *BlockIndex {
+	if fi < 1 || mi < 1 || h < 1 || m < 1 {
+		panic(fmt.Sprintf("tensor: BlockIndex bad geometry %d×%d blocks of %d×%d", fi, h, mi, m))
+	}
+	if mask != nil && len(mask) != fi*h {
+		panic(fmt.Sprintf("tensor: BlockIndex mask length %d, want %d", len(mask), fi*h))
+	}
+	b := &BlockIndex{Fi: fi, Mi: mi, H: h, M: m, rowStart: make([]int32, fi+1)}
+	if mask == nil {
+		b.cols = make([]int32, fi*h)
+		for f := 0; f < fi; f++ {
+			b.rowStart[f] = int32(f * h)
+			for j := 0; j < h; j++ {
+				b.cols[f*h+j] = int32(j)
+			}
+		}
+		b.rowStart[fi] = int32(fi * h)
+		return b
+	}
+	n := 0
+	for _, on := range mask {
+		if on {
+			n++
+		}
+	}
+	b.cols = make([]int32, 0, n)
+	for f := 0; f < fi; f++ {
+		b.rowStart[f] = int32(len(b.cols))
+		for j := 0; j < h; j++ {
+			if mask[f*h+j] {
+				b.cols = append(b.cols, int32(j))
+			}
+		}
+	}
+	b.rowStart[fi] = int32(len(b.cols))
+	return b
+}
+
+// Active returns the sorted active hidden-HCU list of input hypercolumn fi.
+// The returned slice aliases the index; callers must not modify it.
+func (b *BlockIndex) Active(fi int) []int32 {
+	return b.cols[b.rowStart[fi]:b.rowStart[fi+1]]
+}
+
+// ActiveBlocks returns the total number of active (fi, h) blocks.
+func (b *BlockIndex) ActiveBlocks() int { return len(b.cols) }
+
+// ActiveElems returns the number of matrix elements covered by active blocks
+// — the work (and, on offload simulators, the traffic) a sparse kernel pays.
+func (b *BlockIndex) ActiveElems() int64 {
+	return int64(b.ActiveBlocks()) * int64(b.Mi) * int64(b.M)
+}
+
+// Density returns the active fraction of the block grid.
+func (b *BlockIndex) Density() float64 {
+	return float64(b.ActiveBlocks()) / float64(b.Fi*b.H)
+}
+
+// Sparsity returns the silent fraction of the block grid (1 − Density).
+func (b *BlockIndex) Sparsity() float64 { return 1 - b.Density() }
+
+// Equal reports whether two indexes describe the same geometry and the same
+// active-block set.
+func (b *BlockIndex) Equal(o *BlockIndex) bool {
+	if o == nil || b.Fi != o.Fi || b.Mi != o.Mi || b.H != o.H || b.M != o.M ||
+		len(b.cols) != len(o.cols) {
+		return false
+	}
+	for i, v := range b.rowStart {
+		if o.rowStart[i] != v {
+			return false
+		}
+	}
+	for i, v := range b.cols {
+		if o.cols[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// checkBlockIndex validates a block index against a matrix it will gate.
+func checkBlockIndex[T Float](b *BlockIndex, m *Dense[T]) {
+	if b == nil {
+		panic("tensor: nil BlockIndex")
+	}
+	if b.Fi*b.Mi != m.Rows || b.H*b.M != m.Cols {
+		panic(fmt.Sprintf("tensor: BlockIndex %d×%d blocks of %d×%d does not tile %d×%d",
+			b.Fi, b.H, b.Mi, b.M, m.Rows, m.Cols))
+	}
+}
+
+// OneHotMatMulSparse is OneHotMatMul restricted to the active blocks of bi:
+// sample s gathers, for each active input unit, only the weight-row segments
+// of the hidden HCUs its input hypercolumn is connected to. Silent segments
+// of W hold exact zeros (the mask invariant UpdateWeights maintains), so the
+// skipped additions are additions of +0 — the sparse support is bit-identical
+// to the dense one while paying only Density() of the gather traffic.
+func OneHotMatMulSparse[T Float](dst *Dense[T], idx [][]int32, w *Dense[T], bi *BlockIndex) {
+	if dst.Rows != len(idx) || dst.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: OneHotMatMulSparse shape mismatch dst %dx%d, idx %d, w %dx%d",
+			dst.Rows, dst.Cols, len(idx), w.Rows, w.Cols))
+	}
+	checkBlockIndex(bi, w)
+	n, m := w.Cols, bi.M
+	for s, active := range idx {
+		drow := dst.Row(s)
+		for i := range drow {
+			drow[i] = 0
+		}
+		for _, in := range active {
+			wrow := w.Data[int(in)*n : int(in)*n+n]
+			for _, h := range bi.Active(int(in) / bi.Mi) {
+				o := int(h) * m
+				addDispatch(drow[o:o+m], wrow[o:o+m])
+			}
+		}
+	}
+}
+
+// OneHotMatMulSparseParallel parallelizes OneHotMatMulSparse over the batch.
+func OneHotMatMulSparseParallel[T Float](dst *Dense[T], idx [][]int32, w *Dense[T],
+	bi *BlockIndex, workers int) {
+	if workers <= 1 || len(idx) < 4 {
+		OneHotMatMulSparse(dst, idx, w, bi)
+		return
+	}
+	if dst.Rows != len(idx) || dst.Cols != w.Cols {
+		panic("tensor: OneHotMatMulSparseParallel shape mismatch")
+	}
+	checkBlockIndex(bi, w)
+	var wg sync.WaitGroup
+	rows := len(idx)
+	chunk := (rows + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		r0 := wk * chunk
+		if r0 >= rows {
+			break
+		}
+		r1 := min(r0+chunk, rows)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			sub := &Dense[T]{Rows: r1 - r0, Cols: dst.Cols,
+				Data: dst.Data[r0*dst.Cols : r1*dst.Cols]}
+			OneHotMatMulSparse(sub, idx[r0:r1], w, bi)
+		}(r0, r1)
+	}
+	wg.Wait()
+}

@@ -236,6 +236,61 @@ func FusedKernelFloor(results []perf.Result, minRatio float64) (lines []string, 
 	return lines, failed
 }
 
+// sparseStepName matches a sparse-suite trainstep scenario:
+// trainstep/<regime>/<precision>/s<sparsity%>.
+var sparseStepName = regexp.MustCompile(`^trainstep/(sparse|dense)/(f32|f64)/s([0-9]+)$`)
+
+// SparseSpeedupFloor checks the structural-sparsity claim inside ONE report
+// (DESIGN.md §15): the block-sparse trainstep must reach at least minRatio×
+// its dense-masked twin's throughput. The floor is enforced for float64 pairs
+// at ≥80% sparsity — the regime the prune/regrow schedule targets and where
+// the skipped block fraction is large enough to carry it. Lower-sparsity and
+// float32 pairs are reported informationally: at 50% sparsity the sparse path
+// skips too little for a hard floor, and the f32 pair's ratio is confounded by
+// cache footprint. Like FusedKernelFloor, a within-run ratio is its own
+// baseline, so callers enforce it even when the environment stamp disarms the
+// baseline diff.
+func SparseSpeedupFloor(results []perf.Result, minRatio float64) (lines []string, failed bool) {
+	rate := map[string]float64{}
+	var pairs []string // "<precision>/s<sparsity%>", discovery order
+	for _, r := range results {
+		if m := sparseStepName.FindStringSubmatch(r.Scenario); m != nil {
+			pair := m[2] + "/s" + m[3]
+			if _, ok := rate["sparse/"+pair]; !ok {
+				if _, ok := rate["dense/"+pair]; !ok {
+					pairs = append(pairs, pair)
+				}
+			}
+			rate[m[1]+"/"+pair] = r.Throughput
+		}
+	}
+	sort.Strings(pairs)
+	for _, pair := range pairs {
+		sparse, dense := rate["sparse/"+pair], rate["dense/"+pair]
+		if sparse <= 0 || dense <= 0 {
+			continue
+		}
+		ratio := sparse / dense
+		pct, _ := strconv.Atoi(pair[strings.Index(pair, "/s")+2:])
+		switch {
+		case !strings.HasPrefix(pair, "f64/") || pct < 80:
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: sparse trainstep %s: sparse/dense = %.2fx (informational)",
+				pair, ratio))
+		case ratio < minRatio:
+			failed = true
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: sparse trainstep %s: sparse/dense = %.2fx (floor %.2fx) FAIL",
+				pair, ratio, minRatio))
+		default:
+			lines = append(lines, fmt.Sprintf(
+				"benchgate: sparse trainstep %s: sparse/dense = %.2fx (floor %.2fx) ok",
+				pair, ratio, minRatio))
+		}
+	}
+	return lines, failed
+}
+
 // fleetClosedName splits a fleet closed-loop scenario name into its load
 // shape and replica count ("fleet/binary/closed/r2" → "fleet/binary/closed",
 // 2). Kill-one scenarios are excluded: their throughput includes a replica

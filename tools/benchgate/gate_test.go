@@ -263,3 +263,54 @@ func TestFusedKernelFloor(t *testing.T) {
 		t.Fatalf("non-kernel suite must be exempt: %v", lines)
 	}
 }
+
+func TestSparseSpeedupFloor(t *testing.T) {
+	results := []perf.Result{
+		res("trainstep/dense/f64/s80", 1000, 1.0),
+		res("trainstep/sparse/f64/s80", 1800, 0.6),
+		res("trainstep/dense/f32/s80", 1400, 0.7),
+		res("trainstep/sparse/f32/s80", 2200, 0.5),
+		res("trainstep/dense/f64/s50", 900, 1.1),
+		res("trainstep/sparse/f64/s50", 1200, 0.9),
+		res("trainstep/parallel/f64", 800, 1.3), // kernels-suite name: ignored
+	}
+	lines, failed := SparseSpeedupFloor(results, 1.5)
+	if failed {
+		t.Fatalf("1.80x at f64/s80 must clear a 1.5x floor: %v", lines)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("want one line per twin pair, got %v", lines)
+	}
+	// Pairs report in sorted order: f32/s80, f64/s50, f64/s80. Only the
+	// f64 ≥80%-sparsity pair is enforced.
+	if !strings.Contains(lines[0], "f32/s80") || !strings.Contains(lines[0], "informational") {
+		t.Fatalf("f32 line %q, want informational (cache-footprint confound, no floor)", lines[0])
+	}
+	if !strings.Contains(lines[1], "f64/s50") || !strings.Contains(lines[1], "informational") {
+		t.Fatalf("s50 line %q, want informational (skip fraction too small to floor)", lines[1])
+	}
+	if !strings.Contains(lines[2], "f64/s80") || !strings.Contains(lines[2], "ok") {
+		t.Fatalf("f64/s80 line %q, want enforced ok", lines[2])
+	}
+
+	// Below the floor at f64/s80 the gate fails; the informational pairs
+	// never do.
+	results[1].Throughput = 1200 // 1.20x
+	results[5].Throughput = 500  // s50 sparse slower than dense
+	lines, failed = SparseSpeedupFloor(results, 1.5)
+	if !failed {
+		t.Fatalf("1.20x at f64/s80 must fail a 1.5x floor: %v", lines)
+	}
+	if !strings.Contains(lines[2], "FAIL") {
+		t.Fatalf("f64/s80 line %q, want FAIL", lines[2])
+	}
+	if strings.Contains(lines[1], "FAIL") {
+		t.Fatalf("s50 line %q must stay informational", lines[1])
+	}
+
+	// A half pair (dense row without its sparse twin) reports nothing.
+	lines, failed = SparseSpeedupFloor([]perf.Result{res("trainstep/dense/f64/s80", 1000, 1)}, 1.5)
+	if failed || len(lines) != 0 {
+		t.Fatalf("unpaired scenario must be exempt: %v", lines)
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 		"minimum rN/r1 closed-loop throughput ratio for fleet suites (0 disables)")
 	minFusedSpeedup := flag.Float64("min-fused-speedup", 1.15,
 		"minimum fused/parallel trainstep throughput ratio at f64 for kernel suites (0 disables)")
+	minSparseSpeedup := flag.Float64("min-sparse-speedup", 1.5,
+		"minimum sparse/dense trainstep throughput ratio at f64 and >=80% sparsity for sparse suites (0 disables)")
 	advisory := flag.Bool("advisory", false,
 		"report regressions but exit 0 — for bootstrapping a baseline on new hardware")
 	strict := flag.Bool("strict", false,
@@ -109,7 +111,18 @@ func main() {
 			fmt.Println(l)
 		}
 	}
-	if (failed && enforcing) || ((scalingFailed || fusedFailed) && !*advisory) {
+	// The sparse-kernel floor (DESIGN.md §15) is the third within-run ratio:
+	// the block-sparse trainstep must beat its dense-masked twin by the
+	// configured factor wherever the sparse suite runs.
+	sparseFailed := false
+	if *minSparseSpeedup > 0 {
+		var lines []string
+		lines, sparseFailed = SparseSpeedupFloor(current.Results, *minSparseSpeedup)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+	if (failed && enforcing) || ((scalingFailed || fusedFailed || sparseFailed) && !*advisory) {
 		os.Exit(1)
 	}
 }

@@ -12,7 +12,11 @@
 //     cmd/streambrain-dist; every other -flag the section shows must be
 //     defined by some command under cmd/. The "Fleet quickstart" section
 //     carries the same contract against cmd/streambrain-router (-replica,
-//     -pick, -max-inflight) and BENCH_fleet.json.
+//     -pick, -max-inflight) and BENCH_fleet.json. The "Sparsity" section
+//     carries it against cmd/streambrain (-sparsity, -sparse-compute) and
+//     BENCH_sparse.json, which must also exist at the repo root; because
+//     the sparse speed gate lives in tools/benchgate, flags shown in that
+//     section may come from tools/ as well as cmd/.
 //
 //   - the README's "Backends" table must list exactly the names the
 //     backend registry exposes, at each precision: every backend.Names()
@@ -101,6 +105,7 @@ func main() {
 	}
 	problems = append(problems, checkClusterDocs(*root)...)
 	problems = append(problems, checkFleetDocs(*root)...)
+	problems = append(problems, checkSparsityDocs(*root)...)
 	problems = append(problems, checkBackendDocs(*root)...)
 	problems = append(problems, checkMetricDocs(*root, codeMetrics)...)
 	problems = append(problems, checkWireDocs(*root)...)
@@ -176,8 +181,9 @@ func sourceOffset(src, joined string, off int) int {
 
 var (
 	// flagDef matches a flag definition in a command's main.go:
-	// flag.Int("ranks", ...) or flag.IntVar(&o.ranks, "ranks", ...).
-	flagDef = regexp.MustCompile(`flag\.[A-Za-z]+\((?:&[\w.]+,\s*)?"([a-z][a-z0-9-]*)"`)
+	// flag.Int("ranks", ...) or flag.IntVar(&o.ranks, "ranks", ...). The
+	// method-name class includes digits so flag.Float64/flag.Int64 match.
+	flagDef = regexp.MustCompile(`flag\.[A-Za-z][A-Za-z0-9]*\((?:&[\w.]+,\s*)?"([a-z][a-z0-9-]*)"`)
 	// flagUse matches a -flag token shown in README prose or code blocks.
 	flagUse = regexp.MustCompile("(?:^|[\\s`(])-([a-z][a-z0-9-]*)")
 )
@@ -292,6 +298,76 @@ func checkFleetDocs(root string) []string {
 		if name := m[1]; !allFlags[name] {
 			problems = append(problems, fmt.Sprintf(
 				"%s: Fleet quickstart shows -%s, which no command under cmd/ defines",
+				readmePath, name))
+		}
+	}
+	return problems
+}
+
+// sparsityCoreFlags are the training flags the Sparsity section must
+// document — the pair that selects the structural-plasticity regime.
+var sparsityCoreFlags = []string{"sparsity", "sparse-compute"}
+
+// checkSparsityDocs enforces the structural-sparsity docs (DESIGN.md §15):
+// README's "Sparsity" section must name the committed BENCH_sparse.json
+// report — which must itself exist at the repo root, so the documented
+// speedup table always has a measured report behind it — and show the
+// cmd/streambrain flags that select the regime. Every other -flag the
+// section shows must be defined by some command under cmd/ or tools/; the
+// tools glob joins this check (alone among the README contracts) because
+// the sparse speed gate is a tools/benchgate flag.
+func checkSparsityDocs(root string) []string {
+	readmePath := filepath.Join(root, "README.md")
+	raw, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: cannot read (the Sparsity section is checked): %v", readmePath, err)}
+	}
+	section := markdownSection(string(raw), "## Sparsity")
+	if section == "" {
+		return []string{fmt.Sprintf("%s: missing a \"## Sparsity\" section", readmePath)}
+	}
+	var problems []string
+	for _, must := range []string{"BENCH_sparse.json", "benchgate"} {
+		if !strings.Contains(section, must) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Sparsity section never mentions %s", readmePath, must))
+		}
+	}
+	if _, err := os.Stat(filepath.Join(root, "BENCH_sparse.json")); err != nil {
+		problems = append(problems, fmt.Sprintf(
+			"%s: Sparsity section cites BENCH_sparse.json but the report is not committed at the repo root",
+			readmePath))
+	}
+	trainFlags, err := definedFlags(filepath.Join(root, "cmd", "streambrain", "main.go"))
+	if err != nil {
+		return append(problems, fmt.Sprintf("docscheck: %v", err))
+	}
+	allFlags := map[string]bool{}
+	cmds, _ := filepath.Glob(filepath.Join(root, "cmd", "*", "main.go"))
+	tools, _ := filepath.Glob(filepath.Join(root, "tools", "*", "main.go"))
+	for _, path := range append(cmds, tools...) {
+		fs, err := definedFlags(path)
+		if err != nil {
+			return append(problems, fmt.Sprintf("docscheck: %v", err))
+		}
+		for f := range fs {
+			allFlags[f] = true
+		}
+	}
+	for _, f := range sparsityCoreFlags {
+		if !trainFlags[f] {
+			problems = append(problems,
+				fmt.Sprintf("cmd/streambrain: core flag -%s is not defined", f))
+		}
+		if !strings.Contains(section, "-"+f) {
+			problems = append(problems,
+				fmt.Sprintf("%s: Sparsity section never shows -%s", readmePath, f))
+		}
+	}
+	for _, m := range flagUse.FindAllStringSubmatch(section, -1) {
+		if name := m[1]; !allFlags[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: Sparsity section shows -%s, which no command under cmd/ or tools/ defines",
 				readmePath, name))
 		}
 	}
